@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark suite.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+``-s`` lets the paper-style result tables print; EXPERIMENTS.md records
+the rows produced this way next to what the paper reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import RuleEngine
+from repro.dips import DipsMatcher
+from repro.match import NaiveMatcher, TreatMatcher
+from repro.rete import ReteNetwork
+
+MATCHERS = {
+    "rete": ReteNetwork,
+    "treat": TreatMatcher,
+    "naive": NaiveMatcher,
+    "dips": DipsMatcher,
+}
+
+
+@pytest.fixture
+def engine_factory():
+    def factory(matcher_name="rete"):
+        return RuleEngine(matcher=MATCHERS[matcher_name]())
+
+    return factory
+
+
+def load_paper_roster(engine):
+    engine.literalize("player", "name", "team")
+    for team, name in [
+        ("A", "Jack"), ("A", "Janice"),
+        ("B", "Sue"), ("B", "Jack"), ("B", "Sue"),
+    ]:
+        engine.make("player", team=team, name=name)

@@ -1,0 +1,87 @@
+"""Experiment C5 — §8.1 claim: tuple DIPS conflicts; set DIPS does not.
+
+"Instantiations frequently conflict.  A special case of this is where
+multiple instantiations of a single rule invalidate each other (e.g.
+try to remove the same WME)."  One parallel duplicate-removal round is
+executed under optimistic transactions in both formulations, sweeping
+the duplicate-group size; the paper's prediction: the tuple conflict
+rate grows with group size, the set-oriented rate is identically zero.
+"""
+
+from repro.bench import print_table
+from repro.dips.concurrency import (
+    remove_duplicates_set_firings,
+    remove_duplicates_tuple_firings,
+    run_concurrent_firings,
+)
+from repro.rdb import Database
+
+
+def build_table(db, groups, group_size, name):
+    table = db.create_table(name, ["name", "team"])
+    for group in range(groups):
+        for _ in range(group_size):
+            table.insert({"name": f"p{group}", "team": "A"})
+    return table
+
+
+def one_round(groups, group_size):
+    db = Database()
+    tuple_table = build_table(db, groups, group_size, "wm_tuple")
+    tuple_result = run_concurrent_firings(
+        tuple_table, remove_duplicates_tuple_firings(tuple_table)
+    )
+    set_table = build_table(db, groups, group_size, "wm_set")
+    set_result = run_concurrent_firings(
+        set_table, remove_duplicates_set_firings(set_table)
+    )
+    return tuple_result, set_result, len(set_table)
+
+
+def test_conflict_rate_sweep(benchmark):
+    rows = []
+    for group_size in (2, 3, 5, 8, 12):
+        tuple_result, set_result, set_rows_left = one_round(
+            groups=4, group_size=group_size
+        )
+        rows.append(
+            (
+                group_size,
+                tuple_result.attempted,
+                tuple_result.aborted,
+                f"{tuple_result.conflict_rate:.2f}",
+                set_result.attempted,
+                set_result.aborted,
+            )
+        )
+        # Set mode: one firing per group, zero conflicts, done in one
+        # round.
+        assert set_result.attempted == 4
+        assert set_result.aborted == 0
+        assert set_rows_left == 4
+        if group_size >= 3:
+            assert tuple_result.aborted > 0
+    print_table(
+        "C5 — one parallel firing round, duplicate removal "
+        "(paper: tuple instantiations invalidate each other)",
+        ["group size", "tuple firings", "tuple aborts",
+         "tuple conflict rate", "set firings", "set aborts"],
+        rows,
+    )
+
+    benchmark(one_round, 4, 8)
+
+
+def test_conflict_rate_grows_with_group_size(benchmark):
+    rates = []
+    for group_size in (3, 6, 12):
+        tuple_result, _, _ = one_round(groups=2, group_size=group_size)
+        rates.append(tuple_result.conflict_rate)
+    assert rates[0] < rates[-1]
+    print_table(
+        "C5 — tuple-mode conflict rate vs duplicate-group size",
+        ["group size", "conflict rate"],
+        list(zip((3, 6, 12), (f"{r:.2f}" for r in rates))),
+    )
+
+    benchmark(one_round, 2, 12)

@@ -1,0 +1,83 @@
+"""Experiment C2 — §7.1 claim: one set firing replaces unbounded iteration.
+
+The same update-every-element task written tuple-oriented (control WME
++ one firing per element + a finish rule — the paper's "unwieldy
+control mechanisms and marking schemes") versus set-oriented (one
+``set-modify`` firing).  Reports firings and wall time across WM sizes;
+the paper's prediction is tuple = N + 2 and set = 1, at every size.
+"""
+
+import time
+
+from repro import RuleEngine
+from repro.bench import print_table
+from repro.bench.workloads import process_set_program, process_tuple_program
+
+SIZES = (10, 50, 100, 250, 500)
+
+
+def run_task(loader, size):
+    engine = RuleEngine()
+    loader(engine, size)
+    start = time.perf_counter()
+    fired = engine.run(limit=size * 3 + 10)
+    elapsed = time.perf_counter() - start
+    done = len(engine.wm.find("item", status="done"))
+    return fired, elapsed, done
+
+
+def test_firing_counts_across_sizes(benchmark):
+    rows = []
+    for size in SIZES:
+        tuple_fired, tuple_time, tuple_done = run_task(
+            process_tuple_program, size
+        )
+        set_fired, set_time, set_done = run_task(process_set_program, size)
+        assert tuple_done == set_done == size
+        rows.append(
+            (
+                size,
+                tuple_fired,
+                set_fired,
+                f"{tuple_time:.4f}",
+                f"{set_time:.4f}",
+                f"{tuple_fired / set_fired:.0f}x",
+            )
+        )
+    print_table(
+        "C2 — firings to process an N-element collection "
+        "(paper claim: N+2 vs 1)",
+        ["N", "tuple firings", "set firings", "tuple s", "set s",
+         "firing ratio"],
+        rows,
+    )
+    for (size, tuple_fired, set_fired, *_rest) in rows:
+        assert tuple_fired == size + 2
+        assert set_fired == 1
+
+    benchmark(run_task, process_set_program, 100)
+
+
+def test_tuple_variant_needs_control_state(benchmark):
+    """The tuple program carries control-WME churn the set one avoids."""
+    engine_tuple = RuleEngine()
+    process_tuple_program(engine_tuple, 50)
+    engine_tuple.run(limit=200)
+    engine_set = RuleEngine()
+    process_set_program(engine_set, 50)
+    engine_set.run(limit=200)
+    rows = [
+        ("tuple", len(engine_tuple.rules),
+         engine_tuple.tracer.total_wm_actions()),
+        ("set", len(engine_set.rules),
+         engine_set.tracer.total_wm_actions()),
+    ]
+    print_table(
+        "C2 — program size and total WM actions (N = 50)",
+        ["formulation", "rules needed", "total WM actions"],
+        rows,
+    )
+    assert len(engine_tuple.rules) == 3  # start / process / finish
+    assert len(engine_set.rules) == 1
+
+    benchmark(run_task, process_tuple_program, 50)

@@ -1,0 +1,104 @@
+"""Experiment C1 — §1/§5 claim: no regression for plain OPS5 programs.
+
+"The introduction of the set-oriented changes was made in a way that
+does not degrade the performance when executing regular OPS5
+programs."  Here: run a join-heavy tuple-only workload through the
+extended network (a) alone and (b) with set-oriented rules also
+compiled in but never triggered (different WME classes).  Because the
+alpha network dispatches by class and S-nodes sit after the terminal
+joins of *their own* rules, per-event cost must be indistinguishable.
+"""
+
+import time
+
+from repro.bench import print_table
+from repro.bench.workloads import chain_events, chain_program
+from repro.lang.parser import parse_program, parse_rule
+from repro.match.base import NullListener
+from repro.rete import ReteNetwork
+from repro.wm import WorkingMemory
+
+IDLE_SET_RULES = [
+    "(p idle-set-{i} [setclass-{i} ^v <v>] "
+    ":test ((count <v>) > 1000) --> (write x))"
+]
+
+
+def build_network(with_set_rules):
+    wm = WorkingMemory()
+    net = ReteNetwork()
+    net.set_listener(NullListener())
+    net.attach(wm)
+    _, rules = parse_program(chain_program(rule_count=6, chain_length=3))
+    for rule in rules:
+        net.add_rule(rule)
+    if with_set_rules:
+        for index in range(6):
+            net.add_rule(
+                parse_rule(
+                    f"(p idle-set-{index} "
+                    f"{{ [setclass-{index} ^v <v>] <S> }} "
+                    f":test ((count <S>) > 1000) --> (write x))"
+                )
+            )
+    return wm, net
+
+
+def run_workload(wm, nodes=10):
+    wmes = chain_events(wm, lanes=6, nodes=nodes, seed=3)
+    for wme in wmes:
+        wm.remove(wme)
+
+
+def measure(with_set_rules, repeats=5, nodes=10):
+    best = float("inf")
+    for _ in range(repeats):
+        wm, net = build_network(with_set_rules)
+        start = time.perf_counter()
+        run_workload(wm, nodes)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_no_regression_table(benchmark):
+    plain = measure(with_set_rules=False)
+    extended = measure(with_set_rules=True)
+    overhead = (extended / plain - 1.0) * 100 if plain else 0.0
+    print_table(
+        "C1 — plain-OPS5 workload on the extended network "
+        "(paper claim: no degradation)",
+        ["configuration", "best time (s)", "overhead vs plain (%)"],
+        [
+            ("tuple rules only", f"{plain:.5f}", "0.0"),
+            ("tuple + idle set rules", f"{extended:.5f}",
+             f"{overhead:.1f}"),
+        ],
+    )
+    # Generous bound: anything near-zero validates the claim; 50%
+    # headroom keeps CI noise from flaking the suite.
+    assert extended < plain * 1.5
+
+    benchmark(run_workload, build_network(True)[0])
+
+
+def test_match_stats_identical(benchmark):
+    """Token/activation counts for the tuple rules are unchanged."""
+    wm_plain, net_plain = build_network(False)
+    run_workload(wm_plain)
+    wm_ext, net_ext = build_network(True)
+    run_workload(wm_ext)
+    rows = [
+        (name, getattr(net_plain.stats, name), getattr(net_ext.stats, name))
+        for name in (
+            "tokens_created", "tokens_deleted", "right_activations",
+        )
+    ]
+    print_table(
+        "C1 — match-effort counters, plain vs extended network",
+        ["counter", "plain", "extended"],
+        rows,
+    )
+    for _, plain_value, ext_value in rows:
+        assert plain_value == ext_value
+
+    benchmark(lambda: build_network(True))

@@ -1,0 +1,93 @@
+"""Experiment C5b — mutual invalidation in the in-memory engine.
+
+The C5 experiment measures the §8.1 conflict problem with DBMS
+transactions; this one runs the same contrast through the engine's
+parallel-cycle mode (:meth:`RuleEngine.run_parallel`): all eligible
+instantiations of a cycle fire together, and an instantiation
+invalidated by an earlier same-cycle firing counts as a conflict.
+"""
+
+from repro import RuleEngine
+from repro.bench import print_table
+
+TUPLE_DEDUP = """
+(literalize rec key serial)
+(p dedup
+  (rec ^key <k> ^serial <s>)
+  { (rec ^key <k> ^serial < <s>) <Old> }
+  -->
+  (remove <Old>))
+"""
+
+SET_DEDUP = """
+(literalize rec key serial)
+(p dedup
+  { [rec ^key <k>] <R> }
+  :scalar (<k>)
+  :test ((count <R>) > 1)
+  -->
+  (bind <first> true)
+  (foreach <R> descending
+    (if (<first> == true)
+      (bind <first> false)
+     else
+      (remove <R>))))
+"""
+
+
+def run(program, groups, copies):
+    engine = RuleEngine()
+    engine.load(program)
+    for group in range(groups):
+        for serial in range(copies):
+            engine.make("rec", key=f"k{group}", serial=serial)
+    cycles, fired, conflicted = engine.run_parallel(max_cycles=50)
+    assert len(engine.wm) == groups
+    return cycles, fired, conflicted
+
+
+def test_parallel_firing_conflicts(benchmark):
+    rows = []
+    for copies in (2, 4, 8):
+        t_cycles, t_fired, t_conflicted = run(TUPLE_DEDUP, 3, copies)
+        s_cycles, s_fired, s_conflicted = run(SET_DEDUP, 3, copies)
+        rows.append(
+            (
+                copies,
+                t_fired, t_conflicted, t_cycles,
+                s_fired, s_conflicted, s_cycles,
+            )
+        )
+        assert s_conflicted == 0
+        assert s_fired == 3  # one SOI firing per duplicate group
+        if copies >= 4:
+            assert t_conflicted > 0
+    print_table(
+        "C5b — parallel-cycle dedup, 3 groups "
+        "(tuple instantiations invalidate each other; SOIs never do)",
+        ["copies/group", "tuple fired", "tuple conflicts",
+         "tuple cycles", "set fired", "set conflicts", "set cycles"],
+        rows,
+    )
+
+    benchmark(run, SET_DEDUP, 3, 8)
+
+
+def test_wasted_match_work(benchmark):
+    """Conflicted instantiations are pure waste the SOI never creates."""
+    t_cycles, t_fired, t_conflicted = run(TUPLE_DEDUP, 1, 10)
+    total = t_fired + t_conflicted
+    rows = [
+        ("instantiations produced", total),
+        ("useful firings", t_fired),
+        ("invalidated (wasted)", t_conflicted),
+        ("SOI equivalent", 1),
+    ]
+    print_table(
+        "C5b — one 10-copy duplicate group under parallel firing",
+        ["metric", "value"],
+        rows,
+    )
+    assert t_conflicted >= t_fired  # most of the work was wasted
+
+    benchmark(run, TUPLE_DEDUP, 1, 10)

@@ -1,0 +1,72 @@
+"""Experiment C3b — §1 claim, quantified: parallelism from set firings.
+
+The cost model of :mod:`repro.engine.parallel` schedules each firing's
+WM actions on P workers (same-element actions chain; firings stay
+sequential).  The paper's prediction: the tuple formulation exposes no
+intra-firing parallelism (one action per firing), while the
+set-oriented formulation's speedup scales with the set size.
+"""
+
+from repro import RuleEngine
+from repro.bench import print_table
+from repro.bench.workloads import process_set_program, process_tuple_program
+from repro.engine.parallel import run_latency, speedup
+
+SIZE = 128
+WORKERS = (1, 2, 4, 8, 16, 32, 64)
+
+
+def traced_run(loader):
+    engine = RuleEngine()
+    loader(engine, SIZE)
+    engine.run(limit=SIZE * 3 + 10)
+    return engine.tracer
+
+
+def test_parallel_speedup_sweep(benchmark):
+    tuple_trace = traced_run(process_tuple_program)
+    set_trace = traced_run(process_set_program)
+    rows = []
+    for workers in WORKERS:
+        rows.append(
+            (
+                workers,
+                run_latency(tuple_trace, workers),
+                f"{speedup(tuple_trace, workers):.2f}",
+                run_latency(set_trace, workers),
+                f"{speedup(set_trace, workers):.2f}",
+            )
+        )
+    print_table(
+        f"C3b — modelled schedule length / speedup, N = {SIZE} "
+        "(paper: set firings provide the parallelism)",
+        ["workers", "tuple latency", "tuple speedup",
+         "set latency", "set speedup"],
+        rows,
+    )
+    # Tuple: flat at 1.0x.  Set: grows toward the set size.
+    assert speedup(tuple_trace, 64) == 1.0
+    assert speedup(set_trace, 64) > 30
+
+    benchmark(traced_run, process_set_program)
+
+
+def test_speedup_bounded_by_dependency_chains(benchmark):
+    """A rule touching ONE element many times cannot parallelise."""
+    engine = RuleEngine()
+    engine.load(
+        """
+        (literalize counter n)
+        (p bump (counter ^n <v> ^n < 10) --> (modify 1 ^n (<v> + 1)))
+        """
+    )
+    engine.make("counter", n=0)
+    engine.run(limit=20)
+    assert speedup(engine.tracer, 16) == 1.0
+    print_table(
+        "C3b — dependency-chained workload (no parallelism available)",
+        ["workers", "latency"],
+        [(w, run_latency(engine.tracer, w)) for w in (1, 4, 16)],
+    )
+
+    benchmark(traced_run, process_tuple_program)

@@ -1,0 +1,100 @@
+"""Experiment C7 — memory-based vs DBMS-based matching cost.
+
+The paper positions set-oriented constructs as helping "both the
+traditional memory-based systems and the emerging disk-based ones".
+This bench quantifies the gap our substrate exhibits between the two
+ends: per-event match cost of Rete (in-memory dataflow) versus the
+DIPS matcher (COND-table updates + SQL SOI queries) on the same
+program — and shows that set-oriented grouping costs the DBMS back end
+nothing extra (the grouping *is* the query's GROUP BY).
+"""
+
+import time
+
+from repro import RuleEngine
+from repro.bench import print_table
+from repro.dips import DipsMatcher
+from repro.rete import ReteNetwork
+
+PROGRAM = """
+(literalize E name salary)
+(literalize W name job)
+(p pairs
+  (E ^name <x> ^salary <s>)
+  { [W ^name <x> ^job clerk] <Jobs> }
+  :test ((count <Jobs>) >= 1)
+  -->
+  (write x))
+"""
+
+
+def feed(engine, size):
+    start = time.perf_counter()
+    for index in range(size):
+        engine.make("W", name=f"emp{index % 10}", job="clerk")
+        engine.make("E", name=f"emp{index % 10}", salary=1000 + index)
+    return time.perf_counter() - start
+
+
+def run_config(matcher_factory, size):
+    engine = RuleEngine(matcher=matcher_factory())
+    engine.load(PROGRAM)
+    elapsed = feed(engine, size)
+    return elapsed, engine.conflict_set_size()
+
+
+def test_rete_vs_dips_per_event(benchmark):
+    rows = []
+    for size in (10, 20, 40):
+        rete_time, rete_cs = run_config(ReteNetwork, size)
+        dips_time, dips_cs = run_config(DipsMatcher, size)
+        assert rete_cs == dips_cs  # identical conflict sets
+        rows.append(
+            (
+                size * 2,
+                f"{rete_time * 1e3:.2f}",
+                f"{dips_time * 1e3:.2f}",
+                f"{dips_time / rete_time:.0f}x",
+            )
+        )
+    print_table(
+        "C7 — same program, memory-based (Rete) vs DBMS-based (DIPS) "
+        "matching",
+        ["WM events", "rete ms", "dips ms", "dips/rete"],
+        rows,
+    )
+    # The DBMS back end re-queries per event: orders of magnitude
+    # slower per event, which is why DIPS batches set-at-a-time — and
+    # why the paper wants rules that let it do MORE per match.
+    assert float(rows[-1][3].rstrip("x")) > 2
+
+    benchmark(run_config, ReteNetwork, 20)
+
+
+def test_dips_grouping_is_free(benchmark):
+    """Grouped (set) and ungrouped (tuple) retrieval cost the same."""
+    tuple_program = PROGRAM.replace(
+        "{ [W ^name <x> ^job clerk] <Jobs> }\n  "
+        ":test ((count <Jobs>) >= 1)",
+        "(W ^name <x> ^job clerk)",
+    )
+
+    def run(program):
+        engine = RuleEngine(matcher=DipsMatcher())
+        engine.load(program)
+        return feed(engine, 20)
+
+    set_time = min(run(PROGRAM) for _ in range(3))
+    tuple_time = min(run(tuple_program) for _ in range(3))
+    print_table(
+        "C7 — DIPS: tuple vs set-oriented rule, same data",
+        ["formulation", "time (ms)"],
+        [
+            ("tuple-oriented", f"{tuple_time * 1e3:.2f}"),
+            ("set-oriented", f"{set_time * 1e3:.2f}"),
+        ],
+    )
+    # Within noise of each other: grouping rides the same query.
+    assert set_time < tuple_time * 3
+
+    benchmark(run, PROGRAM)

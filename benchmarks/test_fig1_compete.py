@@ -1,0 +1,68 @@
+"""Experiment F1 — Figure 1: the compete rule's conflict set.
+
+Paper: 5 player WMEs produce 6 instantiations (every A x B pair).
+The benchmark times a full build-and-match of the figure, and a scaled
+variant shows conflict-set growth is the |A| x |B| product.
+"""
+
+from repro.bench import print_table
+
+from benchmarks.conftest import load_paper_roster
+
+COMPETE = """
+(literalize player name team)
+(p compete
+  (player ^name <n1> ^team A)
+  (player ^name <n2> ^team B)
+  -->
+  (write <n1> <n2>))
+"""
+
+
+def build_figure1(engine_factory):
+    engine = engine_factory()
+    engine.load(COMPETE)
+    load_paper_roster(engine)
+    return engine
+
+
+def test_figure1_conflict_set(engine_factory, benchmark):
+    engine = benchmark(build_figure1, engine_factory)
+    instantiations = engine.conflict_set.of_rule("compete")
+    assert len(instantiations) == 6
+
+    pairs = sorted(
+        (inst.wme_at(0).time_tag, inst.wme_at(1).time_tag)
+        for inst in instantiations
+    )
+    print_table(
+        "F1 / Figure 1 — compete: conflict set (paper: 6 instantiations)",
+        ["A player (tag)", "B player (tag)"],
+        pairs,
+    )
+    assert pairs == [(1, 3), (1, 4), (1, 5), (2, 3), (2, 4), (2, 5)]
+
+
+def test_figure1_scaling(engine_factory, benchmark):
+    """Tuple orientation scales as the cross product."""
+
+    def build(size):
+        engine = engine_factory()
+        engine.load(COMPETE)
+        for index in range(size):
+            engine.make("player", team="A", name=f"a{index}")
+            engine.make("player", team="B", name=f"b{index}")
+        return engine
+
+    rows = []
+    for size in (2, 4, 8, 16):
+        engine = build(size)
+        rows.append((size * 2, len(engine.conflict_set.of_rule("compete"))))
+    print_table(
+        "F1 — instantiation count vs roster size (|A| x |B| growth)",
+        ["players", "instantiations"],
+        rows,
+    )
+    assert [count for _, count in rows] == [4, 16, 64, 256]
+
+    benchmark(build, 8)

@@ -1,0 +1,75 @@
+"""Experiment F2 — Figure 2: set-oriented LHS variants.
+
+Paper: with the Figure 1 WM, the all-set compete rule yields ONE SOI
+holding the entire six-pair relation; making the second CE regular
+partitions the relation into THREE SOIs (one per B player).
+"""
+
+from repro.bench import print_table
+
+from benchmarks.conftest import load_paper_roster
+
+ALL_SET = """
+(literalize player name team)
+(p compete
+  [player ^name <n1> ^team A]
+  [player ^name <n2> ^team B]
+  -->
+  (write x))
+"""
+
+MIXED = """
+(literalize player name team)
+(p compete
+  [player ^name <n1> ^team A]
+  (player ^name <n2> ^team B)
+  -->
+  (write x))
+"""
+
+
+def build(engine_factory, program):
+    engine = engine_factory()
+    engine.load(program)
+    load_paper_roster(engine)
+    return engine
+
+
+def test_figure2_variants(engine_factory, benchmark):
+    all_set = build(engine_factory, ALL_SET)
+    mixed = build(engine_factory, MIXED)
+
+    all_set_sois = all_set.conflict_set.of_rule("compete")
+    mixed_sois = mixed.conflict_set.of_rule("compete")
+
+    rows = [
+        ("both CEs set-oriented", len(all_set_sois),
+         len(all_set_sois[0].tokens())),
+        ("set + regular CE", len(mixed_sois),
+         len(mixed_sois[0].tokens())),
+    ]
+    print_table(
+        "F2 / Figure 2 — SOIs per LHS variant "
+        "(paper: 1 SOI of 6; 3 SOIs of 2)",
+        ["LHS shape", "SOIs", "tokens in first SOI"],
+        rows,
+    )
+    assert len(all_set_sois) == 1
+    assert len(all_set_sois[0].tokens()) == 6
+    assert len(mixed_sois) == 3
+    assert all(len(soi.tokens()) == 2 for soi in mixed_sois)
+
+    benchmark(build, engine_factory, ALL_SET)
+
+
+def test_figure2_aggregation_cost(engine_factory, benchmark):
+    """SOI aggregation adds only terminal-node work (paper §5)."""
+
+    def churn(program, size):
+        engine = build(engine_factory, program)
+        for index in range(size):
+            wme = engine.make("player", team="B", name=f"extra{index}")
+            engine.remove(wme)
+        return engine
+
+    benchmark(churn, ALL_SET, 50)

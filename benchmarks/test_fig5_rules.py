@@ -1,0 +1,119 @@
+"""Experiment F5 — Figure 5: the four powerful set-oriented rules.
+
+Reproduces each rule's behaviour on the paper's roster and reports
+firings + WM actions per rule; the bench times the SwitchTeams firing,
+the paper's flagship "conceptual unity" example.
+"""
+
+from repro.bench import print_table
+
+from benchmarks.conftest import load_paper_roster
+
+SWITCH_TEAMS = """
+(literalize player name team)
+(p SwitchTeams
+  { [player ^team A] <ATeam> }
+  { [player ^team B] <BTeam> }
+  :test ((count <ATeam>) == (count <BTeam>))
+  -->
+  (set-modify <ATeam> ^team B)
+  (set-modify <BTeam> ^team A))
+"""
+
+REMOVE_DUPS = """
+(literalize player name team)
+(p RemoveDups
+  { [player ^name <n> ^team <t>] <P> }
+  :scalar (<n> <t>)
+  :test ((count <P>) > 1)
+  -->
+  (bind <First> true)
+  (foreach <P> descending
+    (if (<First> == true)
+      (bind <First> false)
+     else
+      (remove <P>))))
+"""
+
+GROUP_BY_A = """
+(literalize player name team)
+(p GroupByA
+  [player ^name <n1> ^team A]
+  [player ^name <n2> ^team B]
+  -->
+  (foreach <n1>
+    (write <n1>)
+    (foreach <n2> (write <n2>))))
+"""
+
+
+def test_figure5_switch_teams(engine_factory, benchmark):
+    def run(size):
+        engine = engine_factory()
+        engine.load(SWITCH_TEAMS)
+        for index in range(size):
+            engine.make("player", team="A", name=f"a{index}")
+            engine.make("player", team="B", name=f"b{index}")
+        engine.run(limit=1)
+        return engine
+
+    engine = benchmark(run, 10)
+    [record] = engine.tracer.firings
+    rows = [
+        ("firings", engine.tracer.firing_count),
+        ("WM actions in that firing", record.wm_actions),
+        ("players switched", 20),
+    ]
+    print_table(
+        "F5 / Figure 5 — SwitchTeams (one firing switches everyone)",
+        ["metric", "value"],
+        rows,
+    )
+    assert record.wm_actions == 20
+    assert all(
+        w.get("team") == "B"
+        for w in engine.wm
+        if str(w.get("name")).startswith("a")
+    )
+
+
+def test_figure5_remove_dups(engine_factory, benchmark):
+    def run():
+        engine = engine_factory()
+        engine.load(REMOVE_DUPS)
+        load_paper_roster(engine)
+        engine.run(limit=10)
+        return engine
+
+    engine = benchmark(run)
+    remaining = sorted((w.get("name"), w.get("team")) for w in engine.wm)
+    print_table(
+        "F5 / Figure 5 — RemoveDups survivors "
+        "(paper: Sue/B loses its older copy)",
+        ["name", "team"],
+        remaining,
+    )
+    assert remaining == [
+        ("Jack", "A"), ("Jack", "B"), ("Janice", "A"), ("Sue", "B"),
+    ]
+    assert engine.tracer.firing_count == 1
+
+
+def test_figure5_group_by_a(engine_factory, benchmark):
+    def run():
+        engine = engine_factory()
+        engine.load(GROUP_BY_A)
+        load_paper_roster(engine)
+        engine.run(limit=2)
+        return engine
+
+    engine = benchmark(run)
+    print_table(
+        "F5 / Figure 5 — GroupByA hierarchical output",
+        ["step", "written"],
+        list(enumerate(engine.output, start=1)),
+    )
+    # Each A player followed by the distinct B names they compete with.
+    assert engine.output == [
+        "Janice", "Sue", "Jack", "Jack", "Sue", "Jack",
+    ]

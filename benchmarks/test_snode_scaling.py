@@ -1,0 +1,80 @@
+"""Experiment F3b — S-node incremental cost scaling.
+
+The γ-memory design means one token arrival costs a group lookup plus
+an O(1) aggregate delta, independent of how many tokens the SOI already
+holds (only the ordered insert scans, and new WMEs land at the head).
+This bench grows an SOI and measures per-token cost, then sweeps the
+number of groups to show the keyed lookup stays flat.
+"""
+
+import time
+
+from repro.bench import print_table
+from repro.lang.parser import parse_rule
+from repro.match.base import NullListener
+from repro.rete import ReteNetwork
+from repro.wm import WorkingMemory
+
+SUM_RULE = (
+    "(p watch { [item ^g <g> ^v <v>] <S> } :scalar (<g>) "
+    ":test ((sum <S> ^v) >= 0) --> (halt))"
+)
+
+
+def build():
+    wm = WorkingMemory()
+    net = ReteNetwork()
+    net.set_listener(NullListener())
+    net.attach(wm)
+    net.add_rule(parse_rule(SUM_RULE))
+    return wm, net
+
+
+def grow_one_group(total):
+    wm, net = build()
+    start = time.perf_counter()
+    for index in range(total):
+        wm.make("item", g="only", v=index)
+    return time.perf_counter() - start
+
+
+def grow_many_groups(total, groups):
+    wm, net = build()
+    start = time.perf_counter()
+    for index in range(total):
+        wm.make("item", g=f"g{index % groups}", v=index)
+    return time.perf_counter() - start
+
+
+def test_per_token_cost_with_soi_size(benchmark):
+    rows = []
+    for total in (100, 200, 400, 800):
+        elapsed = min(grow_one_group(total) for _ in range(3))
+        rows.append((total, f"{elapsed:.4f}",
+                     f"{elapsed / total * 1e6:.1f}"))
+    print_table(
+        "F3b — one growing SOI: total time and per-token cost "
+        "(head inserts + O(1) aggregate deltas stay flat)",
+        ["tokens", "time (s)", "us/token"],
+        rows,
+    )
+    per_token = [float(row[2]) for row in rows]
+    # Per-token cost must not blow up as the SOI grows 8x: allow 3x
+    # headroom over the smallest measurement for CI noise.
+    assert per_token[-1] < per_token[0] * 3
+
+    benchmark(grow_one_group, 400)
+
+
+def test_group_count_does_not_hurt(benchmark):
+    rows = []
+    for groups in (1, 4, 16, 64):
+        elapsed = min(grow_many_groups(512, groups) for _ in range(3))
+        rows.append((groups, f"{elapsed:.4f}"))
+    print_table(
+        "F3b — 512 tokens across G groups (keyed γ-memory lookup)",
+        ["groups", "time (s)"],
+        rows,
+    )
+
+    benchmark(grow_many_groups, 512, 16)

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Data cleaning with set-oriented rules: deduplication at scale.
+
+Section 7.2's ``RemoveDups`` applied as an ETL-style cleaning pass over
+a synthetic customer feed, contrasted with the tuple-oriented
+equivalent to show the firing-count difference the paper argues for.
+
+Run:  python examples/dedup_cleaning.py [records]
+"""
+
+import random
+import sys
+
+from repro import RuleEngine
+
+SET_PROGRAM = """
+(literalize record email region serial)
+(p dedup-set
+  { [record ^email <e> ^region <r>] <R> }
+  :scalar (<e> <r>)
+  :test ((count <R>) > 1)
+  -->
+  (bind <keep> true)
+  (foreach <R> descending
+    (if (<keep> == true)
+      (bind <keep> false)
+     else
+      (remove <R>))))
+"""
+
+# The tuple-oriented formulation needs one firing per duplicate pair
+# and an explicit serial number so a record cannot pair with itself —
+# the paper's footnote ("the reader is encouraged to attempt to express
+# this task in regular OPS5") is well earned.
+TUPLE_PROGRAM = """
+(literalize record email region serial)
+(p dedup-tuple
+  (record ^email <e> ^region <r> ^serial <s>)
+  { (record ^email <e> ^region <r> ^serial < <s>) <Old> }
+  -->
+  (remove <Old>))
+"""
+
+
+def feed(records, duplicate_rate=0.4, seed=11):
+    rng = random.Random(seed)
+    rows = []
+    for index in range(records):
+        rows.append((f"user{index}@example.com",
+                     rng.choice(["emea", "apac", "amer"])))
+    extras = [rng.choice(rows) for _ in range(int(records * duplicate_rate))]
+    combined = rows + extras
+    rng.shuffle(combined)
+    return combined
+
+
+def run(program, rows):
+    engine = RuleEngine()
+    engine.load(program)
+    for serial, (email, region) in enumerate(rows):
+        engine.make("record", email=email, region=region, serial=serial)
+    fired = engine.run(limit=100000)
+    return engine, fired
+
+
+def main():
+    records = int(sys.argv[1]) if len(sys.argv) > 1 else 200
+    rows = feed(records)
+    duplicates = len(rows) - len(set(rows))
+    print(f"feed: {len(rows)} records, {duplicates} duplicates")
+
+    set_engine, set_fired = run(SET_PROGRAM, rows)
+    print(f"set-oriented dedup:   {set_fired:5d} firings "
+          f"-> {len(set_engine.wm)} clean records")
+
+    tuple_engine, tuple_fired = run(TUPLE_PROGRAM, rows)
+    print(f"tuple-oriented dedup: {tuple_fired:5d} firings "
+          f"-> {len(tuple_engine.wm)} clean records")
+
+    assert len(set_engine.wm) == len(tuple_engine.wm) == len(set(rows))
+    print(f"\nfirings saved by set orientation: "
+          f"{tuple_fired - set_fired}")
+
+
+if __name__ == "__main__":
+    main()

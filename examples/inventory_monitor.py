@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Aggregate-driven monitoring: second-order tests on live data.
+
+Section 4.2's point — matching on ``count``/``min``/``max``/``avg``
+directly instead of maintaining counter WMEs — applied to a warehouse
+monitor.  The S-node keeps every aggregate current incrementally as
+stock moves, so the alert rules activate and deactivate by themselves.
+
+Run:  python examples/inventory_monitor.py
+"""
+
+from repro import RuleEngine
+
+PROGRAM = """
+(literalize stock sku depot qty)
+(literalize alert kind sku)
+
+; Low total stock for a SKU across all depots (group by SKU via
+; :scalar, sum over the member WMEs).
+(p low-stock
+  { [stock ^sku <sku> ^qty <q>] <Lots> }
+  :scalar (<sku>)
+  :test ((sum <Lots> ^qty) < 20)
+  -(alert ^kind low ^sku <sku>)
+  -->
+  (write ALERT low stock for <sku> total (sum <Lots> ^qty))
+  (make alert ^kind low ^sku <sku>))
+
+; Imbalanced distribution: one depot holds far more than another.
+(p imbalance
+  { [stock ^sku <sku> ^qty <q>] <Lots> }
+  :scalar (<sku>)
+  :test (((max <Lots> ^qty) - (min <Lots> ^qty)) > 50)
+  -(alert ^kind skew ^sku <sku>)
+  -->
+  (write ALERT skewed distribution for <sku>)
+  (make alert ^kind skew ^sku <sku>))
+
+; Clear a low-stock alert once replenished.
+(p clear-low
+  { (alert ^kind low ^sku <sku>) <A> }
+  { [stock ^sku <sku> ^qty <q>] <Lots> }
+  :test ((sum <Lots> ^qty) >= 20)
+  -->
+  (write cleared low-stock alert for <sku>)
+  (remove <A>))
+"""
+
+
+def main():
+    engine = RuleEngine()
+    engine.load(PROGRAM)
+
+    print("initial stock positions:")
+    engine.make("stock", sku="bolt", depot="north", qty=5)
+    engine.make("stock", sku="bolt", depot="south", qty=8)
+    engine.make("stock", sku="gear", depot="north", qty=90)
+    engine.make("stock", sku="gear", depot="south", qty=10)
+    engine.run(limit=20)
+    for line in engine.output:
+        print("  ", line)
+
+    print("\nreplenishing bolts at the east depot:")
+    engine.tracer.clear()
+    engine.make("stock", sku="bolt", depot="east", qty=40)
+    engine.run(limit=20)
+    for line in engine.output:
+        print("  ", line)
+
+    alerts = sorted(
+        (w.get("kind"), w.get("sku")) for w in engine.wm.of_class("alert")
+    )
+    print("\nalerts still standing:", alerts)
+
+
+if __name__ == "__main__":
+    main()

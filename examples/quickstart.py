@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's team domain in a dozen lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import RuleEngine
+
+
+def main():
+    engine = RuleEngine()
+    engine.load(
+        """
+        (literalize player name team)
+
+        ; A regular OPS5 rule: one firing per A/B pair.
+        (p announce-pair
+          (player ^name <n1> ^team A)
+          (player ^name <n2> ^team B)
+          -->
+          (write <n1> vs <n2>))
+
+        ; A set-oriented rule: one firing covering the whole roster.
+        (p roster-summary
+          { [player ^team <t>] <Everyone> }
+          -->
+          (write roster holds (count <Everyone>) players)
+          (foreach <t>
+            (write team <t>)))
+        """
+    )
+
+    for team, name in [
+        ("A", "Jack"), ("A", "Janice"), ("B", "Sue"), ("B", "Jack"),
+    ]:
+        engine.make("player", team=team, name=name)
+
+    fired = engine.run(limit=20)
+    print(f"fired {fired} rules")
+    for line in engine.output:
+        print(" ", line)
+
+    print("\nconflict-set inserts:", engine.conflict_set.inserts)
+    print("WM size:", len(engine.wm))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Tournament management — the paper's motivating domain, end to end.
+
+Demonstrates every set-oriented construct on one scenario:
+
+* ``SwitchTeams`` (Figure 5) rebalances the two sides in a single
+  firing when their sizes match;
+* ``GroupByTeam`` (Figure 4) prints the roster hierarchically with
+  nested ``foreach``;
+* ``RemoveDups`` (Figure 5) cleans duplicate registrations, keeping
+  each player's most recent entry;
+* an aggregate-gated rule closes registration once the roster reaches
+  capacity — the direct second-order match of section 4.2.
+
+Run:  python examples/team_tournament.py
+"""
+
+from repro import RuleEngine
+
+PROGRAM = """
+(literalize player name team)
+(literalize registration state capacity)
+
+; Close registration the moment the roster is full — no counter WME,
+; no counting loop: the cardinality is matched directly.
+(p close-registration
+  { (registration ^state open ^capacity <cap>) <R> }
+  { [player] <Roster> }
+  :test ((count <Roster>) >= <cap>)
+  -->
+  (write registration closed at (count <Roster>) players)
+  (modify <R> ^state closed))
+
+; Duplicate registrations: keep the most recent per (name, team).
+(p remove-duplicates
+  (registration ^state closed)
+  { [player ^name <n> ^team <t>] <P> }
+  :scalar (<n> <t>)
+  :test ((count <P>) > 1)
+  -->
+  (write dropping (count <P>) entries for <n> down to 1)
+  (bind <first> true)
+  (foreach <P> descending
+    (if (<first> == true)
+      (bind <first> false)
+     else
+      (remove <P>))))
+
+; Print the final roster, grouped by team.
+(p print-roster
+  (registration ^state closed)
+  [player ^team <t> ^name <n>]
+  -->
+  (foreach <t> ascending
+    (write team <t>)
+    (foreach <n> ascending
+      (write |  -| <n>))))
+"""
+
+
+def main():
+    engine = RuleEngine()
+    engine.load(PROGRAM)
+    engine.make("registration", state="open", capacity=6)
+
+    entries = [
+        ("A", "Jack"), ("A", "Janice"), ("B", "Sue"),
+        ("B", "Jack"), ("B", "Sue"),  # Sue registered twice!
+        ("A", "Pat"),
+    ]
+    for team, name in entries:
+        engine.make("player", team=team, name=name)
+
+    fired = engine.run(limit=50)
+    print(f"fired {fired} rules\n")
+    for line in engine.output:
+        print(line)
+
+    roster = sorted((w.get("team"), w.get("name"))
+                    for w in engine.wm.of_class("player"))
+    print("\nfinal roster:", roster)
+    assert roster.count(("B", "Sue")) == 1, "duplicate should be gone"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Workload generators and reporting helpers for the experiment suite."""
+
+from repro.bench.harness import format_table, print_table
+from repro.bench.workloads import (
+    cardinality_set_program,
+    cardinality_tuple_program,
+    chain_program,
+    duplicate_roster,
+    process_set_program,
+    process_tuple_program,
+    team_roster,
+)
+
+__all__ = [
+    "cardinality_set_program",
+    "cardinality_tuple_program",
+    "chain_program",
+    "duplicate_roster",
+    "format_table",
+    "print_table",
+    "process_set_program",
+    "process_tuple_program",
+    "team_roster",
+]

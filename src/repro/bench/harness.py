@@ -1,0 +1,42 @@
+"""Table formatting for benchmark output.
+
+The benchmark modules print paper-style result tables with these
+helpers so ``pytest benchmarks/ --benchmark-only -s`` reproduces the
+rows recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+
+def _render_cell(value):
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(title, headers, rows):
+    """Render an aligned text table with a title rule."""
+    rendered = [[_render_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append(
+        "  ".join(
+            header.ljust(width) for header, width in zip(headers, widths)
+        )
+    )
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered:
+        lines.append(
+            "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def print_table(title, headers, rows):
+    """Print :func:`format_table` with surrounding blank lines."""
+    print()
+    print(format_table(title, headers, rows))
+    print()

@@ -1,0 +1,203 @@
+"""Synthetic workloads for the benchmark suite.
+
+Each generator is deterministic under its ``seed`` so benchmark rows
+are reproducible.  The workload families mirror the paper's motivating
+tasks:
+
+* **team rosters** (Figures 1/2/4/5): ``player`` WMEs over teams, with
+  a controllable duplicate rate for the RemoveDups experiments;
+* **collection processing** (§7.1): the same update-every-element task
+  written tuple-oriented (one firing per element, with the control/
+  marking machinery the paper says set constructs eliminate) and
+  set-oriented (one firing, ``set-modify``);
+* **cardinality** (§4.2): acting when a collection reaches a size,
+  written as count-by-iteration versus a direct ``(count ...)`` test;
+* **join chains** (C1/C6): plain OPS5 multi-CE join rules for match
+  cost and no-regression measurements.
+"""
+
+from __future__ import annotations
+
+import random
+
+FIRST_NAMES = (
+    "Jack", "Janice", "Sue", "Mike", "Pat", "Alex", "Kim", "Lee",
+    "Sam", "Ray", "Dana", "Chris", "Robin", "Terry", "Jo", "Max",
+)
+
+
+def team_roster(size, teams=("A", "B"), seed=7):
+    """*size* (team, name) pairs spread over *teams*."""
+    rng = random.Random(seed)
+    roster = []
+    for index in range(size):
+        team = teams[index % len(teams)]
+        name = f"{rng.choice(FIRST_NAMES)}-{index}"
+        roster.append((team, name))
+    return roster
+
+
+def duplicate_roster(groups, group_size, seed=7):
+    """*groups* distinct (name, team) pairs, each duplicated *group_size*×."""
+    rng = random.Random(seed)
+    roster = []
+    for index in range(groups):
+        team = "A" if index % 2 == 0 else "B"
+        name = f"{rng.choice(FIRST_NAMES)}-{index}"
+        roster.extend((team, name) for _ in range(group_size))
+    return roster
+
+
+# ---------------------------------------------------------------------------
+# Collection processing: tuple-oriented vs set-oriented (§7.1, C2/C3)
+# ---------------------------------------------------------------------------
+
+#: Tuple-oriented unbounded iteration with its control WME: one firing
+#: per element, each firing re-marking state, plus start/finish rules —
+#: "unwieldy control mechanisms and marking schemes".
+PROCESS_TUPLE_PROGRAM = """
+(literalize item status value)
+(literalize control phase)
+
+(p start-processing
+  (control ^phase start)
+  -->
+  (modify 1 ^phase run))
+
+(p process-one
+  (control ^phase run)
+  (item ^status raw)
+  -->
+  (modify 2 ^status done))
+
+(p finish-processing
+  (control ^phase run)
+  -(item ^status raw)
+  -->
+  (modify 1 ^phase finished))
+"""
+
+#: Set-oriented equivalent: the whole collection in one firing.
+PROCESS_SET_PROGRAM = """
+(literalize item status value)
+(literalize control phase)
+
+(p process-all
+  (control ^phase start)
+  { [item ^status raw] <Items> }
+  -->
+  (set-modify <Items> ^status done)
+  (modify 1 ^phase finished))
+"""
+
+
+def process_tuple_program(engine, size):
+    """Load the tuple-oriented processing task over *size* items."""
+    engine.load(PROCESS_TUPLE_PROGRAM)
+    for index in range(size):
+        engine.make("item", status="raw", value=index)
+    engine.make("control", phase="start")
+
+
+def process_set_program(engine, size):
+    """Load the set-oriented processing task over *size* items."""
+    engine.load(PROCESS_SET_PROGRAM)
+    for index in range(size):
+        engine.make("item", status="raw", value=index)
+    engine.make("control", phase="start")
+
+
+# ---------------------------------------------------------------------------
+# Cardinality: count-by-iteration vs direct aggregate match (§4.2, C4)
+# ---------------------------------------------------------------------------
+
+#: Tuple-oriented counting: cycle through the members maintaining a
+#: counter WME, then test it — the paper's "it needs to cycle through
+#: all the members of that set calculating the second order value".
+CARDINALITY_TUPLE_PROGRAM = """
+(literalize item counted value)
+(literalize counter n)
+(literalize verdict reached)
+
+(p count-one
+  (counter ^n <c>)
+  (item ^counted no)
+  -->
+  (modify 2 ^counted yes)
+  (modify 1 ^n (<c> + 1)))
+
+(p check-threshold
+  (counter ^n >= {threshold})
+  -(verdict)
+  -->
+  (make verdict ^reached true))
+"""
+
+#: Set-oriented counting: the cardinality is matched directly and kept
+#: current incrementally by the S-node.
+CARDINALITY_SET_PROGRAM = """
+(literalize item counted value)
+(literalize verdict reached)
+
+(p check-threshold
+  {{ [item] <Items> }}
+  -(verdict)
+  :test ((count <Items>) >= {threshold})
+  -->
+  (make verdict ^reached true))
+"""
+
+
+def cardinality_tuple_program(engine, size, threshold=None):
+    """Load the count-by-iteration task over *size* items."""
+    threshold = size if threshold is None else threshold
+    engine.load(CARDINALITY_TUPLE_PROGRAM.format(threshold=threshold))
+    engine.make("counter", n=0)
+    for index in range(size):
+        engine.make("item", counted="no", value=index)
+
+
+def cardinality_set_program(engine, size, threshold=None):
+    """Load the direct-aggregate task over *size* items."""
+    threshold = size if threshold is None else threshold
+    engine.load(CARDINALITY_SET_PROGRAM.format(threshold=threshold))
+    for index in range(size):
+        engine.make("item", counted="no", value=index)
+
+
+# ---------------------------------------------------------------------------
+# Join chains: plain OPS5 rules for match-cost experiments (C1, C6)
+# ---------------------------------------------------------------------------
+
+
+def chain_program(rule_count=4, chain_length=3):
+    """Plain OPS5 rules joining ``link`` WMEs into chains.
+
+    Each rule matches a chain ``k0 -> k1 -> ... -> k_{chain_length-1}``
+    of ``link`` elements within one lane, a classic join-heavy shape.
+    """
+    rules = []
+    for rule_index in range(rule_count):
+        ces = [f"(link ^lane {rule_index} ^src <x0> ^dst <x1>)"]
+        for hop in range(1, chain_length):
+            ces.append(
+                f"(link ^lane {rule_index} ^src <x{hop}> ^dst <x{hop + 1}>)"
+            )
+        body = "\n  ".join(ces)
+        rules.append(
+            f"(p chain-{rule_index}\n  {body}\n  -->\n"
+            f"  (write chain {rule_index} from <x0>))"
+        )
+    return "(literalize link lane src dst)\n" + "\n".join(rules)
+
+
+def chain_events(wm, lanes=4, nodes=12, seed=7):
+    """Populate ``link`` WMEs forming random edges within each lane."""
+    rng = random.Random(seed)
+    wmes = []
+    for lane in range(lanes):
+        for _ in range(nodes):
+            src = rng.randrange(nodes)
+            dst = rng.randrange(nodes)
+            wmes.append(wm.make("link", lane=lane, src=src, dst=dst))
+    return wmes

@@ -1,0 +1,345 @@
+"""An OPS5-style command-line interpreter for the engine.
+
+Usage::
+
+    python -m repro.cli [program.ops] [--matcher rete|treat|naive|dips]
+                        [--strategy lex|mea] [--run N] [--watch LEVEL]
+
+With a program file and ``--run``, executes in batch mode and prints
+the ``write`` output.  Without ``--run`` it drops into a REPL:
+
+========================  ====================================================
+command                   effect
+========================  ====================================================
+``(p ...)``               define a rule (multi-line until parens balance)
+``(literalize c a ...)``  declare a WME class
+``make class ^a v ...``   add a WME
+``remove N``              remove the WME with time tag N
+``modify N ^a v ...``     modify the WME with time tag N
+``run [N]``               fire until quiescence (or at most N firings)
+``step``                  fire the dominant instantiation once
+``wm [class]``            show working memory
+``cs``                    show the conflict set, dominant first
+``matches RULE``          show a rule's instantiations and their tokens
+``watch LEVEL``           0 = silent, 1 = firings, 2 = + WM changes
+``strategy lex|mea``      switch conflict resolution
+``stats``                 matcher/engine counters
+``load FILE``             load a program file
+``exit``                  leave
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.engine.conflict import strategy_named
+from repro.engine.engine import RuleEngine
+from repro.errors import ReproError
+from repro.lang.printer import format_ce
+from repro.symbols import coerce_literal
+
+
+def _build_matcher(name):
+    if name == "rete":
+        from repro.rete import ReteNetwork
+
+        return ReteNetwork()
+    if name == "treat":
+        from repro.match import TreatMatcher
+
+        return TreatMatcher()
+    if name == "naive":
+        from repro.match import NaiveMatcher
+
+        return NaiveMatcher()
+    if name == "dips":
+        from repro.dips import DipsMatcher
+
+        return DipsMatcher()
+    raise ValueError(f"unknown matcher {name!r}")
+
+
+def _parse_attribute_args(tokens):
+    """``^a v ^b w`` argument pairs into a dict of coerced values."""
+    values = {}
+    index = 0
+    while index < len(tokens):
+        attribute = tokens[index]
+        if not attribute.startswith("^") or index + 1 >= len(tokens):
+            raise ReproError(
+                "expected ^attribute value pairs, e.g. ^team A ^name Jack"
+            )
+        values[attribute[1:]] = coerce_literal(tokens[index + 1])
+        index += 2
+    return values
+
+
+class ReplSession:
+    """One interactive session; ``execute`` returns printable output."""
+
+    def __init__(self, matcher="rete", strategy="lex", watch=1):
+        self.engine = RuleEngine(matcher=_build_matcher(matcher),
+                                 strategy=strategy)
+        self.watch = watch
+        self._pending = ""
+        self.engine.wm.attach(self._wm_observer)
+
+    # -- observation ------------------------------------------------------
+
+    def _wm_observer(self, event):
+        if self.watch >= 2:
+            print(f"  {event.sign}{event.wme!r}")
+
+    def _report_firing(self, instantiation):
+        if self.watch >= 1 and instantiation is not None:
+            tags = " ".join(str(t) for t in instantiation.recency_key())
+            print(f"fire {instantiation.rule.name} [{tags}]")
+
+    # -- command dispatch -----------------------------------------------------
+
+    def execute(self, line):
+        """Execute one input line; returns output text ('' for silent).
+
+        Rule/literalize definitions may span lines: the session buffers
+        until parentheses balance.
+        """
+        if self._pending:
+            return self._continue_definition(line)
+        stripped = line.strip()
+        if not stripped or stripped.startswith(";"):
+            return ""
+        if stripped.startswith("("):
+            return self._continue_definition(line)
+        parts = stripped.split()
+        command, arguments = parts[0], parts[1:]
+        handler = getattr(self, f"_cmd_{command.replace('-', '_')}", None)
+        if handler is None:
+            return f"unknown command: {command} (try 'help')"
+        try:
+            return handler(arguments) or ""
+        except ReproError as error:
+            return f"error: {error}"
+
+    def _continue_definition(self, line):
+        self._pending += line + "\n"
+        if self._pending.count("(") > self._pending.count(")"):
+            return "..."
+        source, self._pending = self._pending, ""
+        try:
+            rules = self.engine.load(source)
+        except ReproError as error:
+            return f"error: {error}"
+        if rules:
+            return "defined " + ", ".join(rule.name for rule in rules)
+        return "ok"
+
+    # -- commands ---------------------------------------------------------------
+
+    def _cmd_help(self, arguments):
+        return __doc__.split("========", 1)[0] + (
+            "commands: make remove modify run step wm cs matches watch "
+            "parallel excise strategy stats network load exit"
+        )
+
+    def _cmd_make(self, arguments):
+        if not arguments:
+            return "usage: make class ^attr value ..."
+        wme = self.engine.make(
+            arguments[0], **_parse_attribute_args(arguments[1:])
+        )
+        return f"made {wme!r}"
+
+    def _cmd_remove(self, arguments):
+        for argument in arguments:
+            self.engine.remove(int(argument))
+        return f"removed {len(arguments)} element(s)"
+
+    def _cmd_modify(self, arguments):
+        if not arguments:
+            return "usage: modify time-tag ^attr value ..."
+        wme = self.engine.modify(
+            int(arguments[0]), **_parse_attribute_args(arguments[1:])
+        )
+        return f"now {wme!r}"
+
+    def _cmd_run(self, arguments):
+        limit = int(arguments[0]) if arguments else None
+        fired = 0
+        while limit is None or fired < limit:
+            instantiation = self.engine.step()
+            if instantiation is None:
+                break
+            self._report_firing(instantiation)
+            fired += 1
+        lines = [f"{fired} firing(s)"]
+        lines.extend(self.engine.tracer.output[-20:])
+        self.engine.tracer.output.clear()
+        return "\n".join(lines)
+
+    def _cmd_parallel(self, arguments):
+        max_cycles = int(arguments[0]) if arguments else None
+        cycles, fired, conflicted = self.engine.run_parallel(max_cycles)
+        lines = [
+            f"{cycles} cycle(s): {fired} fired, "
+            f"{conflicted} invalidated"
+        ]
+        lines.extend(self.engine.tracer.output[-20:])
+        self.engine.tracer.output.clear()
+        return "\n".join(lines)
+
+    def _cmd_step(self, arguments):
+        instantiation = self.engine.step()
+        if instantiation is None:
+            return "nothing to fire"
+        self._report_firing(instantiation)
+        output = list(self.engine.tracer.output)
+        self.engine.tracer.output.clear()
+        return "\n".join([f"fired {instantiation.rule.name}"] + output)
+
+    def _cmd_wm(self, arguments):
+        wmes = (
+            self.engine.wm.of_class(arguments[0])
+            if arguments
+            else list(self.engine.wm)
+        )
+        if not wmes:
+            return "working memory is empty"
+        return "\n".join(repr(wme) for wme in wmes)
+
+    def _cmd_cs(self, arguments):
+        ordered = self.engine.conflict_set.ordered(self.engine.strategy)
+        if not ordered:
+            return "conflict set is empty"
+        lines = []
+        for rank, instantiation in enumerate(ordered, start=1):
+            tags = " ".join(str(t) for t in instantiation.recency_key())
+            marker = "" if instantiation.eligible() else " (fired)"
+            kind = "SOI" if instantiation.is_set_oriented else "inst"
+            lines.append(
+                f"{rank}. {instantiation.rule.name} [{tags}] "
+                f"{kind}{marker}"
+            )
+        return "\n".join(lines)
+
+    def _cmd_matches(self, arguments):
+        if not arguments:
+            return "usage: matches rule-name"
+        rule_name = arguments[0]
+        rule = self.engine.rules.get(rule_name)
+        if rule is None:
+            return f"no rule named {rule_name}"
+        lines = [format_ce(ce) for ce in rule.ces]
+        for instantiation in self.engine.conflict_set.of_rule(rule_name):
+            lines.append("instantiation:")
+            for token in instantiation.tokens():
+                tags = ", ".join(
+                    "-" if w is None else str(w.time_tag)
+                    for w in token.wmes()
+                )
+                lines.append(f"  [{tags}]")
+        return "\n".join(lines)
+
+    def _cmd_watch(self, arguments):
+        if arguments:
+            self.watch = int(arguments[0])
+        return f"watch level {self.watch}"
+
+    def _cmd_strategy(self, arguments):
+        if arguments:
+            self.engine.strategy = strategy_named(arguments[0])
+        return f"strategy {self.engine.strategy.name}"
+
+    def _cmd_stats(self, arguments):
+        lines = [
+            f"rules: {len(self.engine.rules)}",
+            f"wm size: {len(self.engine.wm)}",
+            f"conflict set: {len(self.engine.conflict_set)}",
+            f"firings: {self.engine.cycle_count}",
+        ]
+        stats = getattr(self.engine.matcher, "stats", None)
+        if stats is not None:
+            as_dict = stats.as_dict() if hasattr(stats, "as_dict") else stats
+            lines.extend(f"{key}: {value}" for key, value in as_dict.items())
+        return "\n".join(lines)
+
+    def _cmd_excise(self, arguments):
+        if not arguments:
+            return "usage: excise rule-name"
+        self.engine.excise(arguments[0])
+        return f"excised {arguments[0]}"
+
+    def _cmd_network(self, arguments):
+        from repro.rete import ReteNetwork
+        from repro.rete.explain import describe_network
+
+        if not isinstance(self.engine.matcher, ReteNetwork):
+            return "network dump is only available with the rete matcher"
+        return describe_network(self.engine.matcher)
+
+    def _cmd_load(self, arguments):
+        if not arguments:
+            return "usage: load file.ops"
+        try:
+            with open(arguments[0]) as handle:
+                source = handle.read()
+        except OSError as error:
+            return f"error: {error}"
+        rules = self.engine.load(source)
+        return f"loaded {len(rules)} rule(s)"
+
+    def _cmd_exit(self, arguments):
+        raise SystemExit(0)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro-ops",
+        description="OPS5/C5 interpreter with set-oriented constructs "
+        "(Gordin & Pasik, SIGMOD 1991 reproduction)",
+    )
+    parser.add_argument("program", nargs="?", help="program file to load")
+    parser.add_argument(
+        "--matcher",
+        choices=("rete", "treat", "naive", "dips"),
+        default="rete",
+    )
+    parser.add_argument("--strategy", choices=("lex", "mea"), default="lex")
+    parser.add_argument(
+        "--run",
+        type=int,
+        metavar="N",
+        help="batch mode: run at most N firings and exit",
+    )
+    parser.add_argument("--watch", type=int, default=1)
+    options = parser.parse_args(argv)
+
+    session = ReplSession(
+        matcher=options.matcher,
+        strategy=options.strategy,
+        watch=options.watch,
+    )
+    if options.program:
+        print(session.execute(f"load {options.program}"))
+    if options.run is not None:
+        print(session.execute(f"run {options.run}"))
+        return 0
+
+    print("repro-ops — type 'help' for commands, 'exit' to leave")
+    while True:
+        try:
+            line = input("ops> ")
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return 0
+        try:
+            output = session.execute(line)
+        except SystemExit:
+            return 0
+        if output:
+            print(output)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

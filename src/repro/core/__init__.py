@@ -1,0 +1,25 @@
+"""Core shared semantics: instantiations and expression evaluation.
+
+These sit below every matcher and the engine: the matchers produce
+:class:`~repro.core.instantiation.Instantiation` /
+:class:`~repro.core.instantiation.SetInstantiation` objects, and both
+the S-node's ``:test`` clause and the RHS evaluate expressions through
+:func:`~repro.core.expr.evaluate`.
+"""
+
+from repro.core.instantiation import (
+    Instantiation,
+    MatchToken,
+    SetInstantiation,
+    recency_key,
+)
+from repro.core.expr import evaluate, is_truthy
+
+__all__ = [
+    "Instantiation",
+    "MatchToken",
+    "SetInstantiation",
+    "evaluate",
+    "is_truthy",
+    "recency_key",
+]

@@ -1,0 +1,109 @@
+"""Evaluator for the infix expression dialect (``:test``, RHS values).
+
+Evaluation needs a *resolver* supplying context:
+
+* ``resolver.var(name)`` — the value of ``<name>``;
+* ``resolver.aggregate(node)`` — the value of ``(op <target>)``.
+
+Semantics follow the host language's match behaviour:
+
+* ``==`` / ``!=`` use OPS5 value equality (``2 == 2.0``, symbols by
+  identity);
+* ordering comparisons are satisfied only between numbers (a type
+  mismatch yields ``False``, like a failed match, not an error);
+* arithmetic requires numbers and raises :class:`EngineError` otherwise;
+* ``and``/``or``/``not`` use :func:`is_truthy`, under which the symbols
+  ``false`` and ``nil``, the number ``0``, and ``None`` are false.
+"""
+
+from __future__ import annotations
+
+from repro import symbols
+from repro.errors import EngineError
+from repro.lang import ast
+
+
+def is_truthy(value):
+    """Truthiness of an expression result (see module docstring)."""
+    if isinstance(value, bool):
+        return value
+    if value is None:
+        return False
+    if symbols.is_number(value):
+        return value != 0
+    return value not in ("false", "nil")
+
+
+def _require_number(value, context):
+    if not symbols.is_number(value):
+        raise EngineError(
+            f"{context} needs a number, got {value!r}"
+        )
+    return value
+
+
+def evaluate(expr, resolver):
+    """Evaluate *expr* against *resolver*; returns a value or bool."""
+    if isinstance(expr, ast.Const):
+        return expr.value
+    if isinstance(expr, ast.Var):
+        return resolver.var(expr.name)
+    if isinstance(expr, ast.Aggregate):
+        return resolver.aggregate(expr)
+    if isinstance(expr, ast.UnaryOp):
+        if expr.op == "not":
+            return not is_truthy(evaluate(expr.operand, resolver))
+        value = evaluate(expr.operand, resolver)
+        return -_require_number(value, "unary '-'")
+    if isinstance(expr, ast.BinOp):
+        return _evaluate_binop(expr, resolver)
+    raise EngineError(f"cannot evaluate expression node {expr!r}")
+
+
+def _evaluate_binop(expr, resolver):
+    op = expr.op
+    if op == "and":
+        left = evaluate(expr.left, resolver)
+        if not is_truthy(left):
+            return False
+        return is_truthy(evaluate(expr.right, resolver))
+    if op == "or":
+        left = evaluate(expr.left, resolver)
+        if is_truthy(left):
+            return True
+        return is_truthy(evaluate(expr.right, resolver))
+
+    left = evaluate(expr.left, resolver)
+    right = evaluate(expr.right, resolver)
+
+    if op == "==":
+        return symbols.values_equal(left, right)
+    if op == "!=":
+        return not symbols.values_equal(left, right)
+    if op in ("<", "<=", ">", ">="):
+        if left is None or right is None:
+            return False
+        return symbols.apply_predicate(op, left, right)
+
+    # Arithmetic.
+    left = _require_number(left, f"'{op}'")
+    right = _require_number(right, f"'{op}'")
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise EngineError("division by zero")
+        return left / right
+    if op == "//":
+        if right == 0:
+            raise EngineError("division by zero")
+        return left // right
+    if op == "mod":
+        if right == 0:
+            raise EngineError("mod by zero")
+        return left % right
+    raise EngineError(f"unknown operator {op!r}")

@@ -1,0 +1,137 @@
+"""Concurrent instantiation firing: the paper's DIPS critique (§8.1).
+
+DIPS "attempts to execute all satisfied instantiations concurrently,
+relying on transaction semantics to block inconsistent updates".  The
+paper's objection: *"Instantiations frequently conflict.  A special
+case of this is where multiple instantiations of a single rule
+invalidate each other (e.g. try to remove the same WME)."*  Set-oriented
+constructs fix this because one SOI covers the whole group — one
+transaction where tuple orientation needed many mutually-conflicting
+ones.
+
+:func:`run_concurrent_firings` simulates one parallel firing round:
+every instantiation becomes an optimistic transaction whose actions
+(reads + buffered writes over a WM table) are validated
+first-committer-wins.  The result counts commits and conflicts, the
+series experiment C5 reports.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransactionConflict
+from repro.rdb.transaction import TransactionManager
+
+
+class ConcurrentFiringResult:
+    """Outcome of one parallel firing round."""
+
+    __slots__ = ("attempted", "committed", "aborted", "actions_applied")
+
+    def __init__(self, attempted, committed, aborted, actions_applied):
+        self.attempted = attempted
+        self.committed = committed
+        self.aborted = aborted
+        self.actions_applied = actions_applied
+
+    @property
+    def conflict_rate(self):
+        if not self.attempted:
+            return 0.0
+        return self.aborted / self.attempted
+
+    def __repr__(self):
+        return (
+            f"ConcurrentFiringResult(attempted={self.attempted}, "
+            f"committed={self.committed}, aborted={self.aborted})"
+        )
+
+
+def run_concurrent_firings(wm_table, firings, manager=None):
+    """Execute *firings* as concurrently-started optimistic transactions.
+
+    Each firing is a callable ``firing(txn, table)`` that performs its
+    reads and buffers its writes through the transaction.  All
+    transactions begin before any commits (maximal overlap, as DIPS's
+    parallel execution intends), then commit in order; conflicting ones
+    abort.  Returns a :class:`ConcurrentFiringResult`.
+    """
+    if manager is None:
+        manager = TransactionManager()
+    transactions = []
+    for firing in firings:
+        txn = manager.begin()
+        firing(txn, wm_table)
+        transactions.append(txn)
+    committed = 0
+    aborted = 0
+    actions = 0
+    for txn in transactions:
+        try:
+            txn.commit()
+            committed += 1
+            actions += len(txn._operations)
+        except TransactionConflict:
+            aborted += 1
+    return ConcurrentFiringResult(
+        attempted=len(transactions),
+        committed=committed,
+        aborted=aborted,
+        actions_applied=actions,
+    )
+
+
+def remove_duplicates_tuple_firings(wm_table):
+    """Tuple-oriented duplicate removal: one firing per *ordered pair*.
+
+    Mirrors what a tuple-oriented ``RemoveDups`` produces: for every
+    pair of rows with the same (name, team), one instantiation wants to
+    remove the older row.  Distinct pairs over the same duplicate group
+    read overlapping rows and frequently remove the same one — the
+    paper's mutual-invalidation case.
+    """
+    rows = wm_table.rows()
+    firings = []
+    for index, (row_id_a, row_a) in enumerate(rows):
+        for row_id_b, row_b in rows[index + 1 :]:
+            if (
+                row_a.get("name") == row_b.get("name")
+                and row_a.get("team") == row_b.get("team")
+            ):
+                older = min(row_id_a, row_id_b)
+                newer = max(row_id_a, row_id_b)
+
+                def firing(txn, table, older=older, newer=newer):
+                    txn.read(table, older)
+                    txn.read(table, newer)
+                    txn.delete(table, older)
+
+                firings.append(firing)
+    return firings
+
+
+def remove_duplicates_set_firings(wm_table):
+    """Set-oriented duplicate removal: one firing per duplicate group.
+
+    One SOI per (name, team) group with count > 1; its single
+    transaction reads the group and removes all but the newest member —
+    no two firings touch the same rows.
+    """
+    groups = {}
+    for row_id, row in wm_table.rows():
+        key = (row.get("name"), row.get("team"))
+        groups.setdefault(key, []).append(row_id)
+    firings = []
+    for row_ids in groups.values():
+        if len(row_ids) < 2:
+            continue
+        doomed = sorted(row_ids)[:-1]
+        members = list(row_ids)
+
+        def firing(txn, table, members=members, doomed=doomed):
+            for row_id in members:
+                txn.read(table, row_id)
+            for row_id in doomed:
+                txn.delete(table, row_id)
+
+        firings.append(firing)
+    return firings

@@ -1,0 +1,230 @@
+"""A Matcher that matches by querying COND tables (set-oriented DIPS).
+
+Where Rete pushes deltas through a compiled network, the DIPS matcher
+does what the paper's section 8 describes: working-memory changes
+update the COND tables (instance rows keyed by WME identifier), and the
+conflict set is obtained by running each rule's SOI-retrieval query
+(:func:`repro.dips.soi_query.soi_query_sql`) and diffing the result
+against the previous cycle.  SOIs found this way reuse the grouped-SOI
+semantics of :class:`repro.match.grouping.SoiGrouper`, so ``:test``
+evaluation, ordering, and refire versions match the other matchers —
+the differential tests hold DIPS to the same behaviour as Rete.
+"""
+
+from __future__ import annotations
+
+from repro.core.instantiation import MatchToken
+from repro.dips.cond import CondStore
+from repro.dips.soi_query import soi_query_sql
+from repro.errors import DipsError
+from repro.match.base import Matcher
+from repro.match.grouping import SoiGrouper
+from repro.core.instantiation import Instantiation
+from repro.rdb.sql import run_sql
+
+
+class _DipsRule:
+    __slots__ = ("rule", "analysis", "grouper", "sql", "tokens",
+                 "instantiations")
+
+    def __init__(self, rule, analysis, grouper, sql):
+        self.rule = rule
+        self.analysis = analysis
+        self.grouper = grouper
+        self.sql = sql
+        self.tokens = set()
+        self.instantiations = {}
+
+
+class DipsMatcher(Matcher):
+    """Match through the relational substrate, per paper section 8."""
+
+    def __init__(self, db=None):
+        super().__init__()
+        self.store = CondStore(db)
+        self._rules = {}
+        self.stats = {"queries_run": 0, "rows_retrieved": 0}
+
+    @property
+    def db(self):
+        return self.store.db
+
+    def add_rule(self, rule):
+        if rule.name in self._rules:
+            raise DipsError(f"rule {rule.name} already added")
+        analysis = self.store.add_rule(rule)
+        grouper = None
+        if rule.is_set_oriented:
+            grouper = SoiGrouper(rule, analysis, self.listener)
+        sql = soi_query_sql(rule, analysis)
+        self._rules[rule.name] = _DipsRule(rule, analysis, grouper, sql)
+        if self.wm is not None:
+            for wme in self.wm:
+                self.store.wme_added(wme)
+            self._refresh(self._rules[rule.name])
+
+    def remove_rule(self, rule_name):
+        """Excise a rule: drop its COND rows and live instantiations."""
+        state = self._rules.pop(rule_name, None)
+        if state is None:
+            raise DipsError(f"no rule named {rule_name}")
+        self.store.remove_rule(rule_name)
+        if state.grouper is not None:
+            for instantiation in list(
+                state.grouper._instantiations.values()
+            ):
+                self.listener.retract(instantiation)
+        else:
+            for instantiation in state.instantiations.values():
+                self.listener.retract(instantiation)
+
+    def set_listener(self, listener):
+        super().set_listener(listener)
+        for state in self._rules.values():
+            if state.grouper is not None:
+                state.grouper.listener = listener
+
+    # -- events ------------------------------------------------------------
+
+    def on_event(self, event):
+        if event.is_add:
+            self.store.wme_added(event.wme)
+        else:
+            self.store.wme_removed(event.wme)
+        for state in self._rules.values():
+            self._refresh(state)
+
+    # -- query-and-diff ------------------------------------------------------
+
+    def _refresh(self, state):
+        fresh = set(self._query_tokens(state))
+        stale = state.tokens - fresh
+        new = fresh - state.tokens
+        # Keep the ORIGINAL objects for surviving tokens: the grouper
+        # removes by identity, so handing it freshly-built equal tokens
+        # later would not match.
+        state.tokens = (state.tokens - stale) | new
+        if state.grouper is not None:
+            for token in stale:
+                state.grouper.remove_token(token)
+            for token in sorted(new, key=lambda t: t.time_tags()):
+                state.grouper.add_token(token)
+            return
+        for token in stale:
+            instantiation = state.instantiations.pop(token, None)
+            if instantiation is not None:
+                self.listener.retract(instantiation)
+        for token in new:
+            instantiation = Instantiation(state.rule, token)
+            state.instantiations[token] = instantiation
+            self.listener.insert(instantiation)
+
+    def _query_tokens(self, state):
+        """Run the rule's instantiation query; decode rows into tokens.
+
+        For set-oriented rules we deliberately query the *ungrouped*
+        instantiation relation (the grouping and :test live in the
+        shared SoiGrouper); the grouped Figure 6 query is exposed via
+        :meth:`soi_rows` for inspection and the figure's reproduction.
+        """
+        rule = state.rule
+        sql = _ungrouped_query(rule, state.analysis)
+        self.stats["queries_run"] += 1
+        rows = run_sql(self.db, sql)
+        self.stats["rows_retrieved"] += len(rows)
+        tokens = []
+        for row in rows:
+            wmes = []
+            for level, ce in enumerate(rule.ces):
+                if ce.negated:
+                    wmes.append(None)
+                    continue
+                tag = row[f"tag_{level + 1}"]
+                wme = self.wm.get(tag) if self.wm is not None else None
+                if wme is None:
+                    break
+                wmes.append(wme)
+            else:
+                token = MatchToken(wmes)
+                if not self._blocked(state, token):
+                    tokens.append(token)
+        return tokens
+
+    def _blocked(self, state, token):
+        """Residual negation: does any COND instance row block *token*?
+
+        For each negated CE the blocker candidates are exactly its
+        instance rows (rule_id, cen, wme_tag NOT NULL) in the class's
+        COND table; the CE's join tests are evaluated between the row's
+        stored attribute values and the token's bindings.
+        """
+        for ce_analysis in state.analysis.ce_analyses:
+            if not ce_analysis.ce.negated:
+                continue
+            table = self.store.cond_table(ce_analysis.ce.wme_class)
+            for row in table.select(
+                lambda r, level=ce_analysis.level: (
+                    r.get("rule_id") == state.rule.name
+                    and r.get("cen") == level + 1
+                    and r.get("wme_tag") is not None
+                )
+            ):
+                blocker = _RowView(row)
+                if ce_analysis.wme_passes_joins(
+                    blocker, lambda lvl, attr: (
+                        None
+                        if token.wme_at(lvl) is None
+                        else token.wme_at(lvl).get(attr)
+                    )
+                ):
+                    return True
+        return False
+
+    def soi_rows(self, rule_name):
+        """Run the rule's Figure 6 grouped query; returns its rows."""
+        state = self._rules[rule_name]
+        return run_sql(self.db, state.sql)
+
+    def soi_query(self, rule_name):
+        """The SQL text of the rule's SOI-retrieval query."""
+        return self._rules[rule_name].sql
+
+
+class _RowView:
+    """Adapts a COND instance row to the WME ``get`` protocol."""
+
+    __slots__ = ("row",)
+
+    def __init__(self, row):
+        self.row = row
+
+    def get(self, attribute):
+        value = self.row.get(attribute)
+        return "nil" if value is None else value
+
+
+def _ungrouped_query(rule, analysis):
+    """The pre-grouping instantiation query (one row per match)."""
+    from repro.dips.soi_query import _alias, _join_conditions
+    from repro.dips.cond import cond_table_name
+
+    from_parts = []
+    where_parts = []
+    for level, ce in enumerate(rule.ces):
+        if ce.negated:
+            continue
+        alias = _alias(level)
+        from_parts.append(f'"{cond_table_name(ce.wme_class)}" AS {alias}')
+        where_parts.append(f"{alias}.rule_id = '{rule.name}'")
+        where_parts.append(f"{alias}.cen = {level + 1}")
+        where_parts.append(f"{alias}.wme_tag IS NOT NULL")
+    where_parts.extend(_join_conditions(rule, analysis))
+    select_clause = ", ".join(
+        f"{_alias(level)}.wme_tag AS tag_{level + 1}"
+        for level, ce in enumerate(rule.ces)
+        if not ce.negated
+    )
+    return (
+        f"SELECT {select_clause} FROM {', '.join(from_parts)} "
+        f"WHERE {' AND '.join(where_parts)}"
+    )

@@ -1,0 +1,25 @@
+"""The inference engine: conflict set, resolution strategies, RHS, cycle.
+
+Public entry point is :class:`~repro.engine.engine.RuleEngine`, which
+wires a :class:`~repro.wm.WorkingMemory`, a matcher (Rete by default),
+a conflict set with LEX or MEA resolution, and the RHS executor into
+the classic recognize-act cycle — extended with the paper's set-oriented
+semantics (SOIs, refire-on-change, ``foreach``/``set-modify``/
+``set-remove``).
+"""
+
+from repro.engine.engine import RuleEngine
+from repro.engine.conflict import ConflictSet, LexStrategy, MeaStrategy
+from repro.core.instantiation import Instantiation, SetInstantiation
+from repro.engine.tracing import FiringRecord, Tracer
+
+__all__ = [
+    "ConflictSet",
+    "FiringRecord",
+    "Instantiation",
+    "LexStrategy",
+    "MeaStrategy",
+    "RuleEngine",
+    "SetInstantiation",
+    "Tracer",
+]

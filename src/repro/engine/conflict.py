@@ -1,0 +1,123 @@
+"""The conflict set and OPS5 conflict-resolution strategies.
+
+Both classic strategies are provided:
+
+* **LEX** — refraction, then recency of the instantiation's time tags
+  (sorted descending, compared lexicographically; with an equal prefix
+  the longer list dominates), then specificity, then a deterministic
+  tie-break;
+* **MEA** — like LEX but the recency of the *first* CE's WME is
+  compared before the full tag list (means-ends analysis).
+
+Set-oriented instantiations are ranked by their head token (paper §5);
+a ``time`` mark from the S-node repositions an SOI, which here simply
+bumps a counter — ordering is computed at selection time from the live
+recency keys, so repositioning is implicit.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConflictResolutionError
+from repro.match.base import ConflictListener
+
+
+class LexStrategy:
+    """OPS5 LEX ordering."""
+
+    name = "lex"
+
+    def key(self, instantiation):
+        return (
+            instantiation.recency_key(),
+            instantiation.specificity(),
+            instantiation.rule.name,
+        )
+
+
+class MeaStrategy:
+    """OPS5 MEA ordering (first-CE recency dominates)."""
+
+    name = "mea"
+
+    def key(self, instantiation):
+        return (
+            instantiation.mea_tag(),
+            instantiation.recency_key(),
+            instantiation.specificity(),
+            instantiation.rule.name,
+        )
+
+
+_STRATEGIES = {"lex": LexStrategy, "mea": MeaStrategy}
+
+
+def strategy_named(name):
+    """Instantiate a strategy by name ('lex' or 'mea')."""
+    try:
+        return _STRATEGIES[name]()
+    except KeyError:
+        raise ConflictResolutionError(
+            f"unknown strategy {name!r}; expected one of "
+            f"{sorted(_STRATEGIES)}"
+        ) from None
+
+
+class ConflictSet(ConflictListener):
+    """The live set of satisfied instantiations."""
+
+    def __init__(self):
+        self._instantiations = {}
+        self.inserts = 0
+        self.retracts = 0
+        self.repositions = 0
+
+    # -- listener side -----------------------------------------------------
+
+    def insert(self, instantiation):
+        self._instantiations[instantiation.identity()] = instantiation
+        self.inserts += 1
+
+    def retract(self, instantiation):
+        self._instantiations.pop(instantiation.identity(), None)
+        self.retracts += 1
+
+    def reposition(self, instantiation):
+        # Ordering is recomputed from live keys at selection time, so a
+        # 'time' mark needs no structural work; we record it for the
+        # S-node protocol tests and statistics.
+        self.repositions += 1
+
+    # -- engine side ------------------------------------------------------
+
+    def __len__(self):
+        return len(self._instantiations)
+
+    def __iter__(self):
+        return iter(self._instantiations.values())
+
+    def instantiations(self):
+        return list(self._instantiations.values())
+
+    def of_rule(self, rule_name):
+        return [
+            inst
+            for inst in self._instantiations.values()
+            if inst.rule.name == rule_name
+        ]
+
+    def select(self, strategy):
+        """The dominant eligible instantiation, or None (refraction applies)."""
+        eligible = [
+            inst for inst in self._instantiations.values() if inst.eligible()
+        ]
+        if not eligible:
+            return None
+        return max(eligible, key=strategy.key)
+
+    def ordered(self, strategy):
+        """All instantiations, dominant first (ignores refraction)."""
+        return sorted(
+            self._instantiations.values(),
+            key=strategy.key,
+            reverse=True,
+        )

@@ -1,0 +1,262 @@
+"""The recognize-act cycle: :class:`RuleEngine` ties everything together.
+
+Typical use::
+
+    from repro import RuleEngine
+
+    engine = RuleEngine()
+    engine.load('''
+        (literalize player name team)
+        (p compete
+          [player ^name <n1> ^team A]
+          (player ^name <n2> ^team B)
+          -->
+          (write <n2> competes))
+    ''')
+    engine.make("player", name="Jack", team="A")
+    engine.make("player", name="Sue", team="B")
+    engine.run()
+    print(engine.tracer.output)
+
+The matcher defaults to the extended Rete network; pass
+``matcher=TreatMatcher()`` or ``NaiveMatcher()`` to swap algorithms —
+conflict-set contents and firing behaviour are identical by contract
+(and by differential test).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import RuleAnalysis
+from repro.engine.conflict import ConflictSet, strategy_named
+from repro.engine.rhs import RhsExecutor
+from repro.engine.tracing import Tracer
+from repro.errors import EngineError, RuleError
+from repro.lang.ast import Rule
+from repro.lang.parser import parse_program, parse_rule
+from repro.rete.network import ReteNetwork
+from repro.wm.memory import WorkingMemory
+
+
+class RuleEngine:
+    """An OPS5/C5 interpreter with the paper's set-oriented constructs."""
+
+    def __init__(self, matcher=None, strategy="lex", echo=False):
+        self.wm = WorkingMemory()
+        self.matcher = matcher if matcher is not None else ReteNetwork()
+        self.conflict_set = ConflictSet()
+        self.matcher.set_listener(self.conflict_set)
+        self.matcher.attach(self.wm)
+        self.strategy = (
+            strategy_named(strategy) if isinstance(strategy, str) else strategy
+        )
+        self.tracer = Tracer(echo=echo)
+        self.rules = {}
+        self.analyses = {}
+        self.functions = {}
+        self.halted = False
+        self.cycle_count = 0
+
+    # -- program definition ---------------------------------------------------
+
+    def register_function(self, name, function):
+        """Expose a Python callable to RHS ``(call name args...)``.
+
+        The callable receives the evaluated argument values; its return
+        value is ignored (use it for side effects — logging, callbacks,
+        bridging into host code).
+        """
+        self.functions[name] = function
+
+    def literalize(self, wme_class, *attributes):
+        """Declare a WME class (``(literalize class attr ...)``)."""
+        self.wm.registry.literalize(wme_class, attributes)
+
+    def add_rule(self, rule):
+        """Add one rule: an AST :class:`Rule` or ``(p ...)`` source text."""
+        if isinstance(rule, str):
+            rule = parse_rule(rule)
+        if not isinstance(rule, Rule):
+            raise RuleError(f"expected a Rule or source text, got {rule!r}")
+        if rule.name in self.rules:
+            raise RuleError(f"rule {rule.name} already defined")
+        self.rules[rule.name] = rule
+        self.analyses[rule.name] = RuleAnalysis(rule)
+        self.matcher.add_rule(rule)
+        return rule
+
+    def excise(self, rule_name):
+        """Remove a rule at runtime (OPS5 excise).
+
+        Its conflict-set instantiations are retracted; working memory
+        is untouched.
+        """
+        if rule_name not in self.rules:
+            raise RuleError(f"no rule named {rule_name}")
+        self.matcher.remove_rule(rule_name)
+        del self.rules[rule_name]
+        del self.analyses[rule_name]
+
+    def load(self, source):
+        """Load a whole program: literalize declarations plus rules."""
+        literalizations, rules = parse_program(source)
+        for wme_class, attributes in literalizations:
+            self.literalize(wme_class, *attributes)
+        for rule in rules:
+            self.add_rule(rule)
+        return rules
+
+    # -- working memory -----------------------------------------------------
+
+    def make(self, wme_class, **values):
+        """Add a WME to working memory (matching updates immediately)."""
+        return self.wm.make(wme_class, **values)
+
+    def remove(self, wme):
+        """Remove a WME (by object or time tag) from working memory."""
+        return self.wm.remove(wme)
+
+    def modify(self, wme, **updates):
+        """OPS5 modify: remove + re-make with a fresh time tag."""
+        return self.wm.modify(wme, **updates)
+
+    # -- the cycle ------------------------------------------------------------
+
+    def halt(self):
+        """Stop after the current firing (the RHS ``(halt)`` action)."""
+        self.halted = True
+
+    def step(self):
+        """One recognize-act cycle; returns the fired instantiation or None."""
+        if self.halted:
+            return None
+        instantiation = self.conflict_set.select(self.strategy)
+        if instantiation is None:
+            return None
+        self.fire(instantiation)
+        return instantiation
+
+    def fire(self, instantiation):
+        """Fire *instantiation* now (normally called via :meth:`step`)."""
+        self.cycle_count += 1
+        record = self.tracer.begin_firing(self.cycle_count, instantiation)
+        analysis = self.analyses.get(instantiation.rule.name)
+        if analysis is None:
+            raise EngineError(
+                f"rule {instantiation.rule.name} is not registered"
+            )
+        # Refraction stamp is taken *before* the RHS runs: per the paper's
+        # section 6 control semantics, any change to the instantiation —
+        # including one caused by its own firing — makes it eligible again.
+        instantiation.mark_fired()
+        executor = RhsExecutor(
+            self, instantiation.rule, analysis, instantiation, record
+        )
+        executor.run()
+        return record
+
+    def run(self, limit=None):
+        """Run cycles until quiescence, ``(halt)``, or *limit* firings.
+
+        Returns the number of firings performed.
+        """
+        fired = 0
+        while limit is None or fired < limit:
+            if self.step() is None:
+                break
+            fired += 1
+        return fired
+
+    # -- parallel firing (the DIPS §8.1 execution model, in memory) -------
+
+    def parallel_cycle(self):
+        """Fire every eligible instantiation of one cycle "in parallel".
+
+        DIPS "attempts to execute all satisfied instantiations
+        concurrently" (paper §8.1).  This simulates that model on the
+        in-memory engine: the eligible set is snapshotted, then each
+        member fires in conflict-resolution order — unless an earlier
+        firing of the *same cycle* already invalidated it (retracted it
+        from the conflict set, or changed the SOI it views), in which
+        case it is a *conflict*, the mutual-invalidation case the paper
+        criticises tuple-oriented rules for.
+
+        Returns ``(fired, conflicted)`` counts.
+        """
+        if self.halted:
+            return (0, 0)
+        snapshot = [
+            (inst, inst.recency_key(),
+             inst.soi.version if inst.is_set_oriented else None)
+            for inst in self.conflict_set.ordered(self.strategy)
+            if inst.eligible()
+        ]
+        fired = 0
+        conflicted = 0
+        for instantiation, _, version in snapshot:
+            still_present = (
+                self.conflict_set._instantiations.get(
+                    instantiation.identity()
+                )
+                is instantiation
+            )
+            unchanged = (
+                version is None
+                or instantiation.soi.version == version
+            )
+            if not (still_present and unchanged
+                    and instantiation.eligible()):
+                conflicted += 1
+                continue
+            self.fire(instantiation)
+            fired += 1
+            if self.halted:
+                break
+        return (fired, conflicted)
+
+    def run_parallel(self, max_cycles=None):
+        """Repeat :meth:`parallel_cycle` until quiescence.
+
+        Returns ``(cycles, fired, conflicted)`` totals.
+        """
+        cycles = 0
+        total_fired = 0
+        total_conflicted = 0
+        while max_cycles is None or cycles < max_cycles:
+            fired, conflicted = self.parallel_cycle()
+            if fired == 0 and conflicted == 0:
+                break
+            cycles += 1
+            total_fired += fired
+            total_conflicted += conflicted
+            if self.halted:
+                break
+        return (cycles, total_fired, total_conflicted)
+
+    def reset(self):
+        """Clear working memory, trace, and the halt flag (rules stay).
+
+        Matching state empties through the ordinary removal events, so
+        the engine is ready for a fresh scenario against the same rule
+        base.
+        """
+        self.wm.clear()
+        self.tracer.clear()
+        self.halted = False
+        self.cycle_count = 0
+
+    # -- inspection -----------------------------------------------------------
+
+    @property
+    def output(self):
+        """Lines produced by ``(write ...)`` so far."""
+        return list(self.tracer.output)
+
+    def conflict_set_size(self):
+        """Number of instantiations currently in the conflict set."""
+        return len(self.conflict_set)
+
+    def __repr__(self):
+        return (
+            f"RuleEngine({len(self.rules)} rules, {len(self.wm)} WMEs, "
+            f"{len(self.conflict_set)} instantiations)"
+        )

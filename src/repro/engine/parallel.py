@@ -1,0 +1,75 @@
+"""A cost model for parallel RHS execution (the paper's §1 argument).
+
+"A parallel architecture could perform an operation on the members of a
+set in parallel.  Furthermore, research has shown that a limiting
+factor for parallelization of the Rete network is the number of
+operations done per rule firing [Gupta 1984, Miranker 1986, Pasik
+1989].  The number of actions in a set-oriented rule should be
+substantially greater, providing the ability to increase parallelism."
+
+This module turns that argument into numbers.  Firings are inherently
+sequential (the recognize-act cycle), but *within* one firing, WM
+actions that touch distinct elements are independent.  Given the firing
+trace of a run, the model computes the schedule length on ``workers``
+parallel units:
+
+* each WM action costs one time unit;
+* actions within a firing are scheduled greedily; actions touching the
+  same WME (recorded per action by the tracer) form a chain;
+* firings execute one after another, so the run's latency is the sum
+  of firing latencies.
+
+Sequential latency is simply the total number of WM actions, so the
+speedup of a workload under ``workers`` units falls out directly —
+the C3b benchmark sweeps it for the tuple and set formulations.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def firing_latency(record, workers):
+    """Schedule length of one firing's WM actions on *workers* units.
+
+    ``record.touched_tags`` holds one entry per WM action: the time tag
+    of the element it removed/modified, or None for a make (always
+    independent).  The latency is bounded below by the longest
+    same-element chain and by ``ceil(actions / workers)``.
+    """
+    actions = record.wm_actions
+    if actions == 0:
+        return 0
+    if workers <= 1:
+        return actions
+    per_tag = {}
+    for tag in record.touched_tags:
+        if tag is not None:
+            per_tag[tag] = per_tag.get(tag, 0) + 1
+    longest_chain = max(per_tag.values(), default=1)
+    return max(longest_chain, math.ceil(actions / workers))
+
+
+def run_latency(tracer, workers):
+    """Total schedule length of a traced run on *workers* units."""
+    return sum(
+        firing_latency(record, workers) for record in tracer.firings
+    )
+
+
+def speedup(tracer, workers):
+    """Sequential latency / parallel latency for the traced run."""
+    sequential = run_latency(tracer, 1)
+    parallel = run_latency(tracer, workers)
+    if parallel == 0:
+        return 1.0
+    return sequential / parallel
+
+
+def speedup_table(tracer, worker_counts=(1, 2, 4, 8, 16, 32)):
+    """(workers, latency, speedup) rows for a traced run."""
+    rows = []
+    for workers in worker_counts:
+        latency = run_latency(tracer, workers)
+        rows.append((workers, latency, speedup(tracer, workers)))
+    return rows

@@ -1,0 +1,104 @@
+"""Firing traces and statistics.
+
+Every firing produces a :class:`FiringRecord` capturing which rule
+fired, on which time tags, and how many WM actions of each kind the RHS
+performed.  The per-firing action counts are the paper's parallelism
+proxy ("the number of actions in a set-oriented rule should be
+substantially greater") measured by experiment C3.
+"""
+
+from __future__ import annotations
+
+
+class FiringRecord:
+    """What one rule firing did."""
+
+    __slots__ = (
+        "cycle",
+        "rule_name",
+        "is_set_oriented",
+        "time_tags",
+        "token_count",
+        "makes",
+        "removes",
+        "modifies",
+        "writes",
+        "binds",
+        "touched_tags",
+    )
+
+    def __init__(self, cycle, rule_name, is_set_oriented, time_tags,
+                 token_count):
+        self.cycle = cycle
+        self.rule_name = rule_name
+        self.is_set_oriented = is_set_oriented
+        self.time_tags = tuple(time_tags)
+        self.token_count = token_count
+        self.makes = 0
+        self.removes = 0
+        self.modifies = 0
+        self.writes = 0
+        self.binds = 0
+        # One entry per WM action: the touched element's time tag, or
+        # None for a make (used by the parallel-execution cost model).
+        self.touched_tags = []
+
+    @property
+    def wm_actions(self):
+        """WM changes this firing performed (the parallelism proxy)."""
+        return self.makes + self.removes + self.modifies
+
+    @property
+    def total_actions(self):
+        return self.wm_actions + self.writes + self.binds
+
+    def __repr__(self):
+        return (
+            f"FiringRecord({self.cycle}: {self.rule_name}, "
+            f"{self.wm_actions} wm actions)"
+        )
+
+
+class Tracer:
+    """Accumulates firing records and ``write`` output."""
+
+    def __init__(self, echo=False):
+        self.echo = echo
+        self.firings = []
+        self.output = []
+
+    def begin_firing(self, cycle, instantiation):
+        record = FiringRecord(
+            cycle,
+            instantiation.rule.name,
+            instantiation.is_set_oriented,
+            instantiation.recency_key(),
+            len(instantiation.tokens()),
+        )
+        self.firings.append(record)
+        return record
+
+    def write(self, text):
+        self.output.append(text)
+        if self.echo:
+            print(text)
+
+    # -- summaries ----------------------------------------------------------
+
+    @property
+    def firing_count(self):
+        return len(self.firings)
+
+    def firings_of(self, rule_name):
+        return [f for f in self.firings if f.rule_name == rule_name]
+
+    def actions_per_firing(self):
+        """WM actions per firing, in firing order."""
+        return [record.wm_actions for record in self.firings]
+
+    def total_wm_actions(self):
+        return sum(record.wm_actions for record in self.firings)
+
+    def clear(self):
+        self.firings.clear()
+        self.output.clear()

@@ -1,0 +1,90 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class.  Subsystems define narrower classes:
+parsing (:class:`ParseError`), rule semantics (:class:`RuleError`),
+working-memory misuse (:class:`WorkingMemoryError`), the inference engine
+(:class:`EngineError`), the relational substrate (:class:`DatabaseError`),
+and the DIPS layer (:class:`DipsError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ParseError(ReproError):
+    """A rule or SQL source string could not be parsed.
+
+    Carries the ``line`` and ``column`` (1-based) where parsing failed,
+    when known, so error messages point at the offending token.
+    """
+
+    def __init__(self, message, line=None, column=None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class RuleError(ReproError):
+    """A rule is syntactically valid but semantically ill-formed.
+
+    Examples: a ``:scalar`` clause naming a variable that never appears,
+    an aggregate over a non-set variable, an RHS referencing an unbound
+    pattern variable, or a ``foreach`` over a scalar.
+    """
+
+
+class WorkingMemoryError(ReproError):
+    """Invalid working-memory operation.
+
+    Examples: making a WME of an undeclared class, referencing an
+    undeclared attribute, or removing a time tag that is not present.
+    """
+
+
+class EngineError(ReproError):
+    """Runtime failure inside the recognize-act cycle or RHS execution."""
+
+
+class ConflictResolutionError(EngineError):
+    """An unknown or inapplicable conflict-resolution strategy was chosen."""
+
+
+class DatabaseError(ReproError):
+    """Base error for the relational substrate (:mod:`repro.rdb`)."""
+
+
+class SchemaError(DatabaseError):
+    """A table/schema definition or row violates declared structure."""
+
+
+class QueryError(DatabaseError):
+    """A logical query plan is invalid or cannot be evaluated."""
+
+
+class SqlError(QueryError):
+    """The mini-SQL dialect parser rejected a statement."""
+
+
+class TransactionError(DatabaseError):
+    """Illegal transaction state transition (e.g. commit after abort)."""
+
+
+class TransactionConflict(TransactionError):
+    """Two transactions made conflicting accesses; the loser aborts.
+
+    This is the mechanism DIPS relies on (paper section 8.1): concurrently
+    executed instantiations that touch the same WMEs invalidate each other.
+    """
+
+
+class DipsError(ReproError):
+    """Failure in the DIPS DBMS-based matcher (:mod:`repro.dips`)."""

@@ -1,0 +1,77 @@
+"""The rule language: OPS5 plus the paper's C5 set-oriented extensions.
+
+The surface syntax follows Forgy's OPS5 with the extensions of Gordin &
+Pasik (1991):
+
+* ``[class ...]`` — set-oriented condition elements (square brackets);
+* ``{ (ce) <Var> }`` / ``{ [ce] <Var> }`` — element variables binding a
+  CE's match (a WME for a regular CE, the matched *set* for a
+  set-oriented CE);
+* ``:scalar (<v> ...)`` — force listed PVs to partition by value;
+* ``:test (<expr>)`` — an aggregate test over the candidate SOI
+  (``count``, ``min``, ``max``, ``sum``, ``avg``);
+* RHS ``set-modify``, ``set-remove``, ``foreach`` (with
+  ``ascending``/``descending`` order), ``if/else``, plus the classic
+  ``make/remove/modify/write/bind/halt``.
+
+Use :func:`parse_rule` / :func:`parse_program` for text, or
+:mod:`repro.lang.builder` to assemble rules programmatically.
+"""
+
+from repro.lang.ast import (
+    Aggregate,
+    AttrTest,
+    BinOp,
+    BindAction,
+    CallAction,
+    Check,
+    ConditionElement,
+    Const,
+    Disjunction,
+    ForeachAction,
+    HaltAction,
+    IfAction,
+    MakeAction,
+    ModifyAction,
+    RemoveAction,
+    Rule,
+    SetModifyAction,
+    SetRemoveAction,
+    UnaryOp,
+    Var,
+    WriteAction,
+)
+from repro.lang.parser import parse_expression, parse_program, parse_rule
+from repro.lang.printer import format_rule
+from repro.lang.builder import RuleBuilder, ce, set_ce
+
+__all__ = [
+    "Aggregate",
+    "AttrTest",
+    "BinOp",
+    "BindAction",
+    "CallAction",
+    "Check",
+    "ConditionElement",
+    "Const",
+    "Disjunction",
+    "ForeachAction",
+    "HaltAction",
+    "IfAction",
+    "MakeAction",
+    "ModifyAction",
+    "RemoveAction",
+    "Rule",
+    "RuleBuilder",
+    "SetModifyAction",
+    "SetRemoveAction",
+    "UnaryOp",
+    "Var",
+    "WriteAction",
+    "ce",
+    "set_ce",
+    "format_rule",
+    "parse_expression",
+    "parse_program",
+    "parse_rule",
+]

@@ -1,0 +1,215 @@
+"""Programmatic rule construction — an alternative to parsing source text.
+
+Example, building the paper's Figure 5 ``SwitchTeams`` rule::
+
+    rule = (
+        RuleBuilder("SwitchTeams")
+        .set_ce("player", team="A").bind("ATeam")
+        .set_ce("player", team="B").bind("BTeam")
+        .test("(count <ATeam>) == (count <BTeam>)")
+        .set_modify("ATeam", team="B")
+        .set_modify("BTeam", team="A")
+        .build()
+    )
+
+Attribute keyword values map to AST checks: a plain value becomes an
+``=`` constant check, a :func:`var` reference joins variables, and a
+``(predicate, value)`` tuple applies another predicate.
+"""
+
+from __future__ import annotations
+
+from repro import symbols
+from repro.errors import RuleError
+from repro.lang import ast
+from repro.lang.parser import parse_expression
+
+
+def var(name):
+    """Reference a pattern variable by *name* (without angle brackets)."""
+    return ast.Var(name)
+
+
+def _check_from_value(value):
+    if isinstance(value, ast.Var):
+        return ast.Check("=", value)
+    if isinstance(value, ast.Disjunction):
+        return ast.Check("=", value)
+    if isinstance(value, tuple) and len(value) == 2:
+        predicate, operand = value
+        if isinstance(operand, ast.Var):
+            return ast.Check(predicate, operand)
+        return ast.Check(predicate, ast.Const(operand))
+    if symbols.is_value(value):
+        return ast.Check("=", ast.Const(value))
+    raise RuleError(f"cannot build a check from {value!r}")
+
+
+def _tests_from_kwargs(attributes):
+    tests = []
+    for attribute, value in attributes.items():
+        if isinstance(value, list):
+            checks = [_check_from_value(item) for item in value]
+        else:
+            checks = [_check_from_value(value)]
+        tests.append(ast.AttrTest(attribute, checks))
+    return tests
+
+
+def ce(wme_class, **attributes):
+    """Build a regular condition element."""
+    return ast.ConditionElement(wme_class, _tests_from_kwargs(attributes))
+
+
+def set_ce(wme_class, **attributes):
+    """Build a set-oriented condition element (``[...]``)."""
+    return ast.ConditionElement(
+        wme_class, _tests_from_kwargs(attributes), set_oriented=True
+    )
+
+
+def neg_ce(wme_class, **attributes):
+    """Build a negated condition element (``-(...)``)."""
+    return ast.ConditionElement(
+        wme_class, _tests_from_kwargs(attributes), negated=True
+    )
+
+
+def _value_expr(value):
+    if isinstance(value, ast.Expr):
+        return value
+    if isinstance(value, str) and value.startswith("("):
+        return parse_expression(value)
+    return ast.Const(value)
+
+
+class RuleBuilder:
+    """Fluent builder assembling a :class:`repro.lang.ast.Rule`."""
+
+    def __init__(self, name):
+        self._name = name
+        self._ces = []
+        self._scalar = []
+        self._test = None
+        self._actions = []
+
+    # -- LHS ------------------------------------------------------------
+
+    def ce(self, wme_class, **attributes):
+        """Append a regular CE."""
+        self._ces.append(ce(wme_class, **attributes))
+        return self
+
+    def set_ce(self, wme_class, **attributes):
+        """Append a set-oriented CE."""
+        self._ces.append(set_ce(wme_class, **attributes))
+        return self
+
+    def neg_ce(self, wme_class, **attributes):
+        """Append a negated CE."""
+        self._ces.append(neg_ce(wme_class, **attributes))
+        return self
+
+    def bind(self, element_var):
+        """Attach an element variable to the most recent CE."""
+        if not self._ces:
+            raise RuleError("bind() must follow a condition element")
+        last = self._ces[-1]
+        self._ces[-1] = ast.ConditionElement(
+            last.wme_class,
+            last.tests,
+            set_oriented=last.set_oriented,
+            negated=last.negated,
+            element_var=element_var,
+        )
+        return self
+
+    def scalar(self, *names):
+        """Add variables to the ``:scalar`` clause."""
+        self._scalar.extend(names)
+        return self
+
+    def test(self, expression):
+        """Set the ``:test`` clause (source text or an Expr node)."""
+        if isinstance(expression, str):
+            expression = parse_expression(expression)
+        self._test = expression
+        return self
+
+    # -- RHS ------------------------------------------------------------
+
+    def make(self, wme_class, **assignments):
+        self._actions.append(
+            ast.MakeAction(
+                wme_class,
+                [(a, _value_expr(v)) for a, v in assignments.items()],
+            )
+        )
+        return self
+
+    def remove(self, target):
+        self._actions.append(ast.RemoveAction(target))
+        return self
+
+    def modify(self, target, **assignments):
+        self._actions.append(
+            ast.ModifyAction(
+                target, [(a, _value_expr(v)) for a, v in assignments.items()]
+            )
+        )
+        return self
+
+    def write(self, *arguments):
+        self._actions.append(
+            ast.WriteAction([_value_expr(arg) for arg in arguments])
+        )
+        return self
+
+    def bind_var(self, name, expression):
+        self._actions.append(ast.BindAction(name, _value_expr(expression)))
+        return self
+
+    def halt(self):
+        self._actions.append(ast.HaltAction())
+        return self
+
+    def set_modify(self, target, **assignments):
+        self._actions.append(
+            ast.SetModifyAction(
+                target, [(a, _value_expr(v)) for a, v in assignments.items()]
+            )
+        )
+        return self
+
+    def set_remove(self, target):
+        self._actions.append(ast.SetRemoveAction(target))
+        return self
+
+    def foreach(self, variable, *body, order="default"):
+        """Append a foreach whose *body* actions come from a nested builder.
+
+        *body* items are Action nodes; build them with a helper builder's
+        :meth:`actions` or construct AST nodes directly.
+        """
+        self._actions.append(ast.ForeachAction(variable, body, order=order))
+        return self
+
+    def if_(self, condition, then_body, else_body=()):
+        if isinstance(condition, str):
+            condition = parse_expression(condition)
+        self._actions.append(ast.IfAction(condition, then_body, else_body))
+        return self
+
+    def actions(self):
+        """Return the actions built so far (for nesting into foreach/if)."""
+        return tuple(self._actions)
+
+    def build(self):
+        """Validate and return the finished rule."""
+        return ast.Rule(
+            self._name,
+            self._ces,
+            self._actions,
+            scalar_vars=self._scalar,
+            test=self._test,
+        )

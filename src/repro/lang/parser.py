@@ -1,0 +1,548 @@
+"""Recursive-descent parser for the OPS5/C5 rule language.
+
+Entry points:
+
+* :func:`parse_program` — a whole source string of ``literalize``
+  declarations and ``(p ...)`` rules;
+* :func:`parse_rule` — a single rule;
+* :func:`parse_expression` — an infix test expression (as found inside
+  ``:test (...)`` and RHS ``if`` conditions).
+
+The ``-->`` LHS/RHS separator is accepted but optional: the paper's own
+examples omit it, so when absent the first top-level form whose head is
+a known action keyword starts the RHS.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.lang import ast
+from repro.lang import tokens as tk
+
+#: Form heads that unambiguously start the RHS when ``-->`` is omitted.
+ACTION_HEADS = (
+    "make",
+    "remove",
+    "modify",
+    "write",
+    "bind",
+    "halt",
+    "set-modify",
+    "set-remove",
+    "foreach",
+    "if",
+    "call",
+)
+
+
+class _Parser:
+    """Cursor over a token list with the usual expect/accept helpers."""
+
+    def __init__(self, source):
+        self._tokens = tk.tokenize(source)
+        self._pos = 0
+
+    # -- cursor helpers -------------------------------------------------
+
+    def peek(self, offset=0):
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def advance(self):
+        token = self._tokens[self._pos]
+        if token.kind != tk.EOF:
+            self._pos += 1
+        return token
+
+    def check(self, kind, value=None):
+        token = self.peek()
+        if token.kind != kind:
+            return False
+        return value is None or token.value == value
+
+    def accept(self, kind, value=None):
+        if self.check(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind, value=None, what=None):
+        token = self.peek()
+        if not self.check(kind, value):
+            wanted = what or value or kind
+            raise ParseError(
+                f"expected {wanted}, found {token.value!r}",
+                line=token.line,
+                column=token.column,
+            )
+        return self.advance()
+
+    def error(self, message):
+        token = self.peek()
+        raise ParseError(message, line=token.line, column=token.column)
+
+    @property
+    def at_eof(self):
+        return self.peek().kind == tk.EOF
+
+    # -- program / declarations ------------------------------------------
+
+    def parse_program(self):
+        """Parse declarations and rules until EOF.
+
+        Returns ``(literalizations, rules)`` where literalizations is a
+        list of ``(class, attributes)`` pairs.
+        """
+        literalizations = []
+        rules = []
+        while not self.at_eof:
+            self.expect(tk.LPAREN, what="'('")
+            head = self.expect(tk.SYMBOL, what="'literalize' or 'p'")
+            if head.value == "literalize":
+                literalizations.append(self._parse_literalize_body())
+            elif head.value == "p":
+                rules.append(self._parse_rule_body())
+            else:
+                self.error(
+                    f"expected 'literalize' or 'p' at top level, "
+                    f"found {head.value!r}"
+                )
+        return literalizations, rules
+
+    def _parse_literalize_body(self):
+        name = self.expect(tk.SYMBOL, what="class name").value
+        attributes = []
+        while not self.check(tk.RPAREN):
+            attributes.append(
+                self.expect(tk.SYMBOL, what="attribute name").value
+            )
+        self.expect(tk.RPAREN)
+        return name, attributes
+
+    # -- rules -------------------------------------------------------------
+
+    def parse_rule(self):
+        """Parse exactly one ``(p name ...)`` form."""
+        self.expect(tk.LPAREN, what="'('")
+        self.expect(tk.SYMBOL, "p", what="'p'")
+        rule = self._parse_rule_body()
+        if not self.at_eof:
+            self.error("trailing input after rule")
+        return rule
+
+    def _parse_rule_body(self):
+        name = self.expect(tk.SYMBOL, what="rule name").value
+        ces = []
+        scalar_vars = []
+        test = None
+        saw_arrow = False
+
+        while True:
+            if self.accept(tk.ARROW):
+                saw_arrow = True
+                break
+            if self.check(tk.CLAUSE):
+                clause = self.advance()
+                if clause.value == "scalar":
+                    scalar_vars.extend(self._parse_scalar_clause())
+                elif clause.value == "test":
+                    if test is not None:
+                        self.error("a rule may have only one :test clause")
+                    test = self._parse_test_clause()
+                else:
+                    self.error(f"unknown clause :{clause.value}")
+                continue
+            if self._at_action_form():
+                break
+            if self.check(tk.RPAREN):
+                break
+            ces.append(self._parse_condition_element())
+
+        actions = []
+        while not self.check(tk.RPAREN):
+            if self.at_eof:
+                self.error("unterminated rule")
+            actions.extend(self._parse_action())
+        self.expect(tk.RPAREN)
+
+        if not actions and not saw_arrow:
+            # A rule with no actions is legal-but-odd; keep it.
+            pass
+        return ast.Rule(
+            name, ces, actions, scalar_vars=scalar_vars, test=test
+        )
+
+    def _at_action_form(self):
+        """True when the cursor sits on a top-level action form."""
+        if not self.check(tk.LPAREN):
+            return False
+        head = self.peek(1)
+        return head.kind == tk.SYMBOL and head.value in ACTION_HEADS
+
+    def _parse_scalar_clause(self):
+        self.expect(tk.LPAREN, what="'(' after :scalar")
+        names = []
+        while not self.check(tk.RPAREN):
+            names.append(self.expect(tk.VAR, what="a <variable>").value)
+        self.expect(tk.RPAREN)
+        return names
+
+    def _parse_test_clause(self):
+        self.expect(tk.LPAREN, what="'(' after :test")
+        expression = self._parse_expression()
+        self.expect(tk.RPAREN)
+        return expression
+
+    # -- condition elements --------------------------------------------------
+
+    def _parse_condition_element(self):
+        if self.check(tk.LBRACE):
+            return self._parse_bound_ce()
+        if self.accept(tk.MINUS_LPAREN):
+            return self._parse_ce_tail(
+                tk.RPAREN, set_oriented=False, negated=True
+            )
+        if self.accept(tk.LBRACKET):
+            return self._parse_ce_tail(tk.RBRACKET, set_oriented=True)
+        if self.accept(tk.LPAREN):
+            return self._parse_ce_tail(tk.RPAREN, set_oriented=False)
+        self.error("expected a condition element")
+
+    def _parse_bound_ce(self):
+        """``{ <ce> <Var> }`` or ``{ <Var> <ce> }``."""
+        self.expect(tk.LBRACE)
+        element_var = None
+        if self.check(tk.VAR):
+            element_var = self.advance().value
+        inner = self._parse_condition_element()
+        if element_var is None:
+            element_var = self.expect(
+                tk.VAR, what="an element <variable>"
+            ).value
+        self.expect(tk.RBRACE, what="'}'")
+        return ast.ConditionElement(
+            inner.wme_class,
+            inner.tests,
+            set_oriented=inner.set_oriented,
+            negated=inner.negated,
+            element_var=element_var,
+        )
+
+    def _parse_ce_tail(self, closer, set_oriented, negated=False):
+        wme_class = self.expect(tk.SYMBOL, what="a WME class name").value
+        tests = []
+        while not self.check(closer):
+            attr = self.expect(tk.ATTR, what="'^attribute'").value
+            checks = self._parse_value_spec()
+            tests.append(ast.AttrTest(attr, checks))
+        self.expect(closer)
+        return ast.ConditionElement(
+            wme_class, tests, set_oriented=set_oriented, negated=negated
+        )
+
+    def _parse_value_spec(self):
+        """The value position after ``^attr``: one check or ``{ check+ }``."""
+        if self.accept(tk.LBRACE):
+            checks = []
+            while not self.check(tk.RBRACE):
+                checks.append(self._parse_check())
+            self.expect(tk.RBRACE)
+            if not checks:
+                self.error("empty { } conjunction")
+            return checks
+        return [self._parse_check()]
+
+    def _parse_check(self):
+        predicate = "="
+        if self.check(tk.PRED):
+            predicate = self.advance().value
+        if self.accept(tk.LDISJ):
+            values = []
+            while not self.check(tk.RDISJ):
+                token = self.peek()
+                if token.kind in (tk.SYMBOL, tk.NUMBER, tk.STRING):
+                    values.append(self.advance().value)
+                else:
+                    self.error("only constants may appear inside << >>")
+            self.expect(tk.RDISJ)
+            return ast.Check("=", ast.Disjunction(values))
+        token = self.peek()
+        if token.kind == tk.VAR:
+            self.advance()
+            return ast.Check(predicate, ast.Var(token.value))
+        if token.kind in (tk.SYMBOL, tk.NUMBER, tk.STRING):
+            self.advance()
+            return ast.Check(predicate, ast.Const(token.value))
+        self.error("expected a value, <variable>, or << >> disjunction")
+
+    # -- RHS actions -----------------------------------------------------------
+
+    def _parse_action(self):
+        """Parse one action form; returns a *list* (remove expands)."""
+        self.expect(tk.LPAREN, what="'(' starting an action")
+        head = self.expect(tk.SYMBOL, what="an action keyword").value
+        if head == "make":
+            result = [self._parse_make()]
+        elif head == "remove":
+            result = self._parse_remove()
+        elif head == "modify":
+            result = [self._parse_modify()]
+        elif head == "write":
+            result = [self._parse_write()]
+        elif head == "bind":
+            result = [self._parse_bind()]
+        elif head == "halt":
+            result = [ast.HaltAction()]
+        elif head == "call":
+            result = [self._parse_call()]
+        elif head == "set-modify":
+            result = [self._parse_set_modify()]
+        elif head == "set-remove":
+            result = self._parse_set_remove()
+        elif head == "foreach":
+            result = [self._parse_foreach()]
+        elif head == "if":
+            result = [self._parse_if()]
+        else:
+            self.error(f"unknown action {head!r}")
+        self.expect(tk.RPAREN, what="')' closing the action")
+        return result
+
+    def _parse_assignments(self):
+        assignments = []
+        while self.check(tk.ATTR):
+            attr = self.advance().value
+            assignments.append((attr, self._parse_value_expr()))
+        return assignments
+
+    def _parse_make(self):
+        wme_class = self.expect(tk.SYMBOL, what="a WME class name").value
+        return ast.MakeAction(wme_class, self._parse_assignments())
+
+    def _parse_remove(self):
+        targets = []
+        while not self.check(tk.RPAREN):
+            targets.append(self._parse_target())
+        if not targets:
+            self.error("remove needs at least one target")
+        return [ast.RemoveAction(target) for target in targets]
+
+    def _parse_modify(self):
+        target = self._parse_target()
+        return ast.ModifyAction(target, self._parse_assignments())
+
+    def _parse_target(self):
+        token = self.peek()
+        if token.kind == tk.NUMBER and isinstance(token.value, int):
+            self.advance()
+            return token.value
+        if token.kind == tk.VAR:
+            self.advance()
+            return token.value
+        self.error("expected a CE number or element <variable>")
+
+    def _parse_write(self):
+        arguments = []
+        while not self.check(tk.RPAREN):
+            # OPS5's (crlf) newline marker inside write.
+            if self.check(tk.LPAREN) and self.peek(1).value == "crlf":
+                self.advance()
+                self.advance()
+                self.expect(tk.RPAREN)
+                arguments.append(ast.Const("\n"))
+                continue
+            arguments.append(self._parse_value_expr())
+        return ast.WriteAction(arguments)
+
+    def _parse_bind(self):
+        name = self.expect(tk.VAR, what="a <variable> to bind").value
+        expression = self._parse_value_expr()
+        return ast.BindAction(name, expression)
+
+    def _parse_call(self):
+        name = self.expect(tk.SYMBOL, what="a function name").value
+        arguments = []
+        while not self.check(tk.RPAREN):
+            arguments.append(self._parse_value_expr())
+        return ast.CallAction(name, arguments)
+
+    def _parse_set_modify(self):
+        target = self.expect(tk.VAR, what="a set element <variable>").value
+        return ast.SetModifyAction(target, self._parse_assignments())
+
+    def _parse_set_remove(self):
+        targets = []
+        while self.check(tk.VAR):
+            targets.append(self.advance().value)
+        if not targets:
+            self.error("set-remove needs at least one element <variable>")
+        return [ast.SetRemoveAction(target) for target in targets]
+
+    def _parse_foreach(self):
+        variable = self.expect(tk.VAR, what="an iterator <variable>").value
+        order = "default"
+        if self.check(tk.SYMBOL, "ascending") or self.check(
+            tk.SYMBOL, "descending"
+        ):
+            order = self.advance().value
+        body = []
+        while not self.check(tk.RPAREN):
+            body.extend(self._parse_action())
+        return ast.ForeachAction(variable, body, order=order)
+
+    def _parse_if(self):
+        self.expect(tk.LPAREN, what="'(' opening the if condition")
+        condition = self._parse_expression()
+        self.expect(tk.RPAREN, what="')' closing the if condition")
+        then_body = []
+        else_body = []
+        target = then_body
+        while not self.check(tk.RPAREN):
+            if self.accept(tk.SYMBOL, "else"):
+                if target is else_body:
+                    self.error("duplicate else in if action")
+                target = else_body
+                continue
+            target.extend(self._parse_action())
+        return ast.IfAction(condition, then_body, else_body)
+
+    # -- expressions --------------------------------------------------------
+
+    def _parse_value_expr(self):
+        """A value position on the RHS: literal, variable, or (expr)."""
+        token = self.peek()
+        if token.kind == tk.VAR:
+            self.advance()
+            return ast.Var(token.value)
+        if token.kind in (tk.SYMBOL, tk.NUMBER, tk.STRING):
+            self.advance()
+            return ast.Const(token.value)
+        if token.kind == tk.LPAREN:
+            self.advance()
+            expression = self._parse_paren_expr_body()
+            self.expect(tk.RPAREN)
+            return expression
+        self.error("expected a value, <variable>, or (expression)")
+
+    def _parse_paren_expr_body(self):
+        """Contents of a parenthesized expression: aggregate call or infix."""
+        head = self.peek()
+        if head.kind == tk.SYMBOL and head.value == "compute":
+            # OPS5 compatibility: (compute <x> + 1) is plain arithmetic.
+            self.advance()
+            return self._parse_expression()
+        if (
+            head.kind == tk.SYMBOL
+            and head.value in ast.AGGREGATE_OPS
+            and self.peek(1).kind == tk.VAR
+        ):
+            self.advance()
+            target = self.advance().value
+            attribute = None
+            if self.check(tk.ATTR):
+                attribute = self.advance().value
+            return ast.Aggregate(head.value, target, attribute)
+        return self._parse_expression()
+
+    def _parse_expression(self):
+        return self._parse_or()
+
+    def _parse_or(self):
+        left = self._parse_and()
+        while self.accept(tk.SYMBOL, "or"):
+            left = ast.BinOp("or", left, self._parse_and())
+        return left
+
+    def _parse_and(self):
+        left = self._parse_not()
+        while self.accept(tk.SYMBOL, "and"):
+            left = ast.BinOp("and", left, self._parse_not())
+        return left
+
+    def _parse_not(self):
+        if self.accept(tk.SYMBOL, "not"):
+            return ast.UnaryOp("not", self._parse_not())
+        return self._parse_comparison()
+
+    _COMPARISON_MAP = {
+        "==": "==",
+        "!=": "!=",
+        "<>": "!=",
+        "<": "<",
+        "<=": "<=",
+        ">": ">",
+        ">=": ">=",
+        "=": "==",
+    }
+
+    def _parse_comparison(self):
+        left = self._parse_additive()
+        token = self.peek()
+        if token.kind == tk.OP and token.value in ("==", "!="):
+            self.advance()
+            return ast.BinOp(token.value, left, self._parse_additive())
+        if token.kind == tk.PRED and token.value in self._COMPARISON_MAP:
+            self.advance()
+            op = self._COMPARISON_MAP[token.value]
+            return ast.BinOp(op, left, self._parse_additive())
+        return left
+
+    def _parse_additive(self):
+        left = self._parse_multiplicative()
+        while self.check(tk.OP, "+") or self.check(tk.OP, "-"):
+            op = self.advance().value
+            left = ast.BinOp(op, left, self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self):
+        left = self._parse_unary()
+        while (
+            self.check(tk.OP, "*")
+            or self.check(tk.OP, "/")
+            or self.check(tk.OP, "//")
+            or self.check(tk.OP, "mod")
+        ):
+            op = self.advance().value
+            left = ast.BinOp(op, left, self._parse_unary())
+        return left
+
+    def _parse_unary(self):
+        if self.accept(tk.OP, "-"):
+            return ast.UnaryOp("-", self._parse_unary())
+        return self._parse_atom()
+
+    def _parse_atom(self):
+        token = self.peek()
+        if token.kind == tk.VAR:
+            self.advance()
+            return ast.Var(token.value)
+        if token.kind in (tk.NUMBER, tk.STRING):
+            self.advance()
+            return ast.Const(token.value)
+        if token.kind == tk.SYMBOL:
+            self.advance()
+            return ast.Const(token.value)
+        if token.kind == tk.LPAREN:
+            self.advance()
+            inner = self._parse_paren_expr_body()
+            self.expect(tk.RPAREN)
+            return inner
+        self.error("expected an expression atom")
+
+
+def parse_program(source):
+    """Parse a full program; returns ``(literalizations, rules)``."""
+    return _Parser(source).parse_program()
+
+
+def parse_rule(source):
+    """Parse a single ``(p ...)`` rule from *source*."""
+    return _Parser(source).parse_rule()
+
+
+def parse_expression(source):
+    """Parse a bare infix expression (for tests and tooling)."""
+    parser = _Parser(source)
+    expression = parser._parse_expression()
+    if not parser.at_eof:
+        parser.error("trailing input after expression")
+    return expression

@@ -1,0 +1,164 @@
+"""Pretty-printer: turn AST nodes back into C5 source text.
+
+``parse_rule(format_rule(rule)) == rule`` is a property-tested invariant
+(see ``tests/lang/test_roundtrip.py``).
+"""
+
+from __future__ import annotations
+
+from repro import symbols
+from repro.lang import ast
+
+
+def _format_operand(operand):
+    if isinstance(operand, ast.Var):
+        return f"<{operand.name}>"
+    if isinstance(operand, ast.Const):
+        return _format_constant(operand.value)
+    if isinstance(operand, ast.Disjunction):
+        inner = " ".join(_format_constant(v) for v in operand.values)
+        return f"<< {inner} >>"
+    raise TypeError(f"cannot format operand {operand!r}")
+
+
+def _format_constant(value):
+    if symbols.is_number(value):
+        return symbols.format_value(value)
+    needs_quoting = any(c in value for c in " ()[]{};^<>") or value == ""
+    if needs_quoting:
+        return f"|{value}|"
+    return value
+
+
+def format_expression(expr):
+    """Render an expression in the infix dialect used by ``:test``."""
+    if isinstance(expr, ast.Const):
+        return _format_constant(expr.value)
+    if isinstance(expr, ast.Var):
+        return f"<{expr.name}>"
+    if isinstance(expr, ast.Aggregate):
+        if expr.attribute is not None:
+            return f"({expr.op} <{expr.target}> ^{expr.attribute})"
+        return f"({expr.op} <{expr.target}>)"
+    if isinstance(expr, ast.BinOp):
+        left = format_expression(expr.left)
+        right = format_expression(expr.right)
+        return f"({left} {expr.op} {right})"
+    if isinstance(expr, ast.UnaryOp):
+        operand = format_expression(expr.operand)
+        if expr.op == "not":
+            return f"(not {operand})"
+        return f"(- {operand})"
+    raise TypeError(f"cannot format expression {expr!r}")
+
+
+def format_ce(ce):
+    """Render one condition element (including binding/negation)."""
+    parts = [ce.wme_class]
+    for test in ce.tests:
+        checks = []
+        for check in test.checks:
+            if check.predicate == "=":
+                checks.append(_format_operand(check.operand))
+            else:
+                checks.append(
+                    f"{check.predicate} {_format_operand(check.operand)}"
+                )
+        if len(test.checks) == 1:
+            parts.append(f"^{test.attribute} {checks[0]}")
+        else:
+            parts.append(f"^{test.attribute} {{ {' '.join(checks)} }}")
+    body = " ".join(parts)
+    if ce.set_oriented:
+        text = f"[{body}]"
+    elif ce.negated:
+        text = f"-({body})"
+    else:
+        text = f"({body})"
+    if ce.element_var is not None:
+        return f"{{ {text} <{ce.element_var}> }}"
+    return text
+
+
+def format_action(action, indent=""):
+    """Render one RHS action (recursively for foreach/if)."""
+    if isinstance(action, ast.MakeAction):
+        return indent + _format_head_assignments(
+            f"make {action.wme_class}", action.assignments
+        )
+    if isinstance(action, ast.RemoveAction):
+        return f"{indent}(remove {_format_target(action.target)})"
+    if isinstance(action, ast.ModifyAction):
+        head = f"modify {_format_target(action.target)}"
+        return indent + _format_head_assignments(head, action.assignments)
+    if isinstance(action, ast.WriteAction):
+        args = " ".join(_format_value(arg) for arg in action.arguments)
+        return f"{indent}(write {args})".rstrip() + ("" if args else ")")
+    if isinstance(action, ast.BindAction):
+        return (
+            f"{indent}(bind <{action.name}> "
+            f"{_format_value(action.expression)})"
+        )
+    if isinstance(action, ast.HaltAction):
+        return f"{indent}(halt)"
+    if isinstance(action, ast.CallAction):
+        args = " ".join(_format_value(arg) for arg in action.arguments)
+        body = f"call {action.name} {args}".rstrip()
+        return f"{indent}({body})"
+    if isinstance(action, ast.SetModifyAction):
+        head = f"set-modify <{action.target}>"
+        return indent + _format_head_assignments(head, action.assignments)
+    if isinstance(action, ast.SetRemoveAction):
+        return f"{indent}(set-remove <{action.target}>)"
+    if isinstance(action, ast.ForeachAction):
+        order = "" if action.order == "default" else f" {action.order}"
+        body = "\n".join(
+            format_action(child, indent + "  ") for child in action.body
+        )
+        return f"{indent}(foreach <{action.variable}>{order}\n{body})"
+    if isinstance(action, ast.IfAction):
+        lines = [f"{indent}(if {format_expression(action.condition)}"]
+        for child in action.then_body:
+            lines.append(format_action(child, indent + "  "))
+        if action.else_body:
+            lines.append(f"{indent} else")
+            for child in action.else_body:
+                lines.append(format_action(child, indent + "  "))
+        return "\n".join(lines) + ")"
+    raise TypeError(f"cannot format action {action!r}")
+
+
+def _format_target(target):
+    if isinstance(target, int):
+        return str(target)
+    return f"<{target}>"
+
+
+def _format_value(expr):
+    """A value position: bare atoms stay bare, expressions get parens."""
+    if isinstance(expr, (ast.Const, ast.Var)):
+        return format_expression(expr)
+    return format_expression(expr)
+
+
+def _format_head_assignments(head, assignments):
+    parts = [head]
+    for attribute, expression in assignments:
+        parts.append(f"^{attribute} {_format_value(expression)}")
+    return f"({' '.join(parts)})"
+
+
+def format_rule(rule):
+    """Render a complete rule as parseable C5 source."""
+    lines = [f"(p {rule.name}"]
+    for ce in rule.ces:
+        lines.append(f"  {format_ce(ce)}")
+    if rule.scalar_vars:
+        names = " ".join(f"<{name}>" for name in rule.scalar_vars)
+        lines.append(f"  :scalar ({names})")
+    if rule.test is not None:
+        lines.append(f"  :test ({format_expression(rule.test)})")
+    lines.append("  -->")
+    for action in rule.actions:
+        lines.append(format_action(action, "  "))
+    return "\n".join(lines) + ")"

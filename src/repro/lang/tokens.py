@@ -1,0 +1,217 @@
+"""Tokenizer for the OPS5/C5 rule language and its expression dialect.
+
+Token kinds:
+
+``LPAREN RPAREN``   ``(`` ``)``            regular CEs, actions, groups
+``LBRACKET RBRACKET`` ``[`` ``]``          set-oriented CEs
+``LBRACE RBRACE``   ``{`` ``}``            element bindings / conjunctions
+``ARROW``           ``-->``                LHS/RHS separator
+``ATTR``            ``^name``              attribute selector
+``VAR``             ``<name>``             pattern variable
+``PRED``            ``= <> < <= > >= <=>`` CE value predicates
+``OP``              ``== != + - * / //``   infix expression operators
+``LDISJ RDISJ``     ``<<`` ``>>``          value disjunctions
+``CLAUSE``          ``:scalar :test``      LHS clause markers
+``MINUS_LPAREN``    ``-(``                 negated CE opener
+``NUMBER SYMBOL STRING``                   literals
+
+The lexical overloading of ``<`` (predicate, variable opener, disjunction
+opener) is resolved greedily: ``<ident>`` is a variable; ``<<`` ``<=>``
+``<=`` ``<>`` are matched longest-first; a lone ``<`` is the predicate.
+Comments run from ``;`` to end of line.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ParseError
+from repro.symbols import coerce_literal
+
+# Token kind constants.
+LPAREN = "LPAREN"
+RPAREN = "RPAREN"
+LBRACKET = "LBRACKET"
+RBRACKET = "RBRACKET"
+LBRACE = "LBRACE"
+RBRACE = "RBRACE"
+ARROW = "ARROW"
+ATTR = "ATTR"
+VAR = "VAR"
+PRED = "PRED"
+OP = "OP"
+LDISJ = "LDISJ"
+RDISJ = "RDISJ"
+CLAUSE = "CLAUSE"
+MINUS_LPAREN = "MINUS_LPAREN"
+NUMBER = "NUMBER"
+SYMBOL = "SYMBOL"
+STRING = "STRING"
+EOF = "EOF"
+
+_VAR_RE = re.compile(r"<([A-Za-z_][A-Za-z0-9_-]*)>")
+_ATTR_RE = re.compile(r"\^([A-Za-z_][A-Za-z0-9_-]*)")
+_CLAUSE_RE = re.compile(r":([A-Za-z][A-Za-z0-9_-]*)")
+# A symbol/number atom: anything up to whitespace or a structural char.
+_ATOM_RE = re.compile(r"[^\s()\[\]{};]+")
+_NUMBER_RE = re.compile(r"[-+]?(\d+\.?\d*|\.\d+)([eE][-+]?\d+)?$")
+
+
+class Token:
+    """A single lexical token with its source position."""
+
+    __slots__ = ("kind", "value", "line", "column")
+
+    def __init__(self, kind, value, line, column):
+        self.kind = kind
+        self.value = value
+        self.line = line
+        self.column = column
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.column})"
+
+
+class Tokenizer:
+    """Streaming tokenizer over a source string."""
+
+    def __init__(self, source):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def _error(self, message):
+        raise ParseError(message, line=self.line, column=self.column)
+
+    def _advance(self, count):
+        for _ in range(count):
+            if self.pos < len(self.source) and self.source[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def _skip_whitespace_and_comments(self):
+        while self.pos < len(self.source):
+            char = self.source[self.pos]
+            if char in " \t\r\n":
+                self._advance(1)
+            elif char == ";":
+                while (
+                    self.pos < len(self.source)
+                    and self.source[self.pos] != "\n"
+                ):
+                    self._advance(1)
+            else:
+                return
+
+    def _make(self, kind, value, length):
+        token = Token(kind, value, self.line, self.column)
+        self._advance(length)
+        return token
+
+    def _rest(self):
+        return self.source[self.pos :]
+
+    def next_token(self):
+        """Scan and return the next token (``EOF`` at end of input)."""
+        self._skip_whitespace_and_comments()
+        if self.pos >= len(self.source):
+            return Token(EOF, None, self.line, self.column)
+
+        rest = self._rest()
+        char = rest[0]
+
+        if rest.startswith("-->"):
+            return self._make(ARROW, "-->", 3)
+        if rest.startswith("-("):
+            return self._make(MINUS_LPAREN, "-(", 2)
+        if char == "(":
+            return self._make(LPAREN, "(", 1)
+        if char == ")":
+            return self._make(RPAREN, ")", 1)
+        if char == "[":
+            return self._make(LBRACKET, "[", 1)
+        if char == "]":
+            return self._make(RBRACKET, "]", 1)
+        if char == "{":
+            return self._make(LBRACE, "{", 1)
+        if char == "}":
+            return self._make(RBRACE, "}", 1)
+
+        if char == "<":
+            match = _VAR_RE.match(rest)
+            if match:
+                return self._make(VAR, match.group(1), match.end())
+            if rest.startswith("<=>"):
+                return self._make(PRED, "<=>", 3)
+            if rest.startswith("<<"):
+                return self._make(LDISJ, "<<", 2)
+            if rest.startswith("<="):
+                return self._make(PRED, "<=", 2)
+            if rest.startswith("<>"):
+                return self._make(PRED, "<>", 2)
+            return self._make(PRED, "<", 1)
+
+        if char == ">":
+            if rest.startswith(">>"):
+                return self._make(RDISJ, ">>", 2)
+            if rest.startswith(">="):
+                return self._make(PRED, ">=", 2)
+            return self._make(PRED, ">", 1)
+
+        if rest.startswith("=="):
+            return self._make(OP, "==", 2)
+        if rest.startswith("!="):
+            return self._make(OP, "!=", 2)
+        if char == "=":
+            return self._make(PRED, "=", 1)
+
+        if char == "^":
+            match = _ATTR_RE.match(rest)
+            if not match:
+                self._error("'^' must be followed by an attribute name")
+            return self._make(ATTR, match.group(1), match.end())
+
+        if char == ":":
+            match = _CLAUSE_RE.match(rest)
+            if not match:
+                self._error("':' must start a clause name like :scalar")
+            return self._make(CLAUSE, match.group(1), match.end())
+
+        if char == "|":
+            end = rest.find("|", 1)
+            if end < 0:
+                self._error("unterminated |quoted symbol|")
+            return self._make(STRING, rest[1:end], end + 1)
+        if char == '"':
+            end = rest.find('"', 1)
+            if end < 0:
+                self._error('unterminated "string"')
+            return self._make(STRING, rest[1:end], end + 1)
+
+        match = _ATOM_RE.match(rest)
+        if not match:
+            self._error(f"unexpected character {char!r}")
+        text = match.group(0)
+        # Arithmetic operators that stand alone become OP tokens; a '-42'
+        # or '+' glued to digits is a number.
+        if text in ("+", "-", "*", "/", "//", "mod"):
+            return self._make(OP, text, len(text))
+        value = coerce_literal(text)
+        if isinstance(value, str):
+            return self._make(SYMBOL, value, len(text))
+        return self._make(NUMBER, value, len(text))
+
+
+def tokenize(source):
+    """Tokenize *source* fully, returning a list ending with an EOF token."""
+    tokenizer = Tokenizer(source)
+    tokens = []
+    while True:
+        token = tokenizer.next_token()
+        tokens.append(token)
+        if token.kind == EOF:
+            return tokens

@@ -1,0 +1,22 @@
+"""Match algorithms behind a common interface.
+
+* :class:`~repro.match.base.Matcher` — the abstract contract;
+* :class:`~repro.rete.ReteNetwork` — the primary, incremental matcher
+  (the paper's extended Rete);
+* :class:`~repro.match.treat.TreatMatcher` — Miranker's TREAT: alpha
+  memories only, joins recomputed seeded by each change;
+* :class:`~repro.match.naive.NaiveMatcher` — recompute-everything
+  baseline, the reference oracle for differential testing.
+"""
+
+from repro.match.base import ConflictListener, Matcher, NullListener
+from repro.match.naive import NaiveMatcher
+from repro.match.treat import TreatMatcher
+
+__all__ = [
+    "ConflictListener",
+    "Matcher",
+    "NaiveMatcher",
+    "NullListener",
+    "TreatMatcher",
+]

@@ -1,0 +1,88 @@
+"""The matcher contract shared by Rete, TREAT, naive, and DIPS."""
+
+from __future__ import annotations
+
+
+class ConflictListener:
+    """Receiver of conflict-set deltas produced by a matcher.
+
+    ``insert``/``retract`` carry :class:`~repro.core.instantiation`
+    objects (regular or set-oriented); ``reposition`` signals that a
+    live SOI's conflict-set rank changed (the S-node's ``time`` mark).
+    """
+
+    def insert(self, instantiation):
+        raise NotImplementedError
+
+    def retract(self, instantiation):
+        raise NotImplementedError
+
+    def reposition(self, instantiation):
+        raise NotImplementedError
+
+
+class NullListener(ConflictListener):
+    """Discards all deltas; handy default and benchmark sink."""
+
+    def insert(self, instantiation):
+        pass
+
+    def retract(self, instantiation):
+        pass
+
+    def reposition(self, instantiation):
+        pass
+
+
+class CountingListener(ConflictListener):
+    """Counts deltas; used by tests and the match-cost benchmarks."""
+
+    def __init__(self):
+        self.inserts = 0
+        self.retracts = 0
+        self.repositions = 0
+
+    def insert(self, instantiation):
+        self.inserts += 1
+
+    def retract(self, instantiation):
+        self.retracts += 1
+
+    def reposition(self, instantiation):
+        self.repositions += 1
+
+
+class Matcher:
+    """Abstract incremental matcher.
+
+    Lifecycle: construct, :meth:`set_listener`, :meth:`add_rule` for
+    each production, :meth:`attach` to a working memory (existing WMEs
+    are back-filled), then WM changes stream in via the observer hook.
+    Rules may also be added after attachment; matchers must back-fill.
+    """
+
+    def __init__(self):
+        self.listener = NullListener()
+        self.wm = None
+
+    def set_listener(self, listener):
+        self.listener = listener
+
+    def attach(self, wm):
+        """Subscribe to *wm* and back-fill its current contents."""
+        self.wm = wm
+        wm.attach(self.on_event)
+        for wme in wm:
+            from repro.wm.events import WMEvent, ADD
+
+            self.on_event(WMEvent(ADD, wme))
+
+    def add_rule(self, rule):
+        raise NotImplementedError
+
+    def remove_rule(self, rule_name):
+        """Excise *rule_name*, retracting its live instantiations."""
+        raise NotImplementedError
+
+    def on_event(self, event):
+        raise NotImplementedError

@@ -1,0 +1,245 @@
+"""TREAT (Miranker 1986): alpha memories only, no stored partial joins.
+
+TREAT keeps the per-CE alpha memories but no beta memories: when a WME
+arrives, new instantiations are computed by a join *seeded* with that
+WME in each CE slot it satisfies; when a WME leaves, the instantiations
+containing it are retracted directly from the conflict set.  The trade
+is recompute-on-add versus Rete's stored partial matches — the classic
+match-algorithm comparison the paper cites (experiment C6 measures it).
+
+Negated CEs: a new blocker retracts the instantiations it now blocks; a
+removed blocker triggers re-derivation of the rule's matches (we use
+re-derivation instead of Miranker's negation counts; behaviourally
+identical, simpler, and only exercised on blocker removal).
+
+Set-oriented rules are supported through the shared
+:class:`~repro.match.grouping.SoiGrouper`, demonstrating that the
+paper's constructs are not Rete-specific.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import RuleAnalysis
+from repro.core.instantiation import Instantiation, MatchToken
+from repro.errors import RuleError
+from repro.match.base import Matcher
+from repro.match.grouping import SoiGrouper
+
+
+class _TreatRule:
+    __slots__ = (
+        "rule",
+        "analysis",
+        "grouper",
+        "amems",
+        "tokens",
+        "instantiations",
+        "tokens_by_wme",
+    )
+
+    def __init__(self, rule, analysis, grouper):
+        self.rule = rule
+        self.analysis = analysis
+        self.grouper = grouper
+        self.amems = [dict() for _ in analysis.ce_analyses]
+        self.tokens = set()
+        self.instantiations = {}
+        self.tokens_by_wme = {}
+
+
+class TreatMatcher(Matcher):
+    """The TREAT match algorithm behind the common Matcher contract."""
+
+    def __init__(self):
+        super().__init__()
+        self._rules = {}
+        self.stats = {"join_attempts": 0, "seeded_joins": 0}
+
+    def add_rule(self, rule):
+        if rule.name in self._rules:
+            raise RuleError(f"rule {rule.name} already added")
+        analysis = RuleAnalysis(rule)
+        grouper = None
+        if rule.is_set_oriented:
+            grouper = SoiGrouper(rule, analysis, self.listener)
+        state = _TreatRule(rule, analysis, grouper)
+        self._rules[rule.name] = state
+        if self.wm is not None:
+            for wme in self.wm:
+                self._add_to_amems(state, wme)
+            for token in self._derive_all(state):
+                self._insert_token(state, token)
+
+    def remove_rule(self, rule_name):
+        """Excise a rule and retract its live instantiations."""
+        state = self._rules.pop(rule_name, None)
+        if state is None:
+            raise RuleError(f"no rule named {rule_name}")
+        if state.grouper is not None:
+            for instantiation in list(
+                state.grouper._instantiations.values()
+            ):
+                self.listener.retract(instantiation)
+        else:
+            for instantiation in state.instantiations.values():
+                self.listener.retract(instantiation)
+
+    def set_listener(self, listener):
+        super().set_listener(listener)
+        for state in self._rules.values():
+            if state.grouper is not None:
+                state.grouper.listener = listener
+
+    # -- events ------------------------------------------------------------
+
+    def on_event(self, event):
+        if event.is_add:
+            self._on_add(event.wme)
+        else:
+            self._on_remove(event.wme)
+
+    def _on_add(self, wme):
+        for state in self._rules.values():
+            levels = self._add_to_amems(state, wme)
+            for level in levels:
+                ce_analysis = state.analysis.ce_analyses[level]
+                if ce_analysis.ce.negated:
+                    self._retract_now_blocked(state, level, wme)
+                else:
+                    self.stats["seeded_joins"] += 1
+                    for token in self._seeded_join(state, level, wme):
+                        if token not in state.tokens:
+                            self._insert_token(state, token)
+
+    def _on_remove(self, wme):
+        for state in self._rules.values():
+            removed_negated_levels = []
+            for level, amem in enumerate(state.amems):
+                if wme in amem:
+                    del amem[wme]
+                    if state.analysis.ce_analyses[level].ce.negated:
+                        removed_negated_levels.append(level)
+            for token in list(state.tokens_by_wme.get(wme, ())):
+                self._retract_token(state, token)
+            state.tokens_by_wme.pop(wme, None)
+            if removed_negated_levels:
+                # A removed blocker may release matches: re-derive.
+                for token in self._derive_all(state):
+                    if token not in state.tokens:
+                        self._insert_token(state, token)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _add_to_amems(self, state, wme):
+        levels = []
+        for level, ce_analysis in enumerate(state.analysis.ce_analyses):
+            if ce_analysis.wme_passes_alpha(wme):
+                state.amems[level][wme] = None
+                levels.append(level)
+        return levels
+
+    def _insert_token(self, state, token):
+        state.tokens.add(token)
+        for wme in token.wmes():
+            if wme is not None:
+                state.tokens_by_wme.setdefault(wme, set()).add(token)
+        if state.grouper is not None:
+            state.grouper.add_token(token)
+        else:
+            instantiation = Instantiation(state.rule, token)
+            state.instantiations[token] = instantiation
+            self.listener.insert(instantiation)
+
+    def _retract_token(self, state, token):
+        state.tokens.discard(token)
+        for wme in token.wmes():
+            if wme is not None:
+                bucket = state.tokens_by_wme.get(wme)
+                if bucket is not None:
+                    bucket.discard(token)
+        if state.grouper is not None:
+            state.grouper.remove_token(token)
+        else:
+            instantiation = state.instantiations.pop(token, None)
+            if instantiation is not None:
+                self.listener.retract(instantiation)
+
+    def _retract_now_blocked(self, state, neg_level, wme):
+        ce_analysis = state.analysis.ce_analyses[neg_level]
+        for token in list(state.tokens):
+            def lookup(level, attribute, token=token):
+                bound = token.wme_at(level)
+                return None if bound is None else bound.get(attribute)
+
+            self.stats["join_attempts"] += 1
+            if ce_analysis.wme_passes_joins(wme, lookup):
+                self._retract_token(state, token)
+
+    def _seeded_join(self, state, seed_level, seed_wme):
+        """All full matches with *seed_wme* fixed in CE *seed_level*."""
+        analyses = state.analysis.ce_analyses
+        results = []
+
+        def lookup_factory(partial):
+            def lookup(level, attribute):
+                wme = partial[level]
+                return None if wme is None else wme.get(attribute)
+
+            return lookup
+
+        def descend(level, partial):
+            if level == len(analyses):
+                results.append(MatchToken(partial))
+                return
+            ce_analysis = analyses[level]
+            lookup = lookup_factory(partial)
+            if ce_analysis.ce.negated:
+                for wme in state.amems[level]:
+                    self.stats["join_attempts"] += 1
+                    if ce_analysis.wme_passes_joins(wme, lookup):
+                        return
+                descend(level + 1, partial + [None])
+                return
+            candidates = (
+                [seed_wme] if level == seed_level else state.amems[level]
+            )
+            for wme in candidates:
+                self.stats["join_attempts"] += 1
+                if ce_analysis.wme_passes_joins(wme, lookup):
+                    descend(level + 1, partial + [wme])
+
+        descend(0, [])
+        return results
+
+    def _derive_all(self, state):
+        """Full (unseeded) derivation — used for back-fill and negation."""
+        analyses = state.analysis.ce_analyses
+        results = []
+
+        def lookup_factory(partial):
+            def lookup(level, attribute):
+                wme = partial[level]
+                return None if wme is None else wme.get(attribute)
+
+            return lookup
+
+        def descend(level, partial):
+            if level == len(analyses):
+                results.append(MatchToken(partial))
+                return
+            ce_analysis = analyses[level]
+            lookup = lookup_factory(partial)
+            if ce_analysis.ce.negated:
+                for wme in state.amems[level]:
+                    self.stats["join_attempts"] += 1
+                    if ce_analysis.wme_passes_joins(wme, lookup):
+                        return
+                descend(level + 1, partial + [None])
+                return
+            for wme in state.amems[level]:
+                self.stats["join_attempts"] += 1
+                if ce_analysis.wme_passes_joins(wme, lookup):
+                    descend(level + 1, partial + [wme])
+
+        descend(0, [])
+        return results

@@ -1,0 +1,77 @@
+"""A small in-memory relational engine (the DIPS substrate).
+
+The paper's section 8 grounds its set-oriented DIPS proposal in plain
+relational machinery: COND tables, selections, joins, ``GROUP BY``, and
+transaction semantics.  This package supplies exactly that, built from
+scratch:
+
+* :mod:`repro.rdb.schema` / :mod:`repro.rdb.table` — schemas, tables,
+  rows, NULL handling;
+* :mod:`repro.rdb.index` — hash indexes maintained on mutation;
+* :mod:`repro.rdb.query` — a logical-plan interpreter (scan, filter,
+  join, group/aggregate, project, order, distinct, limit);
+* :mod:`repro.rdb.sql` — a parser for the SQL dialect the paper's
+  Figure 6 uses (``SELECT ... FROM ... WHERE ... GROUP BY``, ``IS NOT
+  NULL``, qualified names) plus DML/DDL;
+* :mod:`repro.rdb.transaction` — optimistic transactions with
+  first-committer-wins conflict detection, the mechanism DIPS relies on
+  to serialise conflicting instantiations.
+"""
+
+from repro.rdb.schema import Column, Schema
+from repro.rdb.table import Table
+from repro.rdb.database import Database
+from repro.rdb.query import (
+    Aggregate,
+    ColumnRef,
+    Comparison,
+    Distinct,
+    Filter,
+    GroupBy,
+    IsNull,
+    Join,
+    Limit,
+    Literal,
+    LogicalAnd,
+    LogicalNot,
+    LogicalOr,
+    OrderBy,
+    Project,
+    Scan,
+    execute_plan,
+)
+from repro.rdb.sql import run_sql
+from repro.rdb.planner import HashJoin, optimize
+from repro.rdb.transaction import (
+    Transaction,
+    TransactionManager,
+)
+
+__all__ = [
+    "Aggregate",
+    "Column",
+    "ColumnRef",
+    "Comparison",
+    "Database",
+    "Distinct",
+    "Filter",
+    "GroupBy",
+    "HashJoin",
+    "IsNull",
+    "Join",
+    "Limit",
+    "Literal",
+    "LogicalAnd",
+    "LogicalNot",
+    "LogicalOr",
+    "OrderBy",
+    "Project",
+    "Scan",
+    "Schema",
+    "Table",
+    "Transaction",
+    "TransactionManager",
+    "execute_plan",
+    "optimize",
+    "run_sql",
+]

@@ -1,0 +1,46 @@
+"""The database object: a named collection of tables."""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+from repro.rdb.schema import Schema
+from repro.rdb.table import Table
+
+
+class Database:
+    """Holds tables by name; the unit :mod:`repro.rdb.sql` runs against."""
+
+    def __init__(self):
+        self._tables = {}
+
+    def create_table(self, name, schema):
+        if name in self._tables:
+            raise SchemaError(f"table {name} already exists")
+        if isinstance(schema, (list, tuple)):
+            schema = Schema(schema)
+        table = Table(name, schema)
+        self._tables[name] = table
+        return table
+
+    def drop_table(self, name):
+        if name not in self._tables:
+            raise SchemaError(f"no table named {name}")
+        del self._tables[name]
+
+    def table(self, name):
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(f"no table named {name}") from None
+
+    def has_table(self, name):
+        return name in self._tables
+
+    def table_names(self):
+        return sorted(self._tables)
+
+    def __contains__(self, name):
+        return name in self._tables
+
+    def __repr__(self):
+        return f"Database({', '.join(self.table_names())})"

@@ -1,0 +1,102 @@
+"""Schemas and columns for the relational substrate."""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+
+#: Accepted declared types; ``any`` skips type checking entirely.
+COLUMN_TYPES = ("any", "int", "float", "number", "str")
+
+_TYPE_CHECKS = {
+    "int": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "float": lambda v: isinstance(v, float),
+    "number": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool),
+    "str": lambda v: isinstance(v, str),
+    "any": lambda v: True,
+}
+
+
+class Column:
+    """One column: name, declared type, nullability."""
+
+    __slots__ = ("name", "type", "nullable")
+
+    def __init__(self, name, type="any", nullable=True):
+        if not name or not isinstance(name, str):
+            raise SchemaError(f"invalid column name {name!r}")
+        if type not in COLUMN_TYPES:
+            raise SchemaError(
+                f"column {name}: unknown type {type!r} "
+                f"(expected one of {COLUMN_TYPES})"
+            )
+        self.name = name
+        self.type = type
+        self.nullable = nullable
+
+    def check(self, value):
+        """Validate one value against this column's declaration."""
+        if value is None:
+            if not self.nullable:
+                raise SchemaError(f"column {self.name} is NOT NULL")
+            return
+        if not _TYPE_CHECKS[self.type](value):
+            raise SchemaError(
+                f"column {self.name} expects {self.type}, got {value!r}"
+            )
+
+    def __repr__(self):
+        null = "" if self.nullable else " NOT NULL"
+        return f"Column({self.name} {self.type}{null})"
+
+
+class Schema:
+    """An ordered set of columns belonging to one table."""
+
+    def __init__(self, columns):
+        resolved = []
+        for column in columns:
+            if isinstance(column, str):
+                column = Column(column)
+            resolved.append(column)
+        names = [column.name for column in resolved]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column in schema: {names}")
+        self.columns = tuple(resolved)
+        self._by_name = {column.name: column for column in self.columns}
+
+    def column_names(self):
+        return tuple(column.name for column in self.columns)
+
+    def column(self, name):
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"no column named {name!r}") from None
+
+    def has_column(self, name):
+        return name in self._by_name
+
+    def check_row(self, row):
+        """Validate a row dict: known columns, value types, NOT NULLs."""
+        for name in row:
+            if name not in self._by_name:
+                raise SchemaError(f"row has unknown column {name!r}")
+        for column in self.columns:
+            column.check(row.get(column.name))
+
+    def normalise(self, row):
+        """Return a full row dict with NULLs for absent columns."""
+        self.check_row(row)
+        return {
+            column.name: row.get(column.name) for column in self.columns
+        }
+
+    def __len__(self):
+        return len(self.columns)
+
+    def __iter__(self):
+        return iter(self.columns)
+
+    def __repr__(self):
+        return f"Schema({', '.join(self.column_names())})"

@@ -1,0 +1,88 @@
+"""Persistence for the relational substrate: JSON snapshots.
+
+The paper motivates set orientation partly by "the emerging disk-based"
+rule systems (DIPS stores its match state in relational tables so it
+can exceed main memory).  This module provides the minimal durability
+story for our substrate: a database — schemas, rows, and index
+definitions — serialises to a JSON snapshot and loads back, so DIPS
+match state (COND tables) survives a process restart
+(``tests/rdb/test_storage.py`` checkpoints a matcher mid-run).
+
+Format (version 1)::
+
+    {"version": 1,
+     "tables": {name: {"columns": [{"name","type","nullable"}...],
+                       "indexes": [column, ...],
+                       "rows": [row-dict, ...]}}}
+
+Only JSON-representable values are supported (the substrate's value
+domain: strings, numbers, NULL); row ids are not preserved — they are
+storage-internal, and nothing in DIPS depends on them.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import DatabaseError
+from repro.rdb.database import Database
+from repro.rdb.schema import Column, Schema
+
+FORMAT_VERSION = 1
+
+
+def dump_database(db):
+    """Serialise *db* to a JSON-compatible dict."""
+    tables = {}
+    for name in db.table_names():
+        table = db.table(name)
+        tables[name] = {
+            "columns": [
+                {
+                    "name": column.name,
+                    "type": column.type,
+                    "nullable": column.nullable,
+                }
+                for column in table.schema
+            ],
+            "indexes": sorted(table._indexes),
+            "rows": table.scan(),
+        }
+    return {"version": FORMAT_VERSION, "tables": tables}
+
+
+def restore_database(snapshot):
+    """Rebuild a :class:`Database` from :func:`dump_database` output."""
+    version = snapshot.get("version")
+    if version != FORMAT_VERSION:
+        raise DatabaseError(
+            f"unsupported snapshot version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    db = Database()
+    for name, payload in snapshot.get("tables", {}).items():
+        columns = [
+            Column(spec["name"], spec["type"], spec["nullable"])
+            for spec in payload["columns"]
+        ]
+        table = db.create_table(name, Schema(columns))
+        for column in payload.get("indexes", ()):
+            table.create_index(column)
+        for row in payload.get("rows", ()):
+            table.insert(row)
+    return db
+
+
+def save_database(db, path):
+    """Write a JSON snapshot of *db* to *path*."""
+    snapshot = dump_database(db)
+    with open(path, "w") as handle:
+        json.dump(snapshot, handle)
+    return snapshot
+
+
+def load_database(path):
+    """Load a database snapshot written by :func:`save_database`."""
+    with open(path) as handle:
+        snapshot = json.load(handle)
+    return restore_database(snapshot)

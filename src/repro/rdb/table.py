@@ -1,0 +1,130 @@
+"""Tables: row storage with schema validation and index maintenance."""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+from repro.rdb.index import HashIndex
+from repro.rdb.schema import Schema
+
+
+class Table:
+    """One relation: named, schema-checked rows with optional indexes.
+
+    Rows are stored under monotonically assigned integer row ids; all
+    mutation goes through :meth:`insert`, :meth:`update`,
+    :meth:`delete`, keeping indexes synchronised.
+    """
+
+    def __init__(self, name, schema):
+        if isinstance(schema, (list, tuple)):
+            schema = Schema(schema)
+        self.name = name
+        self.schema = schema
+        self._rows = {}
+        self._next_id = 1
+        self._indexes = {}
+
+    # -- index management --------------------------------------------------
+
+    def create_index(self, column):
+        """Create (or return) a hash index on *column*."""
+        if not self.schema.has_column(column):
+            raise SchemaError(f"table {self.name} has no column {column!r}")
+        index = self._indexes.get(column)
+        if index is not None:
+            return index
+        index = HashIndex(column)
+        for row_id, row in self._rows.items():
+            index.insert(row_id, row.get(column))
+        self._indexes[column] = index
+        return index
+
+    def index_on(self, column):
+        return self._indexes.get(column)
+
+    # -- mutation ------------------------------------------------------------
+
+    def insert(self, row):
+        """Insert a row dict; returns its row id."""
+        full = self.schema.normalise(row)
+        row_id = self._next_id
+        self._next_id += 1
+        self._rows[row_id] = full
+        for column, index in self._indexes.items():
+            index.insert(row_id, full.get(column))
+        return row_id
+
+    def update(self, row_id, updates):
+        """Apply *updates* to a row; returns the new row dict."""
+        row = self._rows.get(row_id)
+        if row is None:
+            raise SchemaError(f"table {self.name}: no row {row_id}")
+        merged = dict(row)
+        merged.update(updates)
+        full = self.schema.normalise(merged)
+        for column, index in self._indexes.items():
+            index.update(row_id, row.get(column), full.get(column))
+        self._rows[row_id] = full
+        return full
+
+    def delete(self, row_id):
+        """Delete a row by id; returns the removed row dict."""
+        row = self._rows.pop(row_id, None)
+        if row is None:
+            raise SchemaError(f"table {self.name}: no row {row_id}")
+        for column, index in self._indexes.items():
+            index.delete(row_id, row.get(column))
+        return row
+
+    def delete_where(self, predicate):
+        """Delete every row satisfying *predicate(row)*; returns count."""
+        doomed = [
+            row_id for row_id, row in self._rows.items() if predicate(row)
+        ]
+        for row_id in doomed:
+            self.delete(row_id)
+        return len(doomed)
+
+    def clear(self):
+        for row_id in list(self._rows):
+            self.delete(row_id)
+
+    # -- reads --------------------------------------------------------------
+
+    def get(self, row_id):
+        return self._rows.get(row_id)
+
+    def rows(self):
+        """(row_id, row) pairs in insertion order."""
+        return list(self._rows.items())
+
+    def scan(self):
+        """Row dicts in insertion order (copies; safe to mutate)."""
+        return [dict(row) for row in self._rows.values()]
+
+    def select(self, predicate=None):
+        if predicate is None:
+            return self.scan()
+        return [dict(row) for row in self._rows.values() if predicate(row)]
+
+    def lookup(self, column, value):
+        """Rows whose *column* equals *value*, via index when available."""
+        index = self._indexes.get(column)
+        if index is not None:
+            return [dict(self._rows[rid]) for rid in sorted(
+                index.lookup(value)
+            )]
+        return [
+            dict(row)
+            for row in self._rows.values()
+            if row.get(column) == value
+        ]
+
+    def __len__(self):
+        return len(self._rows)
+
+    def __iter__(self):
+        return iter(self.scan())
+
+    def __repr__(self):
+        return f"Table({self.name}, {len(self._rows)} rows)"

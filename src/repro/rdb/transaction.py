@@ -1,0 +1,145 @@
+"""Optimistic transactions with first-committer-wins conflict detection.
+
+DIPS "attempts to execute all satisfied instantiations concurrently,
+relying on transaction semantics to block inconsistent updates to the
+working memory" (paper section 8.1) — and the paper's critique is that
+tuple-oriented instantiations then conflict constantly.  To measure
+that (experiment C5) we need real transactions over the COND/WM tables:
+
+* a transaction buffers its writes and records a read set and write set
+  of ``(table, row_id)`` pairs;
+* at commit, it aborts (:class:`TransactionConflict`) if any row it
+  read **or** wrote was written by a transaction that committed after
+  this one began — classic backward optimistic validation;
+* otherwise its buffered writes are applied atomically and stamped with
+  a new commit timestamp.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransactionConflict, TransactionError
+
+_PENDING = "pending"
+_COMMITTED = "committed"
+_ABORTED = "aborted"
+
+
+class Transaction:
+    """One optimistic transaction over a :class:`TransactionManager`."""
+
+    def __init__(self, manager, txn_id, start_ts):
+        self.manager = manager
+        self.txn_id = txn_id
+        self.start_ts = start_ts
+        self.status = _PENDING
+        self.read_set = set()
+        self.write_set = set()
+        self._operations = []  # buffered (kind, table, payload)
+
+    def _check_pending(self):
+        if self.status != _PENDING:
+            raise TransactionError(
+                f"transaction {self.txn_id} is {self.status}"
+            )
+
+    # -- reads ------------------------------------------------------------
+
+    def read(self, table, row_id):
+        """Read one row (records the read)."""
+        self._check_pending()
+        self.read_set.add((table.name, row_id))
+        return table.get(row_id)
+
+    def scan(self, table, predicate=None):
+        """Read all (matching) rows, recording each read."""
+        self._check_pending()
+        rows = []
+        for row_id, row in table.rows():
+            self.read_set.add((table.name, row_id))
+            if predicate is None or predicate(row):
+                rows.append((row_id, dict(row)))
+        return rows
+
+    # -- buffered writes ------------------------------------------------------
+
+    def insert(self, table, row):
+        self._check_pending()
+        self._operations.append(("insert", table, dict(row)))
+
+    def update(self, table, row_id, updates):
+        self._check_pending()
+        self.write_set.add((table.name, row_id))
+        self._operations.append(("update", table, (row_id, dict(updates))))
+
+    def delete(self, table, row_id):
+        self._check_pending()
+        self.write_set.add((table.name, row_id))
+        self._operations.append(("delete", table, row_id))
+
+    # -- outcome ------------------------------------------------------------
+
+    def commit(self):
+        """Validate and apply; raises TransactionConflict on failure."""
+        self._check_pending()
+        self.manager.validate_and_apply(self)
+        return self
+
+    def abort(self):
+        self._check_pending()
+        self.status = _ABORTED
+        self.manager.record_abort(self)
+
+    @property
+    def committed(self):
+        return self.status == _COMMITTED
+
+    def __repr__(self):
+        return f"Transaction({self.txn_id}, {self.status})"
+
+
+class TransactionManager:
+    """Hands out transactions and validates commits."""
+
+    def __init__(self):
+        self._next_id = 1
+        self._clock = 0
+        # (table_name, row_id) -> commit timestamp of last writer
+        self._last_write = {}
+        self.commits = 0
+        self.aborts = 0
+
+    def begin(self):
+        txn = Transaction(self, self._next_id, self._clock)
+        self._next_id += 1
+        return txn
+
+    def validate_and_apply(self, txn):
+        for key in txn.read_set | txn.write_set:
+            if self._last_write.get(key, -1) > txn.start_ts:
+                txn.status = _ABORTED
+                self.aborts += 1
+                raise TransactionConflict(
+                    f"transaction {txn.txn_id}: row {key} was modified by "
+                    f"a concurrent committed transaction"
+                )
+        self._clock += 1
+        commit_ts = self._clock
+        for kind, table, payload in txn._operations:
+            if kind == "insert":
+                row_id = table.insert(payload)
+                self._last_write[(table.name, row_id)] = commit_ts
+            elif kind == "update":
+                row_id, updates = payload
+                table.update(row_id, updates)
+                self._last_write[(table.name, row_id)] = commit_ts
+            else:
+                table.delete(payload)
+                self._last_write[(table.name, payload)] = commit_ts
+        txn.status = _COMMITTED
+        self.commits += 1
+
+    def record_abort(self, txn):
+        self.aborts += 1
+
+    def stats(self):
+        return {"commits": self.commits, "aborts": self.aborts}

@@ -1,0 +1,127 @@
+"""The alpha network: per-WME constant tests feeding alpha memories.
+
+Each distinct combination of (class, constant checks, intra-element
+tests) gets exactly one :class:`AlphaMemory`, shared by every CE — in
+any rule, set-oriented or not — with the same tests.  The
+:class:`AlphaNetwork` indexes memories by WME class so an event only
+visits candidate memories.
+"""
+
+from __future__ import annotations
+
+
+class AlphaMemory:
+    """The WMEs currently passing one CE's local (single-WME) tests.
+
+    ``successors`` are beta-side consumers (join or negative nodes)
+    right-activated when the memory changes.
+    """
+
+    __slots__ = ("key", "analysis", "items", "successors", "indexes")
+
+    def __init__(self, key, analysis):
+        self.key = key
+        self.analysis = analysis
+        # dict used as an ordered set: insertion order, O(1) removal.
+        self.items = {}
+        self.successors = []
+        # attribute -> {value -> {wme: None}}; built on demand by
+        # equality joins so left activations probe instead of scanning.
+        self.indexes = {}
+
+    def ensure_index(self, attribute):
+        """Create (once) the WME index on *attribute*."""
+        if attribute in self.indexes:
+            return
+        index = {}
+        for wme in self.items:
+            index.setdefault(wme.get(attribute), {})[wme] = None
+        self.indexes[attribute] = index
+
+    def indexed_wmes(self, attribute, value):
+        """WMEs whose *attribute* equals *value* (index probe)."""
+        return list(self.indexes[attribute].get(value, ()))
+
+    def add(self, wme):
+        self.items[wme] = None
+        for attribute, index in self.indexes.items():
+            index.setdefault(wme.get(attribute), {})[wme] = None
+        for successor in self.successors:
+            successor.right_activate(wme)
+
+    def remove(self, wme):
+        self.items.pop(wme, None)
+        for attribute, index in self.indexes.items():
+            bucket = index.get(wme.get(attribute))
+            if bucket is not None:
+                bucket.pop(wme, None)
+                if not bucket:
+                    del index[wme.get(attribute)]
+        for successor in self.successors:
+            successor.right_retract(wme)
+
+    def __contains__(self, wme):
+        return wme in self.items
+
+    def __len__(self):
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def __repr__(self):
+        return f"AlphaMemory({self.key[0]}, {len(self.items)} wmes)"
+
+
+class AlphaNetwork:
+    """Builds and feeds the shared alpha memories."""
+
+    def __init__(self):
+        self._memories = {}
+        self._by_class = {}
+
+    def memory_for(self, ce_analysis, key_extra=None):
+        """Return (creating if needed) the alpha memory for a CE.
+
+        *key_extra* (used by the sharing ablation) makes the key unique
+        so no two CEs share a memory.
+        """
+        key = ce_analysis.alpha_key()
+        if key_extra is not None:
+            key = key + (("private", key_extra),)
+        memory = self._memories.get(key)
+        if memory is None:
+            memory = AlphaMemory(key, ce_analysis)
+            self._memories[key] = memory
+            self._by_class.setdefault(ce_analysis.ce.wme_class, []).append(
+                memory
+            )
+        return memory
+
+    def memories(self):
+        return list(self._memories.values())
+
+    @property
+    def memory_count(self):
+        return len(self._memories)
+
+    def add_wme(self, wme, backfill_only=None):
+        """Route a new WME into every alpha memory whose tests it passes.
+
+        With *backfill_only*, only that memory is considered — used when
+        a rule is added after WMEs already exist.
+        """
+        candidates = (
+            [backfill_only]
+            if backfill_only is not None
+            else self._by_class.get(wme.wme_class, [])
+        )
+        for memory in candidates:
+            if memory.analysis.wme_passes_alpha(wme):
+                memory.add(wme)
+
+    def remove_wme(self, wme):
+        """Retract a WME from every alpha memory containing it."""
+        for memory in self._by_class.get(wme.wme_class, []):
+            if wme in memory:
+                memory.remove(wme)

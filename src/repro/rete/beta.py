@@ -1,0 +1,240 @@
+"""The beta network: tokens, beta memories, and join nodes.
+
+Tokens form the classic parent-linked chains: a token at level *i* pairs
+its parent (levels ``< i``) with the WME matching CE *i* (``None`` at a
+negated level).  Deletion is tree-structured — removing a WME deletes
+every token carrying it plus all descendants — following the
+Rete/UL-style bookkeeping of child lists and per-WME token indexes kept
+by :class:`repro.rete.network.ReteNetwork`.
+"""
+
+from __future__ import annotations
+
+from repro.core.instantiation import recency_key
+
+
+class Token:
+    """A partial (or full) match: a chain of one WME per CE level."""
+
+    __slots__ = (
+        "parent",
+        "wme",
+        "node",
+        "level",
+        "children",
+        "neg_results",
+        "active",
+        "_tags",
+    )
+
+    def __init__(self, parent, wme, node, level):
+        self.parent = parent
+        self.wme = wme
+        self.node = node
+        self.level = level
+        self.children = []
+        # For tokens owned by a negative node: the alpha WMEs currently
+        # blocking this token (the "join results").
+        self.neg_results = []
+        # For negative-node tokens: propagated downstream iff active.
+        self.active = True
+        self._tags = None
+        if parent is not None:
+            parent.children.append(self)
+
+    # -- instantiation protocol ------------------------------------------
+
+    def wme_at(self, level):
+        """The WME matched at CE *level* (None for negated levels)."""
+        token = self
+        while token is not None and token.level >= 0:
+            if token.level == level:
+                return token.wme
+            token = token.parent
+        return None
+
+    def wmes(self):
+        """All WMEs in CE order (None at negated levels)."""
+        chain = []
+        token = self
+        while token is not None and token.level >= 0:
+            chain.append(token.wme)
+            token = token.parent
+        chain.reverse()
+        return tuple(chain)
+
+    def time_tags(self):
+        """Sorted-descending time tags (the LEX recency key), cached."""
+        if self._tags is None:
+            self._tags = recency_key(
+                [w.time_tag for w in self.wmes() if w is not None]
+            )
+        return self._tags
+
+    def lookup(self, level, attribute):
+        """Join-test resolver: the value bound at (level, attribute)."""
+        wme = self.wme_at(level)
+        return None if wme is None else wme.get(attribute)
+
+    def __repr__(self):
+        tags = ",".join(
+            "-" if w is None else str(w.time_tag) for w in self.wmes()
+        )
+        return f"Token[{tags}]@L{self.level}"
+
+
+class DummyToken(Token):
+    """The root token seeding the dummy top memory."""
+
+    def __init__(self):
+        super().__init__(None, None, None, -1)
+
+
+class BetaMemory:
+    """Stores the tokens matching a prefix of a rule's CEs.
+
+    ``successors`` are join/negative nodes using this memory as their
+    left input; ``observers`` are terminal nodes (P-nodes / S-nodes)
+    notified of token arrival and departure.
+    """
+
+    __slots__ = ("parent_join", "level", "items", "successors", "observers",
+                 "indexes")
+
+    def __init__(self, parent_join, level):
+        self.parent_join = parent_join
+        self.level = level
+        self.items = {}
+        self.successors = []
+        self.observers = []
+        # (level, attribute) -> {binding value -> {token: None}}; built
+        # on demand by joins whose first test is an equality, so
+        # right activations probe instead of scanning (see the
+        # join-index ablation benchmark).
+        self.indexes = {}
+
+    def active_tokens(self):
+        return list(self.items)
+
+    def ensure_index(self, site):
+        """Create (once) the token index keyed by *site*'s binding value."""
+        if site in self.indexes:
+            return
+        index = {}
+        for token in self.items:
+            index.setdefault(token.lookup(*site), {})[token] = None
+        self.indexes[site] = index
+
+    def indexed_tokens(self, site, value):
+        """Tokens whose binding at *site* equals *value* (index probe)."""
+        return list(self.indexes[site].get(value, ()))
+
+    def left_activate(self, parent_token, wme, network):
+        """A (token, wme) pair survived the parent join: store + propagate."""
+        token = Token(parent_token, wme, self, self.level)
+        network.register_token(token)
+        self.items[token] = None
+        for site, index in self.indexes.items():
+            index.setdefault(token.lookup(*site), {})[token] = None
+        for successor in self.successors:
+            successor.left_activate(token)
+        for observer in self.observers:
+            observer.token_added(token)
+        return token
+
+    def remove_token(self, token):
+        """Called by the deletion cascade; descendants are already gone."""
+        self.items.pop(token, None)
+        for site, index in self.indexes.items():
+            bucket = index.get(token.lookup(*site))
+            if bucket is not None:
+                bucket.pop(token, None)
+                if not bucket:
+                    del index[token.lookup(*site)]
+        for observer in self.observers:
+            observer.token_removed(token)
+
+    def __len__(self):
+        return len(self.items)
+
+    def __repr__(self):
+        return f"BetaMemory(level={self.level}, {len(self.items)} tokens)"
+
+
+class JoinNode:
+    """Joins a left beta memory with a right alpha memory.
+
+    ``tests`` are :class:`repro.analysis.JoinTest` instances comparing
+    the candidate WME against values bound in the left token.  Output
+    flows into exactly one :class:`BetaMemory` (created by the network
+    compiler; shared when two rules have an identical join prefix).
+    """
+
+    __slots__ = ("left", "amem", "tests", "level", "output", "network",
+                 "index_test")
+
+    def __init__(self, left, amem, tests, level, network):
+        self.left = left
+        self.amem = amem
+        self.tests = tuple(tests)
+        self.level = level
+        self.network = network
+        self.output = None  # set by the compiler
+        # When the first equality test can be probed instead of scanned,
+        # remember it and build the two side indexes (left memory by
+        # binding value, alpha memory by attribute value).
+        self.index_test = None
+        if getattr(network, "indexed_joins", False):
+            equalities = [t for t in tests if t.predicate == "="]
+            if equalities and isinstance(left, BetaMemory):
+                self.index_test = equalities[0]
+                left.ensure_index(
+                    (self.index_test.bound_level,
+                     self.index_test.bound_attribute)
+                )
+                amem.ensure_index(self.index_test.attribute)
+
+    def _passes(self, token, wme):
+        return all(test.matches(wme, token.lookup) for test in self.tests)
+
+    def left_activate(self, token):
+        """A new token arrived in the left memory."""
+        if not token.active:
+            return
+        if self.index_test is not None:
+            candidates = self.amem.indexed_wmes(
+                self.index_test.attribute,
+                token.lookup(
+                    self.index_test.bound_level,
+                    self.index_test.bound_attribute,
+                ),
+            )
+        else:
+            candidates = list(self.amem.items)
+        for wme in candidates:
+            if self._passes(token, wme):
+                self.output.left_activate(token, wme, self.network)
+
+    def right_activate(self, wme):
+        """A new WME arrived in the right alpha memory."""
+        if self.index_test is not None:
+            candidates = self.left.indexed_tokens(
+                (self.index_test.bound_level,
+                 self.index_test.bound_attribute),
+                wme.get(self.index_test.attribute),
+            )
+        else:
+            candidates = self.left.active_tokens()
+        for token in candidates:
+            if self._passes(token, wme):
+                self.output.left_activate(token, wme, self.network)
+
+    def right_retract(self, wme):
+        """WME left the alpha memory; the token cascade handles cleanup."""
+
+    def share_key(self):
+        """Key for beta-level sharing of identical joins."""
+        return (id(self.amem), tuple(test.key() for test in self.tests))
+
+    def __repr__(self):
+        return f"JoinNode(level={self.level}, {len(self.tests)} tests)"

@@ -1,0 +1,118 @@
+"""Negative nodes: support for negated condition elements ``-(...)``.
+
+A negative node sits in the beta chain at its CE's level.  For each left
+token it stores a token of its own (``wme=None``) along with the *join
+results* — the alpha WMEs currently satisfying the negated pattern
+against the token's bindings.  The token propagates downstream only
+while its join-result list is empty.
+
+When a blocking WME appears the token *deactivates* (its downstream
+descendants are deleted); when the last blocker disappears it
+*reactivates* and propagates afresh.
+"""
+
+from __future__ import annotations
+
+from repro.rete.beta import Token
+
+
+class NegativeNode:
+    """Beta node for one negated CE."""
+
+    __slots__ = (
+        "left",
+        "amem",
+        "tests",
+        "level",
+        "network",
+        "items",
+        "successors",
+        "observers",
+    )
+
+    def __init__(self, left, amem, tests, level, network):
+        self.left = left
+        self.amem = amem
+        self.tests = tuple(tests)
+        self.level = level
+        self.network = network
+        self.items = {}
+        self.successors = []
+        self.observers = []
+
+    def _passes(self, token, wme):
+        return all(test.matches(wme, token.lookup) for test in self.tests)
+
+    def active_tokens(self):
+        return [token for token in self.items if token.active]
+
+    # -- left (token) side -------------------------------------------------
+
+    def left_activate(self, parent_token):
+        """A new token arrived in the left memory."""
+        if not parent_token.active:
+            return
+        token = Token(parent_token, None, self, self.level)
+        self.network.register_token(token)
+        self.items[token] = None
+        for wme in list(self.amem.items):
+            if self._passes(token, wme):
+                token.neg_results.append(wme)
+                self.network.register_neg_result(wme, token)
+        token.active = not token.neg_results
+        if token.active:
+            self._propagate(token)
+
+    def _propagate(self, token):
+        for successor in self.successors:
+            successor.left_activate(token)
+        for observer in self.observers:
+            observer.token_added(token)
+
+    def remove_token(self, token):
+        """Deletion-cascade hook; also releases this token's join results."""
+        self.items.pop(token, None)
+        if token.active:
+            for observer in self.observers:
+                observer.token_removed(token)
+        for wme in token.neg_results:
+            self.network.unregister_neg_result(wme, token)
+        token.neg_results.clear()
+
+    # -- right (alpha) side ----------------------------------------------
+
+    def right_activate(self, wme):
+        """A WME joined the negated pattern's alpha memory."""
+        for token in list(self.items):
+            if self._passes(token, wme):
+                token.neg_results.append(wme)
+                self.network.register_neg_result(wme, token)
+                if token.active:
+                    self._deactivate(token)
+
+    def right_retract(self, wme):
+        """Join-result cleanup is driven by the network's index."""
+
+    def release_blocker(self, wme, token):
+        """*wme* (a join result of *token*) was removed from WM."""
+        try:
+            token.neg_results.remove(wme)
+        except ValueError:
+            return
+        if not token.neg_results and not token.active:
+            token.active = True
+            self._propagate(token)
+
+    def _deactivate(self, token):
+        token.active = False
+        # Downstream matches built on this token are no longer valid.
+        while token.children:
+            self.network.delete_token(token.children[-1])
+        for observer in self.observers:
+            observer.token_removed(token)
+
+    def share_key(self):
+        return ("neg", id(self.amem), tuple(test.key() for test in self.tests))
+
+    def __repr__(self):
+        return f"NegativeNode(level={self.level}, {len(self.items)} tokens)"

@@ -1,0 +1,283 @@
+"""The Rete network compiler and runtime event dispatcher.
+
+:class:`ReteNetwork` implements the :class:`repro.match.base.Matcher`
+contract.  Compilation walks each rule's CEs left to right, sharing
+alpha memories by test set and beta prefixes by (alpha memory, join
+tests) — the sharing applies identically to set-oriented and regular
+rules, so (per the paper) "all of the advantages of Rete such as shared
+tests remain, even between set-oriented and non-set-oriented rules".
+A rule with any set-oriented CE gets an S-node spliced between its last
+memory and its P-node; nothing upstream changes.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import RuleAnalysis
+from repro.errors import RuleError
+from repro.match.base import Matcher
+from repro.rete.alpha import AlphaNetwork
+from repro.rete.beta import BetaMemory, DummyToken, JoinNode
+from repro.rete.negative import NegativeNode
+from repro.rete.pnode import PNode, SetPNode
+from repro.rete.snode import SNode, build_aggregate_specs
+
+
+class ReteStats:
+    """Match-effort counters for the benchmark harness."""
+
+    __slots__ = (
+        "tokens_created",
+        "tokens_deleted",
+        "right_activations",
+        "left_activations",
+        "snode_activations",
+    )
+
+    def __init__(self):
+        self.tokens_created = 0
+        self.tokens_deleted = 0
+        self.right_activations = 0
+        self.left_activations = 0
+        self.snode_activations = 0
+
+    def as_dict(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class ReteNetwork(Matcher):
+    """The extended Rete match network."""
+
+    def __init__(self, strict_paper_decide=False, share_alpha=True,
+                 share_beta=True, indexed_joins=True):
+        super().__init__()
+        self.share_alpha = share_alpha
+        self.share_beta = share_beta
+        # Probe equality joins through hash indexes instead of scanning
+        # memories (disable for the ablation benchmark).
+        self.indexed_joins = indexed_joins
+        self._private_counter = 0
+        self.alpha = AlphaNetwork()
+        self.dummy_top = BetaMemory(None, -1)
+        self._dummy_token = DummyToken()
+        self.dummy_top.items[self._dummy_token] = None
+        self.strict_paper_decide = strict_paper_decide
+        self.stats = ReteStats()
+        self.productions = {}
+        self.snodes = {}
+        self._terminals = {}  # rule name -> (host memory, observer)
+        self._wme_tokens = {}
+        self._wme_neg_results = {}
+
+    # -- bookkeeping used by the node classes ------------------------------
+
+    def register_token(self, token):
+        self.stats.tokens_created += 1
+        if token.wme is not None:
+            self._wme_tokens.setdefault(token.wme, set()).add(token)
+
+    def register_neg_result(self, wme, token):
+        self._wme_neg_results.setdefault(wme, []).append(token)
+
+    def unregister_neg_result(self, wme, token):
+        entries = self._wme_neg_results.get(wme)
+        if entries is None:
+            return
+        try:
+            entries.remove(token)
+        except ValueError:
+            pass
+        if not entries:
+            del self._wme_neg_results[wme]
+
+    def delete_token(self, token):
+        """Delete *token* and all its descendants (children first)."""
+        while token.children:
+            self.delete_token(token.children[-1])
+        node = token.node
+        if node is None:
+            return
+        token.node = None
+        self.stats.tokens_deleted += 1
+        node.remove_token(token)
+        if token.parent is not None:
+            try:
+                token.parent.children.remove(token)
+            except ValueError:
+                pass
+        if token.wme is not None:
+            bucket = self._wme_tokens.get(token.wme)
+            if bucket is not None:
+                bucket.discard(token)
+                if not bucket:
+                    del self._wme_tokens[token.wme]
+
+    # -- rule compilation ----------------------------------------------------
+
+    def add_rule(self, rule):
+        if rule.name in self.productions:
+            raise RuleError(f"rule {rule.name} already in the network")
+        analysis = RuleAnalysis(rule)
+        current = self.dummy_top
+        for ce_analysis in analysis.ce_analyses:
+            amem = self._alpha_memory(ce_analysis)
+            if ce_analysis.ce.negated:
+                current = self._attach_negative(current, amem, ce_analysis)
+            else:
+                current = self._attach_join(current, amem, ce_analysis)
+        terminal = self._build_terminal(rule, analysis)
+        current.observers.append(terminal)
+        self._terminals[rule.name] = (current, terminal)
+        for token in current.active_tokens():
+            terminal.token_added(token)
+        return analysis
+
+    def _alpha_memory(self, ce_analysis):
+        """Fetch/create the alpha memory, back-filling a fresh one."""
+        before = self.alpha.memory_count
+        key_extra = None
+        if not self.share_alpha:
+            self._private_counter += 1
+            key_extra = self._private_counter
+        amem = self.alpha.memory_for(ce_analysis, key_extra)
+        created = self.alpha.memory_count != before
+        if created and self.wm is not None:
+            # No successors yet, so direct adds cannot double-propagate.
+            for wme in self.wm:
+                if ce_analysis.wme_passes_alpha(wme):
+                    amem.add(wme)
+        return amem
+
+    def _attach_join(self, left, amem, ce_analysis):
+        key = (id(amem), tuple(t.key() for t in ce_analysis.join_tests))
+        if self.share_beta:
+            for successor in left.successors:
+                if (
+                    isinstance(successor, JoinNode)
+                    and successor.share_key() == key
+                ):
+                    return successor.output
+        join = JoinNode(
+            left, amem, ce_analysis.join_tests, ce_analysis.level, self
+        )
+        join.output = BetaMemory(join, ce_analysis.level)
+        left.successors.append(join)
+        # Deeper joins must right-activate before shallower ones when a
+        # WME feeds several CEs of one rule (Doorenbos's ordering trick),
+        # so new successors go to the FRONT of the alpha memory's list.
+        amem.successors.insert(0, join)
+        for token in left.active_tokens():
+            join.left_activate(token)
+        return join.output
+
+    def _attach_negative(self, left, amem, ce_analysis):
+        key = (
+            "neg",
+            id(amem),
+            tuple(t.key() for t in ce_analysis.join_tests),
+        )
+        if self.share_beta:
+            for successor in left.successors:
+                if (
+                    isinstance(successor, NegativeNode)
+                    and successor.share_key() == key
+                ):
+                    return successor
+        node = NegativeNode(
+            left, amem, ce_analysis.join_tests, ce_analysis.level, self
+        )
+        left.successors.append(node)
+        amem.successors.insert(0, node)
+        for token in left.active_tokens():
+            node.left_activate(token)
+        return node
+
+    def _build_terminal(self, rule, analysis):
+        if not rule.is_set_oriented:
+            terminal = PNode(rule, self)
+            self.productions[rule.name] = terminal
+            return terminal
+        set_pnode = SetPNode(rule, self)
+        agg_specs = build_aggregate_specs(rule, analysis)
+        snode = SNode(
+            rule,
+            analysis,
+            agg_specs,
+            emit=set_pnode.receive,
+            strict_paper_decide=self.strict_paper_decide,
+        )
+        self.productions[rule.name] = set_pnode
+        self.snodes[rule.name] = snode
+        return _SNodeCounter(snode, self.stats)
+
+    def remove_rule(self, rule_name):
+        """Excise a rule: detach its terminal, retract its instantiations.
+
+        Shared alpha/beta structure stays in place (it may serve other
+        rules; unused remainders are harmless).
+        """
+        if rule_name not in self.productions:
+            raise RuleError(f"no rule named {rule_name} in the network")
+        memory, observer = self._terminals.pop(rule_name)
+        memory.observers.remove(observer)
+        production = self.productions.pop(rule_name)
+        snode = self.snodes.pop(rule_name, None)
+        if snode is not None:
+            for soi in list(snode.gamma.values()):
+                production.receive("-", soi)
+            snode.gamma.clear()
+        else:
+            for instantiation in list(production._instantiations.values()):
+                self.listener.retract(instantiation)
+            production._instantiations.clear()
+
+    # -- event dispatch ---------------------------------------------------------
+
+    def on_event(self, event):
+        if event.is_add:
+            self.stats.right_activations += 1
+            self.alpha.add_wme(event.wme)
+        else:
+            self._remove_wme(event.wme)
+
+    def _remove_wme(self, wme):
+        self.alpha.remove_wme(wme)
+        for token in list(self._wme_tokens.get(wme, ())):
+            if token.node is not None:
+                self.delete_token(token)
+        self._wme_tokens.pop(wme, None)
+        for token in list(self._wme_neg_results.pop(wme, ())):
+            if token.node is not None:
+                token.node.release_blocker(wme, token)
+
+    # -- inspection --------------------------------------------------------------
+
+    def snode_for(self, rule_name):
+        """The S-node of a set-oriented rule (KeyError if none)."""
+        return self.snodes[rule_name]
+
+    def production_node(self, rule_name):
+        return self.productions[rule_name]
+
+    def __repr__(self):
+        return (
+            f"ReteNetwork({len(self.productions)} rules, "
+            f"{self.alpha.memory_count} alpha memories)"
+        )
+
+
+class _SNodeCounter:
+    """Wraps an S-node to count activations for the stats block."""
+
+    __slots__ = ("snode", "stats")
+
+    def __init__(self, snode, stats):
+        self.snode = snode
+        self.stats = stats
+
+    def token_added(self, token):
+        self.stats.snode_activations += 1
+        self.snode.token_added(token)
+
+    def token_removed(self, token):
+        self.stats.snode_activations += 1
+        self.snode.token_removed(token)

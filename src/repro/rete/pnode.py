@@ -1,0 +1,80 @@
+"""Terminal production nodes.
+
+:class:`PNode` terminates a regular rule: every token reaching it is one
+instantiation, inserted into / retracted from the conflict set.
+
+:class:`SetPNode` terminates a set-oriented rule.  It consumes the
+``+`` / ``-`` / ``time`` marks emitted by the rule's S-node (paper §5):
+``+`` adds the SOI to the conflict set, ``-`` removes it, and ``time``
+repositions it — "time tokens represent SOIs that are currently in the
+conflict set, but must be repositioned".  Because only a pointer to the
+live SOI is passed, γ-memory updates to an active SOI transparently
+update the conflict-set entry.
+"""
+
+from __future__ import annotations
+
+from repro.core.instantiation import Instantiation, SetInstantiation
+
+
+class PNode:
+    """Terminal node of a regular (tuple-oriented) rule."""
+
+    __slots__ = ("rule", "network", "_instantiations")
+
+    def __init__(self, rule, network):
+        self.rule = rule
+        self.network = network
+        self._instantiations = {}
+
+    def token_added(self, token):
+        instantiation = Instantiation(self.rule, token)
+        self._instantiations[id(token)] = instantiation
+        self.network.listener.insert(instantiation)
+
+    def token_removed(self, token):
+        instantiation = self._instantiations.pop(id(token), None)
+        if instantiation is not None:
+            self.network.listener.retract(instantiation)
+
+    def __len__(self):
+        return len(self._instantiations)
+
+    def __repr__(self):
+        return f"PNode({self.rule.name}, {len(self._instantiations)} insts)"
+
+
+class SetPNode:
+    """Terminal node of a set-oriented rule, fed by an S-node."""
+
+    __slots__ = ("rule", "network", "_instantiations")
+
+    def __init__(self, rule, network):
+        self.rule = rule
+        self.network = network
+        self._instantiations = {}
+
+    def receive(self, mark, soi):
+        """The S-node's emit hook: mark is ``+``, ``-`` or ``time``."""
+        if mark == "+":
+            instantiation = SetInstantiation(self.rule, soi)
+            self._instantiations[id(soi)] = instantiation
+            self.network.listener.insert(instantiation)
+        elif mark == "-":
+            instantiation = self._instantiations.pop(id(soi), None)
+            if instantiation is not None:
+                self.network.listener.retract(instantiation)
+        elif mark == "time":
+            instantiation = self._instantiations.get(id(soi))
+            if instantiation is not None:
+                self.network.listener.reposition(instantiation)
+        else:
+            raise ValueError(f"unknown S-node mark {mark!r}")
+
+    def __len__(self):
+        return len(self._instantiations)
+
+    def __repr__(self):
+        return (
+            f"SetPNode({self.rule.name}, {len(self._instantiations)} SOIs)"
+        )

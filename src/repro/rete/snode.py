@@ -1,0 +1,338 @@
+"""S-nodes: aggregation of regular instantiations into SOIs (paper §5).
+
+An S-node is "placed after the last test node of a rule containing set
+clauses".  Its static, rule-derived data is the paper's five-tuple
+``(C, P, APVs, ACEs, T)``:
+
+* ``C`` — the non-set-oriented (scalar) CEs: here ``scalar_levels``;
+* ``P`` — the set-oriented PVs named in ``:scalar``: here ``p_specs``
+  as ``(name, level, attribute)`` binding sites;
+* ``APVs``/``ACEs`` — aggregate operations, unified as
+  :class:`~repro.rete.aggregates.AggregateSpec`;
+* ``T`` — the ``:test`` expression.
+
+Its γ-memory is a list of candidate SOIs, each a ``(Tokens, Status,
+AV)`` triple: :class:`SetOrientedInstance` keeps the token list ordered
+like the conflict set (head = dominant), the active/inactive status,
+and one :class:`~repro.rete.aggregates.AggregateState` per aggregate.
+
+The token-arrival algorithm is the paper's Figure 3 verbatim — find the
+SOI and the token's place in it, update aggregates and re-evaluate the
+test, then decide whether to flow ``<S,+>``, ``<S,->`` or ``<S,time>``
+to the P-node — with one documented amendment: when a ``same-time``
+change flips the test expression from false to true (reachable only
+when two tokens of one WM change share the newest time tag), the SOI is
+activated; the paper's figure leaves it inactive, which contradicts its
+own test semantics.  Set ``strict_paper_decide=True`` to get the
+figure's literal behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EngineError
+from repro.core.expr import evaluate, is_truthy as _is_truthy
+from repro.lang import ast
+from repro.rete.aggregates import AggregateSpec, AggregateState
+
+# Status values (paper: active / inactive).
+ACTIVE = "active"
+INACTIVE = "inactive"
+
+# chg values from Figure 3.
+CHG_NEW = "new"
+CHG_DELETE = "delete"
+CHG_FAIL = "fail"
+CHG_NEW_TIME = "new-time"
+CHG_SAME_TIME = "same-time"
+
+# Marks sent to the P-node.
+MARK_ADD = "+"
+MARK_REMOVE = "-"
+MARK_TIME = "time"
+
+
+class SetOrientedInstance:
+    """One candidate SOI in an S-node's γ-memory.
+
+    Implements the protocol expected by
+    :class:`repro.core.instantiation.SetInstantiation`: ``tokens``
+    (head first), ``version``, ``key_wme(level)``, ``p_value(name)``.
+    """
+
+    __slots__ = (
+        "key",
+        "tokens",
+        "status",
+        "version",
+        "agg_states",
+        "_key_wmes",
+        "_p_values",
+    )
+
+    def __init__(self, key, key_wmes, p_values, agg_states):
+        self.key = key
+        self.tokens = []
+        self.status = INACTIVE
+        self.version = 0
+        self.agg_states = agg_states
+        self._key_wmes = key_wmes
+        self._p_values = p_values
+
+    def key_wme(self, level):
+        """The WME matched by scalar CE *level* (None if not scalar)."""
+        return self._key_wmes.get(level)
+
+    def p_value(self, name):
+        """The partition value of ``:scalar`` variable *name*."""
+        return self._p_values[name]
+
+    def insert_token(self, token):
+        """Insert ordered like the conflict set; True if it became head."""
+        key = token.time_tags()
+        for index, existing in enumerate(self.tokens):
+            if key > existing.time_tags():
+                self.tokens.insert(index, token)
+                return index == 0
+        self.tokens.append(token)
+        return len(self.tokens) == 1
+
+    def remove_token(self, token):
+        """Remove by identity; True if it was the head token."""
+        for index, existing in enumerate(self.tokens):
+            if existing is token:
+                del self.tokens[index]
+                return index == 0
+        raise EngineError("token not present in SOI")
+
+    def gamma_entry(self):
+        """The paper's (Tokens, Status, AV) triple, for inspection/tests."""
+        return (
+            list(self.tokens),
+            self.status,
+            [state.snapshot() for state in self.agg_states],
+        )
+
+    def __repr__(self):
+        return (
+            f"SOI(key={self.key!r}, {len(self.tokens)} tokens, "
+            f"{self.status}, v{self.version})"
+        )
+
+
+class _TestResolver:
+    """Resolves variables/aggregates while evaluating an SOI's ``:test``."""
+
+    __slots__ = ("snode", "soi")
+
+    def __init__(self, snode, soi):
+        self.snode = snode
+        self.soi = soi
+
+    def var(self, name):
+        if name in self.soi._p_values:
+            return self.soi._p_values[name]
+        site = self.snode.analysis.binding_sites.get(name)
+        if site is not None and site[0] in self.snode.scalar_levels:
+            wme = self.soi.key_wme(site[0])
+            return wme.get(site[1])
+        raise EngineError(
+            f"rule {self.snode.rule.name}: :test references <{name}>, "
+            f"which is not a scalar binding"
+        )
+
+    def aggregate(self, node):
+        for spec, state in zip(self.snode.agg_specs, self.soi.agg_states):
+            if spec.matches(node.op, node.target, node.attribute):
+                return state.value()
+        raise EngineError(
+            f"rule {self.snode.rule.name}: no aggregate state for "
+            f"({node.op} <{node.target}>)"
+        )
+
+
+class SNode:
+    """The S-node proper: γ-memory plus the Figure 3 algorithm."""
+
+    def __init__(self, rule, analysis, agg_specs, emit,
+                 strict_paper_decide=False):
+        self.rule = rule
+        self.analysis = analysis
+        self.scalar_levels = analysis.scalar_ce_levels
+        self.p_specs = self._build_p_specs(rule, analysis)
+        self.agg_specs = tuple(agg_specs)
+        self.test = rule.test
+        self.emit = emit
+        self.strict_paper_decide = strict_paper_decide
+        self.gamma = {}
+
+    @staticmethod
+    def _build_p_specs(rule, analysis):
+        """Binding sites for the :scalar PVs that are truly set-located."""
+        specs = []
+        set_sites = analysis.set_variable_sites
+        for name in rule.scalar_vars:
+            site = analysis.binding_sites.get(name)
+            if site is None:
+                continue
+            level, attribute = site
+            # A :scalar var whose binding site is already a scalar CE is
+            # scalar anyway; only set-CE sites partition the relation.
+            if rule.ces[level].set_oriented:
+                specs.append((name, level, attribute))
+        # Scalar vars computed from the rule (not listed, but occurring
+        # in regular CEs) are covered by C (scalar levels) already.
+        return tuple(specs)
+
+    # -- observer protocol (terminal node) --------------------------------
+
+    def token_added(self, token):
+        self._process(token, "+")
+
+    def token_removed(self, token):
+        self._process(token, "-")
+
+    # -- Figure 3 ---------------------------------------------------------
+
+    def _key_of(self, token):
+        parts = [
+            token.wme_at(level).time_tag for level in self.scalar_levels
+        ]
+        parts.extend(
+            token.wme_at(level).get(attribute)
+            for _, level, attribute in self.p_specs
+        )
+        return tuple(parts)
+
+    def _new_soi(self, key, token):
+        key_wmes = {
+            level: token.wme_at(level) for level in self.scalar_levels
+        }
+        p_values = {
+            name: token.wme_at(level).get(attribute)
+            for name, level, attribute in self.p_specs
+        }
+        agg_states = [AggregateState(spec) for spec in self.agg_specs]
+        return SetOrientedInstance(key, key_wmes, p_values, agg_states)
+
+    def _process(self, token, sign):
+        # Stage 1: find the SOI and place the token within it.
+        key = self._key_of(token)
+        soi = self.gamma.get(key)
+        if sign == "+":
+            if soi is None:
+                soi = self._new_soi(key, token)
+                self.gamma[key] = soi
+                soi.insert_token(token)
+                chg = CHG_NEW
+                soi.status = INACTIVE
+            else:
+                at_head = soi.insert_token(token)
+                chg = CHG_NEW_TIME if at_head else CHG_SAME_TIME
+        else:
+            if soi is None:
+                return
+            was_head = soi.remove_token(token)
+            if not soi.tokens:
+                chg = CHG_DELETE
+                del self.gamma[key]
+            elif was_head:
+                chg = CHG_NEW_TIME
+            else:
+                chg = CHG_SAME_TIME
+        soi.version += 1
+
+        # Stage 2: update the aggregates and re-evaluate the test.
+        if chg != CHG_DELETE:
+            for state in soi.agg_states:
+                if sign == "+":
+                    state.add_token(token)
+                else:
+                    state.remove_token(token)
+            if self.test is not None and not self._eval_test(soi):
+                chg = CHG_FAIL
+
+        # Stage 3: decide the flow of the SOI.
+        self._decide(soi, chg)
+
+    def _eval_test(self, soi):
+        resolver = _TestResolver(self, soi)
+        result = evaluate(self.test, resolver)
+        return _is_truthy(result)
+
+    def _decide(self, soi, chg):
+        if chg == CHG_NEW:
+            soi.status = ACTIVE
+            self.emit(MARK_ADD, soi)
+        elif chg == CHG_DELETE:
+            if soi.status == ACTIVE:
+                self.emit(MARK_REMOVE, soi)
+        elif chg == CHG_FAIL:
+            if soi.status == ACTIVE:
+                soi.status = INACTIVE
+                self.emit(MARK_REMOVE, soi)
+        elif chg == CHG_NEW_TIME:
+            if soi.status == ACTIVE:
+                self.emit(MARK_TIME, soi)
+            else:
+                soi.status = ACTIVE
+                self.emit(MARK_ADD, soi)
+        elif chg == CHG_SAME_TIME:
+            if soi.status == INACTIVE and not self.strict_paper_decide:
+                # Amendment: the test just flipped true on a non-head
+                # change; Figure 3 as printed would leave the SOI out of
+                # the conflict set forever.
+                soi.status = ACTIVE
+                self.emit(MARK_ADD, soi)
+
+    # -- inspection ---------------------------------------------------------
+
+    def gamma_memory(self):
+        """The γ-memory as the paper describes it: list of triples."""
+        return [soi.gamma_entry() for soi in self.gamma.values()]
+
+    def static_data(self):
+        """The paper's five-tuple (C, P, APVs, ACEs, T)."""
+        apvs = tuple(s for s in self.agg_specs if s.kind == "pv")
+        aces = tuple(s for s in self.agg_specs if s.kind == "ce")
+        return (
+            self.scalar_levels,
+            tuple(name for name, _, _ in self.p_specs),
+            apvs,
+            aces,
+            self.test,
+        )
+
+    def __repr__(self):
+        return f"SNode({self.rule.name}, {len(self.gamma)} SOIs)"
+
+
+def build_aggregate_specs(rule, analysis):
+    """Derive the S-node's APVs/ACEs from the rule's ``:test``."""
+    specs = []
+    seen = set()
+    if rule.test is None:
+        return specs
+    element_vars = rule.element_vars()
+    set_vars = set(rule.set_variables())
+    for node in ast.walk_aggregates(rule.test):
+        identity = (node.op, node.target, node.attribute)
+        if identity in seen:
+            continue
+        seen.add(identity)
+        if node.target in element_vars:
+            level = element_vars[node.target]
+            specs.append(
+                AggregateSpec(node.op, node.target, "ce", level,
+                              node.attribute)
+            )
+        elif node.target in set_vars:
+            level, attribute = analysis.binding_sites[node.target]
+            specs.append(
+                AggregateSpec(node.op, node.target, "pv", level, attribute)
+            )
+        else:
+            raise EngineError(
+                f"rule {rule.name}: aggregate target <{node.target}> is "
+                f"not set-oriented"
+            )
+    return specs

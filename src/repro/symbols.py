@@ -1,0 +1,125 @@
+"""The OPS5 value model: symbols, numbers, and predicate semantics.
+
+OPS5 working-memory attribute values are *symbols* (atoms, represented
+here as Python ``str``) or *numbers* (``int``/``float``).  This module
+centralises:
+
+* value classification (:func:`is_symbol`, :func:`is_number`);
+* the OPS5 comparison predicates ``= <> < <= > >= <=>`` with the
+  language's coercion rules (:func:`apply_predicate`);
+* a total *sort order* across mixed symbol/number domains used by the
+  ``foreach`` iterator's ``ascending``/``descending`` modes
+  (:func:`sort_key`);
+* normalisation of literal tokens read by the parser
+  (:func:`coerce_literal`).
+
+The rules follow Forgy's OPS5 manual: numeric predicates (``< <= > >=``)
+are only satisfied between two numbers; ``=`` / ``<>`` compare symbols by
+identity and numbers by numeric value (so ``2`` equals ``2.0``); the
+*same-type* predicate ``<=>`` is satisfied when both values are numbers
+or both are symbols.
+"""
+
+from __future__ import annotations
+
+NUMBER_TYPES = (int, float)
+
+#: Predicate tokens recognised in condition-element value tests.
+PREDICATES = ("=", "<>", "<", "<=", ">", ">=", "<=>")
+
+
+def is_number(value):
+    """Return True when *value* is an OPS5 number (int or float, not bool)."""
+    return isinstance(value, NUMBER_TYPES) and not isinstance(value, bool)
+
+
+def is_symbol(value):
+    """Return True when *value* is an OPS5 symbol (a string atom)."""
+    return isinstance(value, str)
+
+
+def is_value(value):
+    """Return True when *value* lies in the OPS5 value domain."""
+    return is_number(value) or is_symbol(value)
+
+
+def values_equal(left, right):
+    """OPS5 ``=``: numeric equality for numbers, identity for symbols."""
+    if is_number(left) and is_number(right):
+        return left == right
+    if is_symbol(left) and is_symbol(right):
+        return left == right
+    return False
+
+
+def same_type(left, right):
+    """OPS5 ``<=>``: both numbers, or both symbols."""
+    if is_number(left) and is_number(right):
+        return True
+    return is_symbol(left) and is_symbol(right)
+
+
+def apply_predicate(predicate, left, right):
+    """Evaluate an OPS5 predicate between two attribute values.
+
+    ``left`` is the value found in the WME, ``right`` the value it is
+    tested against.  Numeric order predicates fail (rather than raise)
+    when either side is not a number, mirroring OPS5 match semantics
+    where a failed coercion is simply a non-match.
+    """
+    if predicate == "=":
+        return values_equal(left, right)
+    if predicate == "<>":
+        return not values_equal(left, right)
+    if predicate == "<=>":
+        return same_type(left, right)
+    if predicate in ("<", "<=", ">", ">="):
+        if not (is_number(left) and is_number(right)):
+            return False
+        if predicate == "<":
+            return left < right
+        if predicate == "<=":
+            return left <= right
+        if predicate == ">":
+            return left > right
+        return left >= right
+    raise ValueError(f"unknown predicate {predicate!r}")
+
+
+def sort_key(value):
+    """Total order over mixed values: numbers first (by value), then symbols.
+
+    Used wherever the paper requires a deterministic value ordering —
+    notably ``foreach ... ascending/descending`` over a set-oriented
+    pattern variable whose domain may mix numbers and symbols.
+    """
+    if is_number(value):
+        return (0, value, "")
+    return (1, 0, value)
+
+
+def coerce_literal(text):
+    """Turn a source token into an OPS5 value.
+
+    Integer-looking tokens become ``int``, float-looking ones ``float``,
+    everything else stays a symbol.  A leading sign is honoured only when
+    followed by digits, so the bare symbols ``-`` and ``+`` survive.
+    """
+    if not isinstance(text, str):
+        return text
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def format_value(value):
+    """Render a value the way OPS5 trace output would print it."""
+    if isinstance(value, float) and value.is_integer():
+        return str(value)
+    return str(value)

@@ -1,0 +1,28 @@
+"""Working memory: WMEs with time tags, class declarations, change events.
+
+The working memory of an OPS5/C5 program is, per the paper's section 3,
+"a relational database with one important difference: each WME has a time
+tag that uniquely identifies it".  This package provides:
+
+* :class:`~repro.wm.wme.WME` — an immutable element (class name +
+  attribute/value pairs) stamped with a time tag;
+* :class:`~repro.wm.memory.WMClassRegistry` — the ``literalize``
+  declarations that fix each class's attribute set;
+* :class:`~repro.wm.memory.WorkingMemory` — the multiset of WMEs with
+  make/remove/modify operations and an observable change stream;
+* :class:`~repro.wm.events.WMEvent` — the (sign, wme) deltas consumed by
+  match algorithms.
+"""
+
+from repro.wm.events import WMEvent, ADD, REMOVE
+from repro.wm.wme import WME
+from repro.wm.memory import WMClassRegistry, WorkingMemory
+
+__all__ = [
+    "WME",
+    "WMEvent",
+    "ADD",
+    "REMOVE",
+    "WMClassRegistry",
+    "WorkingMemory",
+]

@@ -1,0 +1,45 @@
+"""Working-memory change events.
+
+Match algorithms (Rete, TREAT, naive, DIPS) consume a stream of signed
+deltas: ``+`` for a make, ``-`` for a remove.  ``modify`` never appears
+as its own sign — OPS5 semantics define it as remove-then-make, and
+:class:`~repro.wm.memory.WorkingMemory` emits exactly that pair.
+"""
+
+from __future__ import annotations
+
+#: Sign of an event adding a WME.
+ADD = "+"
+#: Sign of an event removing a WME.
+REMOVE = "-"
+
+
+class WMEvent:
+    """A single signed working-memory delta."""
+
+    __slots__ = ("sign", "wme")
+
+    def __init__(self, sign, wme):
+        if sign not in (ADD, REMOVE):
+            raise ValueError(f"event sign must be '+' or '-', got {sign!r}")
+        self.sign = sign
+        self.wme = wme
+
+    @property
+    def is_add(self):
+        return self.sign == ADD
+
+    @property
+    def is_remove(self):
+        return self.sign == REMOVE
+
+    def __eq__(self, other):
+        if not isinstance(other, WMEvent):
+            return NotImplemented
+        return self.sign == other.sign and self.wme == other.wme
+
+    def __hash__(self):
+        return hash((self.sign, self.wme))
+
+    def __repr__(self):
+        return f"<{self.sign}{self.wme!r}>"

@@ -1,0 +1,184 @@
+"""Working memory proper: class registry, the WME multiset, observers."""
+
+from __future__ import annotations
+
+from repro import symbols
+from repro.errors import WorkingMemoryError
+from repro.wm.events import ADD, REMOVE, WMEvent
+from repro.wm.wme import WME
+
+
+class WMClassRegistry:
+    """The ``literalize`` declarations of a program.
+
+    ``(literalize player name team)`` declares a WME class ``player``
+    with attributes ``name`` and ``team``.  The registry validates makes
+    against declarations.  Programs may also run unchecked (no
+    declarations at all), in which case any class/attribute is accepted —
+    convenient for tests — but once a class is declared its attribute set
+    is enforced, as OPS5 does.
+    """
+
+    def __init__(self):
+        self._classes = {}
+
+    def literalize(self, wme_class, attributes):
+        """Declare *wme_class* with exactly *attributes*."""
+        if not symbols.is_symbol(wme_class):
+            raise WorkingMemoryError(
+                f"class name must be a symbol, got {wme_class!r}"
+            )
+        attributes = tuple(attributes)
+        for attribute in attributes:
+            if not symbols.is_symbol(attribute):
+                raise WorkingMemoryError(
+                    f"attribute name must be a symbol, got {attribute!r}"
+                )
+        if len(set(attributes)) != len(attributes):
+            raise WorkingMemoryError(
+                f"duplicate attribute in literalize of {wme_class}"
+            )
+        existing = self._classes.get(wme_class)
+        if existing is not None and existing != attributes:
+            raise WorkingMemoryError(
+                f"class {wme_class} already literalized with different "
+                f"attributes"
+            )
+        self._classes[wme_class] = attributes
+
+    def is_declared(self, wme_class):
+        return wme_class in self._classes
+
+    def attributes_of(self, wme_class):
+        """Return the declared attribute tuple (KeyError if undeclared)."""
+        return self._classes[wme_class]
+
+    def declared_classes(self):
+        return tuple(self._classes)
+
+    def validate(self, wme_class, values):
+        """Check a make against the declarations; no-op for undeclared classes."""
+        declared = self._classes.get(wme_class)
+        if declared is None:
+            return
+        for attribute in values:
+            if attribute not in declared:
+                raise WorkingMemoryError(
+                    f"class {wme_class} has no attribute ^{attribute} "
+                    f"(declared: {', '.join(declared)})"
+                )
+
+
+class WorkingMemory:
+    """The multiset of live WMEs, with make/remove/modify and observers.
+
+    Time tags are assigned from a monotone counter shared by every make,
+    so they order elements by recency — the property LEX/MEA conflict
+    resolution and the S-node's token ordering rely on.
+
+    Observers are callables receiving a :class:`WMEvent`; match networks
+    register themselves here.  Events are delivered synchronously in
+    registration order.
+    """
+
+    def __init__(self, registry=None):
+        self.registry = registry if registry is not None else WMClassRegistry()
+        self._by_tag = {}
+        self._next_tag = 1
+        self._observers = []
+
+    # -- observation ---------------------------------------------------
+
+    def attach(self, observer):
+        """Register *observer* to receive every subsequent change event."""
+        self._observers.append(observer)
+
+    def detach(self, observer):
+        self._observers.remove(observer)
+
+    def _emit(self, sign, wme):
+        event = WMEvent(sign, wme)
+        for observer in list(self._observers):
+            observer(event)
+
+    # -- inspection ----------------------------------------------------
+
+    def __len__(self):
+        return len(self._by_tag)
+
+    def __iter__(self):
+        """Iterate live WMEs in time-tag (creation) order."""
+        return iter(sorted(self._by_tag.values(), key=lambda w: w.time_tag))
+
+    def __contains__(self, wme):
+        return isinstance(wme, WME) and self._by_tag.get(wme.time_tag) is wme
+
+    def get(self, time_tag):
+        """Return the live WME with *time_tag*, or None."""
+        return self._by_tag.get(time_tag)
+
+    def of_class(self, wme_class):
+        """Return live WMEs of *wme_class*, in time-tag order."""
+        return [w for w in self if w.wme_class == wme_class]
+
+    def find(self, wme_class, **values):
+        """Return live WMEs of *wme_class* whose attributes equal *values*."""
+        return [
+            w
+            for w in self.of_class(wme_class)
+            if all(
+                symbols.values_equal(w.get(attr), val)
+                for attr, val in values.items()
+            )
+        ]
+
+    @property
+    def latest_time_tag(self):
+        """The most recently assigned time tag (0 when nothing was made)."""
+        return self._next_tag - 1
+
+    # -- mutation ------------------------------------------------------
+
+    def make(self, wme_class, **values):
+        """Create a WME, stamp it with the next time tag, emit ``+``."""
+        self.registry.validate(wme_class, values)
+        wme = WME(wme_class, values, self._next_tag)
+        self._next_tag += 1
+        self._by_tag[wme.time_tag] = wme
+        self._emit(ADD, wme)
+        return wme
+
+    def remove(self, wme):
+        """Remove a live WME (by object or time tag), emit ``-``."""
+        if isinstance(wme, int):
+            wme = self._by_tag.get(wme)
+            if wme is None:
+                raise WorkingMemoryError("no WME with that time tag is live")
+        live = self._by_tag.get(wme.time_tag)
+        if live is not wme:
+            raise WorkingMemoryError(
+                f"WME {wme!r} is not in working memory"
+            )
+        del self._by_tag[wme.time_tag]
+        self._emit(REMOVE, wme)
+        return wme
+
+    def modify(self, wme, **updates):
+        """OPS5 modify: remove *wme*, re-make it with *updates* applied.
+
+        The replacement receives a fresh time tag (it is the most recent
+        element afterwards), exactly as OPS5 specifies.
+        """
+        if isinstance(wme, int):
+            resolved = self._by_tag.get(wme)
+            if resolved is None:
+                raise WorkingMemoryError("no WME with that time tag is live")
+            wme = resolved
+        new_values = wme.with_updates(updates)
+        self.remove(wme)
+        return self.make(wme.wme_class, **new_values)
+
+    def clear(self):
+        """Remove every live WME (emitting ``-`` for each, oldest first)."""
+        for wme in list(self):
+            self.remove(wme)

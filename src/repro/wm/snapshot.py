@@ -1,0 +1,83 @@
+"""Working-memory snapshots: persist and restore WM state.
+
+Rule systems merging with databases want "concurrency control and
+persistence as found in database systems" (paper §8).  The relational
+side persists via :mod:`repro.rdb.storage`; this module does the same
+for working memory itself: a JSON-compatible dump of every live WME
+*with its time tag preserved*, so recency-based conflict resolution
+behaves identically after a restore.
+
+Restoring replays the elements oldest-first through normal ``make``
+events (so any attached matcher rebuilds its state), then pins each
+element's original time tag.  The tag counter resumes past the highest
+restored tag.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import WorkingMemoryError
+
+FORMAT_VERSION = 1
+
+
+def dump_wm(wm):
+    """Serialise *wm* to a JSON-compatible dict."""
+    return {
+        "version": FORMAT_VERSION,
+        "next_tag": wm.latest_time_tag + 1,
+        "wmes": [
+            {
+                "class": wme.wme_class,
+                "tag": wme.time_tag,
+                "values": wme.as_dict(),
+            }
+            for wme in wm
+        ],
+    }
+
+
+def restore_wm(wm, snapshot):
+    """Load a snapshot into *wm* (which must be empty).
+
+    Works through the public ``make`` path so attached matchers see
+    ordinary add events; time tags are then realigned to the stored
+    ones (monotone by construction, since the dump is tag-ordered).
+    """
+    if len(wm):
+        raise WorkingMemoryError(
+            "restore_wm needs an empty working memory"
+        )
+    version = snapshot.get("version")
+    if version != FORMAT_VERSION:
+        raise WorkingMemoryError(
+            f"unsupported WM snapshot version {version!r}"
+        )
+    entries = sorted(snapshot.get("wmes", ()), key=lambda e: e["tag"])
+    restored = []
+    for entry in entries:
+        # Pin the counter so the WME is created with its original tag.
+        if entry["tag"] < wm._next_tag:
+            raise WorkingMemoryError(
+                f"snapshot tag {entry['tag']} is not monotone"
+            )
+        wm._next_tag = entry["tag"]
+        restored.append(wm.make(entry["class"], **entry["values"]))
+    wm._next_tag = max(wm._next_tag, snapshot.get("next_tag", 1))
+    return restored
+
+
+def save_wm(wm, path):
+    """Write a JSON snapshot of *wm* to *path*."""
+    snapshot = dump_wm(wm)
+    with open(path, "w") as handle:
+        json.dump(snapshot, handle)
+    return snapshot
+
+
+def load_wm(wm, path):
+    """Restore *wm* (empty) from a snapshot file."""
+    with open(path) as handle:
+        snapshot = json.load(handle)
+    return restore_wm(wm, snapshot)

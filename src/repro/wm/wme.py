@@ -1,0 +1,85 @@
+"""Working-memory elements (WMEs)."""
+
+from __future__ import annotations
+
+from repro import symbols
+from repro.errors import WorkingMemoryError
+
+#: Attribute value used for attributes a WME does not mention.
+NIL = "nil"
+
+
+class WME:
+    """One working-memory element: a class name, attribute values, a time tag.
+
+    WMEs are immutable; ``modify`` in OPS5 is remove-then-make and is
+    implemented that way by :class:`~repro.wm.memory.WorkingMemory`, which
+    also assigns time tags.  Two WMEs with identical content are distinct
+    elements when their time tags differ — working memory is a multiset,
+    which the paper's Figure 6 (duplicate ``Mike`` clerks) depends on.
+
+    Attributes absent from *values* read as the symbol ``nil``, following
+    OPS5 convention.
+    """
+
+    __slots__ = ("wme_class", "_values", "time_tag")
+
+    def __init__(self, wme_class, values, time_tag):
+        for attribute, value in values.items():
+            if not symbols.is_symbol(attribute):
+                raise WorkingMemoryError(
+                    f"attribute name must be a symbol, got {attribute!r}"
+                )
+            if not symbols.is_value(value):
+                raise WorkingMemoryError(
+                    f"value for ^{attribute} must be a symbol or number, "
+                    f"got {value!r}"
+                )
+        self.wme_class = wme_class
+        self._values = dict(values)
+        self.time_tag = time_tag
+
+    def get(self, attribute):
+        """Return the value stored under *attribute* (``nil`` if absent)."""
+        return self._values.get(attribute, NIL)
+
+    def attributes(self):
+        """Return the attribute names this WME explicitly carries."""
+        return tuple(self._values)
+
+    def as_dict(self):
+        """Return a copy of the attribute/value mapping."""
+        return dict(self._values)
+
+    def with_updates(self, updates):
+        """Return the attribute mapping after applying *updates*.
+
+        Used by ``modify``/``set-modify``: the result feeds a fresh
+        ``make`` so the new element gets its own time tag.
+        """
+        merged = dict(self._values)
+        merged.update(updates)
+        return merged
+
+    def same_content(self, other):
+        """True when *other* has identical class and attribute values."""
+        return (
+            self.wme_class == other.wme_class
+            and self._values == other._values
+        )
+
+    def __eq__(self, other):
+        if not isinstance(other, WME):
+            return NotImplemented
+        return self.time_tag == other.time_tag and self.same_content(other)
+
+    def __hash__(self):
+        return hash((self.wme_class, self.time_tag))
+
+    def __repr__(self):
+        pairs = " ".join(
+            f"^{attr} {symbols.format_value(value)}"
+            for attr, value in sorted(self._values.items())
+        )
+        body = f"{self.wme_class} {pairs}".rstrip()
+        return f"{self.time_tag}: ({body})"

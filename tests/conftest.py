@@ -1,0 +1,68 @@
+"""Shared fixtures: paper working-memory setups and matcher matrix."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import RuleEngine
+from repro.dips import DipsMatcher
+from repro.match import NaiveMatcher, TreatMatcher
+from repro.rete import ReteNetwork
+
+#: The paper's Figure 1 working memory: five players on two teams.
+PAPER_ROSTER = [
+    ("A", "Jack"),
+    ("A", "Janice"),
+    ("B", "Sue"),
+    ("B", "Jack"),
+    ("B", "Sue"),
+]
+
+MATCHER_FACTORIES = {
+    "rete": ReteNetwork,
+    "treat": TreatMatcher,
+    "naive": NaiveMatcher,
+    "dips": DipsMatcher,
+}
+
+
+@pytest.fixture(params=["rete", "treat", "naive"])
+def matcher_name(request):
+    """The incremental matchers (DIPS is exercised separately)."""
+    return request.param
+
+
+@pytest.fixture(params=["rete", "treat", "naive", "dips"])
+def any_matcher_name(request):
+    return request.param
+
+
+@pytest.fixture
+def make_engine():
+    """Factory: ``make_engine(matcher_name='rete', **kwargs)``."""
+
+    def factory(matcher_name="rete", **kwargs):
+        matcher = MATCHER_FACTORIES[matcher_name]()
+        return RuleEngine(matcher=matcher, **kwargs)
+
+    return factory
+
+
+def load_roster(engine, roster=None):
+    """Declare the player class and make the given roster WMEs."""
+    engine.literalize("player", "name", "team")
+    for team, name in roster if roster is not None else PAPER_ROSTER:
+        engine.make("player", team=team, name=name)
+
+
+@pytest.fixture
+def roster_engine(make_engine, matcher_name):
+    """An engine (per incremental matcher) preloaded with Figure 1 WM."""
+
+    def factory(program):
+        engine = make_engine(matcher_name)
+        engine.load(program)
+        load_roster(engine)
+        return engine
+
+    return factory

@@ -1,0 +1,91 @@
+"""Unit tests for the concurrent-firing simulator (paper §8.1 critique)."""
+
+from repro.dips.concurrency import (
+    remove_duplicates_set_firings,
+    remove_duplicates_tuple_firings,
+    run_concurrent_firings,
+)
+from repro.rdb import Database
+
+
+def dup_table(db, groups, group_size, name="wm"):
+    table = db.create_table(name, ["name", "team"])
+    for group in range(groups):
+        for _ in range(group_size):
+            table.insert({"name": f"p{group}", "team": "A"})
+    return table
+
+
+class TestTupleMode:
+    def test_pairs_over_one_group(self):
+        db = Database()
+        table = dup_table(db, groups=1, group_size=3)
+        firings = remove_duplicates_tuple_firings(table)
+        assert len(firings) == 3  # 3 unordered pairs
+
+    def test_conflicts_occur(self):
+        db = Database()
+        table = dup_table(db, groups=1, group_size=4)
+        result = run_concurrent_firings(
+            table, remove_duplicates_tuple_firings(table)
+        )
+        assert result.aborted > 0
+        assert result.committed + result.aborted == result.attempted
+
+    def test_wasted_work_accumulates(self):
+        # Repeated rounds eventually converge, but only after paying
+        # aborted transactions — the work a single SOI avoids entirely.
+        db = Database()
+        table = dup_table(db, groups=1, group_size=5)
+        total_aborts = 0
+        rounds = 0
+        while True:
+            firings = remove_duplicates_tuple_firings(table)
+            if not firings:
+                break
+            result = run_concurrent_firings(table, firings)
+            total_aborts += result.aborted
+            rounds += 1
+            assert rounds < 20
+        assert len(table) == 1
+        assert total_aborts >= 4  # most of the 10 pair firings conflicted
+
+
+class TestSetMode:
+    def test_one_firing_per_group(self):
+        db = Database()
+        table = dup_table(db, groups=3, group_size=4)
+        firings = remove_duplicates_set_firings(table)
+        assert len(firings) == 3
+
+    def test_no_conflicts_single_round(self):
+        db = Database()
+        table = dup_table(db, groups=3, group_size=4)
+        result = run_concurrent_firings(
+            table, remove_duplicates_set_firings(table)
+        )
+        assert result.aborted == 0
+        assert result.conflict_rate == 0.0
+        assert len(table) == 3  # one survivor per group, one round
+
+    def test_groups_without_duplicates_skipped(self):
+        db = Database()
+        table = dup_table(db, groups=2, group_size=1)
+        assert remove_duplicates_set_firings(table) == []
+
+
+class TestResultMetrics:
+    def test_conflict_rate(self):
+        db = Database()
+        table = dup_table(db, groups=1, group_size=3)
+        result = run_concurrent_firings(
+            table, remove_duplicates_tuple_firings(table)
+        )
+        assert 0.0 <= result.conflict_rate <= 1.0
+
+    def test_empty_round(self):
+        db = Database()
+        table = dup_table(db, groups=1, group_size=1)
+        result = run_concurrent_firings(table, [])
+        assert result.attempted == 0
+        assert result.conflict_rate == 0.0

@@ -1,0 +1,106 @@
+"""Unit tests for COND tables (paper §8.1/8.2)."""
+
+import pytest
+
+from repro.dips import CondStore
+from repro.dips.cond import cond_table_name
+from repro.errors import DipsError
+from repro.lang.parser import parse_rule
+from repro.wm import WorkingMemory
+
+RULE_1 = """
+(p rule-1
+  (E ^name <x> ^salary <s>)
+  [W ^name <x> ^job clerk]
+  --> (halt))
+"""
+
+
+@pytest.fixture
+def store():
+    cond_store = CondStore()
+    cond_store.add_rule(parse_rule(RULE_1))
+    return cond_store
+
+
+class TestSchema:
+    def test_one_cond_table_per_class(self, store):
+        assert store.db.has_table("COND-E")
+        assert store.db.has_table("COND-W")
+
+    def test_columns_match_paper(self, store):
+        names = store.cond_table("E").schema.column_names()
+        assert names == ("rule_id", "cen", "name", "salary", "rce",
+                         "wme_tag")
+
+    def test_template_rows_hold_markers_and_null_tags(self, store):
+        [template] = store.templates("E")
+        assert template["name"] == "<x>"
+        assert template["salary"] == "<s>"
+        assert template["wme_tag"] is None
+        assert template["rce"] == "(W,2)"
+
+    def test_schema_widened_for_later_rules(self, store):
+        store.add_rule(
+            parse_rule("(p rule-2 (E ^name <x> ^age <a>) --> (halt))")
+        )
+        names = store.cond_table("E").schema.column_names()
+        assert "age" in names
+        # Earlier rows survived the widening.
+        assert len(store.templates("E")) == 2
+
+
+class TestInstanceMaintenance:
+    def test_matching_wme_inserts_instance(self, store):
+        wm = WorkingMemory()
+        wme = wm.make("E", name="Mike", salary=10000)
+        assert store.wme_added(wme) == 1
+        [instance] = store.instances("E")
+        assert instance["wme_tag"] == wme.time_tag
+        assert instance["name"] == "Mike"
+
+    def test_constant_mismatch_inserts_nothing(self, store):
+        wm = WorkingMemory()
+        wme = wm.make("W", name="Mike", job="boss")
+        assert store.wme_added(wme) == 0
+
+    def test_unmentioned_class_ignored(self, store):
+        wm = WorkingMemory()
+        assert store.wme_added(wm.make("Z", x=1)) == 0
+
+    def test_removal_deletes_instance_rows(self, store):
+        wm = WorkingMemory()
+        wme = wm.make("W", name="Mike", job="clerk")
+        store.wme_added(wme)
+        assert store.wme_removed(wme) == 1
+        assert store.instances("W") == []
+        # Templates survive.
+        assert len(store.templates("W")) == 1
+
+    def test_multiset_duplicate_wmes_coexist(self, store):
+        """The §8.2 point of tags over mark bits: multi-set WM."""
+        wm = WorkingMemory()
+        first = wm.make("W", name="Mike", job="clerk")
+        second = wm.make("W", name="Mike", job="clerk")
+        store.wme_added(first)
+        store.wme_added(second)
+        assert len(store.instances("W")) == 2
+        store.wme_removed(first)
+        assert len(store.instances("W")) == 1
+
+
+class TestRestrictions:
+    def test_negated_ces_get_cond_tables_too(self):
+        # Negated CEs store templates/instances like positive ones; the
+        # matcher applies them as residual blocker checks.
+        store = CondStore()
+        store.add_rule(parse_rule("(p r (a) -(b ^k 1) --> (halt))"))
+        assert store.db.has_table("COND-b")
+        assert len(store.templates("b")) == 1
+
+    def test_duplicate_rule_rejected(self, store):
+        with pytest.raises(DipsError):
+            store.add_rule(parse_rule(RULE_1))
+
+    def test_table_naming(self):
+        assert cond_table_name("player") == "COND-player"

@@ -1,0 +1,76 @@
+"""The §8.1→§8.2 contrast: mark bits lose the multiset, WME tags keep it."""
+
+from repro.dips.cond import CondStore
+from repro.dips.marks import MarkBitCondStore
+from repro.lang.parser import parse_rule
+from repro.wm import WorkingMemory
+
+RULE = """
+(p rule-1
+  (E ^name <x> ^salary <s>)
+  [W ^name <x> ^job clerk]
+  --> (halt))
+"""
+
+
+def stores():
+    marks = MarkBitCondStore()
+    marks.add_rule(parse_rule(RULE))
+    tags = CondStore()
+    tags.add_rule(parse_rule(RULE))
+    return marks, tags
+
+
+class TestDuplicateVisibility:
+    def test_duplicate_wme_invisible_to_mark_bits(self):
+        """Figure 6's two identical Mike/clerk WMEs."""
+        marks, tags = stores()
+        wm = WorkingMemory()
+        first = wm.make("W", name="Mike", job="clerk")
+        second = wm.make("W", name="Mike", job="clerk")
+        for store in (marks, tags):
+            store.wme_added(first)
+            store.wme_added(second)
+        # Mark bits: one marked row; the duplicate vanished.
+        assert len(marks.marked_instances("W")) == 1
+        # WME tags: both elements represented (the paper's fix).
+        assert len(tags.instances("W")) == 2
+
+    def test_removing_one_duplicate_corrupts_mark_state(self):
+        marks, tags = stores()
+        wm = WorkingMemory()
+        first = wm.make("W", name="Mike", job="clerk")
+        second = wm.make("W", name="Mike", job="clerk")
+        for store in (marks, tags):
+            store.wme_added(first)
+            store.wme_added(second)
+        marks.wme_removed(first)
+        tags.wme_removed(first)
+        # Mark bits: the match state now claims NO Mike/clerk exists,
+        # although `second` is still in working memory.
+        assert len(marks.marked_instances("W")) == 0
+        # WME tags: the remaining element is still matched.
+        assert len(tags.instances("W")) == 1
+        assert tags.instances("W")[0]["wme_tag"] == second.time_tag
+
+
+class TestNonDuplicateBehaviourAgrees:
+    def test_distinct_wmes_match_identically(self):
+        marks, tags = stores()
+        wm = WorkingMemory()
+        mike = wm.make("W", name="Mike", job="clerk")
+        sue = wm.make("W", name="Sue", job="clerk")
+        boss = wm.make("W", name="Ann", job="boss")
+        for store in (marks, tags):
+            for wme in (mike, sue, boss):
+                store.wme_added(wme)
+        assert len(marks.marked_instances("W")) == 2
+        assert len(tags.instances("W")) == 2
+
+    def test_templates_coexist_with_marks(self):
+        marks, _ = stores()
+        templates = marks.cond_table("W").select(
+            lambda row: row.get("mark") == 0
+        )
+        assert len(templates) == 1
+        assert templates[0]["name"] == "<x>"

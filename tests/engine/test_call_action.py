@@ -1,0 +1,72 @@
+"""Unit tests for the ``(call name args...)`` host-function escape."""
+
+import pytest
+
+from repro import RuleEngine
+from repro.errors import EngineError
+from repro.lang import ast
+from repro.lang.parser import parse_rule
+from repro.lang.printer import format_rule
+
+
+class TestParsing:
+    def test_call_parses(self):
+        rule = parse_rule("(p r (a ^v <v>) --> (call notify <v> 2))")
+        action = rule.actions[0]
+        assert isinstance(action, ast.CallAction)
+        assert action.name == "notify"
+        assert len(action.arguments) == 2
+
+    def test_call_roundtrips(self):
+        rule = parse_rule("(p r (a ^v <v>) --> (call notify <v>))")
+        assert parse_rule(format_rule(rule)) == rule
+
+    def test_call_marks_rhs_boundary(self):
+        rule = parse_rule("(p r (a) (call ping))")
+        assert len(rule.ces) == 1
+
+
+class TestExecution:
+    def test_registered_function_invoked(self):
+        engine = RuleEngine()
+        received = []
+        engine.register_function("notify", lambda *args: received.append(args))
+        engine.add_rule("(p r (evt ^kind <k> ^n <n>) --> "
+                        "(call notify <k> (<n> * 2)))")
+        engine.make("evt", kind="boom", n=21)
+        engine.run(limit=2)
+        assert received == [("boom", 42)]
+
+    def test_unregistered_function_errors(self):
+        engine = RuleEngine()
+        engine.add_rule("(p r (evt) --> (call missing))")
+        engine.make("evt")
+        with pytest.raises(EngineError):
+            engine.run(limit=2)
+
+    def test_call_inside_foreach(self):
+        engine = RuleEngine()
+        seen = []
+        engine.register_function("log", seen.append)
+        engine.add_rule(
+            "(p r [item ^v <v>] --> (foreach <v> ascending (call log <v>)))"
+        )
+        for value in (3, 1, 2):
+            engine.make("item", v=value)
+        engine.run(limit=2)
+        assert seen == [1, 2, 3]
+
+    def test_function_can_drive_host_state(self):
+        engine = RuleEngine()
+        sink = {}
+        engine.register_function(
+            "store", lambda key, value: sink.__setitem__(key, value)
+        )
+        engine.add_rule(
+            "(p summarise { [sale ^amt <a>] <S> } --> "
+            "(call store total (sum <S> ^amt)))"
+        )
+        engine.make("sale", amt=10)
+        engine.make("sale", amt=32)
+        engine.run(limit=2)
+        assert sink == {"total": 42}

@@ -1,0 +1,124 @@
+"""Unit tests for conflict resolution: LEX, MEA, refraction, SOI ranking."""
+
+import pytest
+
+from repro import RuleEngine
+from repro.errors import ConflictResolutionError
+from repro.engine.conflict import strategy_named
+
+
+class TestStrategySelection:
+    def test_named_strategies(self):
+        assert strategy_named("lex").name == "lex"
+        assert strategy_named("mea").name == "mea"
+        with pytest.raises(ConflictResolutionError):
+            strategy_named("random")
+
+
+class TestLexOrdering:
+    def test_recency_dominates(self):
+        engine = RuleEngine()
+        engine.add_rule("(p r (item ^v <v>) --> (write fired <v>))")
+        engine.make("item", v="old")
+        engine.make("item", v="new")
+        engine.step()
+        assert engine.output == ["fired new"]
+
+    def test_specificity_breaks_recency_ties(self):
+        engine = RuleEngine()
+        engine.add_rule("(p loose (item) --> (write loose))")
+        engine.add_rule(
+            "(p tight (item ^v 1 ^w 2) --> (write tight))"
+        )
+        engine.make("item", v=1, w=2)
+        engine.step()
+        assert engine.output == ["tight"]
+
+    def test_longer_tag_list_dominates_equal_prefix(self):
+        engine = RuleEngine()
+        engine.add_rule("(p one-ce (b) --> (write one))")
+        engine.add_rule("(p two-ce (b) (a) --> (write two))")
+        engine.make("a")
+        engine.make("b")
+        engine.step()
+        assert engine.output == ["two"]
+
+
+class TestMea:
+    def test_first_ce_recency_dominates(self):
+        # Under LEX the instantiation with the most recent tag overall
+        # wins; under MEA the first CE's recency is compared first.
+        program = [
+            "(p alpha (ctl ^step one) (data) --> (write alpha))",
+            "(p beta (ctl ^step two) --> (write beta))",
+        ]
+        lex = RuleEngine(strategy="lex")
+        mea = RuleEngine(strategy="mea")
+        for engine in (lex, mea):
+            for rule in program:
+                engine.add_rule(rule)
+            engine.make("ctl", step="one")   # tag 1
+            engine.make("ctl", step="two")   # tag 2
+            engine.make("data")              # tag 3 (most recent overall)
+            engine.step()
+        # LEX: alpha has tags (3,1) beating beta's (2).
+        assert lex.output == ["alpha"]
+        # MEA: beta's first CE (tag 2) beats alpha's first CE (tag 1).
+        assert mea.output == ["beta"]
+
+
+class TestRefraction:
+    def test_instantiation_fires_once(self):
+        engine = RuleEngine()
+        engine.add_rule("(p r (item) --> (write fired))")
+        engine.make("item")
+        assert engine.run(limit=10) == 1
+
+    def test_new_wme_allows_new_firing(self):
+        engine = RuleEngine()
+        engine.add_rule("(p r (item) --> (write fired))")
+        engine.make("item")
+        engine.run(limit=10)
+        engine.make("item")
+        assert engine.run(limit=10) == 1
+
+    def test_soi_refires_when_content_changes(self):
+        """Paper §6: any change to the instantiation re-enables it."""
+        engine = RuleEngine()
+        engine.add_rule(
+            "(p watch { [item] <S> } --> (write saw (count <S>)))"
+        )
+        engine.make("item")
+        engine.run(limit=10)
+        engine.make("item")  # the SOI changes -> eligible again
+        engine.run(limit=10)
+        assert engine.output == ["saw 1", "saw 2"]
+
+    def test_soi_does_not_refire_unchanged(self):
+        engine = RuleEngine()
+        engine.add_rule(
+            "(p watch { [item] <S> } --> (write saw (count <S>)))"
+        )
+        engine.make("item")
+        engine.make("item")
+        assert engine.run(limit=10) == 1
+
+
+class TestConflictSetApi:
+    def test_of_rule_and_ordered(self):
+        engine = RuleEngine()
+        engine.add_rule("(p r1 (a) --> (halt))")
+        engine.add_rule("(p r2 (a) (b) --> (halt))")
+        engine.make("a")
+        engine.make("b")
+        assert len(engine.conflict_set.of_rule("r1")) == 1
+        ordered = engine.conflict_set.ordered(engine.strategy)
+        assert ordered[0].rule.name == "r2"
+
+    def test_counters(self):
+        engine = RuleEngine()
+        engine.add_rule("(p r (a) --> (halt))")
+        wme = engine.make("a")
+        engine.remove(wme)
+        assert engine.conflict_set.inserts == 1
+        assert engine.conflict_set.retracts == 1

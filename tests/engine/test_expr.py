@@ -1,0 +1,94 @@
+"""Unit tests for the expression evaluator."""
+
+import pytest
+
+from repro.core.expr import evaluate, is_truthy
+from repro.errors import EngineError
+from repro.lang.parser import parse_expression
+
+
+class Resolver:
+    def __init__(self, variables=None, aggregates=None):
+        self.variables = variables or {}
+        self.aggregates = aggregates or {}
+
+    def var(self, name):
+        return self.variables[name]
+
+    def aggregate(self, node):
+        return self.aggregates[(node.op, node.target)]
+
+
+def ev(source, **variables):
+    return evaluate(parse_expression(source), Resolver(variables))
+
+
+class TestArithmetic:
+    def test_precedence_and_ops(self):
+        assert ev("1 + 2 * 3") == 7
+        assert ev("10 - 4 - 3") == 3
+        assert ev("7 // 2") == 3
+        assert ev("7 / 2") == 3.5
+        assert ev("7 mod 3") == 1
+
+    def test_unary_minus(self):
+        assert ev("- 3 + 5") == 2
+
+    def test_division_by_zero(self):
+        with pytest.raises(EngineError):
+            ev("1 / 0")
+        with pytest.raises(EngineError):
+            ev("1 mod 0")
+
+    def test_arithmetic_needs_numbers(self):
+        with pytest.raises(EngineError):
+            ev("<x> + 1", x="abc")
+
+
+class TestComparisons:
+    def test_equality_uses_ops5_semantics(self):
+        assert ev("<x> == 2", x=2.0) is True
+        assert ev("<x> == two", x="two") is True
+        assert ev("<x> == 2", x="2") is False  # symbol vs number
+
+    def test_ordering_type_mismatch_is_false(self):
+        assert ev("<x> > 1", x="abc") is False
+        assert ev("<x> <= 1", x="abc") is False
+
+    def test_angle_predicates(self):
+        assert ev("2 <> 3") is True
+        assert ev("2 = 2") is True
+
+
+class TestBoolean:
+    def test_truthiness(self):
+        assert is_truthy("true")
+        assert is_truthy(1)
+        assert is_truthy("anything")
+        assert not is_truthy("false")
+        assert not is_truthy("nil")
+        assert not is_truthy(0)
+        assert not is_truthy(None)
+        assert not is_truthy(False)
+
+    def test_and_or_not(self):
+        assert ev("(1 < 2) and (2 < 3)") is True
+        assert ev("(1 > 2) or (2 < 3)") is True
+        assert ev("not (1 > 2)") is True
+        assert ev("(1 > 2) and (1 / 0 > 0)") is False  # short circuit
+
+    def test_symbols_in_boolean_context(self):
+        assert ev("<f> and true", f="true") is True
+        assert ev("<f> or false", f="nil") is False
+
+
+class TestAggregates:
+    def test_aggregate_resolution(self):
+        resolver = Resolver(aggregates={("count", "S"): 4})
+        expression = parse_expression("(count <S>) > 3")
+        assert evaluate(expression, resolver) is True
+
+    def test_none_aggregate_in_comparison_is_false(self):
+        resolver = Resolver(aggregates={("min", "S"): None})
+        expression = parse_expression("(min <S>) < 5")
+        assert evaluate(expression, resolver) is False

@@ -1,0 +1,68 @@
+"""Unit tests for the parallel-execution cost model."""
+
+from repro import RuleEngine
+from repro.bench.workloads import process_set_program, process_tuple_program
+from repro.engine.parallel import (
+    firing_latency,
+    run_latency,
+    speedup,
+    speedup_table,
+)
+from repro.engine.tracing import FiringRecord
+
+
+def record_with(tags):
+    record = FiringRecord(1, "r", True, (1,), len(tags))
+    for tag in tags:
+        if tag is None:
+            record.makes += 1
+        else:
+            record.modifies += 1
+        record.touched_tags.append(tag)
+    return record
+
+
+class TestFiringLatency:
+    def test_sequential_is_action_count(self):
+        record = record_with([1, 2, 3, 4])
+        assert firing_latency(record, 1) == 4
+
+    def test_independent_actions_divide_by_workers(self):
+        record = record_with([1, 2, 3, 4])
+        assert firing_latency(record, 2) == 2
+        assert firing_latency(record, 4) == 1
+        assert firing_latency(record, 100) == 1
+
+    def test_same_element_chain_limits(self):
+        record = record_with([1, 1, 1, 2])
+        assert firing_latency(record, 100) == 3  # chain on element 1
+
+    def test_makes_are_always_independent(self):
+        record = record_with([None, None, None])
+        assert firing_latency(record, 3) == 1
+
+    def test_empty_firing(self):
+        record = record_with([])
+        assert firing_latency(record, 8) == 0
+
+
+class TestRunModel:
+    def test_set_program_speedup_scales(self):
+        engine = RuleEngine()
+        process_set_program(engine, 64)
+        engine.run(limit=5)
+        table = speedup_table(engine.tracer, worker_counts=(1, 4, 16, 64))
+        latencies = [latency for _, latency, _ in table]
+        assert latencies[0] > latencies[-1]
+        # 64 independent modifies (+1 control): near-linear speedup.
+        assert speedup(engine.tracer, 64) > 30
+
+    def test_tuple_program_cannot_speed_up(self):
+        engine = RuleEngine()
+        process_tuple_program(engine, 64)
+        engine.run(limit=300)
+        # One action per firing: more workers achieve nothing.
+        assert run_latency(engine.tracer, 1) == run_latency(
+            engine.tracer, 64
+        )
+        assert speedup(engine.tracer, 64) == 1.0

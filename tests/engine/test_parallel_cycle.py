@@ -1,0 +1,130 @@
+"""Tests for the parallel firing cycle (the DIPS §8.1 execution model)."""
+
+import pytest
+
+from repro import RuleEngine
+
+TUPLE_DEDUP = """
+(literalize rec key serial)
+(p dedup
+  (rec ^key <k> ^serial <s>)
+  { (rec ^key <k> ^serial < <s>) <Old> }
+  -->
+  (remove <Old>))
+"""
+
+SET_DEDUP = """
+(literalize rec key serial)
+(p dedup
+  { [rec ^key <k>] <R> }
+  :scalar (<k>)
+  :test ((count <R>) > 1)
+  -->
+  (bind <first> true)
+  (foreach <R> descending
+    (if (<first> == true)
+      (bind <first> false)
+     else
+      (remove <R>))))
+"""
+
+
+def feed(engine, copies):
+    for serial in range(copies):
+        engine.make("rec", key="dup", serial=serial)
+
+
+class TestMutualInvalidation:
+    def test_tuple_instantiations_conflict(self):
+        engine = RuleEngine()
+        engine.load(TUPLE_DEDUP)
+        feed(engine, 5)
+        cycles, fired, conflicted = engine.run_parallel(max_cycles=10)
+        # 10 pair instantiations existed; most were invalidated by
+        # earlier firings of the same cycle — the paper's criticism.
+        assert conflicted > 0
+        assert len(engine.wm) == 1
+
+    def test_set_instantiation_never_conflicts(self):
+        engine = RuleEngine()
+        engine.load(SET_DEDUP)
+        feed(engine, 5)
+        cycles, fired, conflicted = engine.run_parallel(max_cycles=10)
+        assert (fired, conflicted) == (1, 0)
+        assert len(engine.wm) == 1
+
+    def test_disjoint_instantiations_all_fire(self):
+        engine = RuleEngine()
+        engine.load(
+            """
+            (literalize task id state)
+            (p start { (task ^state todo) <T> } --> (modify <T> ^state run))
+            """
+        )
+        for index in range(4):
+            engine.make("task", id=index, state="todo")
+        fired, conflicted = engine.parallel_cycle()
+        assert (fired, conflicted) == (4, 0)
+        assert len(engine.wm.find("task", state="run")) == 4
+
+
+class TestCycleMechanics:
+    def test_quiescence(self):
+        engine = RuleEngine()
+        engine.add_rule("(p r (a) --> (write x))")
+        assert engine.run_parallel() == (0, 0, 0)
+
+    def test_halt_stops_the_cycle(self):
+        engine = RuleEngine()
+        engine.add_rule("(p r (a ^n <n>) --> (halt))")
+        engine.make("a", n=1)
+        engine.make("a", n=2)
+        fired, conflicted = engine.parallel_cycle()
+        assert fired == 1  # halt took effect before the second firing
+
+    def test_soi_version_guard(self):
+        """An SOI changed by an earlier same-cycle firing is a conflict."""
+        engine = RuleEngine()
+        engine.load(
+            """
+            (literalize item v)
+            (literalize note text)
+            (literalize go)
+            (p shrink (go) { [item] <S> } :test ((count <S>) > 1)
+              -->
+              (foreach <S> descending (remove <S>)))
+            (p watch { [item] <S> } :test ((count <S>) > 1)
+              -->
+              (make note ^text saw))
+            """
+        )
+        engine.make("item", v=1)
+        engine.make("item", v=2)
+        engine.make("go")  # most recent: shrink dominates the cycle
+        fired, conflicted = engine.parallel_cycle()
+        # shrink fires first and empties the items; watch's SOI was
+        # destroyed mid-cycle -> conflict, exactly the §8.1 case.
+        assert fired == 1
+        assert conflicted == 1
+        assert not engine.wm.find("note")
+
+    def test_matches_sequential_end_state(self):
+        # For this independent workload parallel and sequential agree.
+        def build():
+            engine = RuleEngine()
+            engine.load(
+                """
+                (literalize n v)
+                (p double { (n ^v <v>) <N> } -(done)
+                  --> (modify <N> ^v (<v> * 2)) (make done))
+                """
+            )
+            engine.make("n", v=21)
+            return engine
+
+        sequential = build()
+        sequential.run(limit=10)
+        parallel = build()
+        parallel.run_parallel(max_cycles=10)
+        assert sorted(w.get("v") for w in sequential.wm.of_class("n")) \
+            == sorted(w.get("v") for w in parallel.wm.of_class("n"))

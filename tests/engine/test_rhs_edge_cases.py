@@ -1,0 +1,155 @@
+"""RHS edge cases: ordinals inside foreach, halt placement, snapshots."""
+
+import pytest
+
+from repro import RuleEngine
+from repro.errors import EngineError
+
+
+def engine_with(program):
+    engine = RuleEngine()
+    engine.load(program)
+    return engine
+
+
+class TestOrdinalTargets:
+    def test_ordinal_to_scalar_ce_in_set_rule(self):
+        engine = engine_with(
+            """
+            (p done { (ctl ^state run) <C> } [item]
+              -->
+              (modify 1 ^state finished))
+            """
+        )
+        engine.make("ctl", state="run")
+        engine.make("item")
+        engine.run(limit=2)
+        assert engine.wm.find("ctl", state="finished")
+
+    def test_ordinal_to_set_ce_inside_foreach(self):
+        # Inside a CE-foreach the set CE is narrowed to one member, so
+        # an ordinal target resolves.
+        engine = engine_with(
+            """
+            (p tag { [item ^v <v>] <S> }
+              -->
+              (foreach <S> ascending
+                (modify 1 ^v 0)))
+            """
+        )
+        engine.make("item", v=1)
+        engine.make("item", v=2)
+        engine.run(limit=2)
+        assert len(engine.wm.find("item", v=0)) == 2
+
+    def test_ordinal_out_of_range(self):
+        engine = engine_with("(p r (a) --> (remove 5))")
+        engine.make("a")
+        with pytest.raises(EngineError):
+            engine.run(limit=1)
+
+    def test_remove_target_unknown_var(self):
+        engine = engine_with("(p r (a) --> (remove <nope>))")
+        engine.make("a")
+        with pytest.raises(EngineError):
+            engine.run(limit=1)
+
+
+class TestSnapshotSemantics:
+    def test_foreach_iterates_fire_time_relation(self):
+        """Mid-firing WM changes do not disturb the iteration (§6)."""
+        engine = engine_with(
+            """
+            (p grow [seed ^v <v>]
+              -->
+              (foreach <v> ascending
+                (make sprout ^from <v>)))
+            """
+        )
+        engine.make("seed", v=1)
+        engine.make("seed", v=2)
+        engine.run(limit=1)
+        # The makes during iteration did not add iterations.
+        assert len(engine.wm.find("sprout")) == 2
+
+    def test_set_modify_snapshot(self):
+        # set-modify's new WMEs re-enter the SOI but do not get
+        # re-modified within the same firing.
+        engine = engine_with(
+            """
+            (p bump { [item ^n <n>] <S> }
+              :test ((count <S>) == 2)
+              -->
+              (set-modify <S> ^n 9))
+            """
+        )
+        engine.make("item", n=1)
+        engine.make("item", n=2)
+        engine.run(limit=1)
+        assert len(engine.wm.find("item", n=9)) == 2
+
+
+class TestHaltPlacement:
+    def test_halt_finishes_current_rhs(self):
+        engine = engine_with(
+            "(p r (a) --> (halt) (write after-halt))"
+        )
+        engine.make("a")
+        engine.run()
+        assert engine.output == ["after-halt"]
+        assert engine.halted
+
+    def test_halt_inside_foreach(self):
+        engine = engine_with(
+            """
+            (p r [item ^v <v>]
+              -->
+              (foreach <v> ascending
+                (write <v>)
+                (halt)))
+            (p other (item) --> (write never))
+            """
+        )
+        engine.make("item", v=1)
+        engine.make("item", v=2)
+        engine.run()
+        # The foreach completes (both values) but no further rule fires.
+        assert engine.output == ["1", "2"]
+
+
+class TestWriteEdgeCases:
+    def test_write_no_arguments(self):
+        engine = engine_with("(p r (a) --> (write))")
+        engine.make("a")
+        engine.run(limit=1)
+        assert engine.output == [""]
+
+    def test_write_float_formatting(self):
+        engine = engine_with(
+            "(p r (a ^x <x>) --> (write (<x> / 2)))"
+        )
+        engine.make("a", x=5)
+        engine.run(limit=1)
+        assert engine.output == ["2.5"]
+
+
+class TestNestedForeachTargets:
+    def test_set_remove_in_narrowed_scope(self):
+        """set-remove inside foreach removes only the current group."""
+        engine = engine_with(
+            """
+            (p purge-first { [item ^g <g>] <S> }
+              -->
+              (bind <done> false)
+              (foreach <g> ascending
+                (if (<done> == false)
+                  (set-remove <S>)
+                  (bind <done> true))))
+            """
+        )
+        engine.make("item", g="a")
+        engine.make("item", g="a")
+        engine.make("item", g="b")
+        engine.run(limit=1)
+        remaining = [w.get("g") for w in engine.wm.find("item")]
+        assert remaining == ["b"]

@@ -1,0 +1,99 @@
+"""Golden tests: the shipped .ops program files run correctly."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import ReplSession
+
+PROGRAMS = pathlib.Path(__file__).resolve().parents[2] / "examples" / \
+    "programs"
+
+
+@pytest.fixture
+def session():
+    return ReplSession(watch=0)
+
+
+class TestTournamentProgram:
+    def test_balanced_brackets_announce(self, session):
+        session.execute(f"load {PROGRAMS / 'tournament.ops'}")
+        session.execute("make phase ^name seeding")
+        for player, bracket, seed in [
+            ("ann", "east", 1), ("bob", "east", 2),
+            ("cat", "west", 1), ("dan", "west", 2),
+        ]:
+            session.execute(
+                f"make entrant ^player {player} ^bracket {bracket} "
+                f"^seed {seed}"
+            )
+        output = session.execute("run 20")
+        assert "brackets balanced at 2 each" in output
+        assert "bracket east" in output
+        assert "seed 1 : ann" in output
+        assert "bracket west" in output
+
+    def test_imbalance_warning(self, session):
+        session.execute(f"load {PROGRAMS / 'tournament.ops'}")
+        session.execute("make phase ^name seeding")
+        session.execute("make entrant ^player x ^bracket east ^seed 1")
+        output = session.execute("run 5")
+        # West is empty: no entrant tokens at all, so the imbalance rule
+        # never matches either — nothing fires.
+        assert "0 firing(s)" in output
+        session.execute("make entrant ^player y ^bracket west ^seed 1")
+        session.execute("make entrant ^player z ^bracket west ^seed 2")
+        output = session.execute("run 5")
+        assert "WARNING east 1 vs west 2" in output
+
+
+class TestMonkeyProgram:
+    def test_plan_executes(self, session):
+        session.execute(f"load {PROGRAMS / 'monkey.ops'}")
+        session.execute("make goal ^wants bananas ^done no")
+        session.execute("make monkey ^at door ^holds nothing ^on floor")
+        session.execute("make thing ^name box ^at corner")
+        output = session.execute("run 20")
+        assert "4 firing(s)" in output
+        assert "grabs the bananas" in output
+        wm = session.execute("wm monkey")
+        assert "^holds bananas" in wm
+
+
+class TestSensorStatsProgram:
+    def test_summary_and_refresh(self, session):
+        session.execute(f"load {PROGRAMS / 'sensor_stats.ops'}")
+        session.execute("make reading ^sensor t1 ^value 10")
+        session.execute("make reading ^sensor t1 ^value 30")
+        output = session.execute("run 10")
+        assert "sensor t1 n 2 mean 20.0" in output
+        session.execute("make reading ^sensor t1 ^value 50")
+        output = session.execute("run 10")
+        assert "refreshing summary for t1" in output
+        assert "sensor t1 n 3 mean 30.0" in output
+
+
+class TestJugsProgram:
+    def test_canonical_solution(self, session):
+        session.execute(f"load {PROGRAMS / 'jugs.ops'}")
+        session.execute("make jug ^size 5 ^content 0")
+        session.execute("make jug ^size 3 ^content 0")
+        session.execute("make goal ^target 4 ^done no")
+        output = session.execute("run 60")
+        assert "7 firing(s)" in output
+        assert "reached 4 gallons" in output
+        wm = session.execute("wm jug")
+        assert "^content 4" in wm
+
+
+class TestParallelCommand:
+    def test_parallel_reports_conflicts(self, session):
+        session.execute(
+            "(p dedup (rec ^key <k> ^serial <s>) "
+            "{ (rec ^key <k> ^serial < <s>) <Old> } --> (remove <Old>))"
+        )
+        for serial in range(4):
+            session.execute(f"make rec ^key dup ^serial {serial}")
+        output = session.execute("parallel 10")
+        assert "invalidated" in output
+        assert session.execute("wm rec").count("rec") == 1

@@ -1,0 +1,139 @@
+"""Executable check of every code block in docs/TUTORIAL.md."""
+
+import pytest
+
+from repro import RuleEngine
+
+
+@pytest.fixture
+def engine():
+    engine = RuleEngine()
+    engine.literalize("ticket", "id", "severity", "state")
+    engine.literalize("reviewer", "name", "load")
+    engine.literalize("intake", "state")
+    engine.literalize("sweep", "kind")
+    engine.literalize("print-request")
+    return engine
+
+
+STEP1 = """
+(p assign
+  { (ticket ^state new ^severity high) <T> }
+  { (reviewer ^load < 3 ^load <l>) <R> }
+  -->
+  (modify <T> ^state assigned)
+  (modify <R> ^load (<l> + 1)))
+"""
+
+STEP2 = """
+(p throttle
+  { [ticket ^state new] <Backlog> }
+  -(intake ^state closed)
+  :test ((count <Backlog>) >= 10)
+  -->
+  (write closing intake at (count <Backlog>) waiting)
+  (make intake ^state closed))
+"""
+
+STEP3 = """
+(p escalate-all
+  (sweep ^kind stale)
+  { [ticket ^state assigned] <Stale> }
+  -->
+  (write escalating (count <Stale>) tickets)
+  (set-modify <Stale> ^severity high)
+  (remove 1))
+"""
+
+STEP4 = """
+(p report
+  (print-request)
+  [ticket ^severity <sev> ^id <i>]
+  -->
+  (foreach <sev> ascending
+    (write severity <sev>)
+    (foreach <i> ascending
+      (write |  ticket| <i>)))
+  (remove 1))
+"""
+
+STEP5 = """
+(p dedup
+  { [ticket ^id <i>] <Dups> }
+  :scalar (<i>)
+  :test ((count <Dups>) > 1)
+  -->
+  (bind <keep> true)
+  (foreach <Dups> descending
+    (if (<keep> == true)
+      (bind <keep> false)
+     else
+      (remove <Dups>))))
+"""
+
+
+class TestTutorialSteps:
+    def test_step1_assignment(self, engine):
+        engine.add_rule(STEP1)
+        engine.make("reviewer", name="ann", load=0)
+        engine.make("ticket", id=1, severity="high", state="new")
+        engine.run(limit=5)
+        assert engine.wm.find("ticket", state="assigned")
+        assert engine.wm.find("reviewer", load=1)
+
+    def test_step2_throttle(self, engine):
+        engine.add_rule(STEP2)
+        tickets = [
+            engine.make("ticket", id=i, severity="low", state="new")
+            for i in range(10)
+        ]
+        assert engine.conflict_set_size() == 1
+        engine.remove(tickets[0])  # drop below the threshold
+        assert engine.conflict_set_size() == 0
+        engine.make("ticket", id=99, severity="low", state="new")
+        engine.run(limit=2)
+        assert engine.output == ["closing intake at 10 waiting"]
+
+    def test_step3_escalate_all(self, engine):
+        engine.add_rule(STEP3)
+        for index in range(7):
+            engine.make("ticket", id=index, severity="low",
+                        state="assigned")
+        engine.make("sweep", kind="stale")
+        fired = engine.run(limit=5)
+        assert fired == 1  # one firing, no refire (sweep removed)
+        assert len(engine.wm.find("ticket", severity="high")) == 7
+
+    def test_step4_grouped_report(self, engine):
+        engine.add_rule(STEP4)
+        engine.make("ticket", id=2, severity="high", state="new")
+        engine.make("ticket", id=1, severity="high", state="new")
+        engine.make("ticket", id=3, severity="low", state="new")
+        engine.make("print-request")
+        engine.run(limit=2)
+        assert engine.output == [
+            "severity high", "  ticket 1", "  ticket 2",
+            "severity low", "  ticket 3",
+        ]
+
+    def test_step5_dedup(self, engine):
+        engine.add_rule(STEP5)
+        engine.make("ticket", id=7, severity="low", state="new")
+        engine.make("ticket", id=7, severity="low", state="new")
+        engine.make("ticket", id=8, severity="low", state="new")
+        engine.run(limit=5)
+        assert len(engine.wm.find("ticket", id=7)) == 1
+        assert len(engine.wm.find("ticket", id=8)) == 1
+        # The survivor is the most recent copy (time tag 2).
+        assert engine.wm.find("ticket", id=7)[0].time_tag == 2
+
+    def test_step6_host_function(self, engine):
+        alerts = []
+        engine.register_function("page", alerts.append)
+        engine.add_rule(
+            "(p page-high (ticket ^severity high ^id <i>) --> "
+            "(call page <i>))"
+        )
+        engine.make("ticket", id=42, severity="high", state="new")
+        engine.run(limit=2)
+        assert alerts == [42]

@@ -1,0 +1,133 @@
+"""Unit tests for AST semantics: set-variable classification, validation."""
+
+import pytest
+
+from repro.errors import RuleError
+from repro.lang import ast
+from repro.lang.parser import parse_rule
+
+
+class TestSetVariableClassification:
+    """Paper section 4.1: when is a PV set-oriented?"""
+
+    def test_var_only_in_set_ces_is_set_oriented(self):
+        rule = parse_rule("(p r [player ^name <n>] --> (halt))")
+        assert rule.set_variables() == ["n"]
+
+    def test_var_in_regular_ce_is_scalar(self):
+        rule = parse_rule(
+            "(p r [player ^name <n>] (player ^name <n> ^team B) "
+            "--> (halt))"
+        )
+        assert rule.set_variables() == []
+        assert "n" in rule.scalar_variables()
+
+    def test_scalar_clause_forces_scalar(self):
+        rule = parse_rule(
+            "(p r [player ^name <n> ^team <t>] :scalar (<n>) --> (halt))"
+        )
+        assert rule.set_variables() == ["t"]
+        assert "n" in rule.scalar_variables()
+
+    def test_join_of_two_set_ces_keeps_var_set_oriented(self):
+        rule = parse_rule(
+            "(p r [player ^name <n> ^team A] [player ^name <n> ^team B] "
+            "--> (halt))"
+        )
+        assert rule.set_variables() == ["n"]
+
+
+class TestRuleValidation:
+    def test_scalar_names_unknown_variable(self):
+        with pytest.raises(RuleError):
+            parse_rule("(p r [player ^name <n>] :scalar (<zz>) --> (halt))")
+
+    def test_element_var_clashing_with_pv(self):
+        with pytest.raises(RuleError):
+            parse_rule(
+                "(p r { [player ^name <P>] <P> } --> (halt))"
+            )
+
+    def test_aggregate_over_scalar_var_rejected(self):
+        with pytest.raises(RuleError):
+            parse_rule(
+                "(p r (player ^name <n>) { [player] <P> } "
+                ":test ((count <n>) > 1) --> (halt))"
+            )
+
+    def test_negated_set_ce_rejected(self):
+        with pytest.raises(RuleError):
+            ast.ConditionElement("x", (), set_oriented=True, negated=True)
+
+    def test_negated_ce_cannot_bind_element_var(self):
+        with pytest.raises(RuleError):
+            ast.ConditionElement("x", (), negated=True, element_var="E")
+
+    def test_empty_lhs_rejected(self):
+        with pytest.raises(RuleError):
+            ast.Rule("r", [], [])
+
+
+class TestStructureHelpers:
+    def test_specificity_counts_class_and_checks(self):
+        rule = parse_rule(
+            "(p r (player ^team A ^name <n>) (goal) --> (halt))"
+        )
+        # player: 1 class + 2 checks; goal: 1 class.
+        assert rule.specificity() == 4
+
+    def test_element_vars_map(self):
+        rule = parse_rule(
+            "(p r { (a) <X> } { [b] <Y> } --> (remove <X>))"
+        )
+        assert rule.element_vars() == {"X": 0, "Y": 1}
+
+    def test_attribute_of_variable(self):
+        rule = parse_rule("(p r (a ^foo <v> ^bar > <v>) --> (halt))")
+        assert rule.ces[0].attribute_of_variable("v") == "foo"
+
+    def test_walk_actions_descends(self):
+        rule = parse_rule(
+            "(p r [a ^v <v>] --> "
+            "(foreach <v> (if (<v> > 1) (write deep))))"
+        )
+        kinds = [type(a).__name__ for a in ast.walk_actions(rule.actions)]
+        assert kinds == ["ForeachAction", "IfAction", "WriteAction"]
+
+    def test_walk_aggregates(self):
+        rule = parse_rule(
+            "(p r { [a] <S> } :test ((count <S>) > 1 and (count <S>) < 9) "
+            "--> (halt))"
+        )
+        aggregates = list(ast.walk_aggregates(rule.test))
+        assert len(aggregates) == 2
+
+    def test_positive_and_partitioned_ces(self):
+        rule = parse_rule("(p r (a) [b] -(c) --> (halt))")
+        assert len(rule.positive_ces()) == 2
+        assert len(rule.set_ces()) == 1
+        assert len(rule.regular_ces()) == 1
+
+
+class TestNodeEquality:
+    def test_value_equality(self):
+        a = ast.Check("=", ast.Const(1))
+        b = ast.Check("=", ast.Const(1))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != ast.Check("=", ast.Const(2))
+
+    def test_cross_type_inequality(self):
+        assert ast.Const(1) != ast.Var("1")
+
+    def test_invalid_nodes(self):
+        with pytest.raises(RuleError):
+            ast.Aggregate("median", "x")
+        with pytest.raises(RuleError):
+            ast.BinOp("**", ast.Const(1), ast.Const(2))
+        with pytest.raises(RuleError):
+            ast.ForeachAction("v", (), order="sideways")
+        with pytest.raises(RuleError):
+            ast.Check("=", ast.Disjunction((1,))) and ast.Check(
+                ">", ast.Disjunction((1,))
+            )

@@ -1,0 +1,117 @@
+"""Unit tests for the programmatic RuleBuilder."""
+
+import pytest
+
+from repro.errors import RuleError
+from repro.lang import ast
+from repro.lang.builder import RuleBuilder, ce, neg_ce, set_ce, var
+from repro.lang.parser import parse_rule
+
+
+class TestCeHelpers:
+    def test_constant_and_var_checks(self):
+        element = ce("player", team="A", name=var("n"))
+        assert not element.set_oriented
+        checks = {t.attribute: t.checks[0] for t in element.tests}
+        assert checks["team"] == ast.Check("=", ast.Const("A"))
+        assert checks["name"] == ast.Check("=", ast.Var("n"))
+
+    def test_predicate_tuple(self):
+        element = ce("item", n=(">", 5))
+        assert element.tests[0].checks[0].predicate == ">"
+
+    def test_conjunction_via_list(self):
+        element = ce("item", n=[(">", 2), ("<", 10)])
+        assert len(element.tests[0].checks) == 2
+
+    def test_set_and_negated(self):
+        assert set_ce("player").set_oriented
+        assert neg_ce("done").negated
+
+    def test_invalid_value_raises(self):
+        with pytest.raises(RuleError):
+            ce("player", name=object())
+
+
+class TestRuleBuilder:
+    def test_matches_parsed_equivalent(self):
+        built = (
+            RuleBuilder("SwitchTeams")
+            .set_ce("player", team="A").bind("ATeam")
+            .set_ce("player", team="B").bind("BTeam")
+            .test("(count <ATeam>) == (count <BTeam>)")
+            .set_modify("ATeam", team="B")
+            .set_modify("BTeam", team="A")
+            .build()
+        )
+        parsed = parse_rule(
+            """(p SwitchTeams
+                 { [player ^team A] <ATeam> }
+                 { [player ^team B] <BTeam> }
+                 :test ((count <ATeam>) == (count <BTeam>))
+                 --> (set-modify <ATeam> ^team B)
+                     (set-modify <BTeam> ^team A))"""
+        )
+        assert built == parsed
+
+    def test_scalar_clause(self):
+        rule = (
+            RuleBuilder("r")
+            .set_ce("player", name=var("n"))
+            .scalar("n")
+            .write(var("n"))
+            .build()
+        )
+        assert rule.scalar_vars == ("n",)
+
+    def test_bind_requires_a_ce(self):
+        with pytest.raises(RuleError):
+            RuleBuilder("r").bind("X")
+
+    def test_expression_strings_parse(self):
+        rule = (
+            RuleBuilder("r")
+            .ce("c", n=var("n"))
+            .make("out", v="(<n> + 1)")
+            .build()
+        )
+        assignments = dict(rule.actions[0].assignments)
+        assert assignments["v"] == ast.BinOp(
+            "+", ast.Var("n"), ast.Const(1)
+        )
+
+    def test_foreach_nesting(self):
+        inner = (
+            RuleBuilder("_inner").write(var("v")).actions()
+        )
+        rule = (
+            RuleBuilder("r")
+            .set_ce("a", v=var("v"))
+            .foreach("v", *inner, order="descending")
+            .build()
+        )
+        action = rule.actions[0]
+        assert action.order == "descending"
+        assert isinstance(action.body[0], ast.WriteAction)
+
+    def test_if_with_string_condition(self):
+        rule = (
+            RuleBuilder("r")
+            .ce("a", n=var("n"))
+            .if_("<n> > 3", (ast.HaltAction(),))
+            .build()
+        )
+        assert isinstance(rule.actions[0], ast.IfAction)
+
+    def test_built_rule_runs(self, make_engine):
+        rule = (
+            RuleBuilder("doubler")
+            .ce("num", value=var("v"))
+            .make("doubled", value="(<v> * 2)")
+            .build()
+        )
+        engine = make_engine()
+        engine.add_rule(rule)
+        engine.make("num", value=21)
+        engine.run(limit=5)
+        assert engine.wm.find("doubled", value=42)

@@ -1,0 +1,223 @@
+"""Unit tests for the rule parser."""
+
+import pytest
+
+from repro.errors import ParseError, RuleError
+from repro.lang import ast
+from repro.lang.parser import parse_expression, parse_program, parse_rule
+
+
+class TestBasicRules:
+    def test_minimal_rule(self):
+        rule = parse_rule("(p r1 (goal) --> (halt))")
+        assert rule.name == "r1"
+        assert len(rule.ces) == 1
+        assert isinstance(rule.actions[0], ast.HaltAction)
+
+    def test_arrow_optional(self):
+        with_arrow = parse_rule("(p r (goal) --> (halt))")
+        without = parse_rule("(p r (goal) (halt))")
+        assert with_arrow == without
+
+    def test_constant_and_variable_tests(self):
+        rule = parse_rule(
+            "(p r (player ^team A ^name <n>) --> (write <n>))"
+        )
+        ce = rule.ces[0]
+        assert ce.wme_class == "player"
+        team_test, name_test = ce.tests
+        assert team_test.checks[0] == ast.Check("=", ast.Const("A"))
+        assert name_test.checks[0] == ast.Check("=", ast.Var("n"))
+
+    def test_predicates(self):
+        rule = parse_rule("(p r (item ^n > 5 ^m <> nil) --> (halt))")
+        checks = [t.checks[0] for t in rule.ces[0].tests]
+        assert checks[0].predicate == ">"
+        assert checks[0].operand == ast.Const(5)
+        assert checks[1].predicate == "<>"
+
+    def test_conjunctive_value_restriction(self):
+        rule = parse_rule("(p r (item ^n { > 2 < 10 }) --> (halt))")
+        checks = rule.ces[0].tests[0].checks
+        assert len(checks) == 2
+        assert checks[0].predicate == ">"
+        assert checks[1].predicate == "<"
+
+    def test_disjunction(self):
+        rule = parse_rule("(p r (item ^c << red green 3 >>) --> (halt))")
+        operand = rule.ces[0].tests[0].checks[0].operand
+        assert operand == ast.Disjunction(("red", "green", 3))
+
+
+class TestSetOrientedSyntax:
+    def test_set_ce(self):
+        rule = parse_rule("(p r [player ^team A] --> (halt))")
+        assert rule.ces[0].set_oriented
+        assert rule.is_set_oriented
+
+    def test_element_binding_both_orders(self):
+        after = parse_rule("(p r { (goal) <G> } --> (remove <G>))")
+        before = parse_rule("(p r { <G> (goal) } --> (remove <G>))")
+        assert after.ces[0].element_var == "G"
+        assert after == before
+
+    def test_scalar_clause(self):
+        rule = parse_rule(
+            "(p r [player ^name <n> ^team <t>] :scalar (<n> <t>) "
+            "--> (halt))"
+        )
+        assert rule.scalar_vars == ("n", "t")
+
+    def test_test_clause(self):
+        rule = parse_rule(
+            "(p r { [player] <P> } :test ((count <P>) > 1) --> (halt))"
+        )
+        assert isinstance(rule.test, ast.BinOp)
+        assert rule.test.op == ">"
+        assert rule.test.left == ast.Aggregate("count", "P")
+
+    def test_test_requires_set_ce(self):
+        with pytest.raises(RuleError):
+            parse_rule(
+                "(p r { (goal) <G> } :test ((count <G>) > 1) --> (halt))"
+            )
+
+
+class TestNegation:
+    def test_negated_ce(self):
+        rule = parse_rule("(p r (goal) -(done) --> (halt))")
+        assert rule.ces[1].negated
+
+    def test_all_negated_lhs_rejected(self):
+        with pytest.raises(RuleError):
+            parse_rule("(p r -(done) --> (halt))")
+
+
+class TestActions:
+    def test_make_with_expressions(self):
+        rule = parse_rule(
+            "(p r (c ^n <n>) --> (make item ^v (<n> + 1) ^w done))"
+        )
+        action = rule.actions[0]
+        assert isinstance(action, ast.MakeAction)
+        assert action.assignments[0][1] == ast.BinOp(
+            "+", ast.Var("n"), ast.Const(1)
+        )
+
+    def test_remove_expands_multiple_targets(self):
+        rule = parse_rule("(p r (a) (b) --> (remove 1 2))")
+        assert [a.target for a in rule.actions] == [1, 2]
+
+    def test_modify_by_ordinal_and_var(self):
+        rule = parse_rule(
+            "(p r { (a) <X> } --> (modify <X> ^n 1) (modify 1 ^n 2))"
+        )
+        assert rule.actions[0].target == "X"
+        assert rule.actions[1].target == 1
+
+    def test_write_with_crlf(self):
+        rule = parse_rule("(p r (a) --> (write hello (crlf) world))")
+        arguments = rule.actions[0].arguments
+        assert arguments[1] == ast.Const("\n")
+
+    def test_set_actions(self):
+        rule = parse_rule(
+            "(p r { [a] <S> } --> (set-modify <S> ^x 1) (set-remove <S>))"
+        )
+        assert isinstance(rule.actions[0], ast.SetModifyAction)
+        assert isinstance(rule.actions[1], ast.SetRemoveAction)
+
+    def test_foreach_orders(self):
+        rule = parse_rule(
+            "(p r [a ^v <v>] --> "
+            "(foreach <v> (write <v>)) "
+            "(foreach <v> ascending (write <v>)) "
+            "(foreach <v> descending (write <v>)))"
+        )
+        assert [a.order for a in rule.actions] == [
+            "default", "ascending", "descending",
+        ]
+
+    def test_nested_foreach(self):
+        rule = parse_rule(
+            "(p r [a ^x <x> ^y <y>] --> "
+            "(foreach <x> (foreach <y> (write <x> <y>))))"
+        )
+        outer = rule.actions[0]
+        assert isinstance(outer.body[0], ast.ForeachAction)
+
+    def test_if_else(self):
+        rule = parse_rule(
+            "(p r (a ^n <n>) --> "
+            "(if (<n> > 3) (write big) else (write small)))"
+        )
+        action = rule.actions[0]
+        assert len(action.then_body) == 1
+        assert len(action.else_body) == 1
+
+    def test_bind(self):
+        rule = parse_rule("(p r (a) --> (bind <x> (1 + 2)))")
+        assert rule.actions[0] == ast.BindAction(
+            "x", ast.BinOp("+", ast.Const(1), ast.Const(2))
+        )
+
+    def test_unknown_action_raises(self):
+        with pytest.raises(ParseError):
+            parse_rule("(p r (a) --> (explode))")
+
+
+class TestExpressions:
+    def test_precedence(self):
+        expression = parse_expression("1 + 2 * 3")
+        assert expression == ast.BinOp(
+            "+",
+            ast.Const(1),
+            ast.BinOp("*", ast.Const(2), ast.Const(3)),
+        )
+
+    def test_comparison_of_aggregates(self):
+        expression = parse_expression("(count <A>) == (count <B>)")
+        assert expression.op == "=="
+        assert expression.left == ast.Aggregate("count", "A")
+
+    def test_boolean_connectives(self):
+        expression = parse_expression("(1 < 2) and not (3 < 2)")
+        assert expression.op == "and"
+        assert isinstance(expression.right, ast.UnaryOp)
+
+    def test_aggregate_with_attribute(self):
+        expression = parse_expression("(sum <Items> ^value)")
+        assert expression == ast.Aggregate("sum", "Items", "value")
+
+    def test_angle_predicates_map_to_infix(self):
+        assert parse_expression("<x> <> 1").op == "!="
+        assert parse_expression("<x> = 1").op == "=="
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(ParseError):
+            parse_expression("1 + 2 extra")
+
+
+class TestPrograms:
+    def test_program_with_literalize(self):
+        literalizations, rules = parse_program(
+            """
+            (literalize player name team)
+            (p r (player ^name <n>) --> (write <n>))
+            """
+        )
+        assert literalizations == [("player", ["name", "team"])]
+        assert rules[0].name == "r"
+
+    def test_unknown_toplevel_raises(self):
+        with pytest.raises(ParseError):
+            parse_program("(frobnicate)")
+
+    def test_unterminated_rule_raises(self):
+        with pytest.raises(ParseError):
+            parse_rule("(p r (goal) --> (halt)")
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as info:
+            parse_rule("(p r (goal)\n  ^oops)")
+        assert "line 2" in str(info.value)

@@ -1,0 +1,122 @@
+"""Unit tests for the pretty-printer beyond the round-trip property."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.parser import parse_rule
+from repro.lang.printer import (
+    format_action,
+    format_ce,
+    format_expression,
+    format_rule,
+)
+
+
+class TestExpressionFormatting:
+    def test_constants(self):
+        assert format_expression(ast.Const(5)) == "5"
+        assert format_expression(ast.Const("sym")) == "sym"
+
+    def test_quoting_of_awkward_symbols(self):
+        assert format_expression(ast.Const("two words")) == "|two words|"
+        assert format_expression(ast.Const("")) == "||"
+        assert format_expression(ast.Const("a(b")) == "|a(b|"
+
+    def test_variables_and_aggregates(self):
+        assert format_expression(ast.Var("x")) == "<x>"
+        assert format_expression(ast.Aggregate("count", "S")) \
+            == "(count <S>)"
+        assert format_expression(ast.Aggregate("sum", "S", "qty")) \
+            == "(sum <S> ^qty)"
+
+    def test_nested_binops(self):
+        expression = ast.BinOp(
+            "-",
+            ast.Aggregate("max", "S", "v"),
+            ast.Aggregate("min", "S", "v"),
+        )
+        assert format_expression(expression) \
+            == "((max <S> ^v) - (min <S> ^v))"
+
+    def test_unary(self):
+        assert format_expression(
+            ast.UnaryOp("not", ast.Const("true"))
+        ) == "(not true)"
+
+
+class TestCeFormatting:
+    def test_regular_set_negated(self):
+        assert format_ce(parse_rule("(p r (a ^x 1) --> (halt))").ces[0]) \
+            == "(a ^x 1)"
+        assert format_ce(parse_rule("(p r [a ^x 1] --> (halt))").ces[0]) \
+            == "[a ^x 1]"
+        assert format_ce(
+            parse_rule("(p r (g) -(a ^x 1) --> (halt))").ces[1]
+        ) == "-(a ^x 1)"
+
+    def test_element_binding(self):
+        ce = parse_rule("(p r { [a] <S> } --> (halt))").ces[0]
+        assert format_ce(ce) == "{ [a] <S> }"
+
+    def test_predicates_and_conjunctions(self):
+        ce = parse_rule("(p r (a ^n { > 2 <= 9 }) --> (halt))").ces[0]
+        assert format_ce(ce) == "(a ^n { > 2 <= 9 })"
+
+    def test_disjunction(self):
+        ce = parse_rule("(p r (a ^c << red 3 >>) --> (halt))").ces[0]
+        assert format_ce(ce) == "(a ^c << red 3 >>)"
+
+
+class TestActionFormatting:
+    def test_all_simple_actions(self):
+        rule = parse_rule(
+            "(p r { (a ^v <v>) <A> } --> "
+            "(make out ^v <v>) (remove <A>) (modify 1 ^v 2) "
+            "(write x) (bind <b> 1) (halt))"
+        )
+        rendered = [format_action(action) for action in rule.actions]
+        assert rendered == [
+            "(make out ^v <v>)",
+            "(remove <A>)",
+            "(modify 1 ^v 2)",
+            "(write x)",
+            "(bind <b> 1)",
+            "(halt)",
+        ]
+
+    def test_foreach_indents_body(self):
+        rule = parse_rule(
+            "(p r [a ^v <v>] --> (foreach <v> descending (write <v>)))"
+        )
+        text = format_action(rule.actions[0])
+        assert text.startswith("(foreach <v> descending\n")
+        assert "  (write <v>)" in text
+
+    def test_if_else(self):
+        rule = parse_rule(
+            "(p r (a ^v <v>) --> (if (<v> > 1) (halt) else (write no)))"
+        )
+        text = format_action(rule.actions[0])
+        assert "else" in text
+
+    def test_unknown_action_type_raises(self):
+        with pytest.raises(TypeError):
+            format_action(object())
+
+
+class TestRuleFormatting:
+    def test_structure(self):
+        rule = parse_rule(
+            "(p r [a ^v <v>] :scalar (<v>) --> (write <v>))"
+        )
+        text = format_rule(rule)
+        assert text.splitlines()[0] == "(p r"
+        assert "  :scalar (<v>)" in text
+        assert "  -->" in text
+        assert text.endswith("(write <v>))")
+
+    def test_test_clause_rendered(self):
+        rule = parse_rule(
+            "(p r { [a] <S> } :test ((count <S>) > 1) --> (halt))"
+        )
+        assert ":test (((count <S>) > 1))" in format_rule(rule)

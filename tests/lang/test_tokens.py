@@ -1,0 +1,109 @@
+"""Unit tests for the tokenizer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import tokens as tk
+
+
+def kinds(source):
+    return [t.kind for t in tk.tokenize(source)[:-1]]
+
+
+def values(source):
+    return [t.value for t in tk.tokenize(source)[:-1]]
+
+
+class TestStructural:
+    def test_brackets_and_braces(self):
+        assert kinds("( ) [ ] { }") == [
+            tk.LPAREN, tk.RPAREN, tk.LBRACKET, tk.RBRACKET,
+            tk.LBRACE, tk.RBRACE,
+        ]
+
+    def test_arrow_and_negation(self):
+        assert kinds("--> -(") == [tk.ARROW, tk.MINUS_LPAREN]
+
+    def test_negative_number_vs_negated_ce(self):
+        tokens = tk.tokenize("-5 -(")
+        assert tokens[0].kind == tk.NUMBER and tokens[0].value == -5
+        assert tokens[1].kind == tk.MINUS_LPAREN
+
+
+class TestAngleBrackets:
+    def test_variable(self):
+        token = tk.tokenize("<name>")[0]
+        assert token.kind == tk.VAR
+        assert token.value == "name"
+
+    def test_predicates_longest_first(self):
+        assert values("<=> << <= <> < >> >= >") == [
+            "<=>", "<<", "<=", "<>", "<", ">>", ">=", ">",
+        ]
+        assert kinds("<=> << <= <> < >> >= >") == [
+            tk.PRED, tk.LDISJ, tk.PRED, tk.PRED, tk.PRED,
+            tk.RDISJ, tk.PRED, tk.PRED,
+        ]
+
+    def test_variable_with_dashes_and_digits(self):
+        token = tk.tokenize("<x-1>")[0]
+        assert token.kind == tk.VAR
+        assert token.value == "x-1"
+
+
+class TestLiterals:
+    def test_numbers(self):
+        assert values("42 4.5 -3 1e3") == [42, 4.5, -3, 1000.0]
+
+    def test_symbols(self):
+        assert values("Jack team-A nil") == ["Jack", "team-A", "nil"]
+
+    def test_quoted_symbols(self):
+        token = tk.tokenize("|a b c|")[0]
+        assert token.kind == tk.STRING
+        assert token.value == "a b c"
+
+    def test_double_quoted_strings(self):
+        token = tk.tokenize('"hello world"')[0]
+        assert token.value == "hello world"
+
+    def test_unterminated_quote_raises(self):
+        with pytest.raises(ParseError):
+            tk.tokenize("|abc")
+
+
+class TestOperatorsAndClauses:
+    def test_attribute(self):
+        token = tk.tokenize("^team")[0]
+        assert token.kind == tk.ATTR
+        assert token.value == "team"
+
+    def test_bare_caret_raises(self):
+        with pytest.raises(ParseError):
+            tk.tokenize("^ 1")
+
+    def test_clause(self):
+        token = tk.tokenize(":scalar")[0]
+        assert token.kind == tk.CLAUSE
+        assert token.value == "scalar"
+
+    def test_infix_operators(self):
+        assert kinds("== != + - * / mod") == [tk.OP] * 7
+
+    def test_equals_is_predicate(self):
+        assert kinds("=") == [tk.PRED]
+
+
+class TestCommentsAndPositions:
+    def test_comments_skipped(self):
+        assert values("a ; comment here\nb") == ["a", "b"]
+
+    def test_line_and_column_tracking(self):
+        tokens = tk.tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_eof_token_terminates(self):
+        tokens = tk.tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == tk.EOF

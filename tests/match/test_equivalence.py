@@ -1,0 +1,196 @@
+"""Differential testing: all four matchers must agree, always.
+
+Rete is incremental and clever; the naive matcher recomputes from
+scratch and is "obviously correct".  Hypothesis drives random WM
+operation sequences through a fixed rule portfolio and asserts the
+conflict sets (as comparable snapshots) stay identical across Rete,
+TREAT, naive, and DIPS.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dips import DipsMatcher
+from repro.lang.parser import parse_rule
+from repro.match import NaiveMatcher, TreatMatcher
+from repro.rete import ReteNetwork
+from repro.wm import WorkingMemory
+
+
+class SnapshotListener:
+    """Tracks live instantiations in a comparable canonical form."""
+
+    def __init__(self):
+        self.live = {}
+
+    def insert(self, inst):
+        self.live[inst.identity()] = inst
+
+    def retract(self, inst):
+        self.live.pop(inst.identity(), None)
+
+    def reposition(self, inst):
+        pass
+
+    def snapshot(self):
+        entries = []
+        for inst in self.live.values():
+            token_tags = sorted(
+                tuple(
+                    wme.time_tag if wme is not None else 0
+                    for wme in token.wmes()
+                )
+                for token in inst.tokens()
+            )
+            entries.append((inst.rule.name, tuple(token_tags)))
+        return sorted(entries)
+
+
+RULES = [
+    # Plain join.
+    "(p join (item ^owner <o>) (owner ^name <o>) --> (halt))",
+    # Negation.
+    "(p lonely (item ^owner <o>) -(owner ^name <o>) --> (halt))",
+    # Pure set rule.
+    "(p allitems [item ^v <v>] --> (halt))",
+    # Partitioned set rule with :scalar and a count test.
+    "(p groups { [item ^owner <o>] <S> } :scalar (<o>) "
+    ":test ((count <S>) >= 2) --> (halt))",
+    # Mixed scalar + set CEs with a numeric aggregate.
+    "(p heavy (owner ^name <o>) { [item ^owner <o> ^v <v>] <S> } "
+    ":test ((sum <S> ^v) > 10) --> (halt))",
+    # Same-class self-join between a scalar and a set CE.
+    "(p selfjoin (item ^owner <o>) [item ^owner <o>] --> (halt))",
+]
+
+# DIPS now supports negation through residual blocker checks, so it
+# runs the full portfolio.
+DIPS_RULES = RULES
+
+OWNERS = ["ann", "bob", "cat"]
+
+
+@st.composite
+def operation_sequences(draw):
+    """A list of ops: ('make-item', owner, v) | ('make-owner', o) | ('remove', i)."""
+    ops = draw(
+        st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("make-item"),
+                    st.sampled_from(OWNERS),
+                    st.integers(0, 9),
+                ),
+                st.tuples(st.just("make-owner"), st.sampled_from(OWNERS)),
+                st.tuples(st.just("remove"), st.integers(0, 30)),
+                st.tuples(st.just("excise"), st.just(0)),
+            ),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    return ops
+
+
+def drive(matcher, rules, ops):
+    wm = WorkingMemory()
+    listener = SnapshotListener()
+    matcher.set_listener(listener)
+    matcher.attach(wm)
+    for source in rules:
+        matcher.add_rule(parse_rule(source))
+    made = []
+    snapshots = []
+    for op in ops:
+        if op[0] == "make-item":
+            made.append(wm.make("item", owner=op[1], v=op[2]))
+        elif op[0] == "make-owner":
+            made.append(wm.make("owner", name=op[1]))
+        elif op[0] == "remove":
+            live = [w for w in made if w in wm]
+            if live:
+                wm.remove(live[op[1] % len(live)])
+        else:  # excise the self-join rule (idempotent)
+            from repro.errors import ReproError
+
+            try:
+                matcher.remove_rule("selfjoin")
+            except ReproError:
+                pass  # already excised earlier in the sequence
+        snapshots.append(listener.snapshot())
+    return snapshots
+
+
+class TestIncrementalEquivalence:
+    @given(operation_sequences())
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_rete_equals_naive(self, ops):
+        assert drive(ReteNetwork(), RULES, ops) == drive(
+            NaiveMatcher(), RULES, ops
+        )
+
+    @given(operation_sequences())
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_treat_equals_naive(self, ops):
+        assert drive(TreatMatcher(), RULES, ops) == drive(
+            NaiveMatcher(), RULES, ops
+        )
+
+    @given(operation_sequences())
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_dips_equals_naive(self, ops):
+        assert drive(DipsMatcher(), DIPS_RULES, ops) == drive(
+            NaiveMatcher(), DIPS_RULES, ops
+        )
+
+
+class TestEngineLevelEquivalence:
+    """Whole-program equivalence: same firings, same output, same WM."""
+
+    PROGRAM = """
+    (literalize player name team)
+    (p RemoveDups
+      { [player ^name <n> ^team <t>] <P> }
+      :scalar (<n> <t>)
+      :test ((count <P>) > 1)
+      -->
+      (bind <First> true)
+      (foreach <P> descending
+        (if (<First> == true)
+          (bind <First> false)
+         else
+          (remove <P>))))
+    """
+
+    @pytest.mark.parametrize(
+        "matcher_cls", [ReteNetwork, TreatMatcher, NaiveMatcher, DipsMatcher]
+    )
+    def test_remove_dups_program(self, matcher_cls):
+        from repro import RuleEngine
+
+        engine = RuleEngine(matcher=matcher_cls())
+        engine.load(self.PROGRAM)
+        roster = [
+            ("A", "Jack"), ("A", "Jack"), ("B", "Sue"),
+            ("B", "Sue"), ("B", "Sue"), ("A", "Pat"),
+        ]
+        for team, name in roster:
+            engine.make("player", team=team, name=name)
+        engine.run(limit=20)
+        remaining = sorted(
+            (w.get("name"), w.get("team")) for w in engine.wm
+        )
+        assert remaining == [("Jack", "A"), ("Pat", "A"), ("Sue", "B")]

@@ -1,0 +1,115 @@
+"""Unit tests for the shared SOI grouper (used by TREAT/naive/DIPS)."""
+
+import pytest
+
+from repro.analysis import RuleAnalysis
+from repro.core.instantiation import MatchToken
+from repro.lang.parser import parse_rule
+from repro.match.grouping import SoiGrouper
+from repro.wm import WME
+
+
+class Recorder:
+    def __init__(self):
+        self.live = []
+        self.events = []
+
+    def insert(self, inst):
+        self.live.append(inst)
+        self.events.append("+")
+
+    def retract(self, inst):
+        self.live.remove(inst)
+        self.events.append("-")
+
+    def reposition(self, inst):
+        self.events.append("time")
+
+
+def grouper_for(source):
+    rule = parse_rule(source)
+    recorder = Recorder()
+    return SoiGrouper(rule, RuleAnalysis(rule), recorder), recorder
+
+
+def token(tag, **values):
+    return MatchToken([WME("item", values, tag)])
+
+
+class TestGrouping:
+    def test_pure_set_rule_single_group(self):
+        grouper, recorder = grouper_for("(p r [item ^v <v>] --> (halt))")
+        grouper.add_token(token(1, v=1))
+        grouper.add_token(token(2, v=2))
+        assert len(grouper.sois) == 1
+        assert len(recorder.live) == 1
+        assert len(recorder.live[0].tokens()) == 2
+
+    def test_scalar_var_partitions(self):
+        grouper, recorder = grouper_for(
+            "(p r [item ^owner <o>] :scalar (<o>) --> (halt))"
+        )
+        grouper.add_token(token(1, owner="x"))
+        grouper.add_token(token(2, owner="y"))
+        grouper.add_token(token(3, owner="x"))
+        assert len(grouper.sois) == 2
+        assert len(recorder.live) == 2
+
+    def test_p_value_exposed(self):
+        grouper, recorder = grouper_for(
+            "(p r [item ^owner <o>] :scalar (<o>) --> (halt))"
+        )
+        grouper.add_token(token(1, owner="x"))
+        [inst] = recorder.live
+        assert inst.p_value("o") == "x"
+
+    def test_removal_and_delete(self):
+        grouper, recorder = grouper_for("(p r [item ^v <v>] --> (halt))")
+        first = token(1, v=1)
+        grouper.add_token(first)
+        grouper.remove_token(first)
+        assert grouper.sois == {}
+        assert recorder.live == []
+        assert recorder.events == ["+", "-"]
+
+    def test_remove_unknown_token_noop(self):
+        grouper, recorder = grouper_for("(p r [item ^v <v>] --> (halt))")
+        grouper.remove_token(token(9, v=9))
+        assert recorder.events == []
+
+
+class TestTestClause:
+    SOURCE = (
+        "(p r { [item ^v <v>] <S> } :test ((count <S>) >= 2) --> (halt))"
+    )
+
+    def test_activation_threshold(self):
+        grouper, recorder = grouper_for(self.SOURCE)
+        grouper.add_token(token(1, v=1))
+        assert recorder.live == []
+        grouper.add_token(token(2, v=2))
+        assert len(recorder.live) == 1
+
+    def test_deactivation(self):
+        grouper, recorder = grouper_for(self.SOURCE)
+        first = token(1, v=1)
+        grouper.add_token(first)
+        grouper.add_token(token(2, v=2))
+        grouper.remove_token(first)
+        assert recorder.live == []
+        assert recorder.events == ["+", "-"]
+
+    def test_reposition_on_active_change(self):
+        grouper, recorder = grouper_for(self.SOURCE)
+        grouper.add_token(token(1, v=1))
+        grouper.add_token(token(2, v=2))
+        grouper.add_token(token(3, v=3))
+        assert recorder.events == ["+", "time"]
+
+    def test_version_counts_every_change(self):
+        grouper, recorder = grouper_for(self.SOURCE)
+        grouper.add_token(token(1, v=1))
+        [soi] = grouper.sois.values()
+        assert soi.version == 1
+        grouper.add_token(token(2, v=2))
+        assert soi.version == 2

@@ -1,0 +1,61 @@
+"""Figure 1: rule, working memory, and conflict set.
+
+The ``compete`` rule generates all possible competitions between the
+members of two teams; with the figure's five WMEs the conflict set
+holds exactly six instantiations, pairing each A player (tags 1, 2)
+with each B player (tags 3, 4, 5).
+"""
+
+from tests.conftest import PAPER_ROSTER, load_roster
+
+COMPETE = """
+(literalize player name team)
+(p compete
+  (player ^name <n1> ^team A)
+  (player ^name <n2> ^team B)
+  -->
+  (write |Player A:| <n1> |, Player B:| <n2>))
+"""
+
+
+class TestFigure1:
+    def test_six_instantiations(self, make_engine, matcher_name):
+        engine = make_engine(matcher_name)
+        engine.load(COMPETE)
+        load_roster(engine)
+        instantiations = engine.conflict_set.of_rule("compete")
+        assert len(instantiations) == 6
+
+    def test_exact_pairs(self, make_engine, matcher_name):
+        engine = make_engine(matcher_name)
+        engine.load(COMPETE)
+        load_roster(engine)
+        pairs = sorted(
+            (inst.wme_at(0).time_tag, inst.wme_at(1).time_tag)
+            for inst in engine.conflict_set.of_rule("compete")
+        )
+        # The figure's six instantiations: 1&3 1&4 1&5 2&3 2&4 2&5.
+        assert pairs == [
+            (1, 3), (1, 4), (1, 5), (2, 3), (2, 4), (2, 5),
+        ]
+
+    def test_firing_all_instantiations(self, make_engine, matcher_name):
+        engine = make_engine(matcher_name)
+        engine.load(COMPETE)
+        load_roster(engine)
+        fired = engine.run(limit=20)
+        assert fired == 6
+        assert len(engine.output) == 6
+
+    def test_working_memory_matches_figure(self, make_engine):
+        engine = make_engine()
+        engine.load(COMPETE)
+        load_roster(engine)
+        shown = [
+            (w.time_tag, w.get("team"), w.get("name")) for w in engine.wm
+        ]
+        expected = [
+            (tag, team, name)
+            for tag, (team, name) in enumerate(PAPER_ROSTER, start=1)
+        ]
+        assert shown == expected

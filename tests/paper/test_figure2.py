@@ -1,0 +1,109 @@
+"""Figure 2: set-oriented LHSs and their instantiations.
+
+Two variants of ``compete`` over the Figure 1 working memory:
+
+* both CEs set-oriented — **one** SOI containing all six sub-matches;
+* first CE set-oriented, second regular — **three** SOIs, one per
+  team-B player, each aggregating both team-A players.
+"""
+
+from tests.conftest import load_roster
+
+ALL_SET = """
+(literalize player name team)
+(p compete
+  [player ^name <n1> ^team A]
+  [player ^name <n2> ^team B]
+  -->
+  (write competitions))
+"""
+
+MIXED = """
+(literalize player name team)
+(p compete
+  [player ^name <n1> ^team A]
+  (player ^name <n2> ^team B)
+  -->
+  (write competitions))
+"""
+
+
+def token_pairs(instantiation):
+    return sorted(
+        (t.wme_at(0).time_tag, t.wme_at(1).time_tag)
+        for t in instantiation.tokens()
+    )
+
+
+class TestAllSetVariant:
+    def test_single_soi(self, make_engine, matcher_name):
+        engine = make_engine(matcher_name)
+        engine.load(ALL_SET)
+        load_roster(engine)
+        instantiations = engine.conflict_set.of_rule("compete")
+        assert len(instantiations) == 1
+
+    def test_soi_contains_the_whole_relation(self, make_engine,
+                                              matcher_name):
+        engine = make_engine(matcher_name)
+        engine.load(ALL_SET)
+        load_roster(engine)
+        [soi] = engine.conflict_set.of_rule("compete")
+        assert token_pairs(soi) == [
+            (1, 3), (1, 4), (1, 5), (2, 3), (2, 4), (2, 5),
+        ]
+
+    def test_one_firing_covers_everything(self, make_engine, matcher_name):
+        engine = make_engine(matcher_name)
+        engine.load(ALL_SET)
+        load_roster(engine)
+        assert engine.run(limit=10) == 1
+
+
+class TestMixedVariant:
+    def test_three_sois(self, make_engine, matcher_name):
+        engine = make_engine(matcher_name)
+        engine.load(MIXED)
+        load_roster(engine)
+        instantiations = engine.conflict_set.of_rule("compete")
+        assert len(instantiations) == 3
+
+    def test_regular_ce_partitions_the_relation(self, make_engine,
+                                                matcher_name):
+        """The figure's grouping: {1,2}x3, {1,2}x4, {1,2}x5."""
+        engine = make_engine(matcher_name)
+        engine.load(MIXED)
+        load_roster(engine)
+        groups = sorted(
+            (
+                inst.wme_at(1).time_tag,
+                token_pairs(inst),
+            )
+            for inst in engine.conflict_set.of_rule("compete")
+        )
+        assert groups == [
+            (3, [(1, 3), (2, 3)]),
+            (4, [(1, 4), (2, 4)]),
+            (5, [(1, 5), (2, 5)]),
+        ]
+
+
+class TestIncrementalBehaviour:
+    def test_removing_a_player_updates_sois(self, make_engine,
+                                            matcher_name):
+        engine = make_engine(matcher_name)
+        engine.load(MIXED)
+        load_roster(engine)
+        jack_b = engine.wm.find("player", name="Jack", team="B")[0]
+        engine.remove(jack_b)
+        assert len(engine.conflict_set.of_rule("compete")) == 2
+
+    def test_removing_all_a_players_empties_conflict_set(
+        self, make_engine, matcher_name
+    ):
+        engine = make_engine(matcher_name)
+        engine.load(ALL_SET)
+        load_roster(engine)
+        for wme in engine.wm.find("player", team="A"):
+            engine.remove(wme)
+        assert engine.conflict_set_size() == 0

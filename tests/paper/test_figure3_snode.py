@@ -1,0 +1,133 @@
+"""Figure 3: the S-node algorithm, stage by stage.
+
+The figure defines the token-arrival algorithm: find the SOI and the
+token's place; update aggregates and re-evaluate the test; decide the
+flow.  These tests script make/remove sequences and check every ``chg``
+outcome — new, new-time, same-time, delete, fail — through the marks
+the S-node sends and the γ-memory state it keeps.
+
+(The find/update/decide unit behaviour is additionally covered in
+``tests/rete/test_snode.py``; here we exercise the full network path.)
+"""
+
+from repro.lang.parser import parse_rule
+from repro.rete import ReteNetwork
+from repro.rete.snode import ACTIVE, INACTIVE
+from repro.wm import WorkingMemory
+
+from tests.rete.test_network import Listener
+
+
+def build(source):
+    wm = WorkingMemory()
+    listener = Listener()
+    net = ReteNetwork()
+    net.set_listener(listener)
+    net.attach(wm)
+    rule = parse_rule(source)
+    net.add_rule(rule)
+    return wm, net, listener, net.snode_for(rule.name)
+
+
+SWITCH_LIKE = """
+(p switch
+  { [player ^team A] <ATeam> }
+  { [player ^team B] <BTeam> }
+  :test ((count <ATeam>) == (count <BTeam>))
+  -->
+  (halt))
+"""
+
+
+class TestChgNew:
+    def test_first_token_creates_soi_and_flows(self):
+        wm, net, listener, snode = build("(p r [item] --> (halt))")
+        wm.make("item")
+        assert len(snode.gamma) == 1
+        assert listener.events == [("+", "r")]
+
+
+class TestChgNewTimeAndSameTime:
+    def test_head_insert_repositions(self):
+        wm, net, listener, snode = build("(p r [item] --> (halt))")
+        wm.make("item")
+        wm.make("item")
+        assert listener.events == [("+", "r"), ("time", "r")]
+
+    def test_non_head_removal_is_silent_but_versioned(self):
+        wm, net, listener, snode = build("(p r [item] --> (halt))")
+        older = wm.make("item")
+        wm.make("item")
+        (soi,) = snode.gamma.values()
+        version = soi.version
+        listener.events.clear()
+        wm.remove(older)
+        assert listener.events == []  # same-time: no flow
+        assert soi.version == version + 1  # but the SOI changed
+
+
+class TestChgDelete:
+    def test_last_token_removal_deletes_soi(self):
+        wm, net, listener, snode = build("(p r [item] --> (halt))")
+        wme = wm.make("item")
+        wm.remove(wme)
+        assert snode.gamma == {}
+        assert listener.events == [("+", "r"), ("-", "r")]
+
+
+class TestChgFail:
+    def test_count_test_lifecycle(self):
+        """The SwitchTeams test: counts equal -> active, unequal -> fail."""
+        wm, net, listener, snode = build(SWITCH_LIKE)
+        wm.make("player", team="A")
+        assert listener.events == []  # no B players yet: no tokens at all
+        wm.make("player", team="B")
+        assert listener.events[-1] == ("+", "switch")
+        wm.make("player", team="B")  # 1 vs 2: test fails
+        assert listener.events[-1] == ("-", "switch")
+        (soi,) = snode.gamma.values()
+        assert soi.status == INACTIVE
+        before = len(listener.events)
+        wm.make("player", team="A")  # 2 vs 2 again: reactivate
+        # The new A WME joins both B players: the first token flips the
+        # test true (send +), the second repositions (send time).
+        assert listener.events[before:] == [
+            ("+", "switch"), ("time", "switch"),
+        ]
+        assert soi.status == ACTIVE
+
+    def test_aggregates_update_even_when_failing(self):
+        wm, net, listener, snode = build(SWITCH_LIKE)
+        wm.make("player", team="A")
+        wm.make("player", team="B")
+        wm.make("player", team="B")
+        (soi,) = snode.gamma.values()
+        counts = sorted(state.value() for state in soi.agg_states)
+        assert counts == [1, 2]
+
+
+class TestGammaMemoryEntry:
+    def test_entry_is_tokens_status_av(self):
+        wm, net, listener, snode = build(SWITCH_LIKE)
+        wm.make("player", team="A")
+        wm.make("player", team="B")
+        [(tokens, status, av)] = snode.gamma_memory()
+        assert len(tokens) == 1  # one A x B join product
+        assert status == ACTIVE
+        # AV: one entry per aggregate op, as (value, [(value, counter)]).
+        assert len(av) == 2
+        for value, pairs in av:
+            assert value == 1
+            assert all(counter >= 1 for _, counter in pairs)
+
+
+class TestPointerSemantics:
+    def test_conflict_set_sees_gamma_updates_transparently(self):
+        """§5: 'updates to an active SOI ... transparently update the
+        SOI in the conflict set' — only a pointer is passed."""
+        wm, net, listener, snode = build("(p r [item] --> (halt))")
+        wm.make("item")
+        [inst] = listener.live
+        assert len(inst.tokens()) == 1
+        wm.make("item")
+        assert len(inst.tokens()) == 2  # the same object grew

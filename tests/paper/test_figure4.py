@@ -1,0 +1,75 @@
+"""Figure 4: ``GroupByTeam`` — nested foreach over set-oriented PVs.
+
+The figure walks the iterations over the five-player WM: the single
+instantiation decomposes by team first (B before A: conflict-set
+order), then by name within each team; the two Sue WMEs share one
+value-based subinstantiation, so Sue prints once.
+"""
+
+from tests.conftest import load_roster
+
+GROUP_BY_TEAM = """
+(literalize player name team)
+(p GroupByTeam
+  [player ^team <t> ^name <n>]
+  -->
+  (foreach <t>
+    (write <t>)
+    (foreach <n>
+      (write <n>))))
+"""
+
+
+class TestFigure4:
+    def test_single_instantiation(self, make_engine, matcher_name):
+        engine = make_engine(matcher_name)
+        engine.load(GROUP_BY_TEAM)
+        load_roster(engine)
+        assert engine.conflict_set_size() == 1
+
+    def test_iteration_order_and_value_grouping(self, make_engine,
+                                                matcher_name):
+        engine = make_engine(matcher_name)
+        engine.load(GROUP_BY_TEAM)
+        load_roster(engine)
+        assert engine.run(limit=5) == 1
+        # First outer iteration <t> = B (more recent), inner Sue then
+        # Jack; Sue appears once despite two WMEs.  Then team A.
+        assert engine.output == ["B", "Sue", "Jack", "A", "Janice", "Jack"]
+
+    def test_subinstantiation_constrained_as_figure_shows(
+        self, make_engine
+    ):
+        """For <t>=B the subinstantiation is WMEs 3,4,5; for Sue, 3+5."""
+        engine = make_engine()
+        engine.load(
+            """
+            (literalize player name team)
+            (p probe
+              { [player ^team <t> ^name <n>] <P> }
+              -->
+              (foreach <t>
+                (foreach <n>
+                  (write <t> <n> (count <P>)))))
+            """
+        )
+        load_roster(engine)
+        engine.run(limit=2)
+        # count <P> inside the narrowing counts the member WMEs of the
+        # current subinstantiation.
+        assert engine.output == [
+            "B Sue 2",      # WMEs 3 and 5
+            "B Jack 1",     # WME 4
+            "A Janice 1",   # WME 2
+            "A Jack 1",     # WME 1
+        ]
+
+    def test_inner_domain_constrained_by_outer_value(self, make_engine):
+        engine = make_engine()
+        engine.load(GROUP_BY_TEAM)
+        load_roster(engine)
+        engine.run(limit=2)
+        # Janice never appears under team B.
+        output = engine.output
+        b_section = output[: output.index("A")]
+        assert "Janice" not in b_section

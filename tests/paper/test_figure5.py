@@ -1,0 +1,163 @@
+"""Figure 5: the four "powerful set-oriented rules".
+
+* ``SwitchTeams`` — set-modify over two counted teams;
+* ``GroupByA`` — hierarchical decomposition (each A player with all
+  their B competitors);
+* ``RemoveDups`` — :scalar partitioning + count test + descending
+  foreach keeping only the most recent duplicate;
+* ``AlternativeRemoveDups`` — the same task by pure iteration, which
+  "cannot discern whether any duplicates exist, thus its instantiation
+  can fire unnecessarily".
+"""
+
+import pytest
+
+from tests.conftest import load_roster
+
+PROGRAMS = {
+    "SwitchTeams": """
+        (literalize player name team)
+        (p SwitchTeams
+          { [player ^team A] <ATeam> }
+          { [player ^team B] <BTeam> }
+          :test ((count <ATeam>) == (count <BTeam>))
+          -->
+          (set-modify <ATeam> ^team B)
+          (set-modify <BTeam> ^team A))
+    """,
+    "GroupByA": """
+        (literalize player name team)
+        (p GroupByA
+          [player ^name <n1> ^team A]
+          [player ^name <n2> ^team B]
+          -->
+          (foreach <n1>
+            (write <n1>)
+            (foreach <n2>
+              (write <n2>))))
+    """,
+    "RemoveDups": """
+        (literalize player name team)
+        (p RemoveDups
+          { [player ^name <n> ^team <t>] <P> }
+          :scalar (<n> <t>)
+          :test ((count <P>) > 1)
+          -->
+          (bind <First> true)
+          (foreach <P> descending
+            (if (<First> == true)
+              (bind <First> false)
+             else
+              (remove <P>))))
+    """,
+    "AlternativeRemoveDups": """
+        (literalize player name team)
+        (p AlternativeRemoveDups
+          { [player ^name <n> ^team <t>] <P> }
+          -->
+          (foreach <n>
+            (foreach <t>
+              (bind <First> true)
+              (foreach <P> descending
+                (if (<First> == true)
+                  (bind <First> false)
+                 else
+                  (remove <P>))))))
+    """,
+}
+
+
+class TestSwitchTeams:
+    def test_one_firing_switches_everyone(self, make_engine, matcher_name):
+        engine = make_engine(matcher_name)
+        engine.load(PROGRAMS["SwitchTeams"])
+        roster = [("A", "p1"), ("A", "p2"), ("B", "q1"), ("B", "q2")]
+        load_roster(engine, roster)
+        assert engine.run(limit=1) == 1
+        assert {w.get("team") for w in engine.wm.find("player", name="p1")} \
+            == {"B"}
+        assert {w.get("team") for w in engine.wm.find("player", name="q2")} \
+            == {"A"}
+
+    def test_count_test_gates_the_rule(self, make_engine, matcher_name):
+        engine = make_engine(matcher_name)
+        engine.load(PROGRAMS["SwitchTeams"])
+        load_roster(engine, [("A", "p1"), ("A", "p2"), ("B", "q1")])
+        assert engine.conflict_set_size() == 0  # 2 vs 1: unequal
+        engine.make("player", team="B", name="q2")
+        assert engine.conflict_set_size() == 1
+
+
+class TestGroupByA:
+    def test_hierarchical_output(self, make_engine, matcher_name):
+        engine = make_engine(matcher_name)
+        engine.load(PROGRAMS["GroupByA"])
+        load_roster(engine)  # A: Jack, Janice; B: Sue, Jack, Sue
+        engine.run(limit=1)
+        # Default order: Janice (tag 2) before Jack (tag 1); each
+        # followed by the distinct B-names, Sue (tag 5 dominant) first.
+        assert engine.output == [
+            "Janice", "Sue", "Jack",
+            "Jack", "Sue", "Jack",
+        ]
+
+
+class TestRemoveDups:
+    def test_keeps_only_most_recent(self, make_engine, matcher_name):
+        engine = make_engine(matcher_name)
+        engine.load(PROGRAMS["RemoveDups"])
+        load_roster(engine)  # Sue/B duplicated (tags 3 and 5)
+        engine.run(limit=10)
+        remaining = sorted(
+            (w.get("name"), w.get("team"), w.time_tag) for w in engine.wm
+        )
+        assert remaining == [
+            ("Jack", "A", 1),
+            ("Jack", "B", 4),
+            ("Janice", "A", 2),
+            ("Sue", "B", 5),  # tag 3 removed, most recent kept
+        ]
+
+    def test_one_instantiation_per_duplicated_pair(self, make_engine,
+                                                   matcher_name):
+        engine = make_engine(matcher_name)
+        engine.load(PROGRAMS["RemoveDups"])
+        roster = [
+            ("A", "x"), ("A", "x"), ("A", "x"),
+            ("B", "y"), ("B", "y"),
+            ("A", "solo"),
+        ]
+        load_roster(engine, roster)
+        # The figure: "one instantiation of this rule for each
+        # player-team pair occurring in multiple WMEs".
+        assert engine.conflict_set_size() == 2
+
+    def test_does_not_fire_without_duplicates(self, make_engine,
+                                              matcher_name):
+        engine = make_engine(matcher_name)
+        engine.load(PROGRAMS["RemoveDups"])
+        load_roster(engine, [("A", "x"), ("B", "y")])
+        assert engine.run(limit=10) == 0
+
+
+class TestAlternativeRemoveDups:
+    def test_same_end_state(self, make_engine, matcher_name):
+        engine = make_engine(matcher_name)
+        engine.load(PROGRAMS["AlternativeRemoveDups"])
+        load_roster(engine)
+        engine.run(limit=10)
+        remaining = sorted(
+            (w.get("name"), w.get("team")) for w in engine.wm
+        )
+        assert remaining == [
+            ("Jack", "A"), ("Jack", "B"), ("Janice", "A"), ("Sue", "B"),
+        ]
+
+    def test_fires_unnecessarily_without_duplicates(self, make_engine,
+                                                    matcher_name):
+        """The paper's criticism: it cannot discern duplicates exist."""
+        engine = make_engine(matcher_name)
+        engine.load(PROGRAMS["AlternativeRemoveDups"])
+        load_roster(engine, [("A", "x"), ("B", "y")])
+        assert engine.run(limit=10) == 1  # fired despite nothing to do
+        assert len(engine.wm) == 2  # and changed nothing

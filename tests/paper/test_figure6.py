@@ -1,0 +1,129 @@
+"""Figure 6: set-oriented DIPS — COND tables, WME-TAGS, the SOI query.
+
+Reproduces the figure's exact state: ``rule-1`` over classes E and W,
+four WMEs (two duplicate Mike/clerk W elements, two E salaries), the
+COND-E/COND-W table contents, and the grouped SOI-retrieval result
+(two groups, each pairing one E tag with W tags {1, 3}).
+"""
+
+import pytest
+
+from repro import RuleEngine
+from repro.dips import DipsMatcher
+
+RULE_1 = """
+(literalize E name salary)
+(literalize W name job)
+(p rule-1
+  (E ^name <x> ^salary <s>)
+  [W ^name <x> ^job clerk]
+  -->
+  (write matched))
+"""
+
+
+@pytest.fixture
+def setup():
+    matcher = DipsMatcher()
+    engine = RuleEngine(matcher=matcher)
+    engine.load(RULE_1)
+    # The figure's WM, in time-tag order:
+    engine.make("W", name="Mike", job="clerk")   # 1
+    engine.make("E", name="Mike", salary=10000)  # 2
+    engine.make("W", name="Mike", job="clerk")   # 3
+    engine.make("E", name="Mike", salary=15000)  # 4
+    return engine, matcher
+
+
+class TestCondTables:
+    def test_cond_e_contents(self, setup):
+        engine, matcher = setup
+        rows = matcher.store.cond_table("E").scan()
+        template = [r for r in rows if r["wme_tag"] is None]
+        instances = sorted(
+            (r["wme_tag"], r["name"], r["salary"])
+            for r in rows
+            if r["wme_tag"] is not None
+        )
+        assert len(template) == 1
+        assert template[0]["name"] == "<x>"
+        assert template[0]["salary"] == "<s>"
+        assert template[0]["rce"] == "(W,2)"
+        assert instances == [(2, "Mike", 10000), (4, "Mike", 15000)]
+
+    def test_cond_w_contents(self, setup):
+        engine, matcher = setup
+        rows = matcher.store.cond_table("W").scan()
+        instances = sorted(
+            (r["wme_tag"], r["name"], r["job"])
+            for r in rows
+            if r["wme_tag"] is not None
+        )
+        assert instances == [(1, "Mike", "clerk"), (3, "Mike", "clerk")]
+        template = [r for r in rows if r["wme_tag"] is None][0]
+        assert template["job"] == "clerk"  # the constant test is stored
+        assert template["rce"] == "(E,1)"
+
+
+class TestSoiQuery:
+    def test_query_text_matches_figure_structure(self, setup):
+        engine, matcher = setup
+        sql = matcher.soi_query("rule-1")
+        # The figure's query: select tags, join COND tables, require
+        # NOT NULL tags, group by the scalar CE's tag.
+        assert 'FROM "COND-E" AS c1, "COND-W" AS c2' in sql
+        assert "c1.wme_tag IS NOT NULL" in sql
+        assert "c2.wme_tag IS NOT NULL" in sql
+        assert "GROUP BY c1.wme_tag" in sql
+
+    def test_two_groups_as_in_figure(self, setup):
+        engine, matcher = setup
+        rows = matcher.soi_rows("rule-1")
+        groups = sorted(
+            (row["tag_1"], sorted(row["tags_2"])) for row in rows
+        )
+        # Group 1: E tag 2 with W tags {1, 3}; group 2: E tag 4 likewise.
+        assert groups == [(2, [1, 3]), (4, [1, 3])]
+
+    def test_conflict_set_mirrors_the_groups(self, setup):
+        engine, matcher = setup
+        instantiations = engine.conflict_set.of_rule("rule-1")
+        assert len(instantiations) == 2
+        shapes = sorted(
+            (
+                inst.wme_at(0).time_tag,
+                sorted(t.wme_at(1).time_tag for t in inst.tokens()),
+            )
+            for inst in instantiations
+        )
+        assert shapes == [(2, [1, 3]), (4, [1, 3])]
+
+
+class TestMultisetBehaviour:
+    def test_duplicate_w_removal_shrinks_groups(self, setup):
+        """Removing one duplicate Mike leaves both groups with one tag."""
+        engine, matcher = setup
+        wme = engine.wm.get(1)
+        engine.remove(wme)
+        rows = matcher.soi_rows("rule-1")
+        groups = sorted(
+            (row["tag_1"], sorted(row["tags_2"])) for row in rows
+        )
+        assert groups == [(2, [3]), (4, [3])]
+
+    def test_rete_agrees_with_dips_on_figure6(self):
+        """Cross-check: the extended Rete derives the same SOIs."""
+        engine = RuleEngine()
+        engine.load(RULE_1)
+        engine.make("W", name="Mike", job="clerk")
+        engine.make("E", name="Mike", salary=10000)
+        engine.make("W", name="Mike", job="clerk")
+        engine.make("E", name="Mike", salary=15000)
+        shapes = sorted(
+            (
+                inst.wme_at(0).time_tag,
+                sorted(t.wme_at(1).time_tag for t in inst.tokens()),
+            )
+            for inst in engine.conflict_set.of_rule("rule-1")
+        )
+        assert shapes == [(2, [1, 3]), (4, [1, 3])]

@@ -1,0 +1,186 @@
+"""Corner cases of the paper's semantics, cross-matcher.
+
+Section 4.1's finer points: joins *between* set-oriented CEs, variables
+spanning set and regular CEs, `:scalar` on variables occurring in
+several set CEs, and negation interleaved with set CEs.
+"""
+
+import pytest
+
+
+class TestSetSetJoin:
+    """'When a set-oriented PV occurs in two set-oriented CEs, the
+    domain is reduced to the consistent values of the domains.'"""
+
+    PROGRAM = """
+    (literalize offer sku price)
+    (literalize demand sku qty)
+    (p match-market
+      [offer ^sku <s>]
+      [demand ^sku <s>]
+      -->
+      (foreach <s> ascending (write traded <s>)))
+    """
+
+    def test_domain_is_the_join(self, make_engine, matcher_name):
+        engine = make_engine(matcher_name)
+        engine.load(self.PROGRAM)
+        engine.make("offer", sku="a", price=1)
+        engine.make("offer", sku="b", price=2)
+        engine.make("demand", sku="b", qty=1)
+        engine.make("demand", sku="c", qty=1)
+        engine.run(limit=2)
+        # Only 'b' is consistent across both domains.
+        assert engine.output == ["traded b"]
+
+    def test_empty_join_means_no_soi(self, make_engine, matcher_name):
+        engine = make_engine(matcher_name)
+        engine.load(self.PROGRAM)
+        engine.make("offer", sku="a", price=1)
+        engine.make("demand", sku="z", qty=1)
+        assert engine.conflict_set_size() == 0
+
+
+class TestScalarAcrossSetCEs:
+    """:scalar on a variable joining two set CEs partitions the SOI
+    by the shared value."""
+
+    PROGRAM = """
+    (literalize offer sku price)
+    (literalize demand sku qty)
+    (p per-sku
+      { [offer ^sku <s>] <O> }
+      { [demand ^sku <s>] <D> }
+      :scalar (<s>)
+      -->
+      (write <s> offers (count <O>) demands (count <D>)))
+    """
+
+    def test_partition_by_shared_value(self, make_engine, matcher_name):
+        engine = make_engine(matcher_name)
+        engine.load(self.PROGRAM)
+        engine.make("offer", sku="a", price=1)
+        engine.make("offer", sku="a", price=2)
+        engine.make("offer", sku="b", price=3)
+        engine.make("demand", sku="a", qty=1)
+        engine.make("demand", sku="b", qty=1)
+        engine.make("demand", sku="b", qty=2)
+        assert engine.conflict_set_size() == 2
+        engine.run(limit=5)
+        assert sorted(engine.output) == [
+            "a offers 2 demands 1",
+            "b offers 1 demands 2",
+        ]
+
+
+class TestVariableSpanningSetAndRegular:
+    """A PV in both a set CE and a regular CE is scalar: 'it is bound
+    to ... the value occurring in the WME matching the regular CE.'"""
+
+    PROGRAM = """
+    (literalize dept name)
+    (literalize emp dept pay)
+    (p payroll
+      (dept ^name <d>)
+      { [emp ^dept <d> ^pay <p>] <E> }
+      -->
+      (write <d> pays (sum <E> ^pay)))
+    """
+
+    def test_regular_ce_partitions(self, make_engine, matcher_name):
+        engine = make_engine(matcher_name)
+        engine.load(self.PROGRAM)
+        engine.make("dept", name="eng")
+        engine.make("dept", name="ops")
+        engine.make("emp", dept="eng", pay=10)
+        engine.make("emp", dept="eng", pay=20)
+        engine.make("emp", dept="ops", pay=5)
+        assert engine.conflict_set_size() == 2
+        engine.run(limit=5)
+        assert sorted(engine.output) == ["eng pays 30", "ops pays 5"]
+
+
+class TestNegationWithSets:
+    def test_negation_between_set_ces(self, make_engine, matcher_name):
+        engine = make_engine(matcher_name)
+        engine.load(
+            """
+            (literalize item v)
+            (literalize freeze on)
+            (p sweep
+              { [item] <S> }
+              -(freeze ^on yes)
+              -->
+              (set-remove <S>))
+            """
+        )
+        engine.make("item", v=1)
+        engine.make("freeze", on="yes")
+        engine.make("item", v=2)
+        assert engine.conflict_set_size() == 0
+        engine.remove(engine.wm.find("freeze")[0])
+        assert engine.conflict_set_size() == 1
+        engine.run(limit=2)
+        assert not engine.wm.find("item")
+
+    def test_negation_joined_on_scalar_value(self, make_engine,
+                                             matcher_name):
+        engine = make_engine(matcher_name)
+        engine.load(
+            """
+            (literalize emp dept pay)
+            (literalize audit dept)
+            (p unaudited
+              { [emp ^dept <d>] <E> }
+              :scalar (<d>)
+              -(audit ^dept <d>)
+              -->
+              (write unaudited <d>))
+            """
+        )
+        engine.make("emp", dept="eng", pay=1)
+        engine.make("emp", dept="ops", pay=1)
+        engine.make("audit", dept="eng")
+        engine.run(limit=5)
+        assert engine.output == ["unaudited ops"]
+
+
+class TestAggregateDomainSemantics:
+    def test_pv_aggregate_is_over_distinct_values(self, make_engine,
+                                                  matcher_name):
+        """§4.1: a PV's domain is a SET of values."""
+        engine = make_engine(matcher_name)
+        engine.load(
+            """
+            (literalize item v)
+            (p sum-domain
+              [item ^v <v>]
+              :test ((sum <v>) == 3)
+              -->
+              (write domain-sum-3))
+            """
+        )
+        engine.make("item", v=1)
+        engine.make("item", v=2)
+        engine.make("item", v=2)  # duplicate VALUE: domain {1, 2}
+        engine.run(limit=2)
+        assert engine.output == ["domain-sum-3"]
+
+    def test_ce_aggregate_is_over_member_wmes(self, make_engine,
+                                              matcher_name):
+        engine = make_engine(matcher_name)
+        engine.load(
+            """
+            (literalize item v)
+            (p sum-members
+              { [item ^v <v>] <S> }
+              :test ((sum <S> ^v) == 5)
+              -->
+              (write member-sum-5))
+            """
+        )
+        engine.make("item", v=1)
+        engine.make("item", v=2)
+        engine.make("item", v=2)  # three WMEs: 1 + 2 + 2
+        engine.run(limit=2)
+        assert engine.output == ["member-sum-5"]

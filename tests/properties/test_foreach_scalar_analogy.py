@@ -1,0 +1,77 @@
+"""The paper's §6.1/§6.2 analogy, as a property.
+
+"Note that the relations formed during the iteration also could have
+been created if the iterator variable had been specified as scalar in
+the LHS.  However, the subinstantiations would have been different
+instantiations" — and default foreach order is "the order in which
+they would have occurred as separate instantiations in the conflict
+set".
+
+So for any working memory: iterating ``foreach <v>`` (default order)
+inside ONE firing must visit exactly the values, in exactly the order,
+that the ``:scalar (<v>)`` variant would have fired as SEPARATE
+instantiations.  Same for iterating a set CE versus demoting it to a
+regular CE.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import RuleEngine
+
+FOREACH_PV = """
+(literalize item g v)
+(p walk [item ^g <g> ^v <v>]
+  -->
+  (foreach <g> (write <g>)))
+"""
+
+SCALAR_PV = """
+(literalize item g v)
+(p walk [item ^g <g> ^v <v>]
+  :scalar (<g>)
+  -->
+  (write <g>))
+"""
+
+FOREACH_CE = """
+(literalize item g v)
+(p walk { [item ^g <g> ^v <v>] <S> }
+  -->
+  (foreach <S> (write <v>)))
+"""
+
+REGULAR_CE = """
+(literalize item g v)
+(p walk (item ^g <g> ^v <v>)
+  -->
+  (write <v>))
+"""
+
+_rosters = st.lists(
+    st.tuples(st.sampled_from(["a", "b", "c"]), st.integers(0, 30)),
+    min_size=1,
+    max_size=10,
+)
+
+
+def run(program, roster, limit=50):
+    engine = RuleEngine()
+    engine.load(program)
+    for group, value in roster:
+        engine.make("item", g=group, v=value)
+    engine.run(limit=limit)
+    return engine.output
+
+
+class TestForeachScalarAnalogy:
+    @given(_rosters)
+    @settings(max_examples=60, deadline=None)
+    def test_pv_iteration_order_matches_scalar_firing_order(self, roster):
+        assert run(FOREACH_PV, roster) == run(SCALAR_PV, roster)
+
+    @given(_rosters.map(lambda r: [(g, i) for i, (g, _) in enumerate(r)]))
+    @settings(max_examples=60, deadline=None)
+    def test_ce_iteration_order_matches_regular_firing_order(self, roster):
+        # Distinct v per WME so outputs identify elements uniquely.
+        assert run(FOREACH_CE, roster) == run(REGULAR_CE, roster)

@@ -1,0 +1,58 @@
+"""Fuzzing the parser: arbitrary input must fail cleanly, never crash."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParseError, ReproError
+from repro.lang.parser import parse_expression, parse_program, parse_rule
+from repro.lang.tokens import tokenize
+
+_text = st.text(
+    alphabet=st.sampled_from(
+        list("()[]{}<>^;|\"' \n\t-=+*/abcxyz0123456789:pP")
+    ),
+    max_size=80,
+)
+
+
+class TestParserRobustness:
+    @given(_text)
+    @settings(max_examples=300, deadline=None)
+    def test_parse_rule_raises_only_repro_errors(self, source):
+        try:
+            parse_rule(source)
+        except ReproError:
+            pass  # ParseError / RuleError are the contract
+
+    @given(_text)
+    @settings(max_examples=200, deadline=None)
+    def test_parse_program_raises_only_repro_errors(self, source):
+        try:
+            parse_program(source)
+        except ReproError:
+            pass
+
+    @given(_text)
+    @settings(max_examples=200, deadline=None)
+    def test_expression_parser(self, source):
+        try:
+            parse_expression(source)
+        except ReproError:
+            pass
+
+    @given(_text)
+    @settings(max_examples=300, deadline=None)
+    def test_tokenizer_terminates(self, source):
+        try:
+            tokens = tokenize(source)
+        except ParseError:
+            return
+        assert tokens[-1].kind == "EOF"
+
+    @given(st.text(max_size=60))
+    @settings(max_examples=150, deadline=None)
+    def test_fully_arbitrary_unicode(self, source):
+        try:
+            parse_rule(source)
+        except ReproError:
+            pass

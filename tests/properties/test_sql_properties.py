@@ -1,0 +1,84 @@
+"""Property tests: the SQL engine against hand-rolled Python oracles."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdb import Database, run_sql
+
+_rows = st.lists(
+    st.tuples(
+        st.sampled_from(["eng", "ops", "mgmt"]),
+        st.one_of(st.integers(0, 100), st.none()),
+    ),
+    min_size=0,
+    max_size=30,
+)
+
+
+def build_db(rows):
+    db = Database()
+    run_sql(db, "CREATE TABLE t (dept str, salary int)")
+    table = db.table("t")
+    for dept, salary in rows:
+        table.insert({"dept": dept, "salary": salary})
+    return db
+
+
+class TestAggregationOracle:
+    @given(_rows)
+    @settings(max_examples=80, deadline=None)
+    def test_group_by_matches_python_groupby(self, rows):
+        db = build_db(rows)
+        result = run_sql(
+            db,
+            "SELECT dept, COUNT(*) AS n, SUM(salary) AS total, "
+            "COLLECT(salary) AS vals FROM t GROUP BY dept",
+        )
+        expected = {}
+        for dept, salary in rows:
+            bucket = expected.setdefault(dept, {"n": 0, "vals": []})
+            bucket["n"] += 1
+            if salary is not None:
+                bucket["vals"].append(salary)
+        assert len(result) == len(expected)
+        for row in result:
+            bucket = expected[row["dept"]]
+            assert row["n"] == bucket["n"]
+            assert row["vals"] == bucket["vals"]
+            assert row["total"] == (
+                sum(bucket["vals"]) if bucket["vals"] else None
+            )
+
+    @given(_rows, st.integers(0, 100))
+    @settings(max_examples=80, deadline=None)
+    def test_where_matches_python_filter(self, rows, threshold):
+        db = build_db(rows)
+        result = run_sql(
+            db, f"SELECT * FROM t WHERE salary >= {threshold}"
+        )
+        expected = [
+            (dept, salary)
+            for dept, salary in rows
+            if salary is not None and salary >= threshold
+        ]
+        assert sorted(
+            (row["dept"], row["salary"]) for row in result
+        ) == sorted(expected)
+
+    @given(_rows)
+    @settings(max_examples=60, deadline=None)
+    def test_optimizer_never_changes_join_results(self, rows):
+        db = build_db(rows)
+        run_sql(db, "CREATE TABLE d (dept str, floor int)")
+        for dept, floor in [("eng", 1), ("ops", 2)]:
+            db.table("d").insert({"dept": dept, "floor": floor})
+        sql = (
+            "SELECT t.salary, d.floor FROM t, d "
+            "WHERE t.dept = d.dept AND t.salary IS NOT NULL"
+        )
+        canon = lambda result: sorted(
+            (row["t.salary"], row["d.floor"]) for row in result
+        )
+        assert canon(run_sql(db, sql, optimize=True)) == canon(
+            run_sql(db, sql, optimize=False)
+        )

@@ -1,0 +1,75 @@
+"""Stateful property test: Table + indexes vs a plain dict model."""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.rdb import Table
+
+
+class TableMachine(RuleBasedStateMachine):
+    """Random insert/update/delete against a model; indexes must agree."""
+
+    def __init__(self):
+        super().__init__()
+        self.table = Table("t", ["a", "b"])
+        self.table.create_index("a")
+        self.model = {}
+
+    row_ids = Bundle("row_ids")
+
+    @rule(
+        target=row_ids,
+        a=st.one_of(st.integers(0, 5), st.none()),
+        b=st.text(alphabet="xyz", max_size=2),
+    )
+    def insert(self, a, b):
+        row_id = self.table.insert({"a": a, "b": b})
+        self.model[row_id] = {"a": a, "b": b}
+        return row_id
+
+    @rule(row_id=row_ids, a=st.integers(0, 5))
+    def update(self, row_id, a):
+        if row_id in self.model:
+            self.table.update(row_id, {"a": a})
+            self.model[row_id]["a"] = a
+
+    @rule(row_id=row_ids)
+    def delete(self, row_id):
+        if row_id in self.model:
+            self.table.delete(row_id)
+            del self.model[row_id]
+
+    @invariant()
+    def rows_match_model(self):
+        actual = {row_id: row for row_id, row in self.table.rows()}
+        assert actual == self.model
+
+    @invariant()
+    def index_matches_scan(self):
+        index = self.table.index_on("a")
+        for value in set(row["a"] for row in self.model.values()):
+            via_index = {
+                row_id for row_id in index.lookup(value)
+            }
+            via_scan = {
+                row_id
+                for row_id, row in self.model.items()
+                if row["a"] == value
+            }
+            assert via_index == via_scan
+
+    @invariant()
+    def lengths_agree(self):
+        assert len(self.table) == len(self.model)
+
+
+TableMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+TestTableStateful = TableMachine.TestCase

@@ -1,0 +1,146 @@
+"""Unit tests for the plan optimiser (hash joins, filter pushdown)."""
+
+import pytest
+
+from repro.rdb import (
+    ColumnRef,
+    Comparison,
+    Database,
+    Filter,
+    HashJoin,
+    Join,
+    Literal,
+    LogicalAnd,
+    Scan,
+    execute_plan,
+    optimize,
+    run_sql,
+)
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    emp = database.create_table("emp", ["name", "dept", "salary"])
+    dept = database.create_table("dept", ["dept", "floor"])
+    for name, d, salary in [
+        ("ann", "eng", 120), ("bob", "eng", 100),
+        ("cat", "ops", 90), ("dan", None, 50),
+    ]:
+        emp.insert({"name": name, "dept": d, "salary": salary})
+    for d, floor in [("eng", 3), ("ops", 1), ("mgmt", 9)]:
+        dept.insert({"dept": d, "floor": floor})
+    return database
+
+
+def col(name, qualifier):
+    return ColumnRef(name, qualifier)
+
+
+class TestRewrites:
+    def test_equi_join_becomes_hash_join(self, db):
+        plan = Join(
+            Scan("emp"),
+            Scan("dept"),
+            Comparison("=", col("dept", "emp"), col("dept", "dept")),
+        )
+        optimized = optimize(plan)
+        assert isinstance(optimized, HashJoin)
+
+    def test_swapped_sides_handled(self, db):
+        plan = Join(
+            Scan("emp"),
+            Scan("dept"),
+            Comparison("=", col("dept", "dept"), col("dept", "emp")),
+        )
+        optimized = optimize(plan)
+        assert isinstance(optimized, HashJoin)
+        assert optimized.left_key.qualifier == "emp"
+
+    def test_filter_pushdown_below_join(self, db):
+        plan = Filter(
+            Join(Scan("emp"), Scan("dept")),
+            LogicalAnd(
+                Comparison("=", col("dept", "emp"), col("dept", "dept")),
+                Comparison(">", col("salary", "emp"), Literal(95)),
+            ),
+        )
+        optimized = optimize(plan)
+        assert isinstance(optimized, HashJoin)
+        # The salary conjunct moved below the join, onto the emp side.
+        assert isinstance(optimized.left, Filter)
+
+    def test_non_equi_join_stays_nested_loop(self, db):
+        plan = Join(
+            Scan("emp"),
+            Scan("dept"),
+            Comparison(">", col("salary", "emp"), col("floor", "dept")),
+        )
+        optimized = optimize(plan)
+        assert isinstance(optimized, Join)
+
+
+class TestEquivalence:
+    CASES = [
+        Join(
+            Scan("emp"),
+            Scan("dept"),
+            Comparison("=", col("dept", "emp"), col("dept", "dept")),
+        ),
+        Filter(
+            Join(Scan("emp"), Scan("dept")),
+            LogicalAnd(
+                Comparison("=", col("dept", "emp"), col("dept", "dept")),
+                Comparison(">=", col("floor", "dept"), Literal(2)),
+            ),
+        ),
+        Join(Scan("emp"), Scan("dept")),  # cross join, no condition
+    ]
+
+    @pytest.mark.parametrize("plan", CASES)
+    def test_optimized_plan_same_rows(self, db, plan):
+        def canon(rows):
+            return sorted(
+                tuple(sorted((k, repr(v)) for k, v in row.items()))
+                for row in rows
+            )
+
+        assert canon(execute_plan(plan, db)) == canon(
+            execute_plan(optimize(plan), db)
+        )
+
+    def test_null_keys_never_join(self, db):
+        plan = optimize(
+            Join(
+                Scan("emp"),
+                Scan("dept"),
+                Comparison("=", col("dept", "emp"), col("dept", "dept")),
+            )
+        )
+        rows = execute_plan(plan, db)
+        assert all(row["emp.name"] != "dan" for row in rows)
+
+    def test_sql_results_identical_with_and_without(self, db):
+        sql = (
+            "SELECT e.name, d.floor FROM emp e, dept d "
+            "WHERE e.dept = d.dept AND e.salary > 95"
+        )
+        with_opt = run_sql(db, sql, optimize=True)
+        without = run_sql(db, sql, optimize=False)
+        key = lambda r: sorted(r.items())
+        assert sorted(with_opt, key=key) == sorted(without, key=key)
+        assert len(with_opt) == 2
+
+    def test_three_way_dips_shaped_query(self, db):
+        run_sql(db, "CREATE TABLE grade (dept str, level int)")
+        run_sql(
+            db,
+            "INSERT INTO grade (dept, level) VALUES ('eng', 2), ('ops', 1)",
+        )
+        sql = (
+            "SELECT e.name FROM emp e, dept d, grade g "
+            "WHERE e.dept = d.dept AND d.dept = g.dept AND g.level = 2"
+        )
+        rows = run_sql(db, sql)
+        assert {r["e.name"] for r in rows} == {"ann", "bob"}
+        assert rows == run_sql(db, sql, optimize=False)

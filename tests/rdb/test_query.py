@@ -1,0 +1,223 @@
+"""Unit tests for the logical query plan interpreter."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.rdb import (
+    Aggregate,
+    ColumnRef,
+    Comparison,
+    Database,
+    Distinct,
+    Filter,
+    GroupBy,
+    IsNull,
+    Join,
+    Limit,
+    Literal,
+    LogicalAnd,
+    LogicalNot,
+    LogicalOr,
+    OrderBy,
+    Project,
+    Scan,
+    execute_plan,
+)
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    people = database.create_table("people", ["name", "dept", "salary"])
+    rows = [
+        ("ann", "eng", 120),
+        ("bob", "eng", 100),
+        ("cat", "ops", 90),
+        ("dan", "ops", None),
+        ("eve", "mgmt", 200),
+    ]
+    for name, dept, salary in rows:
+        people.insert({"name": name, "dept": dept, "salary": salary})
+    depts = database.create_table("depts", ["dept", "floor"])
+    for dept, floor in [("eng", 3), ("ops", 1)]:
+        depts.insert({"dept": dept, "floor": floor})
+    return database
+
+
+def col(name, qualifier=None):
+    return ColumnRef(name, qualifier)
+
+
+class TestScanFilterProject:
+    def test_scan(self, db):
+        rows = execute_plan(Scan("people"), db)
+        assert len(rows) == 5
+
+    def test_filter_comparison(self, db):
+        plan = Filter(
+            Scan("people"), Comparison(">", col("salary"), Literal(95))
+        )
+        names = {row["name"] for row in execute_plan(plan, db)}
+        assert names == {"ann", "bob", "eve"}
+
+    def test_null_comparison_is_unknown_not_true(self, db):
+        plan = Filter(
+            Scan("people"), Comparison("<", col("salary"), Literal(1000))
+        )
+        names = {row["name"] for row in execute_plan(plan, db)}
+        assert "dan" not in names  # NULL salary -> unknown -> filtered
+
+    def test_is_null(self, db):
+        plan = Filter(Scan("people"), IsNull(col("salary")))
+        assert [r["name"] for r in execute_plan(plan, db)] == ["dan"]
+        plan = Filter(Scan("people"), IsNull(col("salary"), negated=True))
+        assert len(execute_plan(plan, db)) == 4
+
+    def test_project(self, db):
+        plan = Project(Scan("people"), [(col("name"), "who")])
+        rows = execute_plan(plan, db)
+        assert rows[0] == {"who": "ann"}
+
+
+class TestLogic:
+    def test_and_or_not_three_valued(self, db):
+        salary_high = Comparison(">", col("salary"), Literal(95))
+        in_ops = Comparison("=", col("dept"), Literal("ops"))
+        plan = Filter(Scan("people"), LogicalAnd(salary_high, in_ops))
+        assert execute_plan(plan, db) == []
+        plan = Filter(Scan("people"), LogicalOr(salary_high, in_ops))
+        assert len(execute_plan(plan, db)) == 5  # dan: unknown OR true
+        plan = Filter(Scan("people"), LogicalNot(in_ops))
+        names = {row["name"] for row in execute_plan(plan, db)}
+        assert names == {"ann", "bob", "eve"}
+
+    def test_unknown_and_false_is_false(self, db):
+        # dan's salary comparison is unknown; AND false must filter him
+        # without tripping over the unknown.
+        unknown = Comparison(">", col("salary"), Literal(0))
+        false = Comparison("=", col("name"), Literal("nobody"))
+        plan = Filter(Scan("people"), LogicalAnd(unknown, false))
+        assert execute_plan(plan, db) == []
+
+
+class TestJoin:
+    def test_equi_join(self, db):
+        plan = Join(
+            Scan("people"),
+            Scan("depts"),
+            Comparison("=", col("dept", "people"), col("dept", "depts")),
+        )
+        rows = execute_plan(plan, db)
+        assert len(rows) == 4  # eve's mgmt has no dept row
+        assert all("depts.floor" in row for row in rows)
+
+    def test_cross_join(self, db):
+        plan = Join(Scan("people"), Scan("depts"))
+        assert len(execute_plan(plan, db)) == 10
+
+    def test_duplicate_alias_rejected(self, db):
+        plan = Join(Scan("people"), Scan("people"))
+        with pytest.raises(QueryError):
+            execute_plan(plan, db)
+
+    def test_self_join_with_aliases(self, db):
+        plan = Join(
+            Scan("people", "p1"),
+            Scan("people", "p2"),
+            Comparison("=", col("dept", "p1"), col("dept", "p2")),
+        )
+        assert len(execute_plan(plan, db)) == 9  # 2*2 eng + 2*2 ops + eve
+
+
+class TestGroupBy:
+    def test_group_with_aggregates(self, db):
+        plan = GroupBy(
+            Scan("people"),
+            keys=[(col("dept"), "dept")],
+            aggregates=[
+                (Aggregate("count"), "n"),
+                (Aggregate("sum", col("salary")), "total"),
+                (Aggregate("collect", col("name")), "names"),
+            ],
+        )
+        rows = {row["dept"]: row for row in execute_plan(plan, db)}
+        assert rows["eng"]["n"] == 2
+        assert rows["eng"]["total"] == 220
+        assert rows["ops"]["total"] == 90  # NULL skipped
+        assert rows["ops"]["names"] == ["cat", "dan"]
+
+    def test_having(self, db):
+        plan = GroupBy(
+            Scan("people"),
+            keys=[(col("dept"), "dept")],
+            aggregates=[(Aggregate("count"), "n")],
+            having=Comparison(">", col("n"), Literal(1)),
+        )
+        assert {row["dept"] for row in execute_plan(plan, db)} == {
+            "eng", "ops",
+        }
+
+    def test_global_aggregate(self, db):
+        plan = GroupBy(
+            Scan("people"),
+            keys=[],
+            aggregates=[
+                (Aggregate("avg", col("salary")), "avg"),
+                (Aggregate("min", col("salary")), "lo"),
+                (Aggregate("max", col("salary")), "hi"),
+            ],
+        )
+        [row] = execute_plan(plan, db)
+        assert row["avg"] == 127.5
+        assert (row["lo"], row["hi"]) == (90, 200)
+
+    def test_count_distinct(self, db):
+        plan = GroupBy(
+            Scan("people"),
+            keys=[],
+            aggregates=[
+                (Aggregate("count", col("dept"), distinct=True), "n")
+            ],
+        )
+        assert execute_plan(plan, db)[0]["n"] == 3
+
+
+class TestOrderDistinctLimit:
+    def test_order_by_asc_desc(self, db):
+        plan = OrderBy(Scan("people"), [(col("salary"), False)])
+        rows = execute_plan(plan, db)
+        assert rows[0]["name"] == "eve"
+        assert rows[-1]["name"] == "dan"  # NULLs sort last under DESC
+
+    def test_nulls_first_ascending(self, db):
+        plan = OrderBy(Scan("people"), [(col("salary"), True)])
+        assert execute_plan(plan, db)[0]["name"] == "dan"
+
+    def test_distinct(self, db):
+        plan = Distinct(Project(Scan("people"), [(col("dept"), "dept")]))
+        assert len(execute_plan(plan, db)) == 3
+
+    def test_limit(self, db):
+        assert len(execute_plan(Limit(Scan("people"), 2), db)) == 2
+
+
+class TestErrors:
+    def test_unknown_column(self, db):
+        plan = Filter(Scan("people"), IsNull(col("zzz")))
+        with pytest.raises(QueryError):
+            execute_plan(plan, db)
+
+    def test_ambiguous_unqualified_column(self, db):
+        plan = Filter(
+            Join(Scan("people"), Scan("depts")),
+            IsNull(col("dept")),
+        )
+        with pytest.raises(QueryError):
+            execute_plan(plan, db)
+
+    def test_incomparable_types(self, db):
+        plan = Filter(
+            Scan("people"), Comparison("<", col("name"), Literal(3))
+        )
+        with pytest.raises(QueryError):
+            execute_plan(plan, db)

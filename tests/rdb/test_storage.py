@@ -1,0 +1,97 @@
+"""Unit tests for database snapshots (and DIPS state checkpointing)."""
+
+import pytest
+
+from repro.errors import DatabaseError
+from repro.rdb import Database, run_sql
+from repro.rdb.storage import (
+    dump_database,
+    load_database,
+    restore_database,
+    save_database,
+)
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    run_sql(
+        database,
+        "CREATE TABLE emp (name str NOT NULL, dept str, salary int)",
+    )
+    database.table("emp").create_index("dept")
+    run_sql(
+        database,
+        "INSERT INTO emp (name, dept, salary) VALUES "
+        "('ann', 'eng', 120), ('bob', NULL, NULL)",
+    )
+    return database
+
+
+class TestRoundTrip:
+    def test_dump_restore_preserves_rows(self, db):
+        clone = restore_database(dump_database(db))
+        assert run_sql(clone, "SELECT * FROM emp") == run_sql(
+            db, "SELECT * FROM emp"
+        )
+
+    def test_schema_preserved(self, db):
+        clone = restore_database(dump_database(db))
+        column = clone.table("emp").schema.column("name")
+        assert column.type == "str"
+        assert not column.nullable
+
+    def test_indexes_recreated(self, db):
+        clone = restore_database(dump_database(db))
+        assert clone.table("emp").index_on("dept") is not None
+        assert len(clone.table("emp").lookup("dept", "eng")) == 1
+
+    def test_file_round_trip(self, db, tmp_path):
+        path = tmp_path / "snapshot.json"
+        save_database(db, path)
+        clone = load_database(path)
+        assert run_sql(clone, "SELECT COUNT(*) AS n FROM emp") \
+            == [{"n": 2}]
+
+    def test_version_check(self):
+        with pytest.raises(DatabaseError):
+            restore_database({"version": 99, "tables": {}})
+
+    def test_empty_database(self, tmp_path):
+        path = tmp_path / "empty.json"
+        save_database(Database(), path)
+        assert load_database(path).table_names() == []
+
+
+class TestDipsCheckpoint:
+    def test_cond_state_survives_restart(self, tmp_path):
+        """Match state checkpointed to disk keeps answering SOI queries."""
+        from repro import RuleEngine
+        from repro.dips import DipsMatcher
+
+        matcher = DipsMatcher()
+        engine = RuleEngine(matcher=matcher)
+        engine.load(
+            """
+            (literalize E name salary)
+            (literalize W name job)
+            (p rule-1
+              (E ^name <x> ^salary <s>)
+              [W ^name <x> ^job clerk]
+              --> (write matched))
+            """
+        )
+        engine.make("W", name="Mike", job="clerk")
+        engine.make("E", name="Mike", salary=10000)
+        engine.make("W", name="Mike", job="clerk")
+        engine.make("E", name="Mike", salary=15000)
+
+        path = tmp_path / "dips.json"
+        save_database(matcher.db, path)
+        restored = load_database(path)
+
+        rows = run_sql(restored, matcher.soi_query("rule-1"))
+        groups = sorted(
+            (row["tag_1"], sorted(row["tags_2"])) for row in rows
+        )
+        assert groups == [(2, [1, 3]), (4, [1, 3])]

@@ -1,0 +1,129 @@
+"""Unit tests for schemas, tables, and indexes."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.rdb import Column, Database, Schema, Table
+
+
+class TestSchema:
+    def test_column_types(self):
+        Column("n", "int").check(3)
+        Column("n", "number").check(3.5)
+        Column("s", "str").check("x")
+        with pytest.raises(SchemaError):
+            Column("n", "int").check("3")
+        with pytest.raises(SchemaError):
+            Column("n", "int").check(True)  # bools are not ints here
+
+    def test_not_null(self):
+        with pytest.raises(SchemaError):
+            Column("n", "int", nullable=False).check(None)
+        Column("n", "int").check(None)
+
+    def test_unknown_type(self):
+        with pytest.raises(SchemaError):
+            Column("n", "blob")
+
+    def test_duplicate_columns(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", "a"])
+
+    def test_normalise_fills_nulls(self):
+        schema = Schema(["a", "b"])
+        assert schema.normalise({"a": 1}) == {"a": 1, "b": None}
+        with pytest.raises(SchemaError):
+            schema.normalise({"zz": 1})
+
+
+class TestTable:
+    def test_insert_get_delete(self):
+        table = Table("t", ["a", "b"])
+        row_id = table.insert({"a": 1, "b": "x"})
+        assert table.get(row_id) == {"a": 1, "b": "x"}
+        removed = table.delete(row_id)
+        assert removed["a"] == 1
+        assert table.get(row_id) is None
+        with pytest.raises(SchemaError):
+            table.delete(row_id)
+
+    def test_update(self):
+        table = Table("t", ["a", "b"])
+        row_id = table.insert({"a": 1})
+        table.update(row_id, {"b": "y"})
+        assert table.get(row_id) == {"a": 1, "b": "y"}
+        with pytest.raises(SchemaError):
+            table.update(999, {"a": 0})
+
+    def test_scan_returns_copies(self):
+        table = Table("t", ["a"])
+        table.insert({"a": 1})
+        table.scan()[0]["a"] = 99
+        assert table.scan()[0]["a"] == 1
+
+    def test_select_and_delete_where(self):
+        table = Table("t", ["a"])
+        for value in range(6):
+            table.insert({"a": value})
+        assert len(table.select(lambda r: r["a"] % 2 == 0)) == 3
+        assert table.delete_where(lambda r: r["a"] > 3) == 2
+        assert len(table) == 4
+
+
+class TestIndexes:
+    def test_lookup_via_index(self):
+        table = Table("t", ["a", "b"])
+        table.create_index("a")
+        for value in (1, 2, 1, 3):
+            table.insert({"a": value})
+        assert len(table.lookup("a", 1)) == 2
+        assert table.lookup("a", 99) == []
+
+    def test_index_tracks_updates_and_deletes(self):
+        table = Table("t", ["a"])
+        index = table.create_index("a")
+        row_id = table.insert({"a": 1})
+        table.update(row_id, {"a": 2})
+        assert index.lookup(1) == set()
+        assert index.lookup(2) == {row_id}
+        table.delete(row_id)
+        assert index.lookup(2) == set()
+
+    def test_index_on_existing_rows(self):
+        table = Table("t", ["a"])
+        for value in (5, 5, 6):
+            table.insert({"a": value})
+        index = table.create_index("a")
+        assert len(index.lookup(5)) == 2
+
+    def test_null_values_indexed(self):
+        table = Table("t", ["a"])
+        table.create_index("a")
+        row_id = table.insert({})
+        assert row_id in {
+            rid for rid in table.index_on("a").lookup(None)
+        }
+
+    def test_lookup_without_index_scans(self):
+        table = Table("t", ["a"])
+        table.insert({"a": 7})
+        assert len(table.lookup("a", 7)) == 1
+
+    def test_index_unknown_column(self):
+        table = Table("t", ["a"])
+        with pytest.raises(SchemaError):
+            table.create_index("zz")
+
+
+class TestDatabase:
+    def test_create_and_drop(self):
+        db = Database()
+        db.create_table("t", ["a"])
+        assert db.has_table("t")
+        assert "t" in db
+        with pytest.raises(SchemaError):
+            db.create_table("t", ["a"])
+        db.drop_table("t")
+        assert not db.has_table("t")
+        with pytest.raises(SchemaError):
+            db.table("t")

@@ -1,0 +1,102 @@
+"""Unit tests for optimistic transactions."""
+
+import pytest
+
+from repro.errors import TransactionConflict, TransactionError
+from repro.rdb import Database, TransactionManager
+
+
+@pytest.fixture
+def setup():
+    db = Database()
+    table = db.create_table("t", ["v"])
+    ids = [table.insert({"v": value}) for value in range(5)]
+    return table, ids, TransactionManager()
+
+
+class TestBasicLifecycle:
+    def test_commit_applies_buffered_writes(self, setup):
+        table, ids, manager = setup
+        txn = manager.begin()
+        txn.update(table, ids[0], {"v": 99})
+        txn.insert(table, {"v": 42})
+        txn.delete(table, ids[1])
+        assert table.get(ids[0])["v"] == 0  # nothing applied yet
+        txn.commit()
+        assert table.get(ids[0])["v"] == 99
+        assert table.get(ids[1]) is None
+        assert len(table) == 5
+        assert txn.committed
+
+    def test_abort_discards(self, setup):
+        table, ids, manager = setup
+        txn = manager.begin()
+        txn.update(table, ids[0], {"v": 99})
+        txn.abort()
+        assert table.get(ids[0])["v"] == 0
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+    def test_operations_after_outcome_rejected(self, setup):
+        table, ids, manager = setup
+        txn = manager.begin()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.read(table, ids[0])
+
+
+class TestConflictDetection:
+    def test_write_write_conflict(self, setup):
+        table, ids, manager = setup
+        first = manager.begin()
+        second = manager.begin()
+        first.update(table, ids[0], {"v": 1})
+        second.update(table, ids[0], {"v": 2})
+        first.commit()
+        with pytest.raises(TransactionConflict):
+            second.commit()
+        assert table.get(ids[0])["v"] == 1
+
+    def test_read_write_conflict(self, setup):
+        table, ids, manager = setup
+        reader = manager.begin()
+        writer = manager.begin()
+        reader.read(table, ids[0])
+        reader.update(table, ids[1], {"v": 9})
+        writer.update(table, ids[0], {"v": 5})
+        writer.commit()
+        with pytest.raises(TransactionConflict):
+            reader.commit()
+
+    def test_disjoint_transactions_both_commit(self, setup):
+        table, ids, manager = setup
+        first = manager.begin()
+        second = manager.begin()
+        first.update(table, ids[0], {"v": 1})
+        second.update(table, ids[1], {"v": 2})
+        first.commit()
+        second.commit()
+        assert manager.stats() == {"commits": 2, "aborts": 0}
+
+    def test_later_transaction_sees_committed_state(self, setup):
+        table, ids, manager = setup
+        first = manager.begin()
+        first.update(table, ids[0], {"v": 1})
+        first.commit()
+        second = manager.begin()  # begins after the commit
+        second.read(table, ids[0])
+        second.update(table, ids[0], {"v": 2})
+        second.commit()
+        assert table.get(ids[0])["v"] == 2
+
+    def test_scan_records_reads(self, setup):
+        table, ids, manager = setup
+        scanner = manager.begin()
+        rows = scanner.scan(table, lambda row: row["v"] >= 3)
+        assert len(rows) == 2
+        assert len(scanner.read_set) == 5  # every row was examined
+        writer = manager.begin()
+        writer.update(table, ids[0], {"v": -1})
+        writer.commit()
+        with pytest.raises(TransactionConflict):
+            scanner.commit()

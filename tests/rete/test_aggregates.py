@@ -1,0 +1,166 @@
+"""Unit tests for incremental aggregate state."""
+
+import pytest
+
+from repro.core.instantiation import MatchToken
+from repro.errors import EngineError
+from repro.rete.aggregates import AggregateSpec, AggregateState
+from repro.wm import WME
+
+
+def token(*values, tag_start=1):
+    """One-level tokens over 'item' WMEs with a ^v attribute."""
+    wmes = [
+        WME("item", {"v": value}, tag_start + index)
+        for index, value in enumerate(values)
+    ]
+    return [MatchToken([wme]) for wme in wmes]
+
+
+def pv_state(op):
+    return AggregateState(AggregateSpec(op, "v", "pv", 0, "v"))
+
+
+def ce_state(op, attribute="v"):
+    return AggregateState(AggregateSpec(op, "S", "ce", 0, attribute))
+
+
+class TestSpecs:
+    def test_ce_numeric_aggregate_requires_attribute(self):
+        with pytest.raises(EngineError):
+            AggregateSpec("sum", "S", "ce", 0, None)
+
+    def test_ce_count_needs_no_attribute(self):
+        AggregateSpec("count", "S", "ce", 0, None)
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            AggregateSpec("count", "S", "weird", 0)
+
+
+class TestCount:
+    def test_pv_count_is_distinct_values(self):
+        state = pv_state("count")
+        for t in token(1, 2, 2, 3):
+            state.add_token(t)
+        assert state.value() == 3  # domain {1, 2, 3}
+
+    def test_ce_count_is_distinct_wmes(self):
+        state = ce_state("count")
+        for t in token(2, 2, 2):
+            state.add_token(t)
+        assert state.value() == 3  # three distinct WMEs, same value
+
+    def test_count_tracks_removal(self):
+        state = pv_state("count")
+        tokens = token(1, 2)
+        for t in tokens:
+            state.add_token(t)
+        state.remove_token(tokens[0])
+        assert state.value() == 1
+
+
+class TestSumAvg:
+    def test_sum_over_pv_domain(self):
+        state = pv_state("sum")
+        for t in token(1, 2, 2, 4):
+            state.add_token(t)
+        assert state.value() == 7  # distinct values 1+2+4
+
+    def test_sum_over_ce_members(self):
+        state = ce_state("sum")
+        for t in token(2, 2, 3):
+            state.add_token(t)
+        assert state.value() == 7  # per-WME: 2+2+3
+
+    def test_avg(self):
+        state = ce_state("avg")
+        for t in token(2, 4):
+            state.add_token(t)
+        assert state.value() == 3.0
+
+    def test_avg_empty_is_none(self):
+        assert ce_state("avg").value() is None
+
+    def test_sum_rejects_symbols(self):
+        state = ce_state("sum")
+        state.add_token(token("x")[0])
+        with pytest.raises(EngineError):
+            state.value()
+
+
+class TestMinMax:
+    def test_min_max_incremental(self):
+        state = ce_state("max")
+        tokens = token(3, 9, 5)
+        for t in tokens:
+            state.add_token(t)
+        assert state.value() == 9
+        state.remove_token(tokens[1])  # evict the maximum
+        assert state.value() == 5
+
+    def test_min_recompute_after_eviction(self):
+        state = ce_state("min")
+        tokens = token(3, 1, 5)
+        for t in tokens:
+            state.add_token(t)
+        assert state.value() == 1
+        state.remove_token(tokens[1])
+        assert state.value() == 3
+        state.remove_token(tokens[0])
+        assert state.value() == 5
+
+    def test_min_max_empty_is_none(self):
+        state = ce_state("min")
+        t = token(1)[0]
+        state.add_token(t)
+        state.remove_token(t)
+        assert state.value() is None
+
+    def test_duplicate_extremum_survives_one_removal(self):
+        # Two distinct WMEs share the maximum value; removing one keeps it.
+        state = ce_state("max")
+        tokens = token(7, 7, 3)
+        for t in tokens:
+            state.add_token(t)
+        state.remove_token(tokens[0])
+        assert state.value() == 7
+
+
+class TestMultiplicity:
+    def test_shared_contribution_counted_once_until_all_gone(self):
+        # Two different tokens can carry the same WME (join products);
+        # the (value, counter) pairs of the paper track multiplicity.
+        wme = WME("item", {"v": 5}, 1)
+        other = WME("peer", {}, 2)
+        first = MatchToken([wme, other])
+        second = MatchToken([wme, WME("peer", {}, 3)])
+        state = AggregateState(AggregateSpec("count", "S", "ce", 0, None))
+        state.add_token(first)
+        state.add_token(second)
+        assert state.value() == 1
+        state.remove_token(first)
+        assert state.value() == 1  # still referenced by `second`
+        state.remove_token(second)
+        assert state.value() == 0
+
+    def test_snapshot_matches_paper_format(self):
+        state = ce_state("sum")
+        tokens = token(2, 2)
+        for t in tokens:
+            state.add_token(t)
+        value, pairs = state.snapshot()
+        assert value == 4
+        assert sorted(pairs) == [(2, 1), (2, 1)]
+
+    def test_remove_unknown_token_is_noop(self):
+        state = pv_state("count")
+        state.remove_token(token(9)[0])
+        assert state.value() == 0
+
+    def test_negated_level_contributes_nothing(self):
+        spec = AggregateSpec("count", "S", "ce", 1, None)
+        state = AggregateState(spec)
+        wme = WME("item", {"v": 1}, 1)
+        state.add_token(MatchToken([wme, None]))
+        assert state.value() == 0

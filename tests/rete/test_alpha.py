@@ -1,0 +1,99 @@
+"""Unit tests for the alpha network."""
+
+from repro.analysis import RuleAnalysis
+from repro.lang.parser import parse_rule
+from repro.rete.alpha import AlphaNetwork
+from repro.wm import WME
+
+
+def ce_analysis(source, index=0):
+    return RuleAnalysis(parse_rule(source)).ce_analyses[index]
+
+
+class _Recorder:
+    def __init__(self):
+        self.added = []
+        self.removed = []
+
+    def right_activate(self, wme):
+        self.added.append(wme)
+
+    def right_retract(self, wme):
+        self.removed.append(wme)
+
+
+class TestAlphaSharing:
+    def test_identical_tests_share_one_memory(self):
+        network = AlphaNetwork()
+        first = network.memory_for(
+            ce_analysis("(p r1 (a ^k 1 ^x <v>) --> (halt))")
+        )
+        second = network.memory_for(
+            ce_analysis("(p r2 (a ^k 2 ^y <w>) --> (halt))")
+        )
+        third = network.memory_for(
+            ce_analysis("(p r3 (a ^k 1 ^x <q>) --> (halt))")
+        )
+        assert first is third
+        assert first is not second
+        assert network.memory_count == 2
+
+    def test_free_variables_do_not_restrict_alpha(self):
+        # A variable-only attribute adds no single-WME test, so CEs that
+        # differ only in free variables share one memory.
+        network = AlphaNetwork()
+        first = network.memory_for(
+            ce_analysis("(p r1 (a ^k 1 ^x <v>) --> (halt))")
+        )
+        second = network.memory_for(
+            ce_analysis("(p r2 (a ^k 1 ^y <w>) --> (halt))")
+        )
+        assert first is second
+
+    def test_set_and_regular_ces_share(self):
+        """Paper §5: sharing holds between set and non-set rules."""
+        network = AlphaNetwork()
+        regular = network.memory_for(
+            ce_analysis("(p r1 (a ^k 1) --> (halt))")
+        )
+        set_oriented = network.memory_for(
+            ce_analysis("(p r2 [a ^k 1] --> (halt))")
+        )
+        assert regular is set_oriented
+
+
+class TestRouting:
+    def test_wme_routed_by_class_and_tests(self):
+        network = AlphaNetwork()
+        memory = network.memory_for(
+            ce_analysis("(p r (a ^k 1) --> (halt))")
+        )
+        other = network.memory_for(
+            ce_analysis("(p r2 (b) --> (halt))")
+        )
+        match = WME("a", {"k": 1}, 1)
+        miss = WME("a", {"k": 2}, 2)
+        network.add_wme(match)
+        network.add_wme(miss)
+        network.add_wme(WME("b", {}, 3))
+        assert match in memory
+        assert miss not in memory
+        assert len(other) == 1
+
+    def test_successors_notified(self):
+        network = AlphaNetwork()
+        memory = network.memory_for(
+            ce_analysis("(p r (a) --> (halt))")
+        )
+        recorder = _Recorder()
+        memory.successors.append(recorder)
+        wme = WME("a", {}, 1)
+        network.add_wme(wme)
+        network.remove_wme(wme)
+        assert recorder.added == [wme]
+        assert recorder.removed == [wme]
+
+    def test_remove_unknown_wme_is_noop(self):
+        network = AlphaNetwork()
+        network.memory_for(ce_analysis("(p r (a) --> (halt))"))
+        network.remove_wme(WME("zzz", {}, 1))  # no error

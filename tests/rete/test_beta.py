@@ -1,0 +1,98 @@
+"""Unit tests for tokens and beta memories (direct, not via the network)."""
+
+from repro.rete.beta import BetaMemory, DummyToken, Token
+from repro.wm import WME
+
+
+def wme(tag, **values):
+    return WME("c", values, tag)
+
+
+def chain(*wmes):
+    """Build a token chain over *wmes* (None = negated level)."""
+    token = DummyToken()
+    for level, element in enumerate(wmes):
+        token = Token(token, element, None, level)
+    return token
+
+
+class TestTokenChains:
+    def test_wme_at_walks_levels(self):
+        token = chain(wme(1), wme(2), wme(3))
+        assert token.wme_at(0).time_tag == 1
+        assert token.wme_at(2).time_tag == 3
+        assert token.wme_at(9) is None
+
+    def test_negated_level_is_none(self):
+        token = chain(wme(1), None, wme(3))
+        assert token.wme_at(1) is None
+        assert token.wmes() == (
+            token.wme_at(0), None, token.wme_at(2)
+        )
+
+    def test_time_tags_sorted_desc_and_skip_negated(self):
+        token = chain(wme(2), None, wme(7))
+        assert token.time_tags() == (7, 2)
+
+    def test_time_tags_cached(self):
+        token = chain(wme(1))
+        assert token.time_tags() is token.time_tags()
+
+    def test_lookup_resolves_bindings(self):
+        token = chain(wme(1, x=5), wme(2, y="s"))
+        assert token.lookup(0, "x") == 5
+        assert token.lookup(1, "y") == "s"
+        assert token.lookup(0, "missing") == "nil"
+
+    def test_lookup_negated_level_is_none(self):
+        token = chain(wme(1), None)
+        assert token.lookup(1, "x") is None
+
+    def test_children_registered_on_parent(self):
+        parent = chain(wme(1))
+        child = Token(parent, wme(2), None, 1)
+        assert child in parent.children
+
+    def test_dummy_token_properties(self):
+        dummy = DummyToken()
+        assert dummy.level == -1
+        assert dummy.wmes() == ()
+        assert dummy.time_tags() == ()
+        assert dummy.wme_at(0) is None
+
+
+class _FakeNetwork:
+    def __init__(self):
+        self.registered = []
+
+    def register_token(self, token):
+        self.registered.append(token)
+
+
+class TestBetaMemory:
+    def test_left_activate_stores_and_notifies(self):
+        memory = BetaMemory(None, 0)
+        events = []
+
+        class Observer:
+            def token_added(self, token):
+                events.append(("+", token))
+
+            def token_removed(self, token):
+                events.append(("-", token))
+
+        memory.observers.append(Observer())
+        network = _FakeNetwork()
+        token = memory.left_activate(DummyToken(), wme(1), network)
+        assert token in memory.items
+        assert network.registered == [token]
+        memory.remove_token(token)
+        assert [sign for sign, _ in events] == ["+", "-"]
+        assert len(memory) == 0
+
+    def test_active_tokens_lists_all(self):
+        memory = BetaMemory(None, 0)
+        network = _FakeNetwork()
+        first = memory.left_activate(DummyToken(), wme(1), network)
+        second = memory.left_activate(DummyToken(), wme(2), network)
+        assert memory.active_tokens() == [first, second]

@@ -1,0 +1,116 @@
+"""Unit tests for negated condition elements."""
+
+from repro.lang.parser import parse_rule
+from repro.rete import ReteNetwork
+from repro.wm import WorkingMemory
+
+from tests.rete.test_network import Listener
+
+
+def build(*sources):
+    wm = WorkingMemory()
+    listener = Listener()
+    net = ReteNetwork()
+    net.set_listener(listener)
+    net.attach(wm)
+    for source in sources:
+        net.add_rule(parse_rule(source))
+    return wm, net, listener
+
+
+class TestBasicNegation:
+    def test_absence_matches(self):
+        wm, net, listener = build("(p r (goal) -(done) --> (halt))")
+        wm.make("goal")
+        assert len(listener.live) == 1
+
+    def test_blocker_retracts(self):
+        wm, net, listener = build("(p r (goal) -(done) --> (halt))")
+        wm.make("goal")
+        done = wm.make("done")
+        assert len(listener.live) == 0
+        wm.remove(done)
+        assert len(listener.live) == 1
+
+    def test_multiple_blockers_counted(self):
+        wm, net, listener = build("(p r (goal) -(done) --> (halt))")
+        wm.make("goal")
+        first = wm.make("done")
+        second = wm.make("done")
+        wm.remove(first)
+        assert len(listener.live) == 0  # still blocked by the second
+        wm.remove(second)
+        assert len(listener.live) == 1
+
+    def test_blocker_present_before_positive(self):
+        wm, net, listener = build("(p r (goal) -(done) --> (halt))")
+        wm.make("done")
+        wm.make("goal")
+        assert len(listener.live) == 0
+
+
+class TestNegationWithVariables:
+    def test_negation_joins_on_bound_variable(self):
+        wm, net, listener = build(
+            "(p r (task ^id <i>) -(lock ^id <i>) --> (halt))"
+        )
+        wm.make("task", id=1)
+        wm.make("task", id=2)
+        wm.make("lock", id=1)
+        names = [inst.token.wme_at(0).get("id") for inst in listener.live]
+        assert names == [2]
+
+    def test_negated_intra_ce_variable(self):
+        # <x> bound and tested within the negated CE itself.
+        wm, net, listener = build(
+            "(p r (goal) -(pair ^a <x> ^b <x>) --> (halt))"
+        )
+        wm.make("goal")
+        assert len(listener.live) == 1
+        wm.make("pair", a=1, b=2)  # not a blocker: a != b
+        assert len(listener.live) == 1
+        blocker = wm.make("pair", a=3, b=3)
+        assert len(listener.live) == 0
+        wm.remove(blocker)
+        assert len(listener.live) == 1
+
+
+class TestNegationPositions:
+    def test_leading_negation(self):
+        wm, net, listener = build("(p r -(stop) (goal) --> (halt))")
+        wm.make("goal")
+        assert len(listener.live) == 1
+        wm.make("stop")
+        assert len(listener.live) == 0
+
+    def test_double_negation_levels(self):
+        wm, net, listener = build(
+            "(p r (goal) -(a) -(b) --> (halt))"
+        )
+        wm.make("goal")
+        assert len(listener.live) == 1
+        a = wm.make("a")
+        wm.make("b")
+        assert len(listener.live) == 0
+        wm.remove(a)
+        assert len(listener.live) == 0  # b still blocks
+
+    def test_removing_positive_under_negation(self):
+        wm, net, listener = build("(p r (goal) -(done) --> (halt))")
+        goal = wm.make("goal")
+        wm.remove(goal)
+        assert len(listener.live) == 0
+        assert net.stats.tokens_created == net.stats.tokens_deleted
+
+
+class TestNegationAndSetRules:
+    def test_negated_ce_with_set_ce(self):
+        wm, net, listener = build(
+            "(p r { [item ^status raw] <Items> } -(stop) --> (halt))"
+        )
+        wm.make("item", status="raw")
+        wm.make("item", status="raw")
+        assert len(listener.live) == 1
+        assert len(listener.live[0].tokens()) == 2
+        wm.make("stop")
+        assert len(listener.live) == 0

@@ -1,0 +1,264 @@
+"""Unit tests for the S-node: the paper's Figure 3 algorithm.
+
+These tests observe the raw ``+`` / ``-`` / ``time`` marks the S-node
+sends to its P-node, plus the γ-memory structure, for scripted token
+sequences — the direct reproduction of the algorithm's state machine.
+"""
+
+import pytest
+
+from repro.lang.parser import parse_rule
+from repro.rete import ReteNetwork
+from repro.rete.snode import ACTIVE, INACTIVE
+from repro.wm import WorkingMemory
+
+from tests.rete.test_network import Listener
+
+
+def build(source, strict=False):
+    wm = WorkingMemory()
+    listener = Listener()
+    net = ReteNetwork(strict_paper_decide=strict)
+    net.set_listener(listener)
+    net.attach(wm)
+    rule = parse_rule(source)
+    net.add_rule(rule)
+    snode = net.snode_for(rule.name)
+    marks = []
+    original = snode.emit
+
+    def recording_emit(mark, soi):
+        marks.append((mark, soi))
+        original(mark, soi)
+
+    snode.emit = recording_emit
+    return wm, net, listener, snode, marks
+
+
+class TestStaticData:
+    def test_five_tuple(self):
+        wm, net, listener, snode, marks = build(
+            "(p r (control ^phase run) "
+            "{ [item ^owner <o> ^v <v>] <Items> } "
+            ":scalar (<o>) "
+            ":test ((count <Items>) > 1) --> (halt))"
+        )
+        c, p, apvs, aces, test = snode.static_data()
+        assert c == (0,)  # the scalar control CE
+        assert p == ("o",)
+        assert not apvs
+        assert len(aces) == 1 and aces[0].op == "count"
+        assert test is not None
+
+
+class TestFindStage:
+    def test_one_soi_per_group_key(self):
+        wm, net, listener, snode, marks = build(
+            "(p r (control ^phase run) [item ^v <v>] --> (halt))"
+        )
+        control_a = wm.make("control", phase="run")
+        wm.make("item", v=1)
+        wm.make("item", v=2)
+        wm.make("control", phase="run")
+        assert len(snode.gamma) == 2  # one SOI per control WME
+        for entry in snode.gamma.values():
+            assert len(entry.tokens) == 2
+
+    def test_scalar_pv_partitions(self):
+        wm, net, listener, snode, marks = build(
+            "(p r [item ^owner <o>] :scalar (<o>) --> (halt))"
+        )
+        wm.make("item", owner="x")
+        wm.make("item", owner="y")
+        wm.make("item", owner="x")
+        assert len(snode.gamma) == 2
+        sizes = sorted(len(soi.tokens) for soi in snode.gamma.values())
+        assert sizes == [1, 2]
+
+    def test_tokens_ordered_like_conflict_set(self):
+        wm, net, listener, snode, marks = build(
+            "(p r [item ^v <v>] --> (halt))"
+        )
+        wm.make("item", v=1)
+        wm.make("item", v=2)
+        wm.make("item", v=3)
+        (soi,) = snode.gamma.values()
+        tags = [t.time_tags() for t in soi.tokens]
+        assert tags == sorted(tags, reverse=True)  # head = most recent
+
+
+class TestDecideStage:
+    def test_new_soi_sends_plus(self):
+        wm, net, listener, snode, marks = build(
+            "(p r [item] --> (halt))"
+        )
+        wm.make("item")
+        assert [mark for mark, _ in marks] == ["+"]
+        (soi,) = snode.gamma.values()
+        assert soi.status == ACTIVE
+
+    def test_new_time_sends_time_when_active(self):
+        wm, net, listener, snode, marks = build(
+            "(p r [item] --> (halt))"
+        )
+        wm.make("item")
+        wm.make("item")  # newest: inserted at head -> new-time
+        assert [mark for mark, _ in marks] == ["+", "time"]
+
+    def test_delete_sends_minus(self):
+        wm, net, listener, snode, marks = build(
+            "(p r [item] --> (halt))"
+        )
+        wme = wm.make("item")
+        wm.remove(wme)
+        assert [mark for mark, _ in marks] == ["+", "-"]
+        assert not snode.gamma
+
+    def test_head_removal_sends_time(self):
+        wm, net, listener, snode, marks = build(
+            "(p r [item] --> (halt))"
+        )
+        wm.make("item")
+        head = wm.make("item")
+        wm.remove(head)
+        assert [mark for mark, _ in marks] == ["+", "time", "time"]
+
+    def test_non_head_removal_is_silent(self):
+        wm, net, listener, snode, marks = build(
+            "(p r [item] --> (halt))"
+        )
+        older = wm.make("item")
+        wm.make("item")
+        marks.clear()
+        wm.remove(older)  # same-time: no flow, content updated in place
+        assert marks == []
+        (soi,) = snode.gamma.values()
+        assert len(soi.tokens) == 1
+
+
+class TestTestExpression:
+    SOURCE = (
+        "(p r { [item] <Items> } :test ((count <Items>) > 1) --> (halt))"
+    )
+
+    def test_inactive_until_test_passes(self):
+        wm, net, listener, snode, marks = build(self.SOURCE)
+        wm.make("item")
+        (soi,) = snode.gamma.values()
+        assert soi.status == INACTIVE
+        assert marks == []  # chg=new overwritten by fail; nothing flows
+        wm.make("item")
+        assert [mark for mark, _ in marks] == ["+"]
+        assert soi.status == ACTIVE
+
+    def test_fail_deactivates(self):
+        wm, net, listener, snode, marks = build(self.SOURCE)
+        first = wm.make("item")
+        wm.make("item")
+        marks.clear()
+        wm.remove(first)  # count drops to 1 -> fail -> <S,->
+        assert [mark for mark, _ in marks] == ["-"]
+        (soi,) = snode.gamma.values()
+        assert soi.status == INACTIVE
+
+    def test_version_bumps_on_every_change(self):
+        wm, net, listener, snode, marks = build(self.SOURCE)
+        wm.make("item")
+        (soi,) = snode.gamma.values()
+        version = soi.version
+        wm.make("item")
+        assert soi.version == version + 1
+
+
+class TestGammaMemoryShape:
+    def test_triple_structure(self):
+        wm, net, listener, snode, marks = build(
+            "(p r { [item ^v <v>] <Items> } "
+            ":test ((sum <Items> ^v) >= 5) --> (halt))"
+        )
+        wm.make("item", v=2)
+        wm.make("item", v=4)
+        [(tokens, status, av)] = snode.gamma_memory()
+        assert len(tokens) == 2
+        assert status == ACTIVE
+        [(value, pairs)] = av
+        assert value == 6
+        assert sorted(pairs) == [(2, 1), (4, 1)]
+
+
+class TestAggregateFlow:
+    def test_min_max_test(self):
+        wm, net, listener, snode, marks = build(
+            "(p r { [reading ^temp <t>] <R> } "
+            ":test ((max <R> ^temp) - (min <R> ^temp) > 10) --> (halt))"
+        )
+        wm.make("reading", temp=20)
+        wm.make("reading", temp=25)
+        assert not listener.live
+        spike = wm.make("reading", temp=35)
+        assert len(listener.live) == 1
+        wm.remove(spike)
+        assert not listener.live
+
+    def test_avg_test_with_scalar_reference(self):
+        wm, net, listener, snode, marks = build(
+            "(p r (limit ^n <n>) { [reading ^temp <t>] <R> } "
+            ":test ((avg <R> ^temp) > <n>) --> (halt))"
+        )
+        wm.make("limit", n=10)
+        wm.make("reading", temp=9)
+        assert not listener.live
+        wm.make("reading", temp=20)  # avg 14.5 > 10
+        assert len(listener.live) == 1
+
+
+class TestSameTimeAmendment:
+    """The documented divergence from Figure 3 as printed.
+
+    A same-time insertion that flips the test true activates the SOI by
+    default; with ``strict_paper_decide=True`` the figure's literal
+    behaviour (stay inactive) is preserved.
+    """
+
+    def _drive(self, strict):
+        wm, net, listener, snode, marks = build(
+            "(p r { [pair ^k <k>] <P> } :scalar (<k>) "
+            ":test ((count <P>) > 1) --> (halt))",
+            strict=strict,
+        )
+        # One WM change that yields two tokens in one SOI is impossible
+        # through plain makes (each make is one token), so drive the
+        # S-node directly with synthetic tokens sharing a head tag.
+        from repro.core.instantiation import MatchToken
+        from repro.wm import WME
+
+        newest = WME("pair", {"k": "g"}, 5)
+        older = WME("pair", {"k": "g"}, 3)
+        snode.token_added(_OneLevel(newest))
+        soi = next(iter(snode.gamma.values()))
+        assert soi.status == INACTIVE
+        snode.token_added(_OneLevel(older))  # same-time: not at head
+        return soi, marks
+
+    def test_default_amendment_activates(self):
+        soi, marks = self._drive(strict=False)
+        assert soi.status == ACTIVE
+        assert [mark for mark, _ in marks] == ["+"]
+
+    def test_strict_paper_mode_stays_inactive(self):
+        soi, marks = self._drive(strict=True)
+        assert soi.status == INACTIVE
+        assert marks == []
+
+
+class _OneLevel:
+    """Minimal token stub: one CE at level 0."""
+
+    def __init__(self, wme):
+        self._wme = wme
+
+    def wme_at(self, level):
+        return self._wme if level == 0 else None
+
+    def time_tags(self):
+        return (self._wme.time_tag,)

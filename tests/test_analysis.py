@@ -1,0 +1,125 @@
+"""Unit tests for static rule analysis (binding sites, test classes)."""
+
+import pytest
+
+from repro.analysis import RuleAnalysis
+from repro.errors import RuleError
+from repro.lang.parser import parse_rule
+from repro.wm import WME
+
+
+def analyse(source):
+    return RuleAnalysis(parse_rule(source))
+
+
+class TestBindingSites:
+    def test_first_equality_binds(self):
+        analysis = analyse(
+            "(p r (a ^x <v>) (b ^y <v>) --> (halt))"
+        )
+        assert analysis.binding_sites["v"] == (0, "x")
+
+    def test_negated_ce_does_not_bind(self):
+        analysis = analyse(
+            "(p r -(a ^x <v>) (b ^y <v>) --> (halt))"
+        )
+        assert analysis.binding_sites["v"] == (1, "y")
+
+    def test_use_before_binding_raises(self):
+        with pytest.raises(RuleError):
+            analyse("(p r (a ^x > <v>) --> (halt))")
+
+    def test_negated_local_var_cannot_reach_rhs(self):
+        with pytest.raises(RuleError):
+            analyse("(p r (a) -(b ^x <v>) --> (write <v>))")
+
+    def test_rhs_bind_shadows_is_allowed(self):
+        # <v> bound on the RHS itself is fine even if the LHS never
+        # binds it.
+        analysis = analyse(
+            "(p r (a) -(b ^x <v>) --> (bind <v> 3) (write <v>))"
+        )
+        assert "v" not in analysis.binding_sites
+
+
+class TestTestClassification:
+    def test_constant_intra_join_split(self):
+        analysis = analyse(
+            "(p r (a ^k 1 ^x <v> ^y <v>) (b ^z > <v>) --> (halt))"
+        )
+        first, second = analysis.ce_analyses
+        assert [c.attribute for c in first.constant_checks] == ["k"]
+        assert [(t.attribute, t.other_attribute) for t in first.intra_tests] \
+            == [("y", "x")]
+        assert not first.join_tests
+        join = second.join_tests[0]
+        assert (join.attribute, join.predicate) == ("z", ">")
+        assert (join.bound_level, join.bound_attribute) == (0, "x")
+
+    def test_disjunction_is_constant_check(self):
+        analysis = analyse("(p r (a ^c << x y >>) --> (halt))")
+        check = analysis.ce_analyses[0].constant_checks[0]
+        assert check.operand == ("x", "y")
+
+    def test_alpha_key_shared_between_identical_ces(self):
+        one = analyse("(p r1 (a ^k 1 ^x <v>) --> (halt))")
+        two = analyse("(p r2 (a ^k 1 ^x <w>) --> (halt))")
+        assert (
+            one.ce_analyses[0].alpha_key() == two.ce_analyses[0].alpha_key()
+        )
+
+    def test_alpha_key_differs_on_constants(self):
+        one = analyse("(p r1 (a ^k 1) --> (halt))")
+        two = analyse("(p r2 (a ^k 2) --> (halt))")
+        assert (
+            one.ce_analyses[0].alpha_key() != two.ce_analyses[0].alpha_key()
+        )
+
+
+class TestWmeMatching:
+    def test_wme_passes_alpha(self):
+        analysis = analyse("(p r (a ^k 1 ^x <v> ^y <v>) --> (halt))")
+        ce_analysis = analysis.ce_analyses[0]
+        good = WME("a", {"k": 1, "x": 7, "y": 7}, 1)
+        bad_const = WME("a", {"k": 2, "x": 7, "y": 7}, 2)
+        bad_intra = WME("a", {"k": 1, "x": 7, "y": 8}, 3)
+        bad_class = WME("b", {"k": 1}, 4)
+        assert ce_analysis.wme_passes_alpha(good)
+        assert not ce_analysis.wme_passes_alpha(bad_const)
+        assert not ce_analysis.wme_passes_alpha(bad_intra)
+        assert not ce_analysis.wme_passes_alpha(bad_class)
+
+    def test_wme_passes_joins(self):
+        analysis = analyse("(p r (a ^x <v>) (b ^z > <v>) --> (halt))")
+        ce_analysis = analysis.ce_analyses[1]
+        bound = WME("a", {"x": 5}, 1)
+
+        def lookup(level, attribute):
+            assert (level, attribute) == (0, "x")
+            return bound.get(attribute)
+
+        assert ce_analysis.wme_passes_joins(WME("b", {"z": 9}, 2), lookup)
+        assert not ce_analysis.wme_passes_joins(
+            WME("b", {"z": 3}, 3), lookup
+        )
+
+
+class TestDerivedStructure:
+    def test_scalar_and_set_levels(self):
+        analysis = analyse("(p r (a) [b] -(c) [d] --> (halt))")
+        assert analysis.scalar_ce_levels == (0,)
+        assert analysis.set_ce_levels == (1, 3)
+
+    def test_set_variable_sites(self):
+        analysis = analyse(
+            "(p r [b ^v <v> ^w <w>] :scalar (<w>) --> (halt))"
+        )
+        assert set(analysis.set_variable_sites) == {"v"}
+        assert analysis.set_variable_sites["v"] == (0, "v")
+
+    def test_variable_value_resolution(self):
+        analysis = analyse("(p r (a ^x <v>) --> (write <v>))")
+        wme = WME("a", {"x": 42}, 1)
+        assert analysis.variable_value("v", lambda level: wme) == 42
+        with pytest.raises(RuleError):
+            analysis.variable_value("zz", lambda level: wme)

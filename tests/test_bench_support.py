@@ -1,0 +1,98 @@
+"""Unit tests for the bench support package (workloads + harness)."""
+
+from repro import RuleEngine
+from repro.bench.harness import format_table, print_table
+from repro.bench.workloads import (
+    cardinality_set_program,
+    cardinality_tuple_program,
+    chain_events,
+    chain_program,
+    duplicate_roster,
+    process_set_program,
+    process_tuple_program,
+    team_roster,
+)
+from repro.wm import WorkingMemory
+
+
+class TestGenerators:
+    def test_team_roster_deterministic(self):
+        assert team_roster(10, seed=3) == team_roster(10, seed=3)
+        assert team_roster(10, seed=3) != team_roster(10, seed=4)
+
+    def test_team_roster_spreads_teams(self):
+        roster = team_roster(10)
+        assert {team for team, _ in roster} == {"A", "B"}
+        assert len(roster) == 10
+
+    def test_duplicate_roster_shape(self):
+        roster = duplicate_roster(groups=3, group_size=4)
+        assert len(roster) == 12
+        assert len(set(roster)) == 3
+
+    def test_chain_program_parses_and_scales(self):
+        from repro.lang.parser import parse_program
+
+        _, rules = parse_program(chain_program(rule_count=5,
+                                               chain_length=4))
+        assert len(rules) == 5
+        assert all(len(rule.ces) == 4 for rule in rules)
+
+    def test_chain_events_populate_lanes(self):
+        wm = WorkingMemory()
+        wmes = chain_events(wm, lanes=3, nodes=5, seed=1)
+        assert len(wmes) == 15
+        lanes = {w.get("lane") for w in wm}
+        assert lanes == {0, 1, 2}
+
+
+class TestWorkloadPrograms:
+    def test_process_programs_reach_same_state(self):
+        tuple_engine = RuleEngine()
+        process_tuple_program(tuple_engine, 12)
+        tuple_engine.run(limit=100)
+        set_engine = RuleEngine()
+        process_set_program(set_engine, 12)
+        set_engine.run(limit=100)
+        for engine in (tuple_engine, set_engine):
+            assert len(engine.wm.find("item", status="done")) == 12
+            assert engine.wm.find("control", phase="finished")
+
+    def test_cardinality_threshold_parameter(self):
+        engine = RuleEngine()
+        cardinality_set_program(engine, 10, threshold=4)
+        engine.run(limit=5)
+        assert engine.wm.find("verdict")
+
+        engine2 = RuleEngine()
+        cardinality_set_program(engine2, 3, threshold=4)
+        engine2.run(limit=5)
+        assert not engine2.wm.find("verdict")
+
+    def test_cardinality_tuple_counts_correctly(self):
+        engine = RuleEngine()
+        cardinality_tuple_program(engine, 7)
+        engine.run(limit=50)
+        counter = engine.wm.find("counter")[0]
+        assert counter.get("n") == 7
+
+
+class TestHarness:
+    def test_format_table_alignment(self):
+        text = format_table(
+            "Title", ["col", "n"], [("a", 1), ("long-value", 20)]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert lines[1] == "====="
+        assert "col" in lines[2] and "n" in lines[2]
+        assert len(lines) == 6
+
+    def test_float_rendering(self):
+        text = format_table("T", ["x"], [(1.23456,)])
+        assert "1.235" in text
+
+    def test_print_table_writes_to_stdout(self, capsys):
+        print_table("T", ["a"], [(1,)])
+        captured = capsys.readouterr()
+        assert "T" in captured.out

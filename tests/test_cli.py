@@ -1,0 +1,153 @@
+"""Unit tests for the command-line interpreter session."""
+
+import pytest
+
+from repro.cli import ReplSession, _parse_attribute_args, main
+
+
+@pytest.fixture
+def session():
+    return ReplSession(watch=0)
+
+
+class TestDefinitions:
+    def test_single_line_rule(self, session):
+        output = session.execute("(p r (goal) --> (write done))")
+        assert output == "defined r"
+
+    def test_multi_line_rule_buffers(self, session):
+        assert session.execute("(p r") == "..."
+        assert session.execute("  (goal)") == "..."
+        assert session.execute("  --> (write done))") == "defined r"
+
+    def test_literalize(self, session):
+        assert session.execute("(literalize goal id)") == "ok"
+        assert session.execute("make goal ^id 1").startswith("made")
+
+    def test_parse_error_reported(self, session):
+        output = session.execute("(p broken))")
+        assert output.startswith("error:")
+
+
+class TestWorkingMemoryCommands:
+    def test_make_wm_remove(self, session):
+        session.execute("make player ^team A ^name Jack")
+        listing = session.execute("wm")
+        assert "Jack" in listing
+        assert session.execute("remove 1") == "removed 1 element(s)"
+        assert session.execute("wm") == "working memory is empty"
+
+    def test_modify(self, session):
+        session.execute("make player ^team A")
+        output = session.execute("modify 1 ^team B")
+        assert "^team B" in output
+
+    def test_wm_filter_by_class(self, session):
+        session.execute("make a ^x 1")
+        session.execute("make b ^x 2")
+        assert "b" not in session.execute("wm a")
+
+    def test_numeric_coercion(self):
+        values = _parse_attribute_args(["^n", "42", "^s", "abc"])
+        assert values == {"n": 42, "s": "abc"}
+
+    def test_bad_pairs_reported(self, session):
+        output = session.execute("make player team A")
+        assert output.startswith("error:")
+
+
+class TestExecutionCommands:
+    def test_run_and_output(self, session):
+        session.execute("(p r (goal) --> (write hello))")
+        session.execute("make goal")
+        output = session.execute("run")
+        assert "1 firing(s)" in output
+        assert "hello" in output
+
+    def test_step(self, session):
+        session.execute("(p r (goal) --> (write hi))")
+        session.execute("make goal")
+        assert "fired r" in session.execute("step")
+        assert session.execute("step") == "nothing to fire"
+
+    def test_cs_listing(self, session):
+        session.execute("(p r [goal ^id <i>] --> (write x))")
+        session.execute("make goal ^id 1")
+        session.execute("make goal ^id 2")
+        listing = session.execute("cs")
+        assert "r" in listing and "SOI" in listing
+
+    def test_matches(self, session):
+        session.execute("(p r (a ^x <v>) (b ^y <v>) --> (write x))")
+        session.execute("make a ^x 1")
+        session.execute("make b ^y 1")
+        output = session.execute("matches r")
+        assert "instantiation:" in output
+        assert "[1, 2]" in output
+
+    def test_strategy_switch(self, session):
+        assert session.execute("strategy mea") == "strategy mea"
+        assert session.execute("strategy") == "strategy mea"
+
+    def test_stats(self, session):
+        session.execute("(p r (goal) --> (write x))")
+        session.execute("make goal")
+        session.execute("run")
+        stats = session.execute("stats")
+        assert "rules: 1" in stats
+        assert "firings: 1" in stats
+
+
+class TestMisc:
+    def test_unknown_command(self, session):
+        assert "unknown command" in session.execute("frobnicate")
+
+    def test_blank_and_comment_lines(self, session):
+        assert session.execute("") == ""
+        assert session.execute("; a comment") == ""
+
+    def test_help(self, session):
+        assert "commands:" in session.execute("help")
+
+    def test_load_file(self, session, tmp_path):
+        program = tmp_path / "prog.ops"
+        program.write_text(
+            "(literalize goal id)\n(p r (goal) --> (write loaded))\n"
+        )
+        assert session.execute(f"load {program}") == "loaded 1 rule(s)"
+
+    def test_exit_raises_system_exit(self, session):
+        with pytest.raises(SystemExit):
+            session.execute("exit")
+
+
+class TestBatchMode:
+    def test_main_batch(self, tmp_path, capsys):
+        program = tmp_path / "prog.ops"
+        program.write_text(
+            """
+            (literalize item n)
+            (p r (item ^n <n>) --> (write saw <n>))
+            """
+        )
+        # Batch mode loads and runs; with no WMEs it just reports 0.
+        assert main([str(program), "--run", "5", "--watch", "0"]) == 0
+        captured = capsys.readouterr()
+        assert "loaded 1 rule(s)" in captured.out
+        assert "0 firing(s)" in captured.out
+
+    def test_main_matcher_choice(self, tmp_path, capsys):
+        program = tmp_path / "prog.ops"
+        program.write_text("(p r (goal) --> (write hi))")
+        assert main(
+            [str(program), "--run", "1", "--matcher", "treat"]
+        ) == 0
+
+
+class TestExciseCommand:
+    def test_excise_via_repl(self, session):
+        session.execute("(p r (goal) --> (write hi))")
+        session.execute("make goal")
+        assert session.execute("excise r") == "excised r"
+        assert "0 firing(s)" in session.execute("run")
+        assert session.execute("excise ghost").startswith("error:")

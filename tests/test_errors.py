@@ -1,0 +1,49 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        leaves = [
+            errors.ParseError("x"),
+            errors.RuleError("x"),
+            errors.WorkingMemoryError("x"),
+            errors.EngineError("x"),
+            errors.ConflictResolutionError("x"),
+            errors.DatabaseError("x"),
+            errors.SchemaError("x"),
+            errors.QueryError("x"),
+            errors.SqlError("x"),
+            errors.TransactionError("x"),
+            errors.TransactionConflict("x"),
+            errors.DipsError("x"),
+        ]
+        for error in leaves:
+            assert isinstance(error, errors.ReproError)
+
+    def test_sub_hierarchies(self):
+        assert issubclass(errors.SqlError, errors.QueryError)
+        assert issubclass(errors.QueryError, errors.DatabaseError)
+        assert issubclass(errors.TransactionConflict,
+                          errors.TransactionError)
+        assert issubclass(errors.ConflictResolutionError,
+                          errors.EngineError)
+
+    def test_parse_error_position_formatting(self):
+        plain = errors.ParseError("bad token")
+        assert str(plain) == "bad token"
+        with_line = errors.ParseError("bad token", line=3)
+        assert "line 3" in str(with_line)
+        full = errors.ParseError("bad token", line=3, column=9)
+        assert "line 3, column 9" in str(full)
+        assert full.line == 3
+        assert full.column == 9
+
+    def test_catchable_at_the_base(self):
+        from repro.lang.parser import parse_rule
+
+        with pytest.raises(errors.ReproError):
+            parse_rule("(p")

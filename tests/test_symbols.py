@@ -1,0 +1,112 @@
+"""Unit tests for the OPS5 value model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import symbols
+
+
+class TestClassification:
+    def test_numbers(self):
+        assert symbols.is_number(1)
+        assert symbols.is_number(-2.5)
+        assert not symbols.is_number("1")
+
+    def test_bool_is_not_a_number(self):
+        assert not symbols.is_number(True)
+        assert not symbols.is_number(False)
+
+    def test_symbols(self):
+        assert symbols.is_symbol("nil")
+        assert symbols.is_symbol("")
+        assert not symbols.is_symbol(3)
+
+    def test_is_value(self):
+        assert symbols.is_value("a")
+        assert symbols.is_value(0)
+        assert not symbols.is_value(None)
+        assert not symbols.is_value([1])
+
+
+class TestEquality:
+    def test_numeric_equality_across_types(self):
+        assert symbols.values_equal(2, 2.0)
+        assert not symbols.values_equal(2, 3)
+
+    def test_symbol_equality(self):
+        assert symbols.values_equal("A", "A")
+        assert not symbols.values_equal("A", "a")
+
+    def test_number_never_equals_symbol(self):
+        assert not symbols.values_equal(2, "2")
+
+    def test_same_type_predicate(self):
+        assert symbols.same_type(1, 2.5)
+        assert symbols.same_type("a", "b")
+        assert not symbols.same_type(1, "a")
+
+
+class TestApplyPredicate:
+    @pytest.mark.parametrize(
+        "predicate,left,right,expected",
+        [
+            ("=", 5, 5.0, True),
+            ("<>", 5, 6, True),
+            ("<>", "x", "x", False),
+            ("<", 1, 2, True),
+            ("<=", 2, 2, True),
+            (">", 3, 2, True),
+            (">=", 2, 3, False),
+            ("<=>", 1, 9.5, True),
+            ("<=>", 1, "one", False),
+        ],
+    )
+    def test_table(self, predicate, left, right, expected):
+        assert symbols.apply_predicate(predicate, left, right) is expected
+
+    def test_numeric_predicate_fails_on_symbols(self):
+        # OPS5 match semantics: type mismatch is a non-match, not an error.
+        assert not symbols.apply_predicate("<", "a", "b")
+        assert not symbols.apply_predicate(">=", 1, "b")
+
+    def test_unknown_predicate_raises(self):
+        with pytest.raises(ValueError):
+            symbols.apply_predicate("~", 1, 2)
+
+
+class TestSortKeyAndLiterals:
+    def test_numbers_sort_before_symbols(self):
+        values = ["b", 3, "a", 1]
+        assert sorted(values, key=symbols.sort_key) == [1, 3, "a", "b"]
+
+    def test_coerce_literal(self):
+        assert symbols.coerce_literal("42") == 42
+        assert isinstance(symbols.coerce_literal("42"), int)
+        assert symbols.coerce_literal("4.5") == 4.5
+        assert symbols.coerce_literal("-3") == -3
+        assert symbols.coerce_literal("abc") == "abc"
+        assert symbols.coerce_literal("-") == "-"
+
+    @given(st.integers(-10**6, 10**6))
+    def test_coerce_roundtrips_integers(self, value):
+        assert symbols.coerce_literal(str(value)) == value
+
+    @given(
+        st.one_of(
+            st.integers(-1000, 1000),
+            st.floats(allow_nan=False, allow_infinity=False, width=32),
+            st.text(
+                alphabet=st.characters(whitelist_categories=("Ll", "Lu")),
+                min_size=1,
+                max_size=8,
+            ),
+        )
+    )
+    def test_sort_key_total_order(self, value):
+        key = symbols.sort_key(value)
+        assert isinstance(key, tuple)
+        # Comparable against both kinds of keys.
+        assert (key < symbols.sort_key("zz")) or (
+            key >= symbols.sort_key("zz")
+        )

@@ -1,0 +1,123 @@
+"""Unit tests for working memory: time tags, multiset semantics, events."""
+
+import pytest
+
+from repro.errors import WorkingMemoryError
+from repro.wm import WMClassRegistry, WorkingMemory
+from repro.wm.events import ADD, REMOVE
+
+
+class TestRegistry:
+    def test_literalize_and_validate(self):
+        registry = WMClassRegistry()
+        registry.literalize("player", ["name", "team"])
+        registry.validate("player", {"name": "Jack"})
+        with pytest.raises(WorkingMemoryError):
+            registry.validate("player", {"salary": 1})
+
+    def test_undeclared_class_is_unchecked(self):
+        registry = WMClassRegistry()
+        registry.validate("anything", {"x": 1})  # no error
+
+    def test_redeclaration_must_match(self):
+        registry = WMClassRegistry()
+        registry.literalize("player", ["name"])
+        registry.literalize("player", ["name"])  # identical is fine
+        with pytest.raises(WorkingMemoryError):
+            registry.literalize("player", ["name", "team"])
+
+    def test_duplicate_attribute_rejected(self):
+        registry = WMClassRegistry()
+        with pytest.raises(WorkingMemoryError):
+            registry.literalize("player", ["name", "name"])
+
+
+class TestWorkingMemory:
+    def test_time_tags_are_monotone(self):
+        wm = WorkingMemory()
+        first = wm.make("a", x=1)
+        second = wm.make("a", x=2)
+        assert second.time_tag == first.time_tag + 1
+        assert wm.latest_time_tag == second.time_tag
+
+    def test_multiset_allows_identical_content(self):
+        wm = WorkingMemory()
+        a = wm.make("player", name="Sue")
+        b = wm.make("player", name="Sue")
+        assert a.same_content(b)
+        assert len(wm) == 2
+
+    def test_iteration_in_time_tag_order(self):
+        wm = WorkingMemory()
+        tags = [wm.make("a", i=i).time_tag for i in range(5)]
+        assert [w.time_tag for w in wm] == tags
+
+    def test_remove_by_object_and_by_tag(self):
+        wm = WorkingMemory()
+        a = wm.make("a", x=1)
+        b = wm.make("a", x=2)
+        wm.remove(a)
+        wm.remove(b.time_tag)
+        assert len(wm) == 0
+
+    def test_remove_missing_raises(self):
+        wm = WorkingMemory()
+        a = wm.make("a", x=1)
+        wm.remove(a)
+        with pytest.raises(WorkingMemoryError):
+            wm.remove(a)
+        with pytest.raises(WorkingMemoryError):
+            wm.remove(999)
+
+    def test_modify_is_remove_plus_make_with_fresh_tag(self):
+        wm = WorkingMemory()
+        a = wm.make("player", name="Jack", team="A")
+        b = wm.modify(a, team="B")
+        assert b.time_tag > a.time_tag
+        assert b.get("name") == "Jack"
+        assert b.get("team") == "B"
+        assert a not in wm
+        assert b in wm
+
+    def test_find_with_numeric_coercion(self):
+        wm = WorkingMemory()
+        wm.make("item", n=2)
+        assert len(wm.find("item", n=2.0)) == 1
+
+    def test_event_stream_order(self):
+        wm = WorkingMemory()
+        events = []
+        wm.attach(lambda e: events.append((e.sign, e.wme.time_tag)))
+        a = wm.make("a", x=1)
+        wm.modify(a, x=2)
+        assert events == [
+            (ADD, 1),
+            (REMOVE, 1),
+            (ADD, 2),
+        ]
+
+    def test_detach_stops_events(self):
+        wm = WorkingMemory()
+        events = []
+        observer = lambda e: events.append(e)
+        wm.attach(observer)
+        wm.make("a")
+        wm.detach(observer)
+        wm.make("a")
+        assert len(events) == 1
+
+    def test_clear_emits_removes(self):
+        wm = WorkingMemory()
+        for _ in range(3):
+            wm.make("a")
+        removes = []
+        wm.attach(lambda e: removes.append(e.sign))
+        wm.clear()
+        assert removes == [REMOVE] * 3
+        assert len(wm) == 0
+
+    def test_declared_class_validation_on_make(self):
+        wm = WorkingMemory()
+        wm.registry.literalize("player", ["name"])
+        with pytest.raises(WorkingMemoryError):
+            wm.make("player", salary=3)

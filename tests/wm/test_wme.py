@@ -1,0 +1,56 @@
+"""Unit tests for WMEs."""
+
+import pytest
+
+from repro.errors import WorkingMemoryError
+from repro.wm import WME
+
+
+def wme(tag=1, **values):
+    return WME("player", values, tag)
+
+
+class TestWME:
+    def test_get_and_default_nil(self):
+        element = wme(name="Jack", team="A")
+        assert element.get("name") == "Jack"
+        assert element.get("missing") == "nil"
+
+    def test_attributes_and_as_dict(self):
+        element = wme(name="Jack", team="A")
+        assert set(element.attributes()) == {"name", "team"}
+        assert element.as_dict() == {"name": "Jack", "team": "A"}
+        # as_dict returns a copy.
+        element.as_dict()["name"] = "other"
+        assert element.get("name") == "Jack"
+
+    def test_with_updates_merges(self):
+        element = wme(name="Jack", team="A")
+        assert element.with_updates({"team": "B"}) == {
+            "name": "Jack",
+            "team": "B",
+        }
+        # Original is untouched (WMEs are immutable).
+        assert element.get("team") == "A"
+
+    def test_same_content_ignores_time_tag(self):
+        a = wme(tag=1, name="Jack")
+        b = wme(tag=9, name="Jack")
+        assert a.same_content(b)
+        assert a != b  # equality includes the time tag
+
+    def test_equality_and_hash(self):
+        a = wme(tag=3, name="Jack")
+        b = WME("player", {"name": "Jack"}, 3)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_rejects_non_value_attribute(self):
+        with pytest.raises(WorkingMemoryError):
+            WME("player", {"name": [1, 2]}, 1)
+        with pytest.raises(WorkingMemoryError):
+            WME("player", {3: "x"}, 1)
+
+    def test_repr_contains_tag_and_class(self):
+        text = repr(wme(tag=7, name="Jack"))
+        assert "7" in text and "player" in text and "^name Jack" in text
