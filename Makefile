@@ -1,0 +1,28 @@
+# Development convenience targets.  Everything assumes the source
+# layout (src/) without installation: PYTHONPATH=src.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench-smoke bench profile-demo
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/ -q -p no:cacheprovider \
+	  -k "ablation or no_regression or snode_scaling"
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Exercise the --profile surface end-to-end: feed the per-sensor stats
+# program three readings through the REPL and print the per-rule /
+# per-node match-work tables on exit.
+profile-demo:
+	printf 'make reading ^sensor t1 ^value 10\n\
+	make reading ^sensor t1 ^value 30\n\
+	make reading ^sensor t2 ^value 22\n\
+	run\n\
+	exit\n' | $(PYTHON) -m repro.cli \
+	  examples/programs/sensor_stats.ops --profile

@@ -14,8 +14,12 @@ import pytest
 
 from repro import RuleEngine
 from repro.dips import DipsMatcher
+from repro.engine.stats import MatchStats
+from repro.lang.parser import parse_rule
 from repro.match import NaiveMatcher, TreatMatcher
+from repro.match.base import NullListener
 from repro.rete import ReteNetwork
+from repro.wm import WorkingMemory
 
 MATCHERS = {
     "rete": ReteNetwork,
@@ -31,6 +35,28 @@ def engine_factory():
         return RuleEngine(matcher=MATCHERS[matcher_name]())
 
     return factory
+
+
+def build_stats_network(*rules, **network_kwargs):
+    """A ``(wm, net, stats)`` triple with match-work counting enabled.
+
+    The ablation benchmarks use this to report *work counters* (join
+    tests, probes vs scans, token churn) next to wall-clock timings.
+    Rules may be source strings or already-parsed rule objects.
+    """
+    stats = MatchStats()
+    wm = WorkingMemory()
+    net = ReteNetwork(stats=stats, **network_kwargs)
+    net.set_listener(NullListener())
+    net.attach(wm)
+    for rule in rules:
+        net.add_rule(parse_rule(rule) if isinstance(rule, str) else rule)
+    return wm, net, stats
+
+
+@pytest.fixture
+def stats_network():
+    return build_stats_network
 
 
 def load_paper_roster(engine):

@@ -9,7 +9,7 @@ without the rewrites as the COND tables grow.
 import time
 
 from repro.bench import print_table
-from repro.rdb import Database, run_sql
+from repro.rdb import Database, plan_counters, run_sql
 
 
 def build_cond_tables(db, size):
@@ -43,34 +43,50 @@ SOI_SQL = (
 def timed_query(size, optimize):
     db = Database()
     build_cond_tables(db, size)
-    start = time.perf_counter()
-    rows = run_sql(db, SOI_SQL, optimize=optimize)
-    elapsed = time.perf_counter() - start
+    with plan_counters() as work:
+        start = time.perf_counter()
+        rows = run_sql(db, SOI_SQL, optimize=optimize)
+        elapsed = time.perf_counter() - start
     assert len(rows) == size
-    return elapsed
+    return elapsed, work
 
 
 def test_hash_join_ablation(benchmark):
     rows = []
     for size in (50, 100, 200, 400):
-        nested = min(timed_query(size, optimize=False) for _ in range(3))
-        hashed = min(timed_query(size, optimize=True) for _ in range(3))
+        nested, nested_work = min(
+            (timed_query(size, optimize=False) for _ in range(3)),
+            key=lambda r: r[0],
+        )
+        hashed, hashed_work = min(
+            (timed_query(size, optimize=True) for _ in range(3)),
+            key=lambda r: r[0],
+        )
+        # The planner's win is visible as work, not only time: the
+        # nested loop examines the full cross product while the hash
+        # join probes exactly the matching bucket per row.
+        assert hashed_work.pairs_examined < nested_work.pairs_examined
+        assert nested_work.pairs_examined >= size * size
+        assert hashed_work.probe_hits == size
         rows.append(
             (
                 size,
                 f"{nested:.4f}",
                 f"{hashed:.4f}",
+                nested_work.pairs_examined,
+                hashed_work.pairs_examined,
                 f"{nested / hashed:.1f}x",
             )
         )
     print_table(
         "Ablation — SOI query: nested-loop vs planner "
         "(hash join + pushdown)",
-        ["COND rows/side", "nested loop s", "optimised s", "speedup"],
+        ["COND rows/side", "nested loop s", "optimised s",
+         "nested pairs", "hashed pairs", "speedup"],
         rows,
     )
     # The nested loop is quadratic; at 400 rows the planner must win big.
-    assert float(rows[-1][3].rstrip("x")) > 5.0
+    assert float(rows[-1][5].rstrip("x")) > 5.0
 
     benchmark(timed_query, 200, True)
 

@@ -7,12 +7,16 @@ This bench grows an SOI and measures per-token cost, then sweeps the
 number of groups to show the keyed lookup stays flat.
 """
 
+import random
 import time
+
+from benchmarks.conftest import build_stats_network
 
 from repro.bench import print_table
 from repro.lang.parser import parse_rule
 from repro.match.base import NullListener
 from repro.rete import ReteNetwork
+from repro.rete.snode import SetOrientedInstance
 from repro.wm import WorkingMemory
 
 SUM_RULE = (
@@ -64,6 +68,121 @@ def test_per_token_cost_with_soi_size(benchmark):
     assert per_token[-1] < per_token[0] * 3
 
     benchmark(grow_one_group, 400)
+
+
+def churn_one_group(total):
+    """Build a *total*-token SOI, then retract every WME oldest-first.
+
+    Retracting the oldest token used to scan the whole γ-memory token
+    list per removal — O(n²) for the teardown; with the bisect-indexed
+    ordering it is O(n log n).  Only the teardown is timed.
+    """
+    wm, net, stats = build_stats_network(SUM_RULE)
+    wmes = [wm.make("item", g="only", v=index) for index in range(total)]
+    start = time.perf_counter()
+    for wme in wmes:
+        wm.remove(wme)
+    return time.perf_counter() - start, stats
+
+
+def test_soi_10k_maintenance_subquadratic(benchmark):
+    """Acceptance check: 10k-token γ-memory maintenance scales.
+
+    The MatchStats γ-memory counters double-check that the SOI really
+    reached the advertised size before the teardown was timed.
+    """
+    rows = []
+    times = {}
+    for total in (2500, 10000):
+        elapsed, stats = min(
+            (churn_one_group(total) for _ in range(3)),
+            key=lambda r: r[0],
+        )
+        snode_record = next(
+            record for label, record in stats.nodes.items()
+            if label.startswith("snode:")
+        )
+        assert snode_record["tokens_hwm"] == total
+        assert snode_record["groups_hwm"] == 1
+        assert snode_record["tokens"] == 0  # fully drained
+        times[total] = elapsed
+        rows.append((total, f"{elapsed:.4f}",
+                     f"{elapsed / total * 1e6:.1f}"))
+    print_table(
+        "F3b — oldest-first teardown of one SOI "
+        "(bisect maintenance: sub-quadratic)",
+        ["tokens", "teardown (s)", "us/removal"],
+        rows,
+    )
+    # 4x the tokens: linear maintenance costs ~4x, quadratic ~16x.
+    assert times[10000] < times[2500] * 8
+
+    benchmark(churn_one_group, 2500)
+
+
+class _StubToken:
+    """Bare token standing in for a beta token: just the recency key."""
+
+    __slots__ = ("_tags",)
+
+    def __init__(self, tags):
+        self._tags = tuple(sorted(tags, reverse=True))
+
+    def time_tags(self):
+        return self._tags
+
+
+def _reference_insert(tokens, token):
+    """The seed's linear-scan insert (head = dominant, ties keep order)."""
+    key = token.time_tags()
+    for position, existing in enumerate(tokens):
+        if key > existing.time_tags():
+            tokens.insert(position, token)
+            return position == 0
+    tokens.append(token)
+    return len(tokens) == 1
+
+
+def _reference_remove(tokens, token):
+    """The seed's identity scan."""
+    position = next(
+        index for index, existing in enumerate(tokens) if existing is token
+    )
+    del tokens[position]
+    return position == 0
+
+
+def test_soi_ordering_matches_seed_reference(benchmark):
+    """The bisect rewrite preserves the seed ordering exactly.
+
+    Random insert/remove interleavings with heavy key ties (tags drawn
+    from a small range) must leave the token list — and every head
+    change signal, which is what drives conflict-set ordering — equal
+    to the linear-scan reference.  Tokens within one SOI always carry
+    the same number of tags (one rule, fixed CE count), which the
+    sign-flipped bisect keys rely on.
+    """
+    rng = random.Random(1991)
+    soi = SetOrientedInstance(key="ref", key_wmes={}, p_values={},
+                              agg_states=[])
+    reference = []
+    live = []
+    for _ in range(3000):
+        if live and rng.random() < 0.45:
+            token = live.pop(rng.randrange(len(live)))
+            got = soi.remove_token(token)
+            expected = _reference_remove(reference, token)
+        else:
+            token = _StubToken(
+                (rng.randrange(60), rng.randrange(60))
+            )
+            live.append(token)
+            got = soi.insert_token(token)
+            expected = _reference_insert(reference, token)
+        assert got == expected
+        assert soi.tokens == reference
+
+    benchmark(churn_one_group, 1000)
 
 
 def test_group_count_does_not_hurt(benchmark):

@@ -33,7 +33,7 @@ baselines), :mod:`repro.engine` (conflict resolution + RHS),
 matching, section 8), :mod:`repro.bench` (workloads and harness).
 """
 
-from repro.engine import RuleEngine
+from repro.engine import MatchStats, NullStats, RuleEngine
 from repro.lang import RuleBuilder, parse_program, parse_rule
 from repro.match import NaiveMatcher, TreatMatcher
 from repro.rete import ReteNetwork
@@ -42,7 +42,9 @@ from repro.wm import WME, WorkingMemory
 __version__ = "1.0.0"
 
 __all__ = [
+    "MatchStats",
     "NaiveMatcher",
+    "NullStats",
     "ReteNetwork",
     "RuleBuilder",
     "RuleEngine",

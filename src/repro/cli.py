@@ -4,6 +4,13 @@ Usage::
 
     python -m repro.cli [program.ops] [--matcher rete|treat|naive|dips]
                         [--strategy lex|mea] [--run N] [--watch LEVEL]
+                        [--profile] [--profile-json FILE]
+
+``--profile`` collects node-level match statistics (join tests, index
+probes vs scans, token churn, S-node marks, per-rule timings) and
+prints the per-rule/per-node profile tables when the session ends; the
+``profile`` REPL command prints them on demand.  ``--profile-json``
+additionally writes the structured snapshot to *FILE* on exit.
 
 With a program file and ``--run``, executes in batch mode and prints
 the ``write`` output.  Without ``--run`` it drops into a REPL:
@@ -24,6 +31,7 @@ command                   effect
 ``watch LEVEL``           0 = silent, 1 = firings, 2 = + WM changes
 ``strategy lex|mea``      switch conflict resolution
 ``stats``                 matcher/engine counters
+``profile``               per-rule/per-node match-work tables (--profile)
 ``load FILE``             load a program file
 ``exit``                  leave
 ========================  ====================================================
@@ -79,12 +87,33 @@ def _parse_attribute_args(tokens):
 class ReplSession:
     """One interactive session; ``execute`` returns printable output."""
 
-    def __init__(self, matcher="rete", strategy="lex", watch=1):
+    def __init__(self, matcher="rete", strategy="lex", watch=1,
+                 profile=False):
+        self.profile_stats = None
+        if profile:
+            from repro.engine.stats import MatchStats
+
+            self.profile_stats = MatchStats()
         self.engine = RuleEngine(matcher=_build_matcher(matcher),
-                                 strategy=strategy)
+                                 strategy=strategy,
+                                 stats=self.profile_stats)
         self.watch = watch
         self._pending = ""
         self.engine.wm.attach(self._wm_observer)
+
+    def profile_report(self):
+        """The per-rule/per-node profile tables (with tracer drops)."""
+        if self.profile_stats is None:
+            return "profiling is off (start with --profile)"
+        report = self.profile_stats.format_report()
+        tracer = self.engine.tracer
+        if tracer.dropped_records:
+            report += (
+                f"\n\ntracer ring buffer dropped "
+                f"{tracer.dropped_firings} firing record(s) and "
+                f"{tracer.dropped_output} output line(s)"
+            )
+        return report
 
     # -- observation ------------------------------------------------------
 
@@ -140,7 +169,7 @@ class ReplSession:
     def _cmd_help(self, arguments):
         return __doc__.split("========", 1)[0] + (
             "commands: make remove modify run step wm cs matches watch "
-            "parallel excise strategy stats network load exit"
+            "parallel excise strategy stats profile network load exit"
         )
 
     def _cmd_make(self, arguments):
@@ -174,7 +203,7 @@ class ReplSession:
             self._report_firing(instantiation)
             fired += 1
         lines = [f"{fired} firing(s)"]
-        lines.extend(self.engine.tracer.output[-20:])
+        lines.extend(list(self.engine.tracer.output)[-20:])
         self.engine.tracer.output.clear()
         return "\n".join(lines)
 
@@ -185,7 +214,7 @@ class ReplSession:
             f"{cycles} cycle(s): {fired} fired, "
             f"{conflicted} invalidated"
         ]
-        lines.extend(self.engine.tracer.output[-20:])
+        lines.extend(list(self.engine.tracer.output)[-20:])
         self.engine.tracer.output.clear()
         return "\n".join(lines)
 
@@ -264,6 +293,9 @@ class ReplSession:
             lines.extend(f"{key}: {value}" for key, value in as_dict.items())
         return "\n".join(lines)
 
+    def _cmd_profile(self, arguments):
+        return self.profile_report()
+
     def _cmd_excise(self, arguments):
         if not arguments:
             return "usage: excise rule-name"
@@ -313,17 +345,47 @@ def main(argv=None):
         help="batch mode: run at most N firings and exit",
     )
     parser.add_argument("--watch", type=int, default=1)
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="collect match statistics; print the profile on exit",
+    )
+    parser.add_argument(
+        "--profile-json",
+        metavar="FILE",
+        help="write the structured stats snapshot to FILE on exit "
+        "(implies --profile)",
+    )
     options = parser.parse_args(argv)
 
     session = ReplSession(
         matcher=options.matcher,
         strategy=options.strategy,
         watch=options.watch,
+        profile=options.profile or options.profile_json is not None,
     )
+
+    def finish():
+        if session.profile_stats is None:
+            return
+        print()
+        print(session.profile_report())
+        if options.profile_json:
+            try:
+                with open(options.profile_json, "w") as handle:
+                    handle.write(session.profile_stats.to_json(indent=2))
+            except OSError as error:
+                print(f"error: cannot write stats snapshot: {error}")
+            else:
+                print(
+                    f"stats snapshot written to {options.profile_json}"
+                )
+
     if options.program:
         print(session.execute(f"load {options.program}"))
     if options.run is not None:
         print(session.execute(f"run {options.run}"))
+        finish()
         return 0
 
     print("repro-ops — type 'help' for commands, 'exit' to leave")
@@ -332,10 +394,12 @@ def main(argv=None):
             line = input("ops> ")
         except (EOFError, KeyboardInterrupt):
             print()
+            finish()
             return 0
         try:
             output = session.execute(line)
         except SystemExit:
+            finish()
             return 0
         if output:
             print(output)

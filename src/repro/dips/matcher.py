@@ -130,8 +130,10 @@ class DipsMatcher(Matcher):
         rule = state.rule
         sql = _ungrouped_query(rule, state.analysis)
         self.stats["queries_run"] += 1
+        self.match_stats.incr("dips_queries_run")
         rows = run_sql(self.db, sql)
         self.stats["rows_retrieved"] += len(rows)
+        self.match_stats.incr("dips_rows_retrieved", len(rows))
         tokens = []
         for row in rows:
             wmes = []

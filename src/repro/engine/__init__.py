@@ -11,6 +11,7 @@ semantics (SOIs, refire-on-change, ``foreach``/``set-modify``/
 from repro.engine.engine import RuleEngine
 from repro.engine.conflict import ConflictSet, LexStrategy, MeaStrategy
 from repro.core.instantiation import Instantiation, SetInstantiation
+from repro.engine.stats import NULL_STATS, MatchStats, NullStats
 from repro.engine.tracing import FiringRecord, Tracer
 
 __all__ = [
@@ -18,7 +19,10 @@ __all__ = [
     "FiringRecord",
     "Instantiation",
     "LexStrategy",
+    "MatchStats",
     "MeaStrategy",
+    "NULL_STATS",
+    "NullStats",
     "RuleEngine",
     "SetInstantiation",
     "Tracer",

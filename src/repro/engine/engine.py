@@ -26,9 +26,12 @@ conflict-set contents and firing behaviour are identical by contract
 
 from __future__ import annotations
 
+from time import perf_counter
+
 from repro.analysis import RuleAnalysis
 from repro.engine.conflict import ConflictSet, strategy_named
 from repro.engine.rhs import RhsExecutor
+from repro.engine.stats import NULL_STATS
 from repro.engine.tracing import Tracer
 from repro.errors import EngineError, RuleError
 from repro.lang.ast import Rule
@@ -40,16 +43,26 @@ from repro.wm.memory import WorkingMemory
 class RuleEngine:
     """An OPS5/C5 interpreter with the paper's set-oriented constructs."""
 
-    def __init__(self, matcher=None, strategy="lex", echo=False):
+    def __init__(self, matcher=None, strategy="lex", echo=False,
+                 stats=None, trace_limit=None):
+        """*stats*: a :class:`repro.engine.stats.MatchStats` collector,
+        wired through the matcher, the tracer, and the cycle timer
+        (default: the no-op :data:`~repro.engine.stats.NULL_STATS`).
+        *trace_limit*: bound the tracer's record lists as ring buffers.
+        """
         self.wm = WorkingMemory()
+        self.stats = stats if stats is not None else NULL_STATS
         self.matcher = matcher if matcher is not None else ReteNetwork()
+        if stats is not None:
+            self.matcher.set_stats(stats)
         self.conflict_set = ConflictSet()
         self.matcher.set_listener(self.conflict_set)
         self.matcher.attach(self.wm)
         self.strategy = (
             strategy_named(strategy) if isinstance(strategy, str) else strategy
         )
-        self.tracer = Tracer(echo=echo)
+        self.tracer = Tracer(echo=echo, max_records=trace_limit,
+                             stats=self.stats)
         self.rules = {}
         self.analyses = {}
         self.functions = {}
@@ -151,7 +164,14 @@ class RuleEngine:
         executor = RhsExecutor(
             self, instantiation.rule, analysis, instantiation, record
         )
-        executor.run()
+        if self.stats.enabled:
+            started = perf_counter()
+            executor.run()
+            self.stats.cycle(
+                instantiation.rule.name, perf_counter() - started
+            )
+        else:
+            executor.run()
         return record
 
     def run(self, limit=None):

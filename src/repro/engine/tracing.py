@@ -5,9 +5,20 @@ fired, on which time tags, and how many WM actions of each kind the RHS
 performed.  The per-firing action counts are the paper's parallelism
 proxy ("the number of actions in a set-oriented rule should be
 substantially greater") measured by experiment C3.
+
+By default the tracer keeps every record — the paper-claim tests
+inspect complete trajectories.  For long-running production workloads
+pass ``max_records`` to switch both the firing list and the ``write``
+output to bounded ring buffers; dropped records are counted (and
+surfaced through the stats hook as ``tracer_dropped_firings`` /
+``tracer_dropped_output``) so a profile never silently under-reports.
 """
 
 from __future__ import annotations
+
+from collections import deque
+
+from repro.engine.stats import NULL_STATS
 
 
 class FiringRecord:
@@ -60,12 +71,24 @@ class FiringRecord:
 
 
 class Tracer:
-    """Accumulates firing records and ``write`` output."""
+    """Accumulates firing records and ``write`` output.
 
-    def __init__(self, echo=False):
+    *max_records* bounds both collections as ring buffers (oldest
+    records evicted first); the default ``None`` keeps everything.
+    """
+
+    def __init__(self, echo=False, max_records=None, stats=None):
         self.echo = echo
-        self.firings = []
-        self.output = []
+        self.max_records = max_records
+        self.stats = stats if stats is not None else NULL_STATS
+        if max_records is None:
+            self.firings = []
+            self.output = []
+        else:
+            self.firings = deque(maxlen=max_records)
+            self.output = deque(maxlen=max_records)
+        self.dropped_firings = 0
+        self.dropped_output = 0
 
     def begin_firing(self, cycle, instantiation):
         record = FiringRecord(
@@ -75,13 +98,26 @@ class Tracer:
             instantiation.recency_key(),
             len(instantiation.tokens()),
         )
+        if (self.max_records is not None
+                and len(self.firings) == self.max_records):
+            self.dropped_firings += 1
+            self.stats.incr("tracer_dropped_firings")
         self.firings.append(record)
         return record
 
     def write(self, text):
+        if (self.max_records is not None
+                and len(self.output) == self.max_records):
+            self.dropped_output += 1
+            self.stats.incr("tracer_dropped_output")
         self.output.append(text)
         if self.echo:
             print(text)
+
+    @property
+    def dropped_records(self):
+        """Records evicted from the ring buffers (0 in unbounded mode)."""
+        return self.dropped_firings + self.dropped_output
 
     # -- summaries ----------------------------------------------------------
 
@@ -102,3 +138,5 @@ class Tracer:
     def clear(self):
         self.firings.clear()
         self.output.clear()
+        self.dropped_firings = 0
+        self.dropped_output = 0

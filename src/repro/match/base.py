@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from repro.engine.stats import NULL_STATS
+
 
 class ConflictListener:
     """Receiver of conflict-set deltas produced by a matcher.
@@ -64,9 +66,18 @@ class Matcher:
     def __init__(self):
         self.listener = NullListener()
         self.wm = None
+        self.match_stats = NULL_STATS
 
     def set_listener(self, listener):
         self.listener = listener
+
+    def set_stats(self, stats):
+        """Attach a :class:`repro.engine.stats.MatchStats` hook.
+
+        The base implementation just swaps the reference; matchers with
+        per-node instrumentation (Rete) also re-register their nodes.
+        """
+        self.match_stats = stats
 
     def attach(self, wm):
         """Subscribe to *wm* and back-fill its current contents."""

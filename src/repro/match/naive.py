@@ -77,6 +77,7 @@ class NaiveMatcher(Matcher):
 
     def _recompute(self, state):
         self.stats["recomputations"] += 1
+        self.match_stats.incr("naive_recomputations")
         fresh = set(self._compute_tokens(state))
         stale = state.tokens - fresh
         new = fresh - state.tokens
@@ -104,6 +105,7 @@ class NaiveMatcher(Matcher):
         analyses = state.analysis.ce_analyses
         wmes = list(self.wm) if self.wm is not None else []
         results = []
+        ms = self.match_stats
 
         def lookup_factory(partial):
             def lookup(level, attribute):
@@ -121,17 +123,23 @@ class NaiveMatcher(Matcher):
             if ce_analysis.ce.negated:
                 for wme in wmes:
                     self.stats["join_attempts"] += 1
-                    if ce_analysis.wme_passes_alpha(
+                    ok = ce_analysis.wme_passes_alpha(
                         wme
-                    ) and ce_analysis.wme_passes_joins(wme, lookup):
+                    ) and ce_analysis.wme_passes_joins(wme, lookup)
+                    if ms.enabled:
+                        ms.join_test(None, ok)
+                    if ok:
                         return  # blocked
                 descend(level + 1, partial + [None])
                 return
             for wme in wmes:
                 self.stats["join_attempts"] += 1
-                if ce_analysis.wme_passes_alpha(
+                ok = ce_analysis.wme_passes_alpha(
                     wme
-                ) and ce_analysis.wme_passes_joins(wme, lookup):
+                ) and ce_analysis.wme_passes_joins(wme, lookup)
+                if ms.enabled:
+                    ms.join_test(None, ok)
+                if ok:
                     descend(level + 1, partial + [wme])
 
         descend(0, [])

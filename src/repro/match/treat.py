@@ -107,6 +107,7 @@ class TreatMatcher(Matcher):
                     self._retract_now_blocked(state, level, wme)
                 else:
                     self.stats["seeded_joins"] += 1
+                    self.match_stats.incr("treat_seeded_joins")
                     for token in self._seeded_join(state, level, wme):
                         if token not in state.tokens:
                             self._insert_token(state, token)
@@ -166,19 +167,24 @@ class TreatMatcher(Matcher):
 
     def _retract_now_blocked(self, state, neg_level, wme):
         ce_analysis = state.analysis.ce_analyses[neg_level]
+        ms = self.match_stats
         for token in list(state.tokens):
             def lookup(level, attribute, token=token):
                 bound = token.wme_at(level)
                 return None if bound is None else bound.get(attribute)
 
             self.stats["join_attempts"] += 1
-            if ce_analysis.wme_passes_joins(wme, lookup):
+            blocked = ce_analysis.wme_passes_joins(wme, lookup)
+            if ms.enabled:
+                ms.join_test(None, blocked)
+            if blocked:
                 self._retract_token(state, token)
 
     def _seeded_join(self, state, seed_level, seed_wme):
         """All full matches with *seed_wme* fixed in CE *seed_level*."""
         analyses = state.analysis.ce_analyses
         results = []
+        ms = self.match_stats
 
         def lookup_factory(partial):
             def lookup(level, attribute):
@@ -196,7 +202,10 @@ class TreatMatcher(Matcher):
             if ce_analysis.ce.negated:
                 for wme in state.amems[level]:
                     self.stats["join_attempts"] += 1
-                    if ce_analysis.wme_passes_joins(wme, lookup):
+                    ok = ce_analysis.wme_passes_joins(wme, lookup)
+                    if ms.enabled:
+                        ms.join_test(None, ok)
+                    if ok:
                         return
                 descend(level + 1, partial + [None])
                 return
@@ -205,7 +214,10 @@ class TreatMatcher(Matcher):
             )
             for wme in candidates:
                 self.stats["join_attempts"] += 1
-                if ce_analysis.wme_passes_joins(wme, lookup):
+                ok = ce_analysis.wme_passes_joins(wme, lookup)
+                if ms.enabled:
+                    ms.join_test(None, ok)
+                if ok:
                     descend(level + 1, partial + [wme])
 
         descend(0, [])
@@ -215,6 +227,7 @@ class TreatMatcher(Matcher):
         """Full (unseeded) derivation — used for back-fill and negation."""
         analyses = state.analysis.ce_analyses
         results = []
+        ms = self.match_stats
 
         def lookup_factory(partial):
             def lookup(level, attribute):
@@ -232,13 +245,19 @@ class TreatMatcher(Matcher):
             if ce_analysis.ce.negated:
                 for wme in state.amems[level]:
                     self.stats["join_attempts"] += 1
-                    if ce_analysis.wme_passes_joins(wme, lookup):
+                    ok = ce_analysis.wme_passes_joins(wme, lookup)
+                    if ms.enabled:
+                        ms.join_test(None, ok)
+                    if ok:
                         return
                 descend(level + 1, partial + [None])
                 return
             for wme in state.amems[level]:
                 self.stats["join_attempts"] += 1
-                if ce_analysis.wme_passes_joins(wme, lookup):
+                ok = ce_analysis.wme_passes_joins(wme, lookup)
+                if ms.enabled:
+                    ms.join_test(None, ok)
+                if ok:
                     descend(level + 1, partial + [wme])
 
         descend(0, [])

@@ -42,6 +42,7 @@ from repro.rdb.query import (
 )
 from repro.rdb.sql import run_sql
 from repro.rdb.planner import HashJoin, optimize
+from repro.rdb.stats import PlanCounters, plan_counters
 from repro.rdb.transaction import (
     Transaction,
     TransactionManager,
@@ -65,6 +66,7 @@ __all__ = [
     "LogicalNot",
     "LogicalOr",
     "OrderBy",
+    "PlanCounters",
     "Project",
     "Scan",
     "Schema",
@@ -73,5 +75,6 @@ __all__ = [
     "TransactionManager",
     "execute_plan",
     "optimize",
+    "plan_counters",
     "run_sql",
 ]

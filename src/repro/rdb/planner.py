@@ -20,6 +20,7 @@ measures the effect.
 from __future__ import annotations
 
 from repro.rdb import query as q
+from repro.rdb import stats as _plan_stats
 
 
 def _conjuncts(condition):
@@ -87,12 +88,17 @@ class HashJoin:
             if key is None:
                 continue
             buckets.setdefault(_hash_key(key), []).append(env)
+        work = _plan_stats.counters
         results = []
         for left_env in self.left.execute(db):
             key = self.left_key.evaluate(left_env)
             if key is None:
                 continue
-            for right_env in buckets.get(_hash_key(key), ()):
+            hits = buckets.get(_hash_key(key), ())
+            if work is not None:
+                work.pairs_examined += len(hits)
+                work.probe_hits += len(hits)
+            for right_env in hits:
                 merged = dict(left_env.frames)
                 merged.update(right_env.frames)
                 env = q.Env(merged)

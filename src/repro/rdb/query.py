@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from repro import symbols
 from repro.errors import QueryError
+from repro.rdb import stats as _plan_stats
 
 # ---------------------------------------------------------------------------
 # Environments
@@ -298,7 +299,11 @@ class Scan:
 
     def execute(self, db):
         table = db.table(self.table_name)
-        return [Env({self.alias: row}) for row in table.scan()]
+        envs = [Env({self.alias: row}) for row in table.scan()]
+        work = _plan_stats.counters
+        if work is not None:
+            work.rows_scanned += len(envs)
+        return envs
 
     def __repr__(self):
         return f"Scan({self.table_name} AS {self.alias})"
@@ -335,6 +340,9 @@ class Join:
     def execute(self, db):
         left_envs = self.left.execute(db)
         right_envs = self.right.execute(db)
+        work = _plan_stats.counters
+        if work is not None:
+            work.pairs_examined += len(left_envs) * len(right_envs)
         results = []
         for left_env in left_envs:
             for right_env in right_envs:

@@ -1,0 +1,56 @@
+"""Plan-execution work counters for the relational engine.
+
+The hash-join ablation benchmark needs to report *work*, not only
+wall-clock: how many candidate row pairs a join examined, and how many
+rows were scanned.  Executors check the module-level :data:`counters`
+slot (``None`` when profiling is off, so the hot path pays one global
+load and a ``None`` test per batch).
+
+Usage::
+
+    from repro.rdb.stats import plan_counters
+
+    with plan_counters() as work:
+        run_sql(db, sql)
+    print(work.pairs_examined, work.rows_scanned)
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+
+class PlanCounters:
+    """Work performed while executing query plans."""
+
+    __slots__ = ("pairs_examined", "probe_hits", "rows_scanned")
+
+    def __init__(self):
+        self.pairs_examined = 0
+        self.probe_hits = 0
+        self.rows_scanned = 0
+
+    def as_dict(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self):
+        return (
+            f"PlanCounters(pairs={self.pairs_examined}, "
+            f"hits={self.probe_hits}, scanned={self.rows_scanned})"
+        )
+
+
+#: The active collector, or None when profiling is off.
+counters = None
+
+
+@contextmanager
+def plan_counters():
+    """Collect plan work counters for the duration of the block."""
+    global counters
+    previous = counters
+    counters = PlanCounters()
+    try:
+        yield counters
+    finally:
+        counters = previous

@@ -5,9 +5,19 @@ tests) gets exactly one :class:`AlphaMemory`, shared by every CE — in
 any rule, set-oriented or not — with the same tests.  The
 :class:`AlphaNetwork` indexes memories by WME class so an event only
 visits candidate memories.
+
+Index buckets are keyed by attribute value.  Unhashable values (a WME
+made programmatically can carry lists or dicts) go into a sentinel
+bucket that every probe also returns, so join nodes still post-filter
+them with the full test list instead of raising mid-propagation.
 """
 
 from __future__ import annotations
+
+from repro.engine.stats import NULL_STATS
+
+#: Sentinel bucket key for index entries whose value is unhashable.
+UNHASHABLE = object()
 
 
 class AlphaMemory:
@@ -17,9 +27,10 @@ class AlphaMemory:
     right-activated when the memory changes.
     """
 
-    __slots__ = ("key", "analysis", "items", "successors", "indexes")
+    __slots__ = ("key", "analysis", "items", "successors", "indexes",
+                 "stats", "stats_key")
 
-    def __init__(self, key, analysis):
+    def __init__(self, key, analysis, stats=None):
         self.key = key
         self.analysis = analysis
         # dict used as an ordered set: insertion order, O(1) removal.
@@ -28,6 +39,11 @@ class AlphaMemory:
         # attribute -> {value -> {wme: None}}; built on demand by
         # equality joins so left activations probe instead of scanning.
         self.indexes = {}
+        self.attach_stats(stats if stats is not None else NULL_STATS)
+
+    def attach_stats(self, stats):
+        self.stats = stats
+        self.stats_key = stats.register_node("alpha", str(self.key[0]))
 
     def ensure_index(self, attribute):
         """Create (once) the WME index on *attribute*."""
@@ -35,28 +51,36 @@ class AlphaMemory:
             return
         index = {}
         for wme in self.items:
-            index.setdefault(wme.get(attribute), {})[wme] = None
+            _index_add(index, wme.get(attribute), wme)
         self.indexes[attribute] = index
 
     def indexed_wmes(self, attribute, value):
-        """WMEs whose *attribute* equals *value* (index probe)."""
-        return list(self.indexes[attribute].get(value, ()))
+        """WMEs whose *attribute* equals *value* (index probe).
+
+        Raises ``TypeError`` when *value* is unhashable; callers fall
+        back to a full scan.  The unhashable bucket is always included
+        — its members are post-filtered by the join's full test list.
+        """
+        index = self.indexes[attribute]
+        matches = list(index.get(value, ()))
+        extra = index.get(UNHASHABLE)
+        if extra:
+            matches.extend(extra)
+        return matches
 
     def add(self, wme):
         self.items[wme] = None
         for attribute, index in self.indexes.items():
-            index.setdefault(wme.get(attribute), {})[wme] = None
+            _index_add(index, wme.get(attribute), wme)
+        self.stats.alpha_activation(self.stats_key, "+", len(self.items))
         for successor in self.successors:
             successor.right_activate(wme)
 
     def remove(self, wme):
         self.items.pop(wme, None)
         for attribute, index in self.indexes.items():
-            bucket = index.get(wme.get(attribute))
-            if bucket is not None:
-                bucket.pop(wme, None)
-                if not bucket:
-                    del index[wme.get(attribute)]
+            _index_discard(index, wme.get(attribute), wme)
+        self.stats.alpha_activation(self.stats_key, "-", len(self.items))
         for successor in self.successors:
             successor.right_retract(wme)
 
@@ -73,12 +97,40 @@ class AlphaMemory:
         return f"AlphaMemory({self.key[0]}, {len(self.items)} wmes)"
 
 
+def _index_add(index, value, member):
+    """Insert *member* into the bucket for *value* (sentinel if unhashable)."""
+    try:
+        bucket = index.setdefault(value, {})
+    except TypeError:
+        bucket = index.setdefault(UNHASHABLE, {})
+    bucket[member] = None
+
+
+def _index_discard(index, value, member):
+    """Drop *member* from its bucket, pruning the bucket when empty."""
+    try:
+        bucket = index.get(value)
+    except TypeError:
+        value = UNHASHABLE
+        bucket = index.get(value)
+    if bucket is not None:
+        bucket.pop(member, None)
+        if not bucket:
+            del index[value]
+
+
 class AlphaNetwork:
     """Builds and feeds the shared alpha memories."""
 
-    def __init__(self):
+    def __init__(self, stats=None):
         self._memories = {}
         self._by_class = {}
+        self.stats = stats if stats is not None else NULL_STATS
+
+    def attach_stats(self, stats):
+        self.stats = stats
+        for memory in self._memories.values():
+            memory.attach_stats(stats)
 
     def memory_for(self, ce_analysis, key_extra=None):
         """Return (creating if needed) the alpha memory for a CE.
@@ -91,7 +143,7 @@ class AlphaNetwork:
             key = key + (("private", key_extra),)
         memory = self._memories.get(key)
         if memory is None:
-            memory = AlphaMemory(key, ce_analysis)
+            memory = AlphaMemory(key, ce_analysis, stats=self.stats)
             self._memories[key] = memory
             self._by_class.setdefault(ce_analysis.ce.wme_class, []).append(
                 memory

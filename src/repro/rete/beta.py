@@ -6,11 +6,20 @@ negated level).  Deletion is tree-structured — removing a WME deletes
 every token carrying it plus all descendants — following the
 Rete/UL-style bookkeeping of child lists and per-WME token indexes kept
 by :class:`repro.rete.network.ReteNetwork`.
+
+Join nodes with an equality test probe hash indexes on both inputs
+(see :class:`repro.rete.alpha.AlphaMemory`); an unhashable probe value
+falls back to a full memory scan instead of raising mid-propagation,
+and unhashable stored values live in a sentinel bucket every probe
+also returns (candidates are post-filtered by the full test list, so
+this only costs, never changes, results).
 """
 
 from __future__ import annotations
 
 from repro.core.instantiation import recency_key
+from repro.engine.stats import NULL_STATS
+from repro.rete.alpha import UNHASHABLE, _index_add, _index_discard
 
 
 class Token:
@@ -99,9 +108,9 @@ class BetaMemory:
     """
 
     __slots__ = ("parent_join", "level", "items", "successors", "observers",
-                 "indexes")
+                 "indexes", "stats", "stats_key")
 
-    def __init__(self, parent_join, level):
+    def __init__(self, parent_join, level, stats=None):
         self.parent_join = parent_join
         self.level = level
         self.items = {}
@@ -112,6 +121,11 @@ class BetaMemory:
         # right activations probe instead of scanning (see the
         # join-index ablation benchmark).
         self.indexes = {}
+        self.attach_stats(stats if stats is not None else NULL_STATS)
+
+    def attach_stats(self, stats):
+        self.stats = stats
+        self.stats_key = stats.register_node("beta", f"L{self.level}")
 
     def active_tokens(self):
         return list(self.items)
@@ -122,12 +136,22 @@ class BetaMemory:
             return
         index = {}
         for token in self.items:
-            index.setdefault(token.lookup(*site), {})[token] = None
+            _index_add(index, token.lookup(*site), token)
         self.indexes[site] = index
 
     def indexed_tokens(self, site, value):
-        """Tokens whose binding at *site* equals *value* (index probe)."""
-        return list(self.indexes[site].get(value, ()))
+        """Tokens whose binding at *site* equals *value* (index probe).
+
+        Raises ``TypeError`` for unhashable *value* (callers fall back
+        to a scan); always includes the sentinel bucket of tokens whose
+        own binding was unhashable.
+        """
+        index = self.indexes[site]
+        matches = list(index.get(value, ()))
+        extra = index.get(UNHASHABLE)
+        if extra:
+            matches.extend(extra)
+        return matches
 
     def left_activate(self, parent_token, wme, network):
         """A (token, wme) pair survived the parent join: store + propagate."""
@@ -135,7 +159,8 @@ class BetaMemory:
         network.register_token(token)
         self.items[token] = None
         for site, index in self.indexes.items():
-            index.setdefault(token.lookup(*site), {})[token] = None
+            _index_add(index, token.lookup(*site), token)
+        self.stats.memory_size(self.stats_key, len(self.items))
         for successor in self.successors:
             successor.left_activate(token)
         for observer in self.observers:
@@ -146,11 +171,7 @@ class BetaMemory:
         """Called by the deletion cascade; descendants are already gone."""
         self.items.pop(token, None)
         for site, index in self.indexes.items():
-            bucket = index.get(token.lookup(*site))
-            if bucket is not None:
-                bucket.pop(token, None)
-                if not bucket:
-                    del index[token.lookup(*site)]
+            _index_discard(index, token.lookup(*site), token)
         for observer in self.observers:
             observer.token_removed(token)
 
@@ -171,7 +192,7 @@ class JoinNode:
     """
 
     __slots__ = ("left", "amem", "tests", "level", "output", "network",
-                 "index_test")
+                 "index_test", "stats", "stats_key")
 
     def __init__(self, left, amem, tests, level, network):
         self.left = left
@@ -193,6 +214,11 @@ class JoinNode:
                      self.index_test.bound_attribute)
                 )
                 amem.ensure_index(self.index_test.attribute)
+        self.attach_stats(network.match_stats)
+
+    def attach_stats(self, stats):
+        self.stats = stats
+        self.stats_key = stats.register_node("join", f"L{self.level}")
 
     def _passes(self, token, wme):
         return all(test.matches(wme, token.lookup) for test in self.tests)
@@ -201,33 +227,64 @@ class JoinNode:
         """A new token arrived in the left memory."""
         if not token.active:
             return
+        probed = False
         if self.index_test is not None:
-            candidates = self.amem.indexed_wmes(
-                self.index_test.attribute,
-                token.lookup(
-                    self.index_test.bound_level,
-                    self.index_test.bound_attribute,
-                ),
-            )
+            try:
+                candidates = self.amem.indexed_wmes(
+                    self.index_test.attribute,
+                    token.lookup(
+                        self.index_test.bound_level,
+                        self.index_test.bound_attribute,
+                    ),
+                )
+                probed = True
+            except TypeError:
+                # Unhashable probe value: fall back to the scan.
+                candidates = list(self.amem.items)
         else:
             candidates = list(self.amem.items)
+        passed = 0
         for wme in candidates:
             if self._passes(token, wme):
+                passed += 1
                 self.output.left_activate(token, wme, self.network)
+        stats = self.stats
+        if stats.enabled:
+            stats.left_activation(self.stats_key)
+            if probed:
+                stats.index_probe(self.stats_key, len(candidates))
+            else:
+                stats.full_scan(self.stats_key, len(candidates))
+            stats.join_batch(self.stats_key, len(candidates), passed)
 
     def right_activate(self, wme):
         """A new WME arrived in the right alpha memory."""
+        probed = False
         if self.index_test is not None:
-            candidates = self.left.indexed_tokens(
-                (self.index_test.bound_level,
-                 self.index_test.bound_attribute),
-                wme.get(self.index_test.attribute),
-            )
+            try:
+                candidates = self.left.indexed_tokens(
+                    (self.index_test.bound_level,
+                     self.index_test.bound_attribute),
+                    wme.get(self.index_test.attribute),
+                )
+                probed = True
+            except TypeError:
+                candidates = self.left.active_tokens()
         else:
             candidates = self.left.active_tokens()
+        passed = 0
         for token in candidates:
             if self._passes(token, wme):
+                passed += 1
                 self.output.left_activate(token, wme, self.network)
+        stats = self.stats
+        if stats.enabled:
+            stats.right_activation(self.stats_key)
+            if probed:
+                stats.index_probe(self.stats_key, len(candidates))
+            else:
+                stats.full_scan(self.stats_key, len(candidates))
+            stats.join_batch(self.stats_key, len(candidates), passed)
 
     def right_retract(self, wme):
         """WME left the alpha memory; the token cascade handles cleanup."""

@@ -28,6 +28,8 @@ class NegativeNode:
         "items",
         "successors",
         "observers",
+        "stats",
+        "stats_key",
     )
 
     def __init__(self, left, amem, tests, level, network):
@@ -39,6 +41,11 @@ class NegativeNode:
         self.items = {}
         self.successors = []
         self.observers = []
+        self.attach_stats(network.match_stats)
+
+    def attach_stats(self, stats):
+        self.stats = stats
+        self.stats_key = stats.register_node("neg", f"L{self.level}")
 
     def _passes(self, token, wme):
         return all(test.matches(wme, token.lookup) for test in self.tests)
@@ -55,11 +62,20 @@ class NegativeNode:
         token = Token(parent_token, None, self, self.level)
         self.network.register_token(token)
         self.items[token] = None
-        for wme in list(self.amem.items):
+        candidates = list(self.amem.items)
+        for wme in candidates:
             if self._passes(token, wme):
                 token.neg_results.append(wme)
                 self.network.register_neg_result(wme, token)
         token.active = not token.neg_results
+        stats = self.stats
+        if stats.enabled:
+            stats.left_activation(self.stats_key)
+            stats.full_scan(self.stats_key, len(candidates))
+            stats.join_batch(
+                self.stats_key, len(candidates), len(token.neg_results)
+            )
+            stats.memory_size(self.stats_key, len(self.items))
         if token.active:
             self._propagate(token)
 
@@ -83,12 +99,20 @@ class NegativeNode:
 
     def right_activate(self, wme):
         """A WME joined the negated pattern's alpha memory."""
-        for token in list(self.items):
+        candidates = list(self.items)
+        passed = 0
+        for token in candidates:
             if self._passes(token, wme):
+                passed += 1
                 token.neg_results.append(wme)
                 self.network.register_neg_result(wme, token)
                 if token.active:
                     self._deactivate(token)
+        stats = self.stats
+        if stats.enabled:
+            stats.right_activation(self.stats_key)
+            stats.full_scan(self.stats_key, len(candidates))
+            stats.join_batch(self.stats_key, len(candidates), passed)
 
     def right_retract(self, wme):
         """Join-result cleanup is driven by the network's index."""

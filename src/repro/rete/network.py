@@ -13,6 +13,7 @@ memory and its P-node; nothing upstream changes.
 from __future__ import annotations
 
 from repro.analysis import RuleAnalysis
+from repro.engine.stats import NULL_STATS
 from repro.errors import RuleError
 from repro.match.base import Matcher
 from repro.rete.alpha import AlphaNetwork
@@ -48,16 +49,18 @@ class ReteNetwork(Matcher):
     """The extended Rete match network."""
 
     def __init__(self, strict_paper_decide=False, share_alpha=True,
-                 share_beta=True, indexed_joins=True):
+                 share_beta=True, indexed_joins=True, stats=None):
         super().__init__()
+        self.match_stats = stats if stats is not None else NULL_STATS
         self.share_alpha = share_alpha
         self.share_beta = share_beta
         # Probe equality joins through hash indexes instead of scanning
         # memories (disable for the ablation benchmark).
         self.indexed_joins = indexed_joins
         self._private_counter = 0
-        self.alpha = AlphaNetwork()
-        self.dummy_top = BetaMemory(None, -1)
+        self.alpha = AlphaNetwork(stats=self.match_stats)
+        self.dummy_top = BetaMemory(None, -1, stats=self.match_stats)
+        self._beta_nodes = [self.dummy_top]
         self._dummy_token = DummyToken()
         self.dummy_top.items[self._dummy_token] = None
         self.strict_paper_decide = strict_paper_decide
@@ -68,10 +71,20 @@ class ReteNetwork(Matcher):
         self._wme_tokens = {}
         self._wme_neg_results = {}
 
+    def set_stats(self, stats):
+        """Swap in a (possibly live) stats hook, re-registering all nodes."""
+        self.match_stats = stats
+        self.alpha.attach_stats(stats)
+        for node in self._beta_nodes:
+            node.attach_stats(stats)
+        for snode in self.snodes.values():
+            snode.attach_stats(stats)
+
     # -- bookkeeping used by the node classes ------------------------------
 
     def register_token(self, token):
         self.stats.tokens_created += 1
+        self.match_stats.token_created()
         if token.wme is not None:
             self._wme_tokens.setdefault(token.wme, set()).add(token)
 
@@ -98,6 +111,7 @@ class ReteNetwork(Matcher):
             return
         token.node = None
         self.stats.tokens_deleted += 1
+        self.match_stats.token_deleted()
         node.remove_token(token)
         if token.parent is not None:
             try:
@@ -159,7 +173,9 @@ class ReteNetwork(Matcher):
         join = JoinNode(
             left, amem, ce_analysis.join_tests, ce_analysis.level, self
         )
-        join.output = BetaMemory(join, ce_analysis.level)
+        join.output = BetaMemory(join, ce_analysis.level,
+                                 stats=self.match_stats)
+        self._beta_nodes.extend((join, join.output))
         left.successors.append(join)
         # Deeper joins must right-activate before shallower ones when a
         # WME feeds several CEs of one rule (Doorenbos's ordering trick),
@@ -185,6 +201,7 @@ class ReteNetwork(Matcher):
         node = NegativeNode(
             left, amem, ce_analysis.join_tests, ce_analysis.level, self
         )
+        self._beta_nodes.append(node)
         left.successors.append(node)
         amem.successors.insert(0, node)
         for token in left.active_tokens():
@@ -204,6 +221,7 @@ class ReteNetwork(Matcher):
             agg_specs,
             emit=set_pnode.receive,
             strict_paper_decide=self.strict_paper_decide,
+            stats=self.match_stats,
         )
         self.productions[rule.name] = set_pnode
         self.snodes[rule.name] = snode

@@ -29,6 +29,9 @@ figure's literal behaviour.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
+
+from repro.engine.stats import NULL_STATS
 from repro.errors import EngineError
 from repro.core.expr import evaluate, is_truthy as _is_truthy
 from repro.lang import ast
@@ -67,6 +70,7 @@ class SetOrientedInstance:
         "agg_states",
         "_key_wmes",
         "_p_values",
+        "_neg_keys",
     )
 
     def __init__(self, key, key_wmes, p_values, agg_states):
@@ -77,6 +81,15 @@ class SetOrientedInstance:
         self.agg_states = agg_states
         self._key_wmes = key_wmes
         self._p_values = p_values
+        # Parallel list of cached, sign-flipped recency keys: the token
+        # list is descending by recency, so the flipped keys ascend and
+        # bisect finds insertion/removal points in O(log n) instead of
+        # the former O(n) scan calling time_tags() per comparison.
+        self._neg_keys = []
+
+    @staticmethod
+    def _neg_key(token):
+        return tuple(-tag for tag in token.time_tags())
 
     def key_wme(self, level):
         """The WME matched by scalar CE *level* (None if not scalar)."""
@@ -87,20 +100,26 @@ class SetOrientedInstance:
         return self._p_values[name]
 
     def insert_token(self, token):
-        """Insert ordered like the conflict set; True if it became head."""
-        key = token.time_tags()
-        for index, existing in enumerate(self.tokens):
-            if key > existing.time_tags():
-                self.tokens.insert(index, token)
-                return index == 0
-        self.tokens.append(token)
-        return len(self.tokens) == 1
+        """Insert ordered like the conflict set; True if it became head.
+
+        Ties on recency keep arrival order (the new token goes after
+        existing equals), matching the original linear-scan semantics.
+        """
+        neg_key = self._neg_key(token)
+        index = bisect_right(self._neg_keys, neg_key)
+        self._neg_keys.insert(index, neg_key)
+        self.tokens.insert(index, token)
+        return index == 0
 
     def remove_token(self, token):
         """Remove by identity; True if it was the head token."""
-        for index, existing in enumerate(self.tokens):
-            if existing is token:
+        neg_key = self._neg_key(token)
+        lo = bisect_left(self._neg_keys, neg_key)
+        hi = bisect_right(self._neg_keys, neg_key, lo=lo)
+        for index in range(lo, hi):
+            if self.tokens[index] is token:
                 del self.tokens[index]
+                del self._neg_keys[index]
                 return index == 0
         raise EngineError("token not present in SOI")
 
@@ -154,7 +173,7 @@ class SNode:
     """The S-node proper: γ-memory plus the Figure 3 algorithm."""
 
     def __init__(self, rule, analysis, agg_specs, emit,
-                 strict_paper_decide=False):
+                 strict_paper_decide=False, stats=None):
         self.rule = rule
         self.analysis = analysis
         self.scalar_levels = analysis.scalar_ce_levels
@@ -164,6 +183,12 @@ class SNode:
         self.emit = emit
         self.strict_paper_decide = strict_paper_decide
         self.gamma = {}
+        self._token_total = 0
+        self.attach_stats(stats if stats is not None else NULL_STATS)
+
+    def attach_stats(self, stats):
+        self.stats = stats
+        self.stats_key = stats.register_node("snode", self.rule.name)
 
     @staticmethod
     def _build_p_specs(rule, analysis):
@@ -253,36 +278,46 @@ class SNode:
 
         # Stage 3: decide the flow of the SOI.
         self._decide(soi, chg)
+        self._token_total += 1 if sign == "+" else -1
+        if self.stats.enabled:
+            self.stats.gamma_size(
+                self.stats_key, len(self.gamma), self._token_total
+            )
 
     def _eval_test(self, soi):
         resolver = _TestResolver(self, soi)
         result = evaluate(self.test, resolver)
         return _is_truthy(result)
 
+    def _send(self, kind, soi):
+        """Forward one mark to the P-node, counting it by kind."""
+        self.stats.snode_mark(self.stats_key, kind)
+        self.emit(kind, soi)
+
     def _decide(self, soi, chg):
         if chg == CHG_NEW:
             soi.status = ACTIVE
-            self.emit(MARK_ADD, soi)
+            self._send(MARK_ADD, soi)
         elif chg == CHG_DELETE:
             if soi.status == ACTIVE:
-                self.emit(MARK_REMOVE, soi)
+                self._send(MARK_REMOVE, soi)
         elif chg == CHG_FAIL:
             if soi.status == ACTIVE:
                 soi.status = INACTIVE
-                self.emit(MARK_REMOVE, soi)
+                self._send(MARK_REMOVE, soi)
         elif chg == CHG_NEW_TIME:
             if soi.status == ACTIVE:
-                self.emit(MARK_TIME, soi)
+                self._send(MARK_TIME, soi)
             else:
                 soi.status = ACTIVE
-                self.emit(MARK_ADD, soi)
+                self._send(MARK_ADD, soi)
         elif chg == CHG_SAME_TIME:
             if soi.status == INACTIVE and not self.strict_paper_decide:
                 # Amendment: the test just flipped true on a non-head
                 # change; Figure 3 as printed would leave the SOI out of
                 # the conflict set forever.
                 soi.status = ACTIVE
-                self.emit(MARK_ADD, soi)
+                self._send(MARK_ADD, soi)
 
     # -- inspection ---------------------------------------------------------
 

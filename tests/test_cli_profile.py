@@ -1,0 +1,84 @@
+"""The CLI profiling surface: ``--profile``, ``--profile-json``, ``profile``."""
+
+import json
+
+from repro.cli import ReplSession, main
+
+PROGRAM = """
+(literalize reading sensor value)
+(p seen (reading ^sensor <s> ^value <v>) --> (write <s>))
+"""
+
+
+def _loaded_session(**kwargs):
+    session = ReplSession(watch=0, **kwargs)
+    for line in PROGRAM.strip().splitlines():
+        session.execute(line)
+    return session
+
+
+class TestReplProfiling:
+    def test_off_by_default(self):
+        session = _loaded_session()
+        assert session.profile_stats is None
+        assert "profiling is off" in session.execute("profile")
+
+    def test_profile_counters_populate(self):
+        session = _loaded_session(profile=True)
+        session.execute("make reading ^sensor t1 ^value 10")
+        session.execute("make reading ^sensor t2 ^value 20")
+        session.execute("run")
+        totals = session.profile_stats.totals
+        assert totals["alpha_activations"] > 0
+        assert totals["tokens_created"] > 0
+        assert session.profile_stats.cycle_count == 2
+
+    def test_profile_command_prints_tables(self):
+        session = _loaded_session(profile=True)
+        session.execute("make reading ^sensor t1 ^value 10")
+        session.execute("run")
+        report = session.execute("profile")
+        assert "per-rule firings" in report
+        assert "seen" in report
+        assert "per-node match work" in report
+
+    def test_report_surfaces_tracer_drops(self):
+        session = _loaded_session(profile=True)
+        session.engine.tracer.max_records = 1
+        from collections import deque
+
+        session.engine.tracer.output = deque(maxlen=1)
+        session.execute("make reading ^sensor t1 ^value 10")
+        session.execute("make reading ^sensor t2 ^value 20")
+        session.execute("run")
+        assert "dropped" in session.execute("profile")
+
+
+class TestMainFlags:
+    def test_profile_flag_prints_report(self, tmp_path, capsys):
+        program = tmp_path / "p.ops"
+        program.write_text(PROGRAM)
+        # Batch mode fires nothing (no WMEs) but the report must still
+        # print, listing the compiled nodes.
+        assert main([str(program), "--run", "5", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "profile — per-node match work" in out
+        assert "profile — totals" in out
+
+    def test_profile_json_writes_snapshot(self, tmp_path, capsys):
+        program = tmp_path / "p.ops"
+        program.write_text(PROGRAM)
+        target = tmp_path / "stats.json"
+        assert main([
+            str(program), "--run", "5", "--profile-json", str(target)
+        ]) == 0
+        snap = json.loads(target.read_text())
+        assert snap["enabled"] is True
+        assert any(label.startswith("alpha:") for label in snap["nodes"])
+        assert "stats snapshot written" in capsys.readouterr().out
+
+    def test_no_profile_no_report(self, tmp_path, capsys):
+        program = tmp_path / "p.ops"
+        program.write_text(PROGRAM)
+        assert main([str(program), "--run", "1"]) == 0
+        assert "profile —" not in capsys.readouterr().out
