@@ -1,20 +1,31 @@
 # Development convenience targets.  Everything assumes the source
-# layout (src/) without installation: PYTHONPATH=src.
+# layout (src/) without installation: PYTHONPATH=src.  Prepend rather
+# than assign so a caller's PYTHONPATH survives (same idiom as the
+# tier-1 command in ROADMAP.md: src${PYTHONPATH:+:$PYTHONPATH}).
 
 PYTHON ?= python
-export PYTHONPATH := src
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench profile-demo
+.PHONY: test bench-smoke bench bench-report batch-demo profile-demo
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/ -q -p no:cacheprovider \
-	  -k "ablation or no_regression or snode_scaling"
+	  -k "ablation or no_regression or snode_scaling or batch"
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Regression gate: measure match-work counters for the benchmark
+# scenarios, write BENCH_2.json, and fail if join activations regress
+# more than 10% against benchmarks/BENCH_baseline.json.
+bench-report:
+	$(PYTHON) benchmarks/bench_report.py --check
+
+batch-demo:
+	$(PYTHON) -W error::DeprecationWarning examples/bulk_load.py
 
 # Exercise the --profile surface end-to-end: feed the per-sensor stats
 # program three readings through the REPL and print the per-rule /

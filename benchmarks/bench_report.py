@@ -1,0 +1,226 @@
+#!/usr/bin/env python
+"""Benchmark regression gate: match-work counters vs. a committed baseline.
+
+Runs a fixed set of deterministic scenarios with :class:`MatchStats`
+attached, writes the counters (plus informational wall-clock timings)
+to ``BENCH_2.json``, and — under ``--check`` — fails if any gated work
+counter regressed more than 10% against
+``benchmarks/BENCH_baseline.json``.
+
+Only *work counters* are gated (join activations, join tests, alpha
+activations, index/group probes): they are exact and machine
+independent, unlike timings, which are recorded in the report but never
+compared.  Counter *improvements* beyond 10% are reported as a hint to
+refresh the baseline with ``--write-baseline``.
+
+Usage::
+
+    python benchmarks/bench_report.py                  # report only
+    python benchmarks/bench_report.py --check          # gate vs baseline
+    python benchmarks/bench_report.py --write-baseline # refresh baseline
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro import MatchStats, RuleEngine
+from repro.rete import ReteNetwork
+
+BASELINE_PATH = Path(__file__).parent / "BENCH_baseline.json"
+DEFAULT_OUTPUT = Path("BENCH_2.json")
+
+# Work counters held to the +/-10% gate.  Everything in
+# MatchStats.totals lands in the report; only these fail the build.
+GATED_COUNTERS = (
+    "right_activations",
+    "left_activations",
+    "join_tests_attempted",
+    "alpha_activations",
+    "index_probes",
+    "group_probes",
+    "snode_batch_reevals",
+)
+TOLERANCE = 0.10
+
+PROGRAM = """
+(literalize dept name)
+(literalize emp name dept salary)
+(p dept-size
+  (dept ^name <d>)
+  { [emp ^dept <d>] <staff> }
+  :test ((count <staff>) >= 1)
+  -->
+  (write staffed <d> (count <staff>)))
+"""
+
+N_EMPLOYEES = 2_000
+N_DEPTS = 20
+
+
+def _engine(batched):
+    stats = MatchStats()
+    engine = RuleEngine(matcher=ReteNetwork(batched=batched), stats=stats)
+    engine.load(PROGRAM)
+    for d in range(N_DEPTS):
+        engine.make("dept", name=f"d{d}")
+    return engine, stats
+
+
+def _facts(count=N_EMPLOYEES):
+    return [
+        ("emp", {
+            "name": f"e{i}",
+            "dept": f"d{i % N_DEPTS}",
+            "salary": 1000 + (i % 997),
+        })
+        for i in range(count)
+    ]
+
+
+def scenario_bulk_load_per_event():
+    engine, stats = _engine(batched=False)
+    for wme_class, values in _facts():
+        engine.make(wme_class, **values)
+    engine.run()
+    return stats
+
+
+def scenario_bulk_load_batched():
+    engine, stats = _engine(batched=True)
+    engine.load_facts(_facts())
+    engine.run()
+    return stats
+
+
+def scenario_churn_batched():
+    engine, stats = _engine(batched=True)
+    staff = engine.load_facts(_facts(600))
+    engine.run()
+    with engine.batch():
+        for i, wme in enumerate(staff):
+            if i % 3 == 0:
+                engine.remove(wme)
+            elif i % 3 == 1:
+                engine.modify(wme, salary=wme.get("salary") + 1)
+            else:
+                scratch = engine.make(
+                    "emp", name=f"tmp{i}", dept=wme.get("dept"), salary=0
+                )
+                engine.remove(scratch)
+    engine.run()
+    return stats
+
+
+SCENARIOS = {
+    "bulk_load_per_event": scenario_bulk_load_per_event,
+    "bulk_load_batched": scenario_bulk_load_batched,
+    "churn_batched": scenario_churn_batched,
+}
+
+
+def run_scenarios():
+    report = {"schema": 1, "scenarios": {}}
+    for name, fn in SCENARIOS.items():
+        start = time.perf_counter()
+        stats = fn()
+        elapsed = time.perf_counter() - start
+        report["scenarios"][name] = {
+            "counters": dict(stats.totals),
+            "elapsed_s": round(elapsed, 4),
+        }
+    return report
+
+
+def compare(report, baseline):
+    """Return (regressions, improvements) beyond the 10% tolerance."""
+    regressions = []
+    improvements = []
+    for name, base in baseline.get("scenarios", {}).items():
+        current = report["scenarios"].get(name)
+        if current is None:
+            regressions.append(f"{name}: scenario missing from report")
+            continue
+        for counter in GATED_COUNTERS:
+            want = base["counters"].get(counter)
+            got = current["counters"].get(counter)
+            if want is None or got is None:
+                continue
+            limit = want * (1 + TOLERANCE)
+            if got > limit and got - want > 1:
+                regressions.append(
+                    f"{name}.{counter}: {got} > {want} "
+                    f"(+{(got - want) / want:.0%}, limit +{TOLERANCE:.0%})"
+                )
+            elif want and got < want * (1 - TOLERANCE):
+                improvements.append(
+                    f"{name}.{counter}: {got} < {want} "
+                    f"({(got - want) / want:.0%})"
+                )
+    return regressions, improvements
+
+
+def print_report(report):
+    for name, data in report["scenarios"].items():
+        print(f"{name}  ({data['elapsed_s']:.3f}s)")
+        for counter in GATED_COUNTERS:
+            print(f"  {counter:<24}{data['counters'].get(counter, 0):>12}")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail (exit 1) on >10%% work-counter regression vs baseline",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help=f"refresh {BASELINE_PATH.name} from this run",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT,
+        help=f"report path (default {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_scenarios()
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print_report(report)
+    print(f"\nwrote {args.output}")
+
+    if args.write_baseline:
+        baseline = {
+            "schema": report["schema"],
+            "scenarios": {
+                name: {"counters": data["counters"]}
+                for name, data in report["scenarios"].items()
+            },
+        }
+        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+        print(f"wrote {BASELINE_PATH}")
+        return 0
+
+    if args.check:
+        if not BASELINE_PATH.exists():
+            print(f"error: no baseline at {BASELINE_PATH}; "
+                  f"run with --write-baseline first", file=sys.stderr)
+            return 2
+        baseline = json.loads(BASELINE_PATH.read_text())
+        regressions, improvements = compare(report, baseline)
+        for line in improvements:
+            print(f"improved: {line} — consider --write-baseline")
+        if regressions:
+            print("\nwork-counter regressions beyond "
+                  f"{TOLERANCE:.0%}:", file=sys.stderr)
+            for line in regressions:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"gate passed: no gated counter regressed beyond "
+              f"{TOLERANCE:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

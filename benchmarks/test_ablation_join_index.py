@@ -13,7 +13,6 @@ from benchmarks.conftest import build_stats_network
 
 from repro.bench import print_table
 from repro.lang.parser import parse_rule
-from repro.match.base import NullListener
 from repro.rete import ReteNetwork
 from repro.wm import WorkingMemory
 

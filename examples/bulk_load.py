@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Batched bulk-load: one delta-set through the network, not 10k events.
+
+Loads a 10,000-employee payroll into a set-oriented rule twice — once
+per event, once through ``RuleEngine.batch()`` / ``load_facts()`` — and
+prints the match-work counters side by side.  The batched pass
+partitions the load by class in the alpha network, probes each join
+index once per department group, and runs every S-node's Figure-3
+stages once per (department, batch).
+
+Run:  python examples/bulk_load.py
+"""
+
+import time
+
+from repro import MatchStats, RuleEngine
+from repro.rete import ReteNetwork
+
+PROGRAM = """
+(literalize dept name)
+(literalize emp name dept salary)
+(p dept-size
+  (dept ^name <d>)
+  { [emp ^dept <d>] <staff> }
+  :test ((count <staff>) >= 1)
+  -->
+  (write staffed <d> (count <staff>)))
+"""
+
+EMPLOYEES = 10_000
+DEPTS = 25
+
+
+def load(batched):
+    stats = MatchStats()
+    engine = RuleEngine(matcher=ReteNetwork(batched=batched), stats=stats)
+    engine.load(PROGRAM)
+    for d in range(DEPTS):
+        engine.make("dept", name=f"d{d}")
+    facts = [
+        ("emp", {"name": f"e{i}", "dept": f"d{i % DEPTS}", "salary": i})
+        for i in range(EMPLOYEES)
+    ]
+    start = time.perf_counter()
+    if batched:
+        engine.load_facts(facts)
+    else:
+        for wme_class, values in facts:
+            engine.make(wme_class, **values)
+    elapsed = time.perf_counter() - start
+    fired = engine.run()
+    return engine, stats, elapsed, fired
+
+
+def main():
+    per_event, event_stats, event_time, event_fired = load(batched=False)
+    batched, batch_stats, batch_time, batch_fired = load(batched=True)
+
+    assert batched.output == per_event.output, "semantics must not change"
+    assert batch_fired == event_fired
+
+    print(f"loaded {EMPLOYEES} employees into {DEPTS} departments; "
+          f"{batch_fired} set-oriented firings either way\n")
+    header = f"{'counter':<28}{'per-event':>12}{'batched':>12}"
+    print(header)
+    print("-" * len(header))
+    for label, key in [
+        ("join tests attempted", "join_tests_attempted"),
+        ("alpha activations", "alpha_activations"),
+        ("index probes", "index_probes"),
+        ("group probes", "group_probes"),
+        ("S-node reevaluations", "snode_batch_reevals"),
+        ("deltas coalesced", "deltas_coalesced"),
+    ]:
+        print(f"{label:<28}{event_stats.totals[key]:>12}"
+              f"{batch_stats.totals[key]:>12}")
+    print(f"{'load wall time (s)':<28}{event_time:>12.3f}"
+          f"{batch_time:>12.3f}")
+
+
+if __name__ == "__main__":
+    main()

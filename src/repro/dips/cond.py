@@ -197,6 +197,56 @@ class CondStore:
             lambda row: row.get("wme_tag") == wme.time_tag
         )
 
+    def apply_batch(self, events):
+        """Apply one flushed delta-set as set-oriented statements.
+
+        This is the paper's section 8 story made literal: instead of
+        one INSERT/DELETE per WME event, the batch becomes *one*
+        ``DELETE ... WHERE wme_tag IN (...)`` per affected COND table
+        and *one* multi-row INSERT per (class, tables') template scan.
+        Returns the number of statements issued.
+        """
+        removed_tags = {}
+        added = {}
+        for event in events:
+            if event.is_add:
+                added.setdefault(event.wme.wme_class, []).append(event.wme)
+            else:
+                removed_tags.setdefault(event.wme.wme_class, set()).add(
+                    event.wme.time_tag
+                )
+        statements = 0
+        for wme_class, tags in removed_tags.items():
+            table_name = cond_table_name(wme_class)
+            if not self.db.has_table(table_name):
+                continue
+            self.db.table(table_name).delete_where(
+                lambda row, tags=tags: row.get("wme_tag") in tags
+            )
+            statements += 1
+        for wme_class, wmes in added.items():
+            registrations = self._cond_ces.get(wme_class, ())
+            if not registrations:
+                continue
+            rows = []
+            for wme in wmes:
+                for rule, analysis, cond_ce in registrations:
+                    if not cond_ce.matches(wme, analysis):
+                        continue
+                    row = {
+                        "rule_id": rule.name,
+                        "cen": cond_ce.level + 1,
+                        "rce": cond_ce.rce,
+                        "wme_tag": wme.time_tag,
+                    }
+                    for attribute in cond_ce.attributes:
+                        row[attribute] = wme.get(attribute)
+                    rows.append(row)
+            if rows:
+                self.cond_table(wme_class).insert_many(rows)
+                statements += 1
+        return statements
+
     # -- access -------------------------------------------------------------------
 
     def cond_table(self, wme_class):

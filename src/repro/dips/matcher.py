@@ -94,6 +94,21 @@ class DipsMatcher(Matcher):
         for state in self._rules.values():
             self._refresh(state)
 
+    def on_batch(self, events):
+        """One set-oriented pass per delta-set (paper section 8).
+
+        The whole batch updates the COND tables as one grouped
+        DELETE/INSERT per table (:meth:`CondStore.apply_batch`), then
+        each rule's SOI query runs *once* against the settled tables —
+        instead of table-update plus full refresh per event.
+        """
+        if not events:
+            return
+        statements = self.store.apply_batch(events)
+        self.match_stats.incr("dips_batch_statements", statements)
+        for state in self._rules.values():
+            self._refresh(state)
+
     # -- query-and-diff ------------------------------------------------------
 
     def _refresh(self, state):

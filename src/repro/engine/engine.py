@@ -132,6 +132,39 @@ class RuleEngine:
         """OPS5 modify: remove + re-make with a fresh time tag."""
         return self.wm.modify(wme, **updates)
 
+    def batch(self):
+        """Collect WM changes into one atomic delta-set.
+
+        Inside the ``with`` block, ``make``/``remove``/``modify`` mutate
+        working memory immediately but defer match propagation; on exit
+        the net delta-set (cancelling make/remove pairs coalesced away)
+        flows through the matcher in one set-oriented pass::
+
+            with engine.batch():
+                for name, team in roster:
+                    engine.make("player", name=name, team=team)
+
+        Nested ``batch()`` blocks extend the outermost one.  Semantics
+        are those of applying the net delta-set atomically: the
+        resulting conflict set and firing order are identical to
+        per-event propagation.
+        """
+        return self.wm.batch(stats=self.stats)
+
+    def load_facts(self, facts):
+        """Bulk-load ``(wme_class, attrs_dict)`` pairs in one batch.
+
+        Returns the created WMEs in input order.  This is the bulk-load
+        entry point the paper's database framing calls for: one
+        set-oriented pass through the match network (and, under DIPS,
+        one INSERT statement per table) instead of one per fact.
+        """
+        made = []
+        with self.batch():
+            for wme_class, values in facts:
+                made.append(self.wm.make(wme_class, **values))
+        return made
+
     # -- the cycle ------------------------------------------------------------
 
     def halt(self):

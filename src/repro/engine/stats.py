@@ -103,6 +103,15 @@ class NullStats:
     def snode_mark(self, key, kind):
         pass
 
+    def batch_flush(self, submitted, net, coalesced):
+        pass
+
+    def group_probe(self, key, groups, candidates):
+        pass
+
+    def snode_batch(self, key, sois, reevals):
+        pass
+
     def cycle(self, rule_name, duration):
         pass
 
@@ -145,6 +154,10 @@ def _node_record():
         "marks_add": 0,
         "marks_remove": 0,
         "marks_time": 0,
+        "group_probes": 0,
+        "group_probe_candidates": 0,
+        "batch_sois": 0,
+        "batch_reevals": 0,
     }
 
 
@@ -185,6 +198,14 @@ class MatchStats(NullStats):
         "snode_marks_add",
         "snode_marks_remove",
         "snode_marks_time",
+        "batches",
+        "batch_deltas_submitted",
+        "batch_deltas_net",
+        "deltas_coalesced",
+        "group_probes",
+        "group_probe_candidates",
+        "snode_batch_sois",
+        "snode_batch_reevals",
     )
 
     def __init__(self, event_sink=None):
@@ -324,6 +345,31 @@ class MatchStats(NullStats):
         self.totals[total_field] += 1
         if key is not None:
             self.nodes[key][node_field] += 1
+
+    def batch_flush(self, submitted, net, coalesced):
+        """One delta-set flushed: raw deltas in, net deltas out."""
+        self.totals["batches"] += 1
+        self.totals["batch_deltas_submitted"] += submitted
+        self.totals["batch_deltas_net"] += net
+        self.totals["deltas_coalesced"] += coalesced
+
+    def group_probe(self, key, groups, candidates):
+        """A join node probed its index once per value *group*."""
+        self.totals["group_probes"] += groups
+        self.totals["group_probe_candidates"] += candidates
+        if key is not None:
+            node = self.nodes[key]
+            node["group_probes"] += groups
+            node["group_probe_candidates"] += candidates
+
+    def snode_batch(self, key, sois, reevals):
+        """An S-node flushed a batch: *sois* touched, *reevals* run."""
+        self.totals["snode_batch_sois"] += sois
+        self.totals["snode_batch_reevals"] += reevals
+        if key is not None:
+            node = self.nodes[key]
+            node["batch_sois"] += sois
+            node["batch_reevals"] += reevals
 
     def cycle(self, rule_name, duration):
         self.cycle_count += 1

@@ -82,7 +82,7 @@ class Matcher:
     def attach(self, wm):
         """Subscribe to *wm* and back-fill its current contents."""
         self.wm = wm
-        wm.attach(self.on_event)
+        wm.attach(self.on_event, on_batch=self.on_batch)
         for wme in wm:
             from repro.wm.events import WMEvent, ADD
 
@@ -97,3 +97,13 @@ class Matcher:
 
     def on_event(self, event):
         raise NotImplementedError
+
+    def on_batch(self, events):
+        """Consume one flushed delta-set (a list of net WMEvents).
+
+        The base implementation replays the net stream per event —
+        always correct, never set-oriented.  Matchers override this to
+        process the whole delta-set at once.
+        """
+        for event in events:
+            self.on_event(event)

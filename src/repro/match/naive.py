@@ -73,6 +73,19 @@ class NaiveMatcher(Matcher):
         for state in self._rules.values():
             self._recompute(state)
 
+    def on_batch(self, events):
+        """One recomputation per rule per delta-set, not per event.
+
+        Working memory already reflects the whole batch when the flush
+        arrives, so a single diff against the previous token set gives
+        the atomic net-delta result directly.
+        """
+        if not events:
+            return
+        self.match_stats.incr("naive_batches")
+        for state in self._rules.values():
+            self._recompute(state)
+
     # -- full recomputation -------------------------------------------------
 
     def _recompute(self, state):

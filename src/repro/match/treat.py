@@ -112,6 +112,53 @@ class TreatMatcher(Matcher):
                         if token not in state.tokens:
                             self._insert_token(state, token)
 
+    def on_batch(self, events):
+        """Process one flushed delta-set rule by rule, set-oriented.
+
+        Per rule: all alpha memories absorb the whole delta-set first,
+        then retractions (removed WMEs, newly blocked tokens) run, then
+        one seeded join per surviving positive add — seeded joins see
+        the complete batch in the amems, and the ``token not in
+        state.tokens`` guard keeps cross-seeded duplicates out.  A
+        single re-derivation covers *all* negated-level removals,
+        instead of one per removal event.
+        """
+        removes = [e.wme for e in events if e.is_remove]
+        adds = [e.wme for e in events if e.is_add]
+        for state in self._rules.values():
+            ce_analyses = state.analysis.ce_analyses
+            removed_negated = False
+            for wme in removes:
+                for level, amem in enumerate(state.amems):
+                    if wme in amem:
+                        del amem[wme]
+                        if ce_analyses[level].ce.negated:
+                            removed_negated = True
+            seeds = []
+            blockers = []
+            for wme in adds:
+                for level in self._add_to_amems(state, wme):
+                    if ce_analyses[level].ce.negated:
+                        blockers.append((level, wme))
+                    else:
+                        seeds.append((level, wme))
+            for wme in removes:
+                for token in list(state.tokens_by_wme.get(wme, ())):
+                    self._retract_token(state, token)
+                state.tokens_by_wme.pop(wme, None)
+            for level, wme in blockers:
+                self._retract_now_blocked(state, level, wme)
+            for level, wme in seeds:
+                self.stats["seeded_joins"] += 1
+                self.match_stats.incr("treat_seeded_joins")
+                for token in self._seeded_join(state, level, wme):
+                    if token not in state.tokens:
+                        self._insert_token(state, token)
+            if removed_negated:
+                for token in self._derive_all(state):
+                    if token not in state.tokens:
+                        self._insert_token(state, token)
+
     def _on_remove(self, wme):
         for state in self._rules.values():
             removed_negated_levels = []

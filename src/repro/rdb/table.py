@@ -54,6 +54,14 @@ class Table:
             index.insert(row_id, full.get(column))
         return row_id
 
+    def insert_many(self, rows):
+        """Insert several row dicts at once; returns their row ids.
+
+        The set-oriented counterpart of :meth:`insert` — one statement's
+        worth of rows, validated and indexed in a single pass.
+        """
+        return [self.insert(row) for row in rows]
+
     def update(self, row_id, updates):
         """Apply *updates* to a row; returns the new row dict."""
         row = self._rows.get(row_id)

@@ -76,6 +76,23 @@ class AlphaMemory:
         for successor in self.successors:
             successor.right_activate(wme)
 
+    def add_batch(self, wmes):
+        """Insert a whole delta group, then right-activate it as a set.
+
+        All WMEs enter ``items`` (and the indexes) *before* any
+        successor runs, so a join's left activations triggered by the
+        cascade see the complete group — the batched counterpart of the
+        exactly-once pair-discovery invariant.  Successor order is the
+        same deepest-first order ``add`` uses.
+        """
+        for wme in wmes:
+            self.items[wme] = None
+            for attribute, index in self.indexes.items():
+                _index_add(index, wme.get(attribute), wme)
+        self.stats.alpha_activation(self.stats_key, "+", len(self.items))
+        for successor in self.successors:
+            successor.right_activate_batch(wmes)
+
     def remove(self, wme):
         self.items.pop(wme, None)
         for attribute, index in self.indexes.items():
@@ -171,6 +188,26 @@ class AlphaNetwork:
         for memory in candidates:
             if memory.analysis.wme_passes_alpha(wme):
                 memory.add(wme)
+
+    def add_batch(self, wmes):
+        """Route a delta-set into the alpha network, partitioned by class.
+
+        Each alpha memory receives its passing subset as one
+        ``add_batch`` call (one activation, one group right-activation
+        per successor).  Memories are processed one at a time —
+        insert-then-activate per memory — which preserves the
+        exactly-once pair discovery of the per-event path.
+        """
+        by_class = {}
+        for wme in wmes:
+            by_class.setdefault(wme.wme_class, []).append(wme)
+        for wme_class, group in by_class.items():
+            for memory in self._by_class.get(wme_class, []):
+                passing = [
+                    w for w in group if memory.analysis.wme_passes_alpha(w)
+                ]
+                if passing:
+                    memory.add_batch(passing)
 
     def remove_wme(self, wme):
         """Retract a WME from every alpha memory containing it."""

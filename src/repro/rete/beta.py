@@ -17,6 +17,7 @@ this only costs, never changes, results).
 
 from __future__ import annotations
 
+from repro import symbols
 from repro.core.instantiation import recency_key
 from repro.engine.stats import NULL_STATS
 from repro.rete.alpha import UNHASHABLE, _index_add, _index_discard
@@ -192,7 +193,7 @@ class JoinNode:
     """
 
     __slots__ = ("left", "amem", "tests", "level", "output", "network",
-                 "index_test", "stats", "stats_key")
+                 "index_test", "residual_tests", "stats", "stats_key")
 
     def __init__(self, left, amem, tests, level, network):
         self.left = left
@@ -205,10 +206,14 @@ class JoinNode:
         # remember it and build the two side indexes (left memory by
         # binding value, alpha memory by attribute value).
         self.index_test = None
+        self.residual_tests = self.tests
         if getattr(network, "indexed_joins", False):
             equalities = [t for t in tests if t.predicate == "="]
             if equalities and isinstance(left, BetaMemory):
                 self.index_test = equalities[0]
+                self.residual_tests = tuple(
+                    t for t in self.tests if t is not self.index_test
+                )
                 left.ensure_index(
                     (self.index_test.bound_level,
                      self.index_test.bound_attribute)
@@ -288,6 +293,77 @@ class JoinNode:
 
     def right_retract(self, wme):
         """WME left the alpha memory; the token cascade handles cleanup."""
+
+    def right_activate_batch(self, wmes):
+        """A group of WMEs arrived in the right alpha memory at once.
+
+        With an index test the batch is partitioned by the indexed
+        attribute's value; the left token index is probed *once per
+        group* instead of once per WME.  Tokens from a group's exact
+        bucket whose own binding is a plain number or symbol are
+        *probe-verified* — the bucket key equality coincides with
+        ``values_equal`` for those types, so only the residual tests
+        run.  Sentinel-bucket tokens (unhashable bindings) and tokens
+        with exotic bindings always run the full test list, and WMEs
+        whose probe value is neither number nor symbol fall back to the
+        per-event path — so results never change, only work.
+        """
+        if self.index_test is None:
+            for wme in wmes:
+                self.right_activate(wme)
+            return
+        site = (self.index_test.bound_level,
+                self.index_test.bound_attribute)
+        attribute = self.index_test.attribute
+        groups = {}
+        leftovers = []
+        for wme in wmes:
+            value = wme.get(attribute)
+            if symbols.is_number(value) or symbols.is_symbol(value):
+                groups.setdefault(value, []).append(wme)
+            else:
+                leftovers.append(wme)
+        index = self.left.indexes[site]
+        residual = self.residual_tests
+        output = self.output
+        network = self.network
+        candidates_total = 0
+        attempted = 0
+        passed = 0
+        for value, group in groups.items():
+            exact = list(index.get(value, ()))
+            extras = index.get(UNHASHABLE)
+            extras = list(extras) if extras else ()
+            candidates_total += len(exact) + len(extras)
+            for token in exact:
+                bound = token.lookup(*site)
+                verified = (
+                    symbols.is_number(bound) or symbols.is_symbol(bound)
+                )
+                if verified and not residual:
+                    passed += len(group)
+                    for wme in group:
+                        output.left_activate(token, wme, network)
+                    continue
+                checks = residual if verified else self.tests
+                for wme in group:
+                    attempted += 1
+                    if all(t.matches(wme, token.lookup) for t in checks):
+                        passed += 1
+                        output.left_activate(token, wme, network)
+            for token in extras:
+                for wme in group:
+                    attempted += 1
+                    if self._passes(token, wme):
+                        passed += 1
+                        output.left_activate(token, wme, network)
+        stats = self.stats
+        if stats.enabled:
+            stats.right_activation(self.stats_key)
+            stats.group_probe(self.stats_key, len(groups), candidates_total)
+            stats.join_batch(self.stats_key, attempted, passed)
+        for wme in leftovers:
+            self.right_activate(wme)
 
     def share_key(self):
         """Key for beta-level sharing of identical joins."""

@@ -117,6 +117,16 @@ class NegativeNode:
     def right_retract(self, wme):
         """Join-result cleanup is driven by the network's index."""
 
+    def right_activate_batch(self, wmes):
+        """Batch entry point: negation is processed per WME.
+
+        Blocking is not set-oriented — each new blocker may deactivate
+        tokens and unwind downstream structure, so the per-event path is
+        already the precise amount of work.
+        """
+        for wme in wmes:
+            self.right_activate(wme)
+
     def release_blocker(self, wme, token):
         """*wme* (a join result of *token*) was removed from WM."""
         try:

@@ -49,7 +49,8 @@ class ReteNetwork(Matcher):
     """The extended Rete match network."""
 
     def __init__(self, strict_paper_decide=False, share_alpha=True,
-                 share_beta=True, indexed_joins=True, stats=None):
+                 share_beta=True, indexed_joins=True, batched=True,
+                 stats=None):
         super().__init__()
         self.match_stats = stats if stats is not None else NULL_STATS
         self.share_alpha = share_alpha
@@ -57,6 +58,10 @@ class ReteNetwork(Matcher):
         # Probe equality joins through hash indexes instead of scanning
         # memories (disable for the ablation benchmark).
         self.indexed_joins = indexed_joins
+        # Process flushed delta-sets set-oriented (grouped alpha/join
+        # propagation, staged S-nodes); False replays them per event —
+        # the reference semantics the property tests compare against.
+        self.batched = batched
         self._private_counter = 0
         self.alpha = AlphaNetwork(stats=self.match_stats)
         self.dummy_top = BetaMemory(None, -1, stats=self.match_stats)
@@ -266,6 +271,40 @@ class ReteNetwork(Matcher):
         for token in list(self._wme_neg_results.pop(wme, ())):
             if token.node is not None:
                 token.node.release_blocker(wme, token)
+
+    def on_batch(self, events):
+        """Propagate one flushed delta-set set-oriented.
+
+        Removes run first (per WME — deletion is a token cascade), then
+        the surviving adds flow through the alpha network as grouped
+        delta-sets.  Every S-node stages token arrivals for the whole
+        batch and runs its test/decide stages once per touched SOI at
+        flush.  The outcome — conflict set, firing order, refire
+        eligibility — is the atomic net-delta semantics the per-event
+        replay of the same flushed batch produces.
+        """
+        if not self.batched or self.strict_paper_decide:
+            # strict_paper_decide is a per-event ablation of Figure 3's
+            # literal decide table; batching would paper over it.
+            for event in events:
+                self.on_event(event)
+            return
+        snodes = list(self.snodes.values())
+        for snode in snodes:
+            snode.begin_batch()
+        try:
+            adds = []
+            for event in events:
+                if event.is_add:
+                    adds.append(event.wme)
+                else:
+                    self._remove_wme(event.wme)
+            if adds:
+                self.stats.right_activations += len(adds)
+                self.alpha.add_batch(adds)
+        finally:
+            for snode in snodes:
+                snode.flush_batch()
 
     # -- inspection --------------------------------------------------------------
 

@@ -184,6 +184,13 @@ class SNode:
         self.strict_paper_decide = strict_paper_decide
         self.gamma = {}
         self._token_total = 0
+        # Batched-propagation staging: while _batch_depth > 0, token
+        # arrivals update γ-memory and aggregates immediately but defer
+        # test evaluation and decide-flow to flush_batch(), which runs
+        # them once per touched SOI.  _staged maps each touched SOI
+        # (insertion order) to its pre-batch snapshot.
+        self._batch_depth = 0
+        self._staged = {}
         self.attach_stats(stats if stats is not None else NULL_STATS)
 
     def attach_stats(self, stats):
@@ -194,7 +201,6 @@ class SNode:
     def _build_p_specs(rule, analysis):
         """Binding sites for the :scalar PVs that are truly set-located."""
         specs = []
-        set_sites = analysis.set_variable_sites
         for name in rule.scalar_vars:
             site = analysis.binding_sites.get(name)
             if site is None:
@@ -211,10 +217,16 @@ class SNode:
     # -- observer protocol (terminal node) --------------------------------
 
     def token_added(self, token):
-        self._process(token, "+")
+        if self._batch_depth:
+            self._process_staged(token, "+")
+        else:
+            self._process(token, "+")
 
     def token_removed(self, token):
-        self._process(token, "-")
+        if self._batch_depth:
+            self._process_staged(token, "-")
+        else:
+            self._process(token, "-")
 
     # -- Figure 3 ---------------------------------------------------------
 
@@ -280,6 +292,88 @@ class SNode:
         self._decide(soi, chg)
         self._token_total += 1 if sign == "+" else -1
         if self.stats.enabled:
+            self.stats.gamma_size(
+                self.stats_key, len(self.gamma), self._token_total
+            )
+
+    # -- batched propagation ----------------------------------------------
+
+    def begin_batch(self):
+        """Enter staged mode: defer decide-flow until :meth:`flush_batch`."""
+        self._batch_depth += 1
+
+    def _process_staged(self, token, sign):
+        """Figure 3, stages 1-2 only: place the token, fold aggregates.
+
+        The SOI's pre-batch snapshot (existed?, status, head token) is
+        captured at first touch; stage 3 runs once per SOI at flush.
+        An SOI emptied mid-batch leaves γ-memory immediately, so a
+        later same-key arrival builds a fresh SOI — exactly the
+        delete-then-recreate a per-event replay would produce.
+        """
+        key = self._key_of(token)
+        soi = self.gamma.get(key)
+        if sign == "+":
+            if soi is None:
+                soi = self._new_soi(key, token)
+                self.gamma[key] = soi
+                if soi not in self._staged:
+                    self._staged[soi] = (False, INACTIVE, None)
+            elif soi not in self._staged:
+                self._staged[soi] = (True, soi.status, soi.tokens[0])
+            soi.insert_token(token)
+            for state in soi.agg_states:
+                state.add_token(token)
+            self._token_total += 1
+        else:
+            if soi is None:
+                return
+            if soi not in self._staged:
+                self._staged[soi] = (True, soi.status, soi.tokens[0])
+            soi.remove_token(token)
+            for state in soi.agg_states:
+                state.remove_token(token)
+            if not soi.tokens:
+                del self.gamma[key]
+            self._token_total -= 1
+
+    def flush_batch(self):
+        """Leave staged mode: run test + decide once per touched SOI.
+
+        The per-SOI outcome is computed from the pre-batch snapshot and
+        the post-batch state, reproducing what a per-event replay of
+        the net delta-set would leave behind: status, membership, and
+        a single ``+``/``-``/``time`` mark (the version is bumped once,
+        which is refire-equivalent to the replay's k bumps).
+        """
+        self._batch_depth -= 1
+        if self._batch_depth > 0:
+            return
+        staged, self._staged = self._staged, {}
+        reevals = 0
+        for soi, (existed, status0, head0) in staged.items():
+            soi.version += 1
+            if not soi.tokens:
+                # Emptied (and already evicted from γ-memory).
+                if status0 == ACTIVE:
+                    self._send(MARK_REMOVE, soi)
+                continue
+            passes = True
+            if self.test is not None:
+                reevals += 1
+                passes = self._eval_test(soi)
+            if passes:
+                if status0 == ACTIVE:
+                    if soi.tokens[0] is not head0:
+                        self._send(MARK_TIME, soi)
+                else:
+                    soi.status = ACTIVE
+                    self._send(MARK_ADD, soi)
+            elif status0 == ACTIVE:
+                soi.status = INACTIVE
+                self._send(MARK_REMOVE, soi)
+        if self.stats.enabled and staged:
+            self.stats.snode_batch(self.stats_key, len(staged), reevals)
             self.stats.gamma_size(
                 self.stats_key, len(self.gamma), self._token_total
             )

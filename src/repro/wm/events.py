@@ -1,9 +1,18 @@
-"""Working-memory change events.
+"""Working-memory change events and batched delta-sets.
 
 Match algorithms (Rete, TREAT, naive, DIPS) consume a stream of signed
 deltas: ``+`` for a make, ``-`` for a remove.  ``modify`` never appears
 as its own sign — OPS5 semantics define it as remove-then-make, and
 :class:`~repro.wm.memory.WorkingMemory` emits exactly that pair.
+
+:class:`DeltaBatch` is the buffering side of batched propagation
+(``WorkingMemory.batch()`` / ``RuleEngine.batch()``): it collects the
+signed deltas of one atomic working-memory transition and *nets out
+cancelling pairs* — a WME made and removed inside the same batch never
+existed as far as matching is concerned.  The surviving deltas keep
+their original relative order (stable netting), so per-event replay of
+a flushed batch is a well-defined fallback for matchers without a
+set-oriented batch entry point.
 """
 
 from __future__ import annotations
@@ -43,3 +52,58 @@ class WMEvent:
 
     def __repr__(self):
         return f"<{self.sign}{self.wme!r}>"
+
+
+class DeltaBatch:
+    """One atomic set of signed WM deltas, with stable netting.
+
+    ``record`` appends a delta; a ``-`` for a WME whose ``+`` is still
+    buffered cancels the pair in place (both deltas count as
+    *coalesced*).  ``events()`` returns the net delta-set as
+    :class:`WMEvent` objects in original (surviving) order.
+
+    Netting is exact because time tags are never reused: a make always
+    creates a fresh WME, so the only cancelling pattern is
+    ``+w ... -w`` for a WME born inside the batch.
+    """
+
+    __slots__ = ("_deltas", "_pending_adds", "submitted", "coalesced")
+
+    def __init__(self):
+        # List of [sign, wme] entries; a cancelled add is tombstoned to
+        # None so surviving deltas keep their original relative order.
+        self._deltas = []
+        self._pending_adds = {}  # wme -> index into _deltas
+        self.submitted = 0
+        self.coalesced = 0
+
+    def record(self, sign, wme):
+        self.submitted += 1
+        if sign == REMOVE:
+            index = self._pending_adds.pop(wme, None)
+            if index is not None:
+                self._deltas[index] = None
+                self.coalesced += 2
+                return
+        else:
+            self._pending_adds[wme] = len(self._deltas)
+        self._deltas.append((sign, wme))
+
+    def events(self):
+        """The net delta-set, in original order, as WMEvents."""
+        return [
+            WMEvent(sign, wme)
+            for entry in self._deltas
+            if entry is not None
+            for sign, wme in (entry,)
+        ]
+
+    def __len__(self):
+        """Number of surviving (net) deltas."""
+        return len(self._deltas) - (self.coalesced // 2)
+
+    def __repr__(self):
+        return (
+            f"DeltaBatch({len(self)} net deltas, "
+            f"{self.coalesced} coalesced)"
+        )

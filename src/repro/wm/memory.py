@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro import symbols
 from repro.errors import WorkingMemoryError
-from repro.wm.events import ADD, REMOVE, WMEvent
+from repro.wm.events import ADD, REMOVE, DeltaBatch, WMEvent
 from repro.wm.wme import WME
 
 
@@ -79,6 +79,15 @@ class WorkingMemory:
     Observers are callables receiving a :class:`WMEvent`; match networks
     register themselves here.  Events are delivered synchronously in
     registration order.
+
+    ``batch()`` opens an atomic delta-set: mutations still apply to the
+    WME multiset immediately (time tags stay monotone, ``find`` sees the
+    change), but observer delivery is buffered in a :class:`DeltaBatch`
+    and flushed on exit with cancelling make/remove pairs netted out.
+    Observers that registered a batch handler via
+    ``attach(observer, on_batch=...)`` receive the whole net delta list
+    in one call; plain observers get a per-event replay of the same net
+    stream, so both views agree on the resulting match state.
     """
 
     def __init__(self, registry=None):
@@ -86,20 +95,74 @@ class WorkingMemory:
         self._by_tag = {}
         self._next_tag = 1
         self._observers = []
+        self._batch_handlers = {}
+        self._batch = None
+        self._batch_depth = 0
 
     # -- observation ---------------------------------------------------
 
-    def attach(self, observer):
-        """Register *observer* to receive every subsequent change event."""
+    def attach(self, observer, on_batch=None):
+        """Register *observer* to receive every subsequent change event.
+
+        *on_batch*, if given, is called with a list of net
+        :class:`WMEvent` deltas whenever a ``batch()`` flushes, instead
+        of replaying the batch to *observer* one event at a time.
+        """
         self._observers.append(observer)
+        if on_batch is not None:
+            self._batch_handlers[observer] = on_batch
 
     def detach(self, observer):
         self._observers.remove(observer)
+        self._batch_handlers.pop(observer, None)
 
     def _emit(self, sign, wme):
+        if self._batch is not None:
+            self._batch.record(sign, wme)
+            return
         event = WMEvent(sign, wme)
         for observer in list(self._observers):
             observer(event)
+
+    # -- batching ------------------------------------------------------
+
+    def batch(self, stats=None):
+        """Context manager collecting mutations into one atomic delta-set.
+
+        Re-entrant: nested ``batch()`` blocks extend the outermost batch,
+        which flushes once when the outermost block exits (even on
+        exception — mutations already applied are always reported).
+        *stats* may be a :class:`~repro.engine.stats.MatchStats`; the
+        flush reports submitted/net/coalesced delta counts to it.
+        """
+        return _BatchScope(self, stats)
+
+    @property
+    def in_batch(self):
+        return self._batch is not None
+
+    def _enter_batch(self):
+        if self._batch_depth == 0:
+            self._batch = DeltaBatch()
+        self._batch_depth += 1
+
+    def _exit_batch(self, stats=None):
+        self._batch_depth -= 1
+        if self._batch_depth > 0:
+            return
+        batch, self._batch = self._batch, None
+        events = batch.events()
+        if stats is not None:
+            stats.batch_flush(batch.submitted, len(events), batch.coalesced)
+        if not events:
+            return
+        for observer in list(self._observers):
+            handler = self._batch_handlers.get(observer)
+            if handler is not None:
+                handler(events)
+            else:
+                for event in events:
+                    observer(event)
 
     # -- inspection ----------------------------------------------------
 
@@ -182,3 +245,21 @@ class WorkingMemory:
         """Remove every live WME (emitting ``-`` for each, oldest first)."""
         for wme in list(self):
             self.remove(wme)
+
+
+class _BatchScope:
+    """Context manager returned by :meth:`WorkingMemory.batch`."""
+
+    __slots__ = ("_wm", "_stats")
+
+    def __init__(self, wm, stats):
+        self._wm = wm
+        self._stats = stats
+
+    def __enter__(self):
+        self._wm._enter_batch()
+        return self._wm
+
+    def __exit__(self, exc_type, exc, tb):
+        self._wm._exit_batch(self._stats)
+        return False

@@ -1,6 +1,5 @@
 """Tests for the parallel firing cycle (the DIPS §8.1 execution model)."""
 
-import pytest
 
 from repro import RuleEngine
 

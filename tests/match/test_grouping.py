@@ -1,6 +1,5 @@
 """Unit tests for the shared SOI grouper (used by TREAT/naive/DIPS)."""
 
-import pytest
 
 from repro.analysis import RuleAnalysis
 from repro.core.instantiation import MatchToken

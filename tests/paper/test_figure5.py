@@ -10,7 +10,6 @@
   can fire unnecessarily".
 """
 
-import pytest
 
 from tests.conftest import load_roster
 

@@ -5,8 +5,6 @@ spanning set and regular CEs, `:scalar` on variables occurring in
 several set CEs, and negation interleaved with set CEs.
 """
 
-import pytest
-
 
 class TestSetSetJoin:
     """'When a set-oriented PV occurs in two set-oriented CEs, the

@@ -1,0 +1,186 @@
+"""Batched and per-event propagation are observationally identical.
+
+For any random sequence of delta-batches — each mixing makes, modifies,
+and removes, including make/remove of the *same* WME inside one batch —
+every matcher reaches the same conflict set (same instantiations, same
+dominance order, same refire eligibility) and then fires the same rules
+on the same time tags in the same order as the per-event reference.
+
+The reference is ``ReteNetwork(batched=False)``: it receives the same
+flushed *net* delta-sets but replays them one event at a time, which is
+the semantics ``docs/BATCHING.md`` documents (a batch applies its net
+delta atomically).  TREAT, naive, and DIPS run their own set-oriented
+batch entry points and are held to the same behaviour.
+
+The portfolio spans a positive join rule, a negated-CE rule, and a
+set-oriented rule with an aggregate ``:test`` — so grouped join
+probing, per-event negation, and the staged S-node flush are all
+exercised by the same op sequences.  Interleaved ``run()`` calls
+between batches check refire behaviour: an SOI whose set was touched by
+a batch must become eligible again, an untouched one must not.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import MatchStats, RuleEngine
+from repro.dips.matcher import DipsMatcher
+from repro.match import NaiveMatcher, TreatMatcher
+from repro.rete import ReteNetwork
+
+PROGRAM = """
+(literalize item owner v)
+(literalize owner name)
+(p pair (item ^owner <o> ^v <v>) (owner ^name <o>) --> (write <o> <v>))
+(p lonely (item ^owner <o>) -(owner ^name <o>) --> (write <o>))
+(p tally { [item ^owner <o> ^v <v>] <S> }
+  :scalar (<o>)
+  :test ((count <S>) >= 2)
+  -->
+  (write <o> (count <S>)))
+"""
+
+_op = st.one_of(
+    st.tuples(st.just("item"), st.sampled_from(["a", "b"]),
+              st.integers(0, 3)),
+    st.tuples(st.just("owner"), st.sampled_from(["a", "b"]), st.just(0)),
+    st.tuples(st.just("modify"), st.integers(0, 30), st.integers(0, 3)),
+    st.tuples(st.just("remove"), st.integers(0, 30), st.just(0)),
+)
+
+# A scenario is a sequence of batches; True entries mean "run to
+# quiescence here" so later batches exercise refire semantics.
+_scenario = st.lists(
+    st.one_of(
+        st.lists(_op, min_size=1, max_size=6),
+        st.just(True),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+def _build_engines():
+    configs = {
+        "rete-batched": ReteNetwork(batched=True),
+        "rete-replay": ReteNetwork(batched=False),
+        "treat": TreatMatcher(),
+        "naive": NaiveMatcher(),
+        "dips": DipsMatcher(),
+    }
+    engines = {}
+    for name, matcher in configs.items():
+        engine = RuleEngine(matcher=matcher, stats=MatchStats())
+        engine.load(PROGRAM)
+        engines[name] = engine
+    return engines
+
+
+def _apply_batch(engine, ops, made):
+    """One engine.batch() applying *ops*; mutates *made* in WM order."""
+    with engine.batch():
+        for kind, first, second in ops:
+            if kind == "item":
+                made.append(engine.make("item", owner=first, v=second))
+            elif kind == "owner":
+                made.append(engine.make("owner", name=first))
+            else:
+                live = [w for w in made if w in engine.wm]
+                if not live:
+                    continue
+                target = live[first % len(live)]
+                if kind == "modify":
+                    if target.wme_class == "item":
+                        made.append(engine.modify(target, v=second))
+                    else:
+                        made.append(engine.modify(target))
+                else:
+                    engine.remove(target)
+
+
+def _conflict_order(engine):
+    return [
+        (inst.rule.name, inst.recency_key())
+        for inst in engine.conflict_set.ordered(engine.strategy)
+        if inst.eligible()
+    ]
+
+
+class TestBatchEquivalence:
+    @given(_scenario)
+    @settings(max_examples=60, deadline=None)
+    def test_identical_conflict_sets_and_firings(self, scenario):
+        engines = _build_engines()
+        mades = {name: [] for name in engines}
+        fired = {name: [] for name in engines}
+        for step in scenario:
+            for name, engine in engines.items():
+                if step is True:
+                    engine.run()
+                    fired[name] = [
+                        (f.rule_name, f.time_tags)
+                        for f in engine.tracer.firings
+                    ]
+                else:
+                    _apply_batch(engine, step, mades[name])
+            orders = {
+                name: _conflict_order(engine)
+                for name, engine in engines.items()
+            }
+            baseline = orders["rete-replay"]
+            for name, order in orders.items():
+                assert order == baseline, (name, order, baseline)
+            baseline_fired = fired["rete-replay"]
+            for name, sequence in fired.items():
+                assert sequence == baseline_fired, name
+
+        # Final drain: identical firing sequences and outputs.
+        outputs = {}
+        for name, engine in engines.items():
+            engine.run()
+            outputs[name] = (
+                [(f.rule_name, f.time_tags) for f in engine.tracer.firings],
+                engine.output,
+            )
+        baseline = outputs["rete-replay"]
+        for name, result in outputs.items():
+            assert result == baseline, name
+
+    @given(st.lists(_op, min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_single_batch_equals_incremental(self, ops):
+        """One batch vs. the same ops applied without batching."""
+        batched = _build_engines()["rete-batched"]
+        plain_engine = RuleEngine(matcher=ReteNetwork(batched=True))
+        plain_engine.load(PROGRAM)
+
+        made = []
+        _apply_batch(batched, ops, made)
+        plain_made = []
+        # Apply per-event (no batch): same ops, immediate propagation.
+        for kind, first, second in ops:
+            if kind == "item":
+                plain_made.append(
+                    plain_engine.make("item", owner=first, v=second)
+                )
+            elif kind == "owner":
+                plain_made.append(plain_engine.make("owner", name=first))
+            else:
+                live = [w for w in plain_made if w in plain_engine.wm]
+                if not live:
+                    continue
+                target = live[first % len(live)]
+                if kind == "modify":
+                    if target.wme_class == "item":
+                        plain_made.append(
+                            plain_engine.modify(target, v=second)
+                        )
+                    else:
+                        plain_made.append(plain_engine.modify(target))
+                else:
+                    plain_engine.remove(target)
+
+        assert _conflict_order(batched) == _conflict_order(plain_engine)
+        batched.run()
+        plain_engine.run()
+        assert batched.output == plain_engine.output

@@ -5,7 +5,6 @@ sends to its P-node, plus the γ-memory structure, for scripted token
 sequences — the direct reproduction of the algorithm's state machine.
 """
 
-import pytest
 
 from repro.lang.parser import parse_rule
 from repro.rete import ReteNetwork
@@ -56,7 +55,7 @@ class TestFindStage:
         wm, net, listener, snode, marks = build(
             "(p r (control ^phase run) [item ^v <v>] --> (halt))"
         )
-        control_a = wm.make("control", phase="run")
+        wm.make("control", phase="run")
         wm.make("item", v=1)
         wm.make("item", v=2)
         wm.make("control", phase="run")
@@ -229,7 +228,6 @@ class TestSameTimeAmendment:
         # One WM change that yields two tokens in one SOI is impossible
         # through plain makes (each make is one token), so drive the
         # S-node directly with synthetic tokens sharing a head tag.
-        from repro.core.instantiation import MatchToken
         from repro.wm import WME
 
         newest = WME("pair", {"k": "g"}, 5)

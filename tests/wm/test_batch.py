@@ -1,0 +1,174 @@
+"""WorkingMemory.batch(): buffering, netting, and observer delivery."""
+
+import pytest
+
+from repro.engine.stats import MatchStats
+from repro.errors import WorkingMemoryError
+from repro.wm.events import ADD, REMOVE, DeltaBatch, WMEvent
+from repro.wm.memory import WorkingMemory
+from repro.wm.wme import WME
+
+
+def _wme(tag, **values):
+    return WME("thing", values, tag)
+
+
+class TestDeltaBatch:
+    def test_records_in_order(self):
+        batch = DeltaBatch()
+        a, b = _wme(1), _wme(2)
+        batch.record(ADD, a)
+        batch.record(ADD, b)
+        batch.record(REMOVE, a)
+        events = batch.events()
+        assert [(e.sign, e.wme) for e in events] == [(ADD, b)]
+        assert batch.submitted == 3
+        assert batch.coalesced == 2
+        assert len(batch) == 1
+
+    def test_remove_of_preexisting_wme_survives(self):
+        batch = DeltaBatch()
+        old = _wme(1)
+        batch.record(REMOVE, old)
+        assert [(e.sign, e.wme) for e in batch.events()] == [(REMOVE, old)]
+        assert batch.coalesced == 0
+
+    def test_stable_order_around_tombstones(self):
+        batch = DeltaBatch()
+        a, b, c = _wme(1), _wme(2), _wme(3)
+        batch.record(ADD, a)
+        batch.record(ADD, b)
+        batch.record(REMOVE, b)
+        batch.record(ADD, c)
+        assert [(e.sign, e.wme) for e in batch.events()] == [
+            (ADD, a), (ADD, c)
+        ]
+
+
+class TestWorkingMemoryBatch:
+    def test_mutations_apply_immediately_events_deferred(self):
+        wm = WorkingMemory()
+        seen = []
+        wm.attach(seen.append)
+        with wm.batch():
+            wme = wm.make("thing", v=1)
+            assert wme in wm
+            assert len(wm) == 1
+            assert seen == []
+            assert wm.in_batch
+        assert not wm.in_batch
+        assert [(e.sign, e.wme) for e in seen] == [(ADD, wme)]
+
+    def test_netting_cancels_make_remove_pair(self):
+        wm = WorkingMemory()
+        seen = []
+        wm.attach(seen.append)
+        with wm.batch():
+            transient = wm.make("thing", v=1)
+            keeper = wm.make("thing", v=2)
+            wm.remove(transient)
+        assert [(e.sign, e.wme) for e in seen] == [(ADD, keeper)]
+
+    def test_time_tags_stay_monotone_inside_batch(self):
+        wm = WorkingMemory()
+        with wm.batch():
+            first = wm.make("thing")
+            second = wm.make("thing")
+        assert second.time_tag == first.time_tag + 1
+
+    def test_batch_handler_gets_net_list_plain_observer_gets_replay(self):
+        wm = WorkingMemory()
+        replayed = []
+        batches = []
+        wm.attach(replayed.append)
+        wm.attach(lambda event: None, on_batch=batches.append)
+        with wm.batch():
+            a = wm.make("thing", v=1)
+            b = wm.make("thing", v=2)
+        assert len(batches) == 1
+        assert [(e.sign, e.wme) for e in batches[0]] == [(ADD, a), (ADD, b)]
+        assert [(e.sign, e.wme) for e in replayed] == [(ADD, a), (ADD, b)]
+
+    def test_nested_batches_flush_once(self):
+        wm = WorkingMemory()
+        batches = []
+        wm.attach(lambda event: None, on_batch=batches.append)
+        with wm.batch():
+            wm.make("thing", v=1)
+            with wm.batch():
+                wm.make("thing", v=2)
+            assert batches == []
+        assert len(batches) == 1
+        assert len(batches[0]) == 2
+
+    def test_exception_still_flushes_applied_mutations(self):
+        wm = WorkingMemory()
+        seen = []
+        wm.attach(seen.append)
+        with pytest.raises(RuntimeError):
+            with wm.batch():
+                wm.make("thing", v=1)
+                raise RuntimeError("boom")
+        assert len(seen) == 1
+        assert len(wm) == 1
+
+    def test_empty_batch_delivers_nothing(self):
+        wm = WorkingMemory()
+        batches = []
+        wm.attach(lambda event: None, on_batch=batches.append)
+        with wm.batch():
+            pass
+        assert batches == []
+
+    def test_fully_cancelled_batch_delivers_nothing(self):
+        wm = WorkingMemory()
+        seen = []
+        wm.attach(seen.append)
+        with wm.batch():
+            wm.remove(wm.make("thing", v=1))
+        assert seen == []
+        assert len(wm) == 0
+
+    def test_modify_inside_batch_nets_to_single_add(self):
+        wm = WorkingMemory()
+        seen = []
+        wm.attach(seen.append)
+        with wm.batch():
+            original = wm.make("thing", v=1)
+            replacement = wm.modify(original, v=2)
+        assert [(e.sign, e.wme) for e in seen] == [(ADD, replacement)]
+
+    def test_detach_removes_batch_handler(self):
+        wm = WorkingMemory()
+        batches = []
+        observer = lambda event: None  # noqa: E731
+        wm.attach(observer, on_batch=batches.append)
+        wm.detach(observer)
+        with wm.batch():
+            wm.make("thing")
+        assert batches == []
+
+    def test_errors_inside_batch_keep_wm_consistent(self):
+        wm = WorkingMemory()
+        with wm.batch():
+            wme = wm.make("thing")
+            wm.remove(wme)
+            with pytest.raises(WorkingMemoryError):
+                wm.remove(wme)
+
+    def test_stats_counts_submitted_net_coalesced(self):
+        wm = WorkingMemory()
+        stats = MatchStats()
+        with wm.batch(stats=stats):
+            transient = wm.make("thing", v=1)
+            wm.make("thing", v=2)
+            wm.remove(transient)
+        assert stats.totals["batches"] == 1
+        assert stats.totals["batch_deltas_submitted"] == 3
+        assert stats.totals["batch_deltas_net"] == 1
+        assert stats.totals["deltas_coalesced"] == 2
+
+    def test_event_equality_reexported(self):
+        wme = _wme(1)
+        assert WMEvent(ADD, wme) == WMEvent(ADD, wme)
+        assert WMEvent(ADD, wme) != WMEvent(REMOVE, wme)
