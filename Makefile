@@ -6,14 +6,15 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench bench-report batch-demo profile-demo
+.PHONY: test bench-smoke bench bench-report batch-demo profile-demo \
+	durability-demo
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/ -q -p no:cacheprovider \
-	  -k "ablation or no_regression or snode_scaling or batch"
+	  -k "ablation or no_regression or snode_scaling or batch or durability"
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
@@ -37,3 +38,8 @@ profile-demo:
 	run\n\
 	exit\n' | $(PYTHON) -m repro.cli \
 	  examples/programs/sensor_stats.ops --profile
+
+# Crash a durable session mid-append, recover it from the WAL, then do
+# the same through a checkpoint; asserts state equality both ways.
+durability-demo:
+	$(PYTHON) -W error::DeprecationWarning examples/crash_recovery.py

@@ -33,6 +33,7 @@ baselines), :mod:`repro.engine` (conflict resolution + RHS),
 matching, section 8), :mod:`repro.bench` (workloads and harness).
 """
 
+from repro.durability import DurabilityConfig
 from repro.engine import MatchStats, NullStats, RuleEngine
 from repro.lang import RuleBuilder, parse_program, parse_rule
 from repro.match import NaiveMatcher, TreatMatcher
@@ -42,6 +43,7 @@ from repro.wm import WME, WorkingMemory
 __version__ = "1.0.0"
 
 __all__ = [
+    "DurabilityConfig",
     "MatchStats",
     "NaiveMatcher",
     "NullStats",

@@ -5,6 +5,16 @@ Usage::
     python -m repro.cli [program.ops] [--matcher rete|treat|naive|dips]
                         [--strategy lex|mea] [--run N] [--watch LEVEL]
                         [--profile] [--profile-json FILE]
+                        [--wal-dir DIR] [--fsync always|batch|off]
+                        [--checkpoint]
+    python -m repro.cli recover DIR [--run N] [--no-wal] ...
+
+``--wal-dir`` enables the durability subsystem: every working-memory
+delta-set and firing is appended to a write-ahead log in *DIR* (fsync
+policy per ``--fsync``), the ``checkpoint`` REPL command (or
+``--checkpoint`` in batch mode) writes an atomic snapshot, and the
+``recover`` subcommand rebuilds the session from the log after a
+crash.  See ``docs/DURABILITY.md``.
 
 ``--profile`` collects node-level match statistics (join tests, index
 probes vs scans, token churn, S-node marks, per-rule timings) and
@@ -32,6 +42,7 @@ command                   effect
 ``strategy lex|mea``      switch conflict resolution
 ``stats``                 matcher/engine counters
 ``profile``               per-rule/per-node match-work tables (--profile)
+``checkpoint``            write a durability checkpoint (--wal-dir)
 ``load FILE``             load a program file
 ``exit``                  leave
 ========================  ====================================================
@@ -88,18 +99,35 @@ class ReplSession:
     """One interactive session; ``execute`` returns printable output."""
 
     def __init__(self, matcher="rete", strategy="lex", watch=1,
-                 profile=False):
-        self.profile_stats = None
-        if profile:
-            from repro.engine.stats import MatchStats
+                 profile=False, wal_dir=None, fsync="batch",
+                 engine=None):
+        from repro.engine.stats import MatchStats
 
-            self.profile_stats = MatchStats()
-        self.engine = RuleEngine(matcher=_build_matcher(matcher),
-                                 strategy=strategy,
-                                 stats=self.profile_stats)
+        self.profile_stats = None
+        if engine is not None:
+            # A recovered engine: adopt it (and its stats) wholesale.
+            self.engine = engine
+            if isinstance(engine.stats, MatchStats):
+                self.profile_stats = engine.stats
+        else:
+            if profile:
+                self.profile_stats = MatchStats()
+            durability = None
+            if wal_dir:
+                from repro.durability import DurabilityConfig
+
+                durability = DurabilityConfig(wal_dir, fsync=fsync)
+            self.engine = RuleEngine(matcher=_build_matcher(matcher),
+                                     strategy=strategy,
+                                     stats=self.profile_stats,
+                                     durability=durability)
         self.watch = watch
         self._pending = ""
         self.engine.wm.attach(self._wm_observer)
+
+    def close(self):
+        """Flush and close the durability log, if one is attached."""
+        self.engine.close()
 
     def profile_report(self):
         """The per-rule/per-node profile tables (with tracer drops)."""
@@ -169,7 +197,8 @@ class ReplSession:
     def _cmd_help(self, arguments):
         return __doc__.split("========", 1)[0] + (
             "commands: make remove modify run step wm cs matches watch "
-            "parallel excise strategy stats profile network load exit"
+            "parallel excise strategy stats profile checkpoint network "
+            "load exit"
         )
 
     def _cmd_make(self, arguments):
@@ -296,6 +325,12 @@ class ReplSession:
     def _cmd_profile(self, arguments):
         return self.profile_report()
 
+    def _cmd_checkpoint(self, arguments):
+        if self.engine.durability is None:
+            return "durability is off (start with --wal-dir DIR)"
+        path = self.engine.checkpoint()
+        return f"checkpoint written to {path}"
+
     def _cmd_excise(self, arguments):
         if not arguments:
             return "usage: excise rule-name"
@@ -325,7 +360,125 @@ class ReplSession:
         raise SystemExit(0)
 
 
+def _run_session(session, options):
+    """Batch-run or REPL-loop *session*; always closes the WAL cleanly.
+
+    The ``finally`` matters for durability: an error exit (say, the
+    stats snapshot failing to write) must still flush and fsync the
+    log, or the tail of the session would be lost to a mere I/O error.
+    """
+
+    def finish():
+        if session.profile_stats is None:
+            return
+        print()
+        print(session.profile_report())
+        if options.profile_json:
+            try:
+                with open(options.profile_json, "w") as handle:
+                    handle.write(session.profile_stats.to_json(indent=2))
+            except OSError as error:
+                print(f"error: cannot write stats snapshot: {error}")
+            else:
+                print(
+                    f"stats snapshot written to {options.profile_json}"
+                )
+
+    try:
+        if getattr(options, "program", None):
+            print(session.execute(f"load {options.program}"))
+        if options.run is not None:
+            print(session.execute(f"run {options.run}"))
+            if getattr(options, "checkpoint", False):
+                print(session.execute("checkpoint"))
+            finish()
+            return 0
+
+        print("repro-ops — type 'help' for commands, 'exit' to leave")
+        while True:
+            try:
+                line = input("ops> ")
+            except (EOFError, KeyboardInterrupt):
+                print()
+                finish()
+                return 0
+            try:
+                output = session.execute(line)
+            except SystemExit:
+                finish()
+                return 0
+            if output:
+                print(output)
+    finally:
+        session.close()
+
+
+def _recover_main(argv):
+    parser = argparse.ArgumentParser(
+        prog="repro-ops recover",
+        description="rebuild a session from its write-ahead log",
+    )
+    parser.add_argument("wal_dir", help="WAL directory to recover from")
+    parser.add_argument(
+        "--matcher",
+        choices=("rete", "treat", "naive", "dips"),
+        default=None,
+        help="override the checkpointed matcher",
+    )
+    parser.add_argument("--strategy", choices=("lex", "mea"), default=None)
+    parser.add_argument("--run", type=int, metavar="N")
+    parser.add_argument("--watch", type=int, default=1)
+    parser.add_argument("--profile", action="store_true")
+    parser.add_argument("--profile-json", metavar="FILE")
+    parser.add_argument(
+        "--checkpoint",
+        action="store_true",
+        help="write a checkpoint after --run completes",
+    )
+    parser.add_argument(
+        "--no-wal",
+        action="store_true",
+        help="recover read-only: do not resume logging to the WAL",
+    )
+    options = parser.parse_args(argv)
+
+    stats = None
+    if options.profile or options.profile_json is not None:
+        from repro.engine.stats import MatchStats
+
+        stats = MatchStats()
+    try:
+        engine = RuleEngine.recover(
+            options.wal_dir,
+            matcher=options.matcher,
+            strategy=options.strategy,
+            stats=stats,
+            durability=not options.no_wal,
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    report = engine.recovery_report
+    source = (
+        f"checkpoint {report.checkpoint_path}"
+        if report.checkpoint_path
+        else "empty state (no checkpoint)"
+    )
+    print(
+        f"recovered from {source}: {report.restored_wmes} WME(s) "
+        f"restored, {report.replayed_deltas} delta(s) and "
+        f"{report.replayed_firings} firing(s) replayed"
+        + (" (damaged tail dropped)" if report.tail_damaged else "")
+    )
+    session = ReplSession(watch=options.watch, engine=engine)
+    return _run_session(session, options)
+
+
 def main(argv=None):
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "recover":
+        return _recover_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-ops",
         description="OPS5/C5 interpreter with set-oriented constructs "
@@ -356,6 +509,23 @@ def main(argv=None):
         help="write the structured stats snapshot to FILE on exit "
         "(implies --profile)",
     )
+    parser.add_argument(
+        "--wal-dir",
+        metavar="DIR",
+        help="enable durability: write-ahead log WM changes and "
+        "firings into DIR",
+    )
+    parser.add_argument(
+        "--fsync",
+        choices=("always", "batch", "off"),
+        default="batch",
+        help="WAL fsync policy (default: batch)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        action="store_true",
+        help="write a durability checkpoint after --run completes",
+    )
     options = parser.parse_args(argv)
 
     session = ReplSession(
@@ -363,46 +533,10 @@ def main(argv=None):
         strategy=options.strategy,
         watch=options.watch,
         profile=options.profile or options.profile_json is not None,
+        wal_dir=options.wal_dir,
+        fsync=options.fsync,
     )
-
-    def finish():
-        if session.profile_stats is None:
-            return
-        print()
-        print(session.profile_report())
-        if options.profile_json:
-            try:
-                with open(options.profile_json, "w") as handle:
-                    handle.write(session.profile_stats.to_json(indent=2))
-            except OSError as error:
-                print(f"error: cannot write stats snapshot: {error}")
-            else:
-                print(
-                    f"stats snapshot written to {options.profile_json}"
-                )
-
-    if options.program:
-        print(session.execute(f"load {options.program}"))
-    if options.run is not None:
-        print(session.execute(f"run {options.run}"))
-        finish()
-        return 0
-
-    print("repro-ops — type 'help' for commands, 'exit' to leave")
-    while True:
-        try:
-            line = input("ops> ")
-        except (EOFError, KeyboardInterrupt):
-            print()
-            finish()
-            return 0
-        try:
-            output = session.execute(line)
-        except SystemExit:
-            finish()
-            return 0
-        if output:
-            print(output)
+    return _run_session(session, options)
 
 
 if __name__ == "__main__":

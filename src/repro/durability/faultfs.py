@@ -1,0 +1,159 @@
+"""Fault injection for the durability subsystem.
+
+Two complementary tools:
+
+* :class:`FaultInjector` — *in-flight* faults.  The WAL and the
+  checkpointer call :meth:`FaultInjector.hit` at named points
+  (``wal.append.before``, ``wal.fsync``, ``checkpoint.files``,
+  ``checkpoint.rename``, ``checkpoint.current``,
+  ``checkpoint.truncate``); the injector raises
+  :class:`SimulatedCrash` on the configured n-th hit, simulating a
+  process that dies at exactly that point.  ``torn_append`` makes the
+  n-th WAL append write only a prefix of its frame before crashing —
+  a torn write.
+
+* Post-hoc corruptors — *at-rest* damage applied to WAL files between
+  a simulated crash and recovery: :func:`tear_tail` (cut the final
+  record short), :func:`truncate_tail` (chop trailing bytes), and
+  :func:`corrupt_record` (flip a bit inside a record's payload, which
+  the CRC must catch).
+
+:class:`SimulatedCrash` deliberately derives from :class:`Exception`
+but NOT from :class:`~repro.errors.ReproError`, so production error
+handling (which catches ``ReproError``) can never swallow a simulated
+crash in a test.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+_HEADER = struct.Struct("<4sII")
+
+
+class SimulatedCrash(Exception):
+    """The process "died" at an injected fault point."""
+
+
+class FaultInjector:
+    """Crash the process at the n-th hit of a named fault point.
+
+    *crash_at* maps point names to 1-based hit counts: ``{"wal.append.
+    before": 3}`` crashes immediately before the third WAL append.
+    *torn_append* is ``(n, keep)``: the n-th append writes only
+    ``keep`` bytes of its frame (a float is a fraction of the frame)
+    and then crashes.  ``counts`` records every hit for inspection.
+    """
+
+    def __init__(self, crash_at=None, torn_append=None):
+        self.crash_at = dict(crash_at or {})
+        self.torn_append = torn_append
+        self.counts = {}
+        self.crashed = False
+
+    def hit(self, point):
+        """Record a hit of *point*; raise if a crash is scheduled here."""
+        count = self.counts.get(point, 0) + 1
+        self.counts[point] = count
+        if self.crash_at.get(point) == count:
+            self.crashed = True
+            raise SimulatedCrash(f"injected crash at {point} (hit {count})")
+
+    def partial_write(self, point, frame_size):
+        """Bytes of the frame to write before crashing, or None.
+
+        Called by the WAL once per append with the full frame size;
+        returns the torn prefix length when this append is the one
+        configured to tear, else None (write everything).
+        """
+        if self.torn_append is None:
+            return None
+        count = self.counts.get(point, 0) + 1
+        self.counts[point] = count
+        nth, keep = self.torn_append
+        if count != nth:
+            return None
+        if isinstance(keep, float):
+            keep = int(frame_size * keep)
+        return max(0, min(int(keep), frame_size - 1))
+
+
+# -- post-hoc (at-rest) corruption ------------------------------------------
+
+
+def _segments(wal_dir):
+    names = sorted(
+        name for name in os.listdir(wal_dir) if name.endswith(".wal")
+    )
+    if not names:
+        raise FileNotFoundError(f"no WAL segments in {wal_dir}")
+    return [os.path.join(wal_dir, name) for name in names]
+
+
+def _frames(path):
+    """Offsets and sizes of the whole frames in one segment file."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    frames = []
+    offset = 0
+    while offset + _HEADER.size <= len(data):
+        _, length, _ = _HEADER.unpack_from(data, offset)
+        end = offset + _HEADER.size + length
+        if end > len(data):
+            break
+        frames.append((offset, end - offset))
+        offset = end
+    return frames, len(data)
+
+
+def tear_tail(wal_dir, keep=0.5):
+    """Tear the final WAL record: keep only a prefix of its frame.
+
+    *keep* is a fraction of the final frame (or a byte count).  Models
+    a write that was in flight when the machine died.  Returns the
+    number of bytes cut.
+    """
+    path = _segments(wal_dir)[-1]
+    frames, size = _frames(path)
+    if not frames:
+        raise ValueError(f"segment {path} holds no complete record")
+    offset, length = frames[-1]
+    kept = int(length * keep) if isinstance(keep, float) else int(keep)
+    kept = max(0, min(kept, length - 1))
+    with open(path, "r+b") as handle:
+        handle.truncate(offset + kept)
+    return size - (offset + kept)
+
+
+def truncate_tail(wal_dir, nbytes):
+    """Chop the last *nbytes* bytes off the final segment."""
+    path = _segments(wal_dir)[-1]
+    size = os.path.getsize(path)
+    with open(path, "r+b") as handle:
+        handle.truncate(max(0, size - nbytes))
+    return min(nbytes, size)
+
+
+def corrupt_record(wal_dir, index=-1, bit=0):
+    """Flip one payload bit of the *index*-th record across the log.
+
+    Negative indexes count from the end (``-1`` = final record, the
+    damage recovery must tolerate; ``-2`` or lower = a mid-log record,
+    which recovery must refuse).  Returns ``(segment_path, offset)``
+    of the corrupted record.
+    """
+    located = []
+    for path in _segments(wal_dir):
+        frames, _ = _frames(path)
+        located.extend((path, offset, length) for offset, length in frames)
+    if not located:
+        raise ValueError(f"no complete records in {wal_dir}")
+    path, offset, length = located[index]
+    byte_at = offset + _HEADER.size + (bit // 8) % (length - _HEADER.size)
+    with open(path, "r+b") as handle:
+        handle.seek(byte_at)
+        value = handle.read(1)[0]
+        handle.seek(byte_at)
+        handle.write(bytes([value ^ (1 << (bit % 8))]))
+    return path, offset

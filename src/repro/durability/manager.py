@@ -1,0 +1,218 @@
+"""DurabilityConfig and the manager that ties WAL + checkpoints to a WM.
+
+The manager is an ordinary working-memory observer — registered
+*prepended*, so the log is written before any matcher propagates a
+change (write-ahead in observer order too).  Batched flushes arrive
+through the ``on_batch`` hook and become ONE record; single events
+outside a batch become one record each.  Firings are logged by the
+engine through :meth:`DurabilityManager.log_fire` so recovery can
+restore refraction stamps.
+"""
+
+from __future__ import annotations
+
+from repro.engine.stats import NULL_STATS
+from repro.errors import DurabilityError
+from repro.wm.events import ADD
+
+
+class DurabilityConfig:
+    """Configuration for the durability subsystem.
+
+    *wal_dir* — directory holding segments and checkpoints;
+    *fsync* — ``always`` / ``batch`` / ``off`` (see
+    :mod:`repro.durability.wal`);
+    *segment_bytes* — WAL rollover threshold;
+    *retain_checkpoints* — checkpoints kept after each new one;
+    *fault* — an optional
+    :class:`~repro.durability.faultfs.FaultInjector`.
+    """
+
+    __slots__ = ("wal_dir", "fsync", "segment_bytes",
+                 "retain_checkpoints", "fault")
+
+    def __init__(self, wal_dir, fsync="batch", segment_bytes=None,
+                 retain_checkpoints=2, fault=None):
+        from repro.durability.wal import DEFAULT_SEGMENT_BYTES
+
+        self.wal_dir = str(wal_dir)
+        self.fsync = fsync
+        self.segment_bytes = (
+            segment_bytes if segment_bytes is not None
+            else DEFAULT_SEGMENT_BYTES
+        )
+        self.retain_checkpoints = retain_checkpoints
+        self.fault = fault
+
+    def __repr__(self):
+        return (
+            f"DurabilityConfig({self.wal_dir!r}, fsync={self.fsync!r}, "
+            f"segment_bytes={self.segment_bytes})"
+        )
+
+
+def fired_signature(instantiation):
+    """Content identity of a fired instantiation, as JSON-safe data.
+
+    The sorted list of each token's time-tag tuple: time tags are
+    never reused, so this pins the exact WME combination (regular
+    instantiations) or set contents (SOIs) that fired.
+    """
+    return sorted(
+        list(token.time_tags()) for token in instantiation.tokens()
+    )
+
+
+def collect_fired(engine):
+    """Refraction stamps of every currently-ineligible instantiation."""
+    fired = []
+    for instantiation in engine.conflict_set.instantiations():
+        if instantiation.eligible():
+            continue
+        fired.append({
+            "r": instantiation.rule.name,
+            "s": 1 if instantiation.is_set_oriented else 0,
+            "t": fired_signature(instantiation),
+        })
+    return fired
+
+
+class DurabilityManager:
+    """Owns the WAL and checkpoints for one engine/working memory."""
+
+    def __init__(self, config, stats=None):
+        from repro.durability.wal import WriteAheadLog
+
+        if not isinstance(config, DurabilityConfig):
+            config = DurabilityConfig(config)
+        self.config = config
+        self.stats = stats if stats is not None else NULL_STATS
+        self.wal = WriteAheadLog(
+            config.wal_dir,
+            fsync=config.fsync,
+            segment_bytes=config.segment_bytes,
+            stats=self.stats,
+            fault=config.fault,
+        )
+        self.wm = None
+
+    # -- observation -------------------------------------------------------
+
+    def attach(self, wm):
+        """Observe *wm*, ahead of any matcher (write-ahead ordering)."""
+        self.wm = wm
+        wm.attach(self.on_event, on_batch=self.on_batch, prepend=True)
+
+    def detach(self):
+        if self.wm is not None:
+            self.wm.detach(self.on_event)
+            self.wm = None
+
+    def on_event(self, event):
+        self.wal.append(self._delta_payload([event]), batch=False)
+
+    def on_batch(self, events):
+        self.wal.append(self._delta_payload(events), batch=True)
+
+    def _delta_payload(self, events):
+        return {
+            "k": "d",
+            "n": self.wm.latest_time_tag + 1,
+            "e": [
+                [event.sign, event.wme.wme_class, event.wme.time_tag,
+                 event.wme.as_dict()]
+                for event in events
+            ],
+        }
+
+    def log_meta(self, matcher_name, strategy_name):
+        """Record the session's matcher/strategy for checkpoint-free
+        recovery (the checkpoint manifest also carries them)."""
+        self.wal.append(
+            {"k": "m", "matcher": matcher_name,
+             "strategy": strategy_name},
+            batch=False,
+        )
+
+    def log_literalize(self, wme_class, attributes):
+        """Record a ``literalize`` so checkpoint-free recovery has it."""
+        self.wal.append(
+            {"k": "l", "c": wme_class, "a": list(attributes)}, batch=False
+        )
+
+    def log_rule(self, rule):
+        """Record a rule definition (pretty-printed back to source)."""
+        from repro.lang.printer import format_rule
+
+        self.wal.append({"k": "p", "src": format_rule(rule)}, batch=False)
+
+    def log_excise(self, rule_name):
+        """Record a runtime rule removal."""
+        self.wal.append({"k": "x", "r": rule_name}, batch=False)
+
+    def log_fire(self, instantiation):
+        """Record a firing so recovery can restore its refraction."""
+        self.wal.append({
+            "k": "f",
+            "r": instantiation.rule.name,
+            "s": 1 if instantiation.is_set_oriented else 0,
+            "t": fired_signature(instantiation),
+        }, batch=False)
+
+    @staticmethod
+    def decode_delta(entry):
+        """``[sign, class, tag, values]`` → usable fields."""
+        sign, wme_class, tag, values = entry
+        return sign == ADD, wme_class, tag, values
+
+    # -- checkpointing -----------------------------------------------------
+
+    def checkpoint(self, engine):
+        """Write an atomic checkpoint of *engine*; returns its path.
+
+        The WAL is synced first so the manifest's position is durable;
+        afterwards obsolete segments are truncated and old checkpoints
+        pruned.
+        """
+        from repro.durability import checkpoint as ckpt
+        from repro.wm.snapshot import dump_wm
+
+        if engine.wm.in_batch:
+            raise DurabilityError(
+                "cannot checkpoint inside an open batch()"
+            )
+        self.wal.sync()
+        position = self.wal.tell()
+        db = getattr(engine.matcher, "db", None)
+        db_snapshot = None
+        if db is not None:
+            from repro.rdb.storage import dump_database
+
+            db_snapshot = dump_database(db)
+        path = ckpt.write_checkpoint(
+            self.config.wal_dir,
+            wm_snapshot=dump_wm(engine.wm),
+            wal_position=position,
+            next_tag=engine.wm.latest_time_tag + 1,
+            program=ckpt.program_source(engine),
+            matcher_name=ckpt.matcher_name(engine.matcher),
+            strategy_name=engine.strategy.name,
+            fired=collect_fired(engine),
+            cycle_count=engine.cycle_count,
+            db_snapshot=db_snapshot,
+            fault=self.config.fault,
+        )
+        fault = self.config.fault
+        if fault is not None:
+            fault.hit("checkpoint.truncate")
+        self.wal.truncate_before(position[0])
+        ckpt.prune_checkpoints(
+            self.config.wal_dir, self.config.retain_checkpoints
+        )
+        self.stats.incr("checkpoints")
+        return path
+
+    def close(self):
+        """Flush and close the log (fsync per policy)."""
+        self.detach()
+        self.wal.close()

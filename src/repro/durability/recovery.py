@@ -1,0 +1,240 @@
+"""Crash recovery: checkpoint restore plus batched WAL-tail replay.
+
+Recovery rebuilds an engine in four steps:
+
+1. **Checkpoint** — :func:`repro.durability.checkpoint.load_checkpoint`
+   validates and loads the checkpoint ``CURRENT`` names (CRC-checked);
+   with no checkpoint the whole log replays from an empty working
+   memory.
+2. **Program** — the manifest's program text (or an explicit
+   *program* override) is loaded, so the matcher compiles the same
+   rule base the crashed process had.
+3. **Restore** — the WM snapshot replays through
+   :func:`repro.wm.snapshot.restore_wm`, which rides the batched
+   propagation path; refraction stamps recorded in the manifest are
+   re-applied to the rebuilt conflict set.
+4. **Replay** — the WAL tail past the checkpoint position replays:
+   each delta record (one original batch flush, or one single event)
+   goes through its own ``wm.batch()``, so original batches replay
+   set-oriented while the record sequence preserves the original
+   timeline; firing records re-stamp refraction at exactly the state
+   the original firing saw.
+
+Because every matcher consumes the same batched delta stream, the
+recovered conflict set, dominance order, refire eligibility, and WM
+contents are identical whichever of Rete/TREAT/naive/DIPS is attached
+— the crash-recovery property tests assert exactly that.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import RecoveryError, WorkingMemoryError
+
+
+class RecoveryReport:
+    """What a recovery did; exposed as ``engine.recovery_report``."""
+
+    __slots__ = ("checkpoint_path", "restored_wmes", "replayed_records",
+                 "replayed_deltas", "replayed_firings", "tail_damaged",
+                 "wal_position")
+
+    def __init__(self, checkpoint_path, restored_wmes, replayed_records,
+                 replayed_deltas, replayed_firings, tail_damaged,
+                 wal_position):
+        self.checkpoint_path = checkpoint_path
+        self.restored_wmes = restored_wmes
+        self.replayed_records = replayed_records
+        self.replayed_deltas = replayed_deltas
+        self.replayed_firings = replayed_firings
+        self.tail_damaged = tail_damaged
+        self.wal_position = wal_position
+
+    def __repr__(self):
+        return (
+            f"RecoveryReport({self.restored_wmes} WMEs restored, "
+            f"{self.replayed_deltas} deltas + "
+            f"{self.replayed_firings} firings replayed"
+            f"{', damaged tail dropped' if self.tail_damaged else ''})"
+        )
+
+
+def recover_engine(engine_cls, path, *, program=None, matcher=None,
+                   strategy=None, stats=None, echo=False,
+                   durability=True, trace_limit=None):
+    """Rebuild a :class:`RuleEngine` from the WAL directory *path*.
+
+    *matcher* may be a matcher instance or a registry name
+    (``rete``/``treat``/``naive``/``dips``); by default the manifest's
+    recorded matcher (falling back to Rete) is used, so recovery is
+    matcher-faithful without the caller restating it.  *durability*
+    re-attaches logging to the same directory (pass ``False`` for a
+    read-only resurrection, or a :class:`DurabilityConfig` to change
+    the policy).  The recovered engine carries a
+    :class:`RecoveryReport` as ``engine.recovery_report``.
+    """
+    from repro.durability.checkpoint import build_matcher, load_checkpoint
+    from repro.durability.manager import DurabilityConfig, DurabilityManager
+    from repro.durability.wal import read_log_tail
+    from repro.wm.snapshot import restore_wm
+
+    if not os.path.isdir(path):
+        raise RecoveryError(f"no write-ahead log directory at {path!r}")
+    loaded = load_checkpoint(path)
+    manifest = loaded.manifest if loaded is not None else {}
+    start = tuple(manifest["wal"]) if loaded is not None else None
+    payloads, end_position, tail_damage = read_log_tail(path, start)
+
+    # Session-meta records in the tail are newer than the manifest (a
+    # resumed session may have overridden the matcher), so they win.
+    meta = {}
+    for payload in payloads:
+        if payload.get("k") == "m":
+            meta = payload
+    if matcher is None:
+        matcher = (
+            meta.get("matcher") or manifest.get("matcher") or "rete"
+        )
+    if isinstance(matcher, str):
+        matcher = build_matcher(matcher)
+    if strategy is None:
+        strategy = (
+            meta.get("strategy") or manifest.get("strategy") or "lex"
+        )
+    engine = engine_cls(matcher=matcher, strategy=strategy, echo=echo,
+                        stats=stats, trace_limit=trace_limit)
+
+    program_text = program
+    if program_text is None:
+        program_text = manifest.get("program")
+    if program_text:
+        engine.load(program_text)
+
+    restored = 0
+    if loaded is not None:
+        restored = len(
+            restore_wm(engine.wm, loaded.wm_snapshot, stats=engine.stats)
+        )
+        engine.wm._next_tag = max(
+            engine.wm._next_tag, manifest.get("next_tag", 1)
+        )
+        engine.cycle_count = manifest.get("cycle_count", 0)
+        for entry in manifest.get("fired", ()):
+            _mark_fired(engine, entry)
+
+    deltas, firings = _replay(engine, payloads)
+    engine.stats.incr("replayed_deltas", deltas)
+
+    if durability:
+        config = (
+            durability
+            if isinstance(durability, DurabilityConfig)
+            else DurabilityConfig(path)
+        )
+        from repro.durability.checkpoint import matcher_name
+
+        manager = DurabilityManager(config, stats=engine.stats)
+        manager.attach(engine.wm)
+        manager.log_meta(matcher_name(engine.matcher),
+                         engine.strategy.name)
+        engine.durability = manager
+
+    engine.recovery_report = RecoveryReport(
+        loaded.path if loaded is not None else None,
+        restored,
+        len(payloads),
+        deltas,
+        firings,
+        tail_damage is not None,
+        end_position,
+    )
+    return engine
+
+
+def _replay(engine, payloads):
+    """Apply WAL records to *engine*; returns (deltas, firings) counts.
+
+    Each delta record — one flushed batch, or one single event — is
+    applied through its own ``wm.batch()``, so original batches replay
+    set-oriented while the record *sequence* preserves the original
+    timeline.  Records are never merged: coalescing two records would
+    let a make/remove pair net away and silently keep a fired
+    instantiation alive where the original run retracted and re-created
+    it eligible.
+    """
+    wm = engine.wm
+    deltas = 0
+    firings = 0
+
+    def apply_record(record):
+        nonlocal deltas
+        try:
+            with wm.batch(stats=engine.stats):
+                for entry in record["e"]:
+                    _apply_delta(wm, entry)
+                    deltas += 1
+        except WorkingMemoryError as error:
+            raise RecoveryError(
+                f"WAL replay failed: {error}"
+            ) from error
+        wm._next_tag = max(wm._next_tag, record.get("n", 1))
+
+    for payload in payloads:
+        kind = payload.get("k")
+        if kind == "d":
+            apply_record(payload)
+        elif kind == "f":
+            _mark_fired(engine, payload)
+            firings += 1
+        elif kind == "l":
+            engine.literalize(payload["c"], *payload["a"])
+        elif kind == "p":
+            _replay_rule(engine, payload["src"])
+        elif kind == "x":
+            if payload["r"] in engine.rules:
+                engine.excise(payload["r"])
+        elif kind == "m":
+            pass  # consumed by the pre-scan
+        else:
+            raise RecoveryError(f"unknown WAL record kind {kind!r}")
+    return deltas, firings
+
+
+def _replay_rule(engine, source):
+    """Add a logged rule unless the program override already has it."""
+    from repro.lang.parser import parse_rule
+
+    rule = parse_rule(source)
+    if rule.name not in engine.rules:
+        engine.add_rule(rule)
+
+
+def _apply_delta(wm, entry):
+    sign, wme_class, tag, values = entry
+    if sign == "+":
+        wm.ingest(wme_class, values, tag)
+    elif sign == "-":
+        wm.remove(tag)
+    else:
+        raise RecoveryError(f"unknown delta sign {sign!r}")
+
+
+def _mark_fired(engine, entry):
+    """Re-stamp refraction for one fired-instantiation record."""
+    from repro.durability.manager import fired_signature
+
+    rule_name = entry["r"]
+    wants_soi = bool(entry["s"])
+    signature = entry["t"]
+    for instantiation in engine.conflict_set.of_rule(rule_name):
+        if instantiation.is_set_oriented != wants_soi:
+            continue
+        if fired_signature(instantiation) == signature:
+            instantiation.mark_fired()
+            return instantiation
+    raise RecoveryError(
+        f"fired instantiation of rule {rule_name!r} is not in the "
+        f"recovered conflict set (tags {signature}); the log and the "
+        f"rule base disagree"
+    )

@@ -1,0 +1,323 @@
+"""The segmented, CRC32-framed write-ahead log.
+
+On-disk format (version 1; full spec in ``docs/DURABILITY.md``):
+
+* A log is a directory of **segment** files named ``%08d.wal`` with
+  strictly consecutive sequence numbers; appends go to the
+  highest-numbered segment and roll over to a fresh one when the
+  current segment would exceed ``segment_bytes``.
+* A segment is a sequence of **records**, each framed as::
+
+      magic   4 bytes   b"\\xabWAL"  (0xAB cannot start a UTF-8 char,
+                                      so payload text never fakes it)
+      length  4 bytes   little-endian uint32, payload byte count
+      crc     4 bytes   little-endian uint32, zlib.crc32 of payload
+      payload         length bytes of compact UTF-8 JSON
+
+* Payload kinds: ``{"k": "d", "n": next_tag, "e": [[sign, class,
+  tag, values], ...]}`` for a working-memory delta-set (one record
+  per flushed batch, or per single event outside a batch) and
+  ``{"k": "f", "r": rule, "s": 0|1, "t": [[tags...], ...]}`` for a
+  firing (refraction stamp).
+
+Damage classification, shared by append-open and recovery:
+
+* an **incomplete final frame** (bad magic, implausible length, or a
+  frame extending past EOF) with no later record start in the file is
+  a *torn tail* — tolerated, the tail is dropped;
+* a **CRC or JSON failure on the final complete frame** is a *damaged
+  final record* — tolerated the same way;
+* any damage **followed by evidence of further records** (the magic
+  sequence later in the file), or any damage in a **non-final
+  segment**, is silent corruption — a typed
+  :class:`~repro.errors.RecoveryError` (or
+  :class:`~repro.errors.WalError` when opening for append).
+
+The fsync policy trades durability for throughput: ``always`` fsyncs
+after every record, ``batch`` only after batch records (and on sync
+points such as checkpoints and close), ``off`` never fsyncs — data
+still reaches the OS on every append via ``flush``, so it survives a
+process crash, just not a power failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+
+from repro.engine.stats import NULL_STATS
+from repro.errors import RecoveryError, WalError
+
+MAGIC = b"\xabWAL"
+HEADER = struct.Struct("<4sII")
+SEGMENT_SUFFIX = ".wal"
+#: Sanity bound on a single record; a length field above this is damage.
+MAX_RECORD_BYTES = 64 * 1024 * 1024
+DEFAULT_SEGMENT_BYTES = 1 << 20
+
+FSYNC_POLICIES = ("always", "batch", "off")
+
+
+def segment_name(seq):
+    return f"{seq:08d}{SEGMENT_SUFFIX}"
+
+
+def list_segments(directory):
+    """Sorted ``(seq, path)`` pairs of the segments in *directory*."""
+    pairs = []
+    for name in os.listdir(directory):
+        if name.endswith(SEGMENT_SUFFIX):
+            stem = name[: -len(SEGMENT_SUFFIX)]
+            if stem.isdigit():
+                pairs.append((int(stem), os.path.join(directory, name)))
+    return sorted(pairs)
+
+
+class _Damage:
+    """Where a segment scan stopped early, and whether data follows."""
+
+    __slots__ = ("offset", "trailing", "reason")
+
+    def __init__(self, offset, trailing, reason):
+        self.offset = offset
+        self.trailing = trailing
+        self.reason = reason
+
+
+def scan_segment(data, start=0):
+    """Decode the frames of one segment from *start*.
+
+    Returns ``(payloads, end_offset, damage)`` where *damage* is None
+    for a clean scan or a :class:`_Damage` describing the first bad
+    frame.  ``trailing`` is True when the magic sequence appears after
+    the bad frame — evidence that valid records follow the damage.
+    """
+    payloads = []
+    offset = start
+    while offset < len(data):
+        if offset + HEADER.size > len(data):
+            return payloads, offset, _damage(data, offset, None, "torn")
+        magic, length, crc = HEADER.unpack_from(data, offset)
+        if magic != MAGIC or length > MAX_RECORD_BYTES:
+            return payloads, offset, _damage(data, offset, None, "frame")
+        end = offset + HEADER.size + length
+        if end > len(data):
+            return payloads, offset, _damage(data, offset, None, "torn")
+        payload = data[offset + HEADER.size:end]
+        if zlib.crc32(payload) != crc:
+            return payloads, offset, _damage(data, offset, end, "crc")
+        try:
+            payloads.append(json.loads(payload))
+        except ValueError:
+            return payloads, offset, _damage(data, offset, end, "decode")
+        offset = end
+    return payloads, offset, None
+
+
+def _damage(data, offset, frame_end, reason):
+    search_from = offset + 1 if frame_end is None else frame_end
+    return _Damage(offset, data.find(MAGIC, search_from) != -1, reason)
+
+
+def encode_record(payload):
+    """Frame one payload dict as magic + length + crc + JSON bytes."""
+    data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    return HEADER.pack(MAGIC, len(data), zlib.crc32(data)) + data
+
+
+class WriteAheadLog:
+    """Append side of the log.
+
+    Opening an existing directory scans the final segment: trailing
+    garbage from a torn append is truncated away so new records start
+    on a valid frame boundary; corruption *followed by* valid frames
+    raises :class:`~repro.errors.WalError` (run recovery instead).
+    """
+
+    def __init__(self, directory, fsync="batch",
+                 segment_bytes=DEFAULT_SEGMENT_BYTES, stats=None,
+                 fault=None):
+        if fsync not in FSYNC_POLICIES:
+            raise WalError(
+                f"unknown fsync policy {fsync!r}; expected one of "
+                f"{FSYNC_POLICIES}"
+            )
+        if segment_bytes <= 0:
+            raise WalError("segment_bytes must be positive")
+        self.directory = directory
+        self.fsync = fsync
+        self.segment_bytes = segment_bytes
+        self.stats = stats if stats is not None else NULL_STATS
+        self.fault = fault
+        os.makedirs(directory, exist_ok=True)
+        self._file = None
+        self._seq = 0
+        self._offset = 0
+        self._open_tail()
+
+    # -- opening -----------------------------------------------------------
+
+    def _open_tail(self):
+        segments = list_segments(self.directory)
+        if not segments:
+            self._start_segment(1)
+            return
+        seq, path = segments[-1]
+        with open(path, "rb") as handle:
+            data = handle.read()
+        _, end, damage = scan_segment(data)
+        if damage is not None:
+            if damage.trailing:
+                raise WalError(
+                    f"segment {segment_name(seq)} is corrupt at offset "
+                    f"{damage.offset} with records after the damage; "
+                    f"refusing to append — run RuleEngine.recover()"
+                )
+            end = damage.offset
+            with open(path, "r+b") as handle:
+                handle.truncate(end)
+        self._file = open(path, "ab")
+        self._seq = seq
+        self._offset = end
+
+    def _start_segment(self, seq):
+        if self._file is not None:
+            self._file.close()
+        path = os.path.join(self.directory, segment_name(seq))
+        self._file = open(path, "ab")
+        self._seq = seq
+        self._offset = 0
+
+    # -- appending ---------------------------------------------------------
+
+    def append(self, payload, batch=False):
+        """Frame and append one record; returns the position after it.
+
+        *batch* marks the record as a delta-batch for the ``batch``
+        fsync policy.  The frame is flushed to the OS on every append;
+        fsync happens per policy.
+        """
+        if self._file is None:
+            raise WalError("write-ahead log is closed")
+        frame = encode_record(payload)
+        if self._offset and self._offset + len(frame) > self.segment_bytes:
+            self._start_segment(self._seq + 1)
+        if self.fault is not None:
+            self.fault.hit("wal.append.before")
+            partial = self.fault.partial_write("wal.append", len(frame))
+            if partial is not None:
+                self._file.write(frame[:partial])
+                self._file.flush()
+                self.fault.crashed = True
+                from repro.durability.faultfs import SimulatedCrash
+
+                raise SimulatedCrash(
+                    f"torn write: {partial}/{len(frame)} bytes"
+                )
+        self._file.write(frame)
+        self._file.flush()
+        self._offset += len(frame)
+        self.stats.incr("wal_appends")
+        self.stats.incr("wal_bytes", len(frame))
+        if self.fsync == "always" or (self.fsync == "batch" and batch):
+            self.sync()
+        return (self._seq, self._offset)
+
+    def sync(self):
+        """fsync the current segment to stable storage."""
+        if self._file is None:
+            return
+        if self.fault is not None:
+            self.fault.hit("wal.fsync")
+        os.fsync(self._file.fileno())
+        self.stats.incr("wal_fsyncs")
+
+    def tell(self):
+        """``(segment_seq, offset)`` of the append position."""
+        return (self._seq, self._offset)
+
+    def truncate_before(self, seq):
+        """Delete whole segments with sequence numbers below *seq*.
+
+        Called after a checkpoint: segments entirely covered by the
+        checkpoint are obsolete.  Returns the number removed.
+        """
+        removed = 0
+        for segment_seq, path in list_segments(self.directory):
+            if segment_seq < seq:
+                os.remove(path)
+                removed += 1
+        return removed
+
+    def close(self):
+        """Flush, fsync (unless policy is ``off``), and close."""
+        if self._file is None:
+            return
+        self._file.flush()
+        if self.fsync != "off":
+            self.sync()
+        self._file.close()
+        self._file = None
+
+    def __repr__(self):
+        return (
+            f"WriteAheadLog({self.directory!r}, segment {self._seq} "
+            f"@ {self._offset}, fsync={self.fsync})"
+        )
+
+
+def read_log_tail(directory, start=None):
+    """Read every record from *start* (``(seq, offset)``) to the end.
+
+    Returns ``(payloads, end_position, tail_damage)`` where
+    *tail_damage* is None for a clean log or the :class:`_Damage` of
+    the tolerated torn/damaged final record.  Raises
+    :class:`~repro.errors.RecoveryError` for silently-corrupt middles,
+    missing segments, or a *start* beyond the durable data.
+    """
+    if not os.path.isdir(directory):
+        raise RecoveryError(f"no write-ahead log at {directory!r}")
+    segments = list_segments(directory)
+    start_seq, start_offset = start if start is not None else (None, None)
+    if start_seq is not None:
+        segments = [(seq, path) for seq, path in segments
+                    if seq >= start_seq]
+        if not segments or segments[0][0] != start_seq:
+            raise RecoveryError(
+                f"WAL segment {segment_name(start_seq or 0)} named by "
+                f"the checkpoint is missing from {directory!r}"
+            )
+    for (seq, _), (next_seq, _) in zip(segments, segments[1:]):
+        if next_seq != seq + 1:
+            raise RecoveryError(
+                f"WAL segments are not consecutive: "
+                f"{segment_name(seq)} is followed by "
+                f"{segment_name(next_seq)}"
+            )
+    payloads = []
+    end_position = start if start is not None else (1, 0)
+    tail_damage = None
+    for index, (seq, path) in enumerate(segments):
+        with open(path, "rb") as handle:
+            data = handle.read()
+        offset = start_offset if seq == start_seq else 0
+        if offset > len(data):
+            raise RecoveryError(
+                f"checkpointed WAL position {offset} lies beyond "
+                f"segment {segment_name(seq)} ({len(data)} bytes); "
+                f"durable data was destroyed"
+            )
+        records, end, damage = scan_segment(data, offset)
+        last = index == len(segments) - 1
+        if damage is not None and (not last or damage.trailing):
+            raise RecoveryError(
+                f"WAL record at {segment_name(seq)}:{damage.offset} is "
+                f"corrupt ({damage.reason}) with durable records after "
+                f"it; refusing to recover silently"
+            )
+        payloads.extend(records)
+        end_position = (seq, end)
+        tail_damage = damage
+    return payloads, end_position, tail_damage

@@ -44,11 +44,14 @@ class RuleEngine:
     """An OPS5/C5 interpreter with the paper's set-oriented constructs."""
 
     def __init__(self, matcher=None, strategy="lex", echo=False,
-                 stats=None, trace_limit=None):
+                 stats=None, trace_limit=None, durability=None):
         """*stats*: a :class:`repro.engine.stats.MatchStats` collector,
         wired through the matcher, the tracer, and the cycle timer
         (default: the no-op :data:`~repro.engine.stats.NULL_STATS`).
         *trace_limit*: bound the tracer's record lists as ring buffers.
+        *durability*: a :class:`repro.durability.DurabilityConfig` (or a
+        WAL directory path) enabling write-ahead logging of every WM
+        change and firing; see :meth:`checkpoint` and :meth:`recover`.
         """
         self.wm = WorkingMemory()
         self.stats = stats if stats is not None else NULL_STATS
@@ -61,6 +64,18 @@ class RuleEngine:
         self.strategy = (
             strategy_named(strategy) if isinstance(strategy, str) else strategy
         )
+        self.durability = None
+        if durability is not None:
+            from repro.durability import DurabilityManager
+            from repro.durability.checkpoint import matcher_name
+
+            self.durability = DurabilityManager(
+                durability, stats=self.stats
+            )
+            self.durability.attach(self.wm)
+            self.durability.log_meta(
+                matcher_name(self.matcher), self.strategy.name
+            )
         self.tracer = Tracer(echo=echo, max_records=trace_limit,
                              stats=self.stats)
         self.rules = {}
@@ -83,6 +98,8 @@ class RuleEngine:
     def literalize(self, wme_class, *attributes):
         """Declare a WME class (``(literalize class attr ...)``)."""
         self.wm.registry.literalize(wme_class, attributes)
+        if self.durability is not None:
+            self.durability.log_literalize(wme_class, attributes)
 
     def add_rule(self, rule):
         """Add one rule: an AST :class:`Rule` or ``(p ...)`` source text."""
@@ -95,6 +112,8 @@ class RuleEngine:
         self.rules[rule.name] = rule
         self.analyses[rule.name] = RuleAnalysis(rule)
         self.matcher.add_rule(rule)
+        if self.durability is not None:
+            self.durability.log_rule(rule)
         return rule
 
     def excise(self, rule_name):
@@ -108,6 +127,8 @@ class RuleEngine:
         self.matcher.remove_rule(rule_name)
         del self.rules[rule_name]
         del self.analyses[rule_name]
+        if self.durability is not None:
+            self.durability.log_excise(rule_name)
 
     def load(self, source):
         """Load a whole program: literalize declarations plus rules."""
@@ -194,6 +215,8 @@ class RuleEngine:
         # section 6 control semantics, any change to the instantiation —
         # including one caused by its own firing — makes it eligible again.
         instantiation.mark_fired()
+        if self.durability is not None:
+            self.durability.log_fire(instantiation)
         executor = RhsExecutor(
             self, instantiation.rule, analysis, instantiation, record
         )
@@ -296,6 +319,42 @@ class RuleEngine:
         self.tracer.clear()
         self.halted = False
         self.cycle_count = 0
+
+    # -- durability -----------------------------------------------------------
+
+    def checkpoint(self):
+        """Write an atomic durability checkpoint; returns its path.
+
+        Requires the engine to have been constructed with
+        ``durability=...`` (or recovered).  Obsolete WAL segments are
+        truncated afterwards, bounding recovery time.
+        """
+        if self.durability is None:
+            raise EngineError(
+                "checkpoint() requires durability; construct the engine "
+                "with durability=DurabilityConfig(...)"
+            )
+        return self.durability.checkpoint(self)
+
+    @classmethod
+    def recover(cls, path, **kwargs):
+        """Rebuild an engine from the WAL directory *path*.
+
+        Loads the latest valid checkpoint (if any) and replays the WAL
+        tail through the batched propagation path, so the recovered
+        conflict set, refraction state, and working memory match the
+        crashed process exactly — up to the last durable record.  See
+        :func:`repro.durability.recover_engine` for keyword options.
+        """
+        from repro.durability import recover_engine
+
+        return recover_engine(cls, path, **kwargs)
+
+    def close(self):
+        """Flush and close the durability log (no-op without one)."""
+        if self.durability is not None:
+            self.durability.close()
+            self.durability = None
 
     # -- inspection -----------------------------------------------------------
 

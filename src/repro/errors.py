@@ -88,3 +88,27 @@ class TransactionConflict(TransactionError):
 
 class DipsError(ReproError):
     """Failure in the DIPS DBMS-based matcher (:mod:`repro.dips`)."""
+
+
+class DurabilityError(ReproError):
+    """Base error for the durability subsystem (:mod:`repro.durability`)."""
+
+
+class WalError(DurabilityError):
+    """The write-ahead log cannot be appended to or is malformed.
+
+    Raised when opening a log directory for append finds mid-log
+    corruption (use :meth:`RuleEngine.recover` instead), or when a
+    configuration value (fsync policy, segment size) is invalid.
+    """
+
+
+class RecoveryError(DurabilityError):
+    """Recovery cannot reconstruct a consistent state.
+
+    Raised for silently-corrupt WAL middles (a CRC-failed record with
+    valid records after it), missing segments, damaged checkpoints, and
+    log records that reference state the replay does not have.  A
+    torn or truncated *final* record is NOT an error — recovery drops
+    the unflushed tail and proceeds.
+    """

@@ -101,14 +101,20 @@ class WorkingMemory:
 
     # -- observation ---------------------------------------------------
 
-    def attach(self, observer, on_batch=None):
+    def attach(self, observer, on_batch=None, prepend=False):
         """Register *observer* to receive every subsequent change event.
 
         *on_batch*, if given, is called with a list of net
         :class:`WMEvent` deltas whenever a ``batch()`` flushes, instead
         of replaying the batch to *observer* one event at a time.
+        *prepend* delivers to this observer before previously attached
+        ones — the durability log registers this way so a change is on
+        disk before any matcher propagates it (write-ahead ordering).
         """
-        self._observers.append(observer)
+        if prepend:
+            self._observers.insert(0, observer)
+        else:
+            self._observers.append(observer)
         if on_batch is not None:
             self._batch_handlers[observer] = on_batch
 
@@ -207,6 +213,27 @@ class WorkingMemory:
         self.registry.validate(wme_class, values)
         wme = WME(wme_class, values, self._next_tag)
         self._next_tag += 1
+        self._by_tag[wme.time_tag] = wme
+        self._emit(ADD, wme)
+        return wme
+
+    def ingest(self, wme_class, values, time_tag):
+        """Re-create a WME under a *historical* time tag, emit ``+``.
+
+        The replay path of snapshot restore and WAL recovery: the tag
+        is pinned to the recorded one so recency ordering (and with it
+        LEX/MEA conflict resolution) survives a round trip.  Tags must
+        still arrive strictly increasing; the counter advances past the
+        ingested tag so subsequent ``make`` calls stay monotone.
+        """
+        if time_tag < self._next_tag:
+            raise WorkingMemoryError(
+                f"cannot ingest time tag {time_tag}: tags up to "
+                f"{self._next_tag - 1} are already assigned"
+            )
+        self.registry.validate(wme_class, values)
+        wme = WME(wme_class, values, time_tag)
+        self._next_tag = time_tag + 1
         self._by_tag[wme.time_tag] = wme
         self._emit(ADD, wme)
         return wme

@@ -1,0 +1,176 @@
+"""Unit tests for atomic checkpoints and their validation."""
+
+import json
+import os
+
+import pytest
+
+from repro import RuleEngine
+from repro.durability.checkpoint import (
+    build_matcher,
+    checkpoint_dirname,
+    list_checkpoints,
+    load_checkpoint,
+    matcher_name,
+    program_source,
+    prune_checkpoints,
+    read_current,
+    write_checkpoint,
+)
+from repro.errors import DurabilityError, RecoveryError
+from repro.wm.snapshot import dump_wm
+
+
+def _write(tmp_path, **overrides):
+    kwargs = dict(
+        wm_snapshot={"version": 1, "next_tag": 1, "wmes": []},
+        wal_position=(1, 0),
+        next_tag=1,
+        program="",
+        matcher_name="rete",
+        strategy_name="lex",
+        fired=[],
+        cycle_count=0,
+    )
+    kwargs.update(overrides)
+    return write_checkpoint(str(tmp_path), **kwargs)
+
+
+class TestWriteLoad:
+    def test_round_trip(self, tmp_path):
+        path = _write(
+            tmp_path,
+            wm_snapshot={"version": 1, "next_tag": 3,
+                         "wmes": [{"class": "a", "tag": 2, "values": {}}]},
+            wal_position=(2, 17),
+            next_tag=3,
+            program="(literalize a)",
+            cycle_count=5,
+        )
+        assert os.path.basename(path) == checkpoint_dirname(1)
+        assert read_current(str(tmp_path)) == checkpoint_dirname(1)
+        loaded = load_checkpoint(str(tmp_path))
+        assert loaded.manifest["wal"] == [2, 17]
+        assert loaded.manifest["next_tag"] == 3
+        assert loaded.manifest["cycle_count"] == 5
+        assert loaded.manifest["program"] == "(literalize a)"
+        assert loaded.wm_snapshot["wmes"][0]["class"] == "a"
+        assert loaded.db_snapshot is None
+
+    def test_sequence_numbers_advance(self, tmp_path):
+        _write(tmp_path)
+        path = _write(tmp_path)
+        assert os.path.basename(path) == checkpoint_dirname(2)
+        assert read_current(str(tmp_path)) == checkpoint_dirname(2)
+
+    def test_no_current_means_none(self, tmp_path):
+        assert load_checkpoint(str(tmp_path)) is None
+
+    def test_db_snapshot_member(self, tmp_path):
+        _write(tmp_path, db_snapshot={"tables": {}})
+        loaded = load_checkpoint(str(tmp_path))
+        assert loaded.db_snapshot == {"tables": {}}
+
+
+class TestValidation:
+    def test_crc_mismatch_refused(self, tmp_path):
+        path = _write(tmp_path)
+        member = os.path.join(path, "wm.json")
+        with open(member, "a") as handle:
+            handle.write(" ")
+        with pytest.raises(RecoveryError, match="CRC"):
+            load_checkpoint(str(tmp_path))
+
+    def test_missing_member_refused(self, tmp_path):
+        path = _write(tmp_path)
+        os.remove(os.path.join(path, "wm.json"))
+        with pytest.raises(RecoveryError, match="missing member"):
+            load_checkpoint(str(tmp_path))
+
+    def test_current_naming_missing_checkpoint_refused(self, tmp_path):
+        _write(tmp_path)
+        with open(tmp_path / "CURRENT", "w") as handle:
+            handle.write("checkpoint-00000099\n")
+        with pytest.raises(RecoveryError, match="no such checkpoint"):
+            load_checkpoint(str(tmp_path))
+
+    def test_version_mismatch_refused(self, tmp_path):
+        path = _write(tmp_path)
+        manifest_path = os.path.join(path, "MANIFEST.json")
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        manifest["version"] = 99
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(RecoveryError, match="version"):
+            load_checkpoint(str(tmp_path))
+
+    def test_unreadable_manifest_refused(self, tmp_path):
+        path = _write(tmp_path)
+        with open(os.path.join(path, "MANIFEST.json"), "w") as handle:
+            handle.write("{not json")
+        with pytest.raises(RecoveryError, match="unreadable manifest"):
+            load_checkpoint(str(tmp_path))
+
+
+class TestPrune:
+    def test_retains_newest_and_clears_tmp(self, tmp_path):
+        for _ in range(4):
+            _write(tmp_path)
+        leftover = tmp_path / "checkpoint-00000099.tmp"
+        leftover.mkdir()
+        removed = prune_checkpoints(str(tmp_path), retain=2)
+        kept = [seq for seq, _ in list_checkpoints(str(tmp_path))]
+        assert kept == [3, 4]
+        assert len(removed) == 2
+        assert not leftover.exists()
+
+    def test_never_removes_current(self, tmp_path):
+        for _ in range(3):
+            _write(tmp_path)
+        # Point CURRENT at the oldest; prune must spare it.
+        with open(tmp_path / "CURRENT", "w") as handle:
+            handle.write(checkpoint_dirname(1) + "\n")
+        prune_checkpoints(str(tmp_path), retain=1)
+        kept = [seq for seq, _ in list_checkpoints(str(tmp_path))]
+        assert 1 in kept
+
+
+class TestEngineSupport:
+    def test_program_source_round_trips(self):
+        program = """
+        (literalize player name team)
+        (p hello (player ^name <n>) --> (write hi <n>))
+        """
+        engine = RuleEngine()
+        engine.load(program)
+        source = program_source(engine)
+        clone = RuleEngine()
+        clone.load(source)
+        assert set(clone.rules) == {"hello"}
+        assert clone.wm.registry.attributes_of("player") == (
+            "name", "team",
+        )
+
+    def test_matcher_names(self):
+        from repro.match import NaiveMatcher, TreatMatcher
+        from repro.rete import ReteNetwork
+
+        assert matcher_name(ReteNetwork()) == "rete"
+        assert matcher_name(TreatMatcher()) == "treat"
+        assert matcher_name(NaiveMatcher()) == "naive"
+        assert matcher_name(object()) is None
+
+    def test_build_matcher(self):
+        from repro.rete import ReteNetwork
+
+        assert type(build_matcher("rete")) is ReteNetwork
+        with pytest.raises(DurabilityError, match="unknown matcher"):
+            build_matcher("oracle")
+
+    def test_dump_wm_feeds_checkpoint(self, tmp_path):
+        engine = RuleEngine()
+        engine.make("a", x=1)
+        _write(tmp_path, wm_snapshot=dump_wm(engine.wm))
+        loaded = load_checkpoint(str(tmp_path))
+        assert loaded.wm_snapshot["wmes"][0]["values"] == {"x": 1}

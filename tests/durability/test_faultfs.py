@@ -1,0 +1,101 @@
+"""Unit tests for the fault-injection harness."""
+
+import pytest
+
+from repro.durability.faultfs import (
+    FaultInjector,
+    SimulatedCrash,
+    corrupt_record,
+    tear_tail,
+    truncate_tail,
+)
+from repro.durability.wal import WriteAheadLog, read_log_tail
+from repro.errors import RecoveryError, ReproError
+
+
+def _filled_log(tmp_path, n=4):
+    wal = WriteAheadLog(tmp_path, fsync="off")
+    for i in range(n):
+        wal.append({"k": "d", "i": i, "pad": "x" * 16})
+    wal.close()
+
+
+class TestSimulatedCrash:
+    def test_not_a_repro_error(self):
+        # Production handlers catch ReproError; a simulated crash must
+        # never be swallowed by them.
+        assert not issubclass(SimulatedCrash, ReproError)
+
+    def test_crash_on_nth_hit(self):
+        fault = FaultInjector(crash_at={"wal.fsync": 3})
+        fault.hit("wal.fsync")
+        fault.hit("wal.fsync")
+        assert not fault.crashed
+        with pytest.raises(SimulatedCrash, match="wal.fsync"):
+            fault.hit("wal.fsync")
+        assert fault.crashed
+        assert fault.counts["wal.fsync"] == 3
+
+    def test_other_points_pass_through(self):
+        fault = FaultInjector(crash_at={"checkpoint.rename": 1})
+        fault.hit("wal.append.before")
+        with pytest.raises(SimulatedCrash):
+            fault.hit("checkpoint.rename")
+
+    def test_partial_write_fraction(self):
+        fault = FaultInjector(torn_append=(2, 0.5))
+        assert fault.partial_write("wal.append", 100) is None
+        assert fault.partial_write("wal.append", 100) == 50
+        assert fault.partial_write("wal.append", 100) is None
+
+    def test_partial_write_never_full_frame(self):
+        fault = FaultInjector(torn_append=(1, 500))
+        assert fault.partial_write("wal.append", 40) == 39
+
+
+class TestTornAppendThroughWal:
+    def test_torn_append_crashes_and_recovery_drops_it(self, tmp_path):
+        fault = FaultInjector(torn_append=(3, 0.5))
+        wal = WriteAheadLog(tmp_path, fsync="off", fault=fault)
+        wal.append({"i": 1})
+        wal.append({"i": 2})
+        with pytest.raises(SimulatedCrash, match="torn write"):
+            wal.append({"i": 3})
+        # Recovery tolerates the torn final record, losing only it.
+        payloads, _, damage = read_log_tail(tmp_path)
+        assert [p["i"] for p in payloads] == [1, 2]
+        assert damage is not None and damage.reason == "torn"
+
+
+class TestAtRestCorruptors:
+    def test_tear_tail(self, tmp_path):
+        _filled_log(tmp_path)
+        cut = tear_tail(tmp_path, keep=0.5)
+        assert cut > 0
+        payloads, _, damage = read_log_tail(tmp_path)
+        assert [p["i"] for p in payloads] == [0, 1, 2]
+        assert damage is not None
+
+    def test_truncate_tail(self, tmp_path):
+        _filled_log(tmp_path)
+        truncate_tail(tmp_path, 5)
+        payloads, _, damage = read_log_tail(tmp_path)
+        assert [p["i"] for p in payloads] == [0, 1, 2]
+        assert damage is not None
+
+    def test_corrupt_final_record_is_tolerated(self, tmp_path):
+        _filled_log(tmp_path)
+        corrupt_record(tmp_path, index=-1)
+        payloads, _, damage = read_log_tail(tmp_path)
+        assert [p["i"] for p in payloads] == [0, 1, 2]
+        assert damage is not None and damage.reason == "crc"
+
+    def test_corrupt_middle_record_is_refused(self, tmp_path):
+        _filled_log(tmp_path)
+        corrupt_record(tmp_path, index=1)
+        with pytest.raises(RecoveryError, match="refusing"):
+            read_log_tail(tmp_path)
+
+    def test_corruptors_need_segments(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            tear_tail(tmp_path)

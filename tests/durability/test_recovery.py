@@ -1,0 +1,296 @@
+"""Recovery: checkpoint restore + WAL replay rebuild identical state."""
+
+import pytest
+
+from repro import DurabilityConfig, RuleEngine
+from repro.durability import FaultInjector, SimulatedCrash
+from repro.durability.faultfs import corrupt_record, tear_tail
+from repro.engine.stats import MatchStats
+from repro.errors import DurabilityError, EngineError, RecoveryError
+
+PROGRAM = """
+(literalize player name team score)
+(p promote
+  (player ^name <n> ^team A ^score 10)
+  -->
+  (modify 1 ^team B)
+  (write promoted <n>))
+"""
+
+
+def wm_state(engine):
+    return sorted(
+        (w.time_tag, w.wme_class, tuple(sorted(w.as_dict().items())))
+        for w in engine.wm
+    )
+
+
+def cs_state(engine):
+    from repro.durability.manager import fired_signature
+
+    return sorted(
+        (
+            inst.rule.name,
+            inst.is_set_oriented,
+            tuple(map(tuple, fired_signature(inst))),
+            inst.eligible(),
+        )
+        for inst in engine.conflict_set.instantiations()
+    )
+
+
+def _workload(wal_dir, fsync="off", **kwargs):
+    engine = RuleEngine(
+        durability=DurabilityConfig(wal_dir, fsync=fsync), **kwargs
+    )
+    engine.load(PROGRAM)
+    with engine.batch():
+        for i in range(6):
+            engine.make(
+                "player", name=f"p{i}", team="A",
+                score=10 if i % 2 == 0 else 1,
+            )
+    engine.run()
+    return engine
+
+
+class TestBasicRecovery:
+    def test_no_checkpoint_full_replay(self, tmp_path):
+        engine = _workload(tmp_path)  # crash: never closed
+        recovered = RuleEngine.recover(tmp_path)
+        assert wm_state(recovered) == wm_state(engine)
+        assert cs_state(recovered) == cs_state(engine)
+        assert set(recovered.rules) == set(engine.rules)
+        assert recovered.recovery_report.checkpoint_path is None
+
+    def test_refraction_survives(self, tmp_path):
+        engine = _workload(tmp_path)
+        recovered = RuleEngine.recover(tmp_path)
+        # Everything already fired; recovery must not re-fire it.
+        assert recovered.run() == 0
+        assert recovered.output == []
+        del engine
+
+    def test_time_tag_counter_survives(self, tmp_path):
+        engine = _workload(tmp_path)
+        recovered = RuleEngine.recover(tmp_path, durability=False)
+        fresh = recovered.make("player", name="new", team="C", score=0)
+        assert fresh.time_tag == engine.wm.latest_time_tag + 1
+
+    def test_checkpoint_plus_tail(self, tmp_path):
+        engine = _workload(tmp_path)
+        engine.checkpoint()
+        engine.make("player", name="late", team="A", score=10)
+        recovered = RuleEngine.recover(tmp_path)
+        assert wm_state(recovered) == wm_state(engine)
+        assert cs_state(recovered) == cs_state(engine)
+        report = recovered.recovery_report
+        assert report.checkpoint_path is not None
+        assert report.replayed_deltas == 1
+        # The tail firing is still pending on both.
+        engine.tracer.output.clear()
+        assert engine.run() == recovered.run() == 1
+        assert engine.output == recovered.output == ["promoted late"]
+
+    def test_checkpoint_truncates_wal(self, tmp_path):
+        from repro.durability.wal import list_segments
+
+        engine = RuleEngine(
+            durability=DurabilityConfig(
+                tmp_path, fsync="off", segment_bytes=256
+            )
+        )
+        engine.load(PROGRAM)
+        for i in range(30):
+            engine.make("player", name=f"p{i}", team="C", score=i)
+        before = len(list_segments(tmp_path))
+        assert before > 1
+        engine.checkpoint()
+        after = len(list_segments(tmp_path))
+        assert after == 1
+        recovered = RuleEngine.recover(tmp_path, durability=False)
+        assert wm_state(recovered) == wm_state(engine)
+
+    def test_recovered_engine_resumes_logging(self, tmp_path):
+        engine = _workload(tmp_path)
+        recovered = RuleEngine.recover(tmp_path)
+        recovered.make("player", name="after", team="C", score=0)
+        recovered.close()
+        second = RuleEngine.recover(tmp_path, durability=False)
+        assert wm_state(second) == wm_state(recovered)
+        del engine
+
+    def test_replayed_deltas_counter(self, tmp_path):
+        _workload(tmp_path)
+        stats = MatchStats()
+        recovered = RuleEngine.recover(
+            tmp_path, stats=stats, durability=False
+        )
+        assert stats.counters["replayed_deltas"] == (
+            recovered.recovery_report.replayed_deltas
+        )
+        assert stats.counters["replayed_deltas"] > 0
+
+    def test_program_override(self, tmp_path):
+        _workload(tmp_path)
+        override = PROGRAM + """
+        (p extra (player ^team B) --> (write b-seen))
+        """
+        recovered = RuleEngine.recover(
+            tmp_path, program=override, durability=False
+        )
+        assert set(recovered.rules) == {"promote", "extra"}
+        assert recovered.run() > 0  # the new rule fires on old WMEs
+
+    def test_excise_is_replayed(self, tmp_path):
+        engine = _workload(tmp_path)
+        engine.excise("promote")
+        recovered = RuleEngine.recover(tmp_path, durability=False)
+        assert recovered.rules == {}
+        del engine
+
+    def test_strategy_and_matcher_from_checkpoint(self, tmp_path):
+        from repro.match import TreatMatcher
+
+        engine = RuleEngine(
+            matcher=TreatMatcher(),
+            strategy="mea",
+            durability=DurabilityConfig(tmp_path, fsync="off"),
+        )
+        engine.load(PROGRAM)
+        engine.make("player", name="a", team="A", score=10)
+        engine.checkpoint()
+        recovered = RuleEngine.recover(tmp_path, durability=False)
+        assert type(recovered.matcher) is TreatMatcher
+        assert recovered.strategy.name == "mea"
+
+    def test_dips_checkpoint_carries_rdb_snapshot(self, tmp_path):
+        import os
+
+        from repro.dips import DipsMatcher
+
+        engine = RuleEngine(
+            matcher=DipsMatcher(),
+            durability=DurabilityConfig(tmp_path, fsync="off"),
+        )
+        engine.load(PROGRAM)
+        engine.make("player", name="a", team="A", score=10)
+        path = engine.checkpoint()
+        assert os.path.exists(os.path.join(path, "rdb.json"))
+        recovered = RuleEngine.recover(tmp_path, durability=False)
+        assert type(recovered.matcher) is DipsMatcher
+        assert wm_state(recovered) == wm_state(engine)
+
+
+class TestDamageHandling:
+    def test_torn_tail_loses_only_unflushed_tail(self, tmp_path):
+        engine = _workload(tmp_path)
+        before = wm_state(engine)
+        engine.make("player", name="torn", team="C", score=0)
+        tear_tail(tmp_path, keep=0.4)
+        recovered = RuleEngine.recover(tmp_path, durability=False)
+        assert recovered.recovery_report.tail_damaged
+        assert wm_state(recovered) == before  # only the tail was lost
+
+    def test_corrupt_middle_raises_typed_error(self, tmp_path):
+        _workload(tmp_path)
+        corrupt_record(tmp_path, index=2)
+        with pytest.raises(RecoveryError):
+            RuleEngine.recover(tmp_path)
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(RecoveryError, match="no write-ahead log"):
+            RuleEngine.recover(tmp_path / "nothing")
+
+    def test_fire_record_without_match_is_refused(self, tmp_path):
+        from repro.durability.wal import WriteAheadLog
+
+        # A log whose firing record names tags that never existed: the
+        # log and the rule base disagree, which recovery must surface.
+        wal = WriteAheadLog(tmp_path, fsync="off")
+        wal.append({"k": "l", "c": "player",
+                    "a": ["name", "team", "score"]})
+        wal.append({"k": "p",
+                    "src": "(p promote (player ^team A) --> (halt))"})
+        wal.append({"k": "d", "n": 2, "e": [
+            ["+", "player", 1, {"name": "a", "team": "A", "score": 10}],
+        ]})
+        wal.append({"k": "f", "r": "promote", "s": 0, "t": [[99]]})
+        wal.close()
+        with pytest.raises(RecoveryError, match="conflict set"):
+            RuleEngine.recover(tmp_path, durability=False)
+
+    def test_unknown_record_kind_is_refused(self, tmp_path):
+        from repro.durability.wal import WriteAheadLog
+
+        wal = WriteAheadLog(tmp_path, fsync="off")
+        wal.append({"k": "zz"})
+        wal.close()
+        with pytest.raises(RecoveryError, match="unknown WAL record"):
+            RuleEngine.recover(tmp_path, durability=False)
+
+
+class TestInjectedCrashes:
+    @pytest.mark.parametrize("point", [
+        "checkpoint.begin",
+        "checkpoint.files",
+        "checkpoint.rename",
+        "checkpoint.current",
+        "checkpoint.truncate",
+    ])
+    def test_crash_during_checkpoint_is_recoverable(self, tmp_path, point):
+        fault = FaultInjector(crash_at={point: 1})
+        engine = RuleEngine(
+            durability=DurabilityConfig(tmp_path, fsync="off", fault=fault)
+        )
+        engine.load(PROGRAM)
+        engine.make("player", name="a", team="A", score=10)
+        engine.run()
+        expected_wm = wm_state(engine)
+        expected_cs = cs_state(engine)
+        with pytest.raises(SimulatedCrash):
+            engine.checkpoint()
+        # Whatever the crash left behind, recovery rebuilds the exact
+        # pre-checkpoint state: nothing was lost, nothing doubled.
+        recovered = RuleEngine.recover(tmp_path, durability=False)
+        assert wm_state(recovered) == expected_wm
+        assert cs_state(recovered) == expected_cs
+
+    def test_crash_during_append_loses_only_that_record(self, tmp_path):
+        fault = FaultInjector(torn_append=(6, 0.3))
+        engine = RuleEngine(
+            durability=DurabilityConfig(tmp_path, fsync="off", fault=fault)
+        )
+        engine.load(PROGRAM)  # records 2-3: literalize + rule (1: meta)
+        engine.make("player", name="a", team="C", score=1)  # record 4
+        engine.make("player", name="b", team="C", score=2)  # record 5
+        before = wm_state(engine)
+        with pytest.raises(SimulatedCrash):
+            engine.make("player", name="c", team="C", score=3)
+        recovered = RuleEngine.recover(tmp_path, durability=False)
+        assert recovered.recovery_report.tail_damaged
+        assert wm_state(recovered) == before
+
+
+class TestEngineGuards:
+    def test_checkpoint_requires_durability(self):
+        engine = RuleEngine()
+        with pytest.raises(EngineError, match="durability"):
+            engine.checkpoint()
+
+    def test_checkpoint_inside_batch_refused(self, tmp_path):
+        engine = RuleEngine(
+            durability=DurabilityConfig(tmp_path, fsync="off")
+        )
+        with engine.batch():
+            with pytest.raises(DurabilityError, match="batch"):
+                engine.checkpoint()
+        engine.close()
+
+    def test_close_is_idempotent(self, tmp_path):
+        engine = RuleEngine(
+            durability=DurabilityConfig(tmp_path, fsync="off")
+        )
+        engine.close()
+        engine.close()
+        assert engine.durability is None

@@ -1,0 +1,250 @@
+"""Unit tests for the segmented, CRC32-framed write-ahead log."""
+
+import os
+
+import pytest
+
+from repro.durability.wal import (
+    DEFAULT_SEGMENT_BYTES,
+    MAGIC,
+    WriteAheadLog,
+    encode_record,
+    list_segments,
+    read_log_tail,
+    scan_segment,
+    segment_name,
+)
+from repro.engine.stats import MatchStats
+from repro.errors import RecoveryError, WalError
+
+
+def _payloads(n, size=0):
+    pad = "x" * size
+    return [{"k": "d", "i": i, "pad": pad} for i in range(n)]
+
+
+class TestFraming:
+    def test_encode_scan_round_trip(self):
+        records = _payloads(5)
+        data = b"".join(encode_record(p) for p in records)
+        payloads, end, damage = scan_segment(data)
+        assert payloads == records
+        assert end == len(data)
+        assert damage is None
+
+    def test_scan_from_offset(self):
+        records = _payloads(3)
+        frames = [encode_record(p) for p in records]
+        data = b"".join(frames)
+        payloads, end, damage = scan_segment(data, start=len(frames[0]))
+        assert payloads == records[1:]
+        assert damage is None
+
+    def test_torn_final_frame_is_tail_damage(self):
+        data = b"".join(encode_record(p) for p in _payloads(2))
+        payloads, end, damage = scan_segment(data[:-3])
+        assert len(payloads) == 1
+        assert damage is not None
+        assert damage.reason == "torn"
+        assert not damage.trailing
+
+    def test_flipped_bit_in_final_record(self):
+        data = bytearray(b"".join(encode_record(p) for p in _payloads(2)))
+        data[-1] ^= 0x01
+        payloads, end, damage = scan_segment(bytes(data))
+        assert len(payloads) == 1
+        assert damage.reason == "crc"
+        assert not damage.trailing
+
+    def test_flipped_bit_mid_log_leaves_trailing_evidence(self):
+        frames = [encode_record(p) for p in _payloads(3, size=8)]
+        data = bytearray(b"".join(frames))
+        data[len(frames[0]) + 12] ^= 0x01  # payload byte of record 2
+        payloads, end, damage = scan_segment(bytes(data))
+        assert len(payloads) == 1
+        assert damage.trailing  # MAGIC of record 3 follows the damage
+
+    def test_implausible_length_is_frame_damage(self):
+        import struct
+
+        bogus = MAGIC + struct.pack("<II", 1 << 30, 0)
+        payloads, end, damage = scan_segment(bogus)
+        assert payloads == []
+        assert damage.reason == "frame"
+
+
+class TestAppend:
+    def test_round_trip_with_positions(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="off")
+        positions = [wal.append(p) for p in _payloads(4)]
+        assert positions[-1] == wal.tell()
+        wal.close()
+        payloads, end, damage = read_log_tail(tmp_path)
+        assert payloads == _payloads(4)
+        assert end == positions[-1]
+        assert damage is None
+
+    def test_segment_rollover(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="off", segment_bytes=120)
+        for p in _payloads(8, size=40):
+            wal.append(p)
+        wal.close()
+        segments = list_segments(tmp_path)
+        assert len(segments) > 1
+        assert [seq for seq, _ in segments] == list(
+            range(1, len(segments) + 1)
+        )
+        payloads, _, _ = read_log_tail(tmp_path)
+        assert payloads == _payloads(8, size=40)
+
+    def test_reopen_resumes_after_clean_close(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="off")
+        wal.append({"k": "d", "i": 1})
+        wal.close()
+        wal = WriteAheadLog(tmp_path, fsync="off")
+        wal.append({"k": "d", "i": 2})
+        wal.close()
+        payloads, _, _ = read_log_tail(tmp_path)
+        assert [p["i"] for p in payloads] == [1, 2]
+
+    def test_reopen_truncates_torn_tail(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="off")
+        wal.append({"k": "d", "i": 1})
+        wal.append({"k": "d", "i": 2})
+        wal.close()
+        path = list_segments(tmp_path)[-1][1]
+        with open(path, "r+b") as handle:
+            handle.truncate(os.path.getsize(path) - 3)
+        wal = WriteAheadLog(tmp_path, fsync="off")
+        wal.append({"k": "d", "i": 3})
+        wal.close()
+        payloads, _, damage = read_log_tail(tmp_path)
+        assert [p["i"] for p in payloads] == [1, 3]
+        assert damage is None  # the torn bytes were cut at reopen
+
+    def test_reopen_refuses_corruption_before_valid_records(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="off")
+        wal.append(_payloads(1, size=8)[0])
+        wal.append(_payloads(1, size=8)[0])
+        wal.close()
+        path = list_segments(tmp_path)[-1][1]
+        with open(path, "r+b") as handle:
+            handle.seek(14)  # payload byte of the first record
+            byte = handle.read(1)[0]
+            handle.seek(14)
+            handle.write(bytes([byte ^ 0x01]))
+        with pytest.raises(WalError, match="corrupt"):
+            WriteAheadLog(tmp_path, fsync="off")
+
+    def test_append_after_close_fails(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="off")
+        wal.close()
+        with pytest.raises(WalError, match="closed"):
+            wal.append({"k": "d"})
+
+    def test_bad_policy_and_segment_size(self, tmp_path):
+        with pytest.raises(WalError, match="fsync"):
+            WriteAheadLog(tmp_path, fsync="sometimes")
+        with pytest.raises(WalError, match="positive"):
+            WriteAheadLog(tmp_path, segment_bytes=0)
+
+    def test_truncate_before_drops_old_segments(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="off", segment_bytes=80)
+        for p in _payloads(10, size=40):
+            wal.append(p)
+        seq, _ = wal.tell()
+        assert seq > 2
+        removed = wal.truncate_before(seq)
+        assert removed == seq - 1
+        assert [s for s, _ in list_segments(tmp_path)] == [seq]
+        wal.close()
+
+
+class TestFsyncPolicies:
+    def _fsyncs(self, tmp_path, policy, batches):
+        stats = MatchStats()
+        wal = WriteAheadLog(tmp_path, fsync=policy, stats=stats)
+        for batch in batches:
+            wal.append({"k": "d"}, batch=batch)
+        wal.close()
+        return stats.counters.get("wal_fsyncs", 0)
+
+    def test_always_fsyncs_every_record(self, tmp_path):
+        # 4 appends + 1 close
+        assert self._fsyncs(tmp_path, "always", [False] * 4) == 5
+
+    def test_batch_fsyncs_batch_records_only(self, tmp_path):
+        # 2 batch records + 1 close
+        assert (
+            self._fsyncs(tmp_path, "batch", [True, False, True, False])
+            == 3
+        )
+
+    def test_off_never_fsyncs(self, tmp_path):
+        assert self._fsyncs(tmp_path, "off", [True, False]) == 0
+
+    def test_append_and_byte_counters(self, tmp_path):
+        stats = MatchStats()
+        wal = WriteAheadLog(tmp_path, fsync="off", stats=stats)
+        wal.append({"k": "d"})
+        wal.append({"k": "d"})
+        wal.close()
+        assert stats.counters["wal_appends"] == 2
+        assert stats.counters["wal_bytes"] == 2 * len(
+            encode_record({"k": "d"})
+        )
+
+
+class TestReadLogTail:
+    def test_start_past_checkpoint(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="off")
+        wal.append({"i": 1})
+        mid = wal.append({"i": 2})
+        wal.append({"i": 3})
+        wal.close()
+        payloads, _, _ = read_log_tail(tmp_path, start=mid)
+        assert [p["i"] for p in payloads] == [3]
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(RecoveryError, match="no write-ahead log"):
+            read_log_tail(tmp_path / "nope")
+
+    def test_missing_start_segment(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="off")
+        wal.append({"i": 1})
+        wal.close()
+        with pytest.raises(RecoveryError, match="missing"):
+            read_log_tail(tmp_path, start=(7, 0))
+
+    def test_non_consecutive_segments(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="off", segment_bytes=60)
+        for p in _payloads(6, size=30):
+            wal.append(p)
+        wal.close()
+        segments = list_segments(tmp_path)
+        assert len(segments) >= 3
+        os.remove(segments[1][1])
+        with pytest.raises(RecoveryError, match="not consecutive"):
+            read_log_tail(tmp_path)
+
+    def test_start_beyond_segment_size(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="off")
+        wal.append({"i": 1})
+        wal.close()
+        with pytest.raises(RecoveryError, match="beyond"):
+            read_log_tail(tmp_path, start=(1, 10_000))
+
+    def test_damage_in_non_final_segment_refused(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="off", segment_bytes=60)
+        for p in _payloads(6, size=30):
+            wal.append(p)
+        wal.close()
+        first = list_segments(tmp_path)[0][1]
+        with open(first, "r+b") as handle:
+            handle.truncate(os.path.getsize(first) - 2)
+        with pytest.raises(RecoveryError, match="corrupt"):
+            read_log_tail(tmp_path)
+
+    def test_defaults(self):
+        assert DEFAULT_SEGMENT_BYTES == 1 << 20
+        assert segment_name(3) == "00000003.wal"

@@ -121,3 +121,52 @@ class TestWorkingMemory:
         wm.registry.literalize("player", ["name"])
         with pytest.raises(WorkingMemoryError):
             wm.make("player", salary=3)
+
+
+class TestIngest:
+    def test_pins_historical_tag(self):
+        wm = WorkingMemory()
+        wme = wm.ingest("a", {"x": 1}, 7)
+        assert wme.time_tag == 7
+        assert wm.make("a").time_tag == 8
+
+    def test_emits_add_event(self):
+        wm = WorkingMemory()
+        events = []
+        wm.attach(lambda e: events.append((e.sign, e.wme.time_tag)))
+        wm.ingest("a", {}, 3)
+        assert events == [(ADD, 3)]
+
+    def test_refuses_non_monotone_tag(self):
+        wm = WorkingMemory()
+        wm.make("a")
+        with pytest.raises(WorkingMemoryError, match="ingest"):
+            wm.ingest("a", {}, 1)
+
+    def test_validates_against_registry(self):
+        wm = WorkingMemory()
+        wm.registry.literalize("player", ["name"])
+        with pytest.raises(WorkingMemoryError):
+            wm.ingest("player", {"salary": 3}, 1)
+
+
+class TestPrependObserver:
+    def test_prepended_observer_sees_events_first(self):
+        wm = WorkingMemory()
+        order = []
+        wm.attach(lambda e: order.append("matcher"))
+        wm.attach(lambda e: order.append("wal"), prepend=True)
+        wm.make("a")
+        assert order == ["wal", "matcher"]
+
+    def test_prepended_batch_handler_flushes_first(self):
+        wm = WorkingMemory()
+        order = []
+        wm.attach(lambda e: order.append("matcher"),
+                  on_batch=lambda es: order.append("matcher-batch"))
+        wm.attach(lambda e: order.append("wal"),
+                  on_batch=lambda es: order.append("wal-batch"),
+                  prepend=True)
+        with wm.batch():
+            wm.make("a")
+        assert order == ["wal-batch", "matcher-batch"]

@@ -74,6 +74,75 @@ class TestEngineRestart:
         # Recency survived the restart: the later-made WME dominates.
         assert second.output == ["newest is new"]
 
+    def test_bulk_restore_rides_the_batched_path(self):
+        """A 10k-WME restore is one set-oriented pass, not 10k events.
+
+        The batched delta propagation must do measurably less join
+        work than replaying the snapshot one make at a time — this is
+        the whole point of restoring through ``wm.batch()``.
+        """
+        from repro import MatchStats
+
+        program = """
+        (literalize item owner v)
+        (literalize owner name)
+        (p pair (item ^owner <o>) (owner ^name <o>) --> (write <o>))
+        """
+        source = RuleEngine()
+        source.load(program)
+        with source.batch():
+            for i in range(5000):
+                source.make("item", owner=f"o{i}", v=i)
+                source.make("owner", name=f"o{i}")
+        snapshot = dump_wm(source.wm)
+        assert len(snapshot["wmes"]) == 10_000
+
+        per_event = RuleEngine(stats=MatchStats())
+        per_event.load(program)
+        for entry in snapshot["wmes"]:
+            per_event.wm._next_tag = entry["tag"]
+            per_event.wm.make(entry["class"], **entry["values"])
+
+        batched = RuleEngine(stats=MatchStats())
+        batched.load(program)
+        restore_wm(batched.wm, snapshot, stats=batched.stats)
+
+        assert (
+            batched.conflict_set_size() == per_event.conflict_set_size()
+        )
+        joins = "join_tests_attempted"
+        assert batched.stats.totals[joins] < per_event.stats.totals[joins]
+        assert (
+            batched.stats.totals["alpha_activations"]
+            < per_event.stats.totals["alpha_activations"]
+        )
+        assert batched.stats.totals["batches"] == 1
+        assert batched.stats.totals["batch_deltas_net"] == 10_000
+
+    def test_restore_reports_batch_to_stats(self):
+        from repro import MatchStats
+
+        wm = WorkingMemory()
+        wm.make("a", x=1)
+        wm.make("a", x=2)
+        stats = MatchStats()
+        clone = WorkingMemory()
+        restore_wm(clone, dump_wm(wm), stats=stats)
+        assert stats.totals["batches"] == 1
+        assert stats.totals["batch_deltas_net"] == 2
+
+    def test_non_monotone_snapshot_refused(self):
+        snapshot = {
+            "version": 1,
+            "next_tag": 3,
+            "wmes": [
+                {"class": "a", "tag": 2, "values": {}},
+                {"class": "a", "tag": 2, "values": {}},
+            ],
+        }
+        with pytest.raises(WorkingMemoryError, match="ingest"):
+            restore_wm(WorkingMemory(), snapshot)
+
     def test_soi_state_rebuilt(self, tmp_path):
         program = """
         (literalize item v)
