@@ -16,6 +16,7 @@ Two claims are measured:
   growing workload sizes.
 """
 
+import itertools
 import time
 
 import pytest
@@ -92,7 +93,12 @@ def test_fsync_policy_overhead(tmp_path, benchmark):
         > measured["batch"]["wal_fsyncs"]
     )
 
-    benchmark(_workload, tmp_path / "bench", 500, "off")
+    # Each round needs its own directory: a fresh engine refuses a
+    # WAL directory already holding a previous session's records.
+    rounds = itertools.count()
+    benchmark(
+        lambda: _workload(tmp_path / f"bench-{next(rounds)}", 500, "off")
+    )
 
 
 def test_recovery_time_tracks_wal_tail_length(tmp_path, benchmark):

@@ -464,11 +464,19 @@ def _recover_main(argv):
         if report.checkpoint_path
         else "empty state (no checkpoint)"
     )
+    notes = []
+    if report.tail_damaged:
+        notes.append("damaged tail dropped")
+    if report.dropped_records:
+        notes.append(
+            f"incomplete firing rolled back, "
+            f"{report.dropped_records} record(s)"
+        )
     print(
         f"recovered from {source}: {report.restored_wmes} WME(s) "
         f"restored, {report.replayed_deltas} delta(s) and "
         f"{report.replayed_firings} firing(s) replayed"
-        + (" (damaged tail dropped)" if report.tail_damaged else "")
+        + (f" ({'; '.join(notes)})" if notes else "")
     )
     session = ReplSession(watch=options.watch, engine=engine)
     return _run_session(session, options)
@@ -528,14 +536,20 @@ def main(argv=None):
     )
     options = parser.parse_args(argv)
 
-    session = ReplSession(
-        matcher=options.matcher,
-        strategy=options.strategy,
-        watch=options.watch,
-        profile=options.profile or options.profile_json is not None,
-        wal_dir=options.wal_dir,
-        fsync=options.fsync,
-    )
+    try:
+        session = ReplSession(
+            matcher=options.matcher,
+            strategy=options.strategy,
+            watch=options.watch,
+            profile=options.profile or options.profile_json is not None,
+            wal_dir=options.wal_dir,
+            fsync=options.fsync,
+        )
+    except ReproError as error:
+        # E.g. --wal-dir pointing at a previous session's log: a fresh
+        # engine refuses it and directs the user to `recover`.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     return _run_session(session, options)
 
 

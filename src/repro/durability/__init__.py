@@ -3,18 +3,20 @@
 The paper's section 8 motivates merging rule systems with database
 systems precisely to gain "concurrency control and persistence as
 found in database systems".  This package supplies the persistence
-half for the whole engine, tying together the two snapshot stores the
-repository already had (:mod:`repro.wm.snapshot` for working memory,
-:mod:`repro.rdb.storage` for the relational substrate) with the
-batched delta streams of :meth:`repro.wm.memory.WorkingMemory.batch`:
+half for the whole engine, tying the working-memory snapshot store
+(:mod:`repro.wm.snapshot`) to the batched delta streams of
+:meth:`repro.wm.memory.WorkingMemory.batch` — matcher state, DIPS
+COND tables included, is derived and rebuilt by replay:
 
 * :mod:`repro.durability.wal` — a segmented, CRC32-framed
-  **write-ahead log** of every working-memory delta-set and firing,
-  with a configurable fsync policy (``always`` / ``batch`` / ``off``);
+  **write-ahead log** of every working-memory delta-set and firing
+  (each firing a bracketed transaction recovery can roll back if a
+  crash cut it short), with a configurable fsync policy
+  (``always`` / ``batch`` / ``off``);
 * :mod:`repro.durability.checkpoint` — atomic **checkpoints**
-  (write-temp-then-rename) bundling the WM snapshot, the optional rdb
-  snapshot, the time-tag counter, the program text, refraction state,
-  and the WAL position, after which obsolete segments are truncated;
+  (write-temp-then-rename) bundling the WM snapshot, the time-tag
+  counter, the program text, refraction state, and the WAL position,
+  after which obsolete segments are truncated;
 * :mod:`repro.durability.recovery` — **recovery**: load the latest
   checkpoint, then replay the WAL tail *through the batched
   propagation path*, so any matcher (Rete, TREAT, naive, DIPS)

@@ -4,10 +4,10 @@ A checkpoint is a directory ``checkpoint-%08d`` inside the WAL
 directory holding:
 
 * ``wm.json`` — the working-memory snapshot
-  (:func:`repro.wm.snapshot.dump_wm`, time tags preserved);
-* ``rdb.json`` — the relational substrate snapshot
-  (:func:`repro.rdb.storage.dump_database`), present when the engine's
-  matcher exposes a database (DIPS);
+  (:func:`repro.wm.snapshot.dump_wm`, time tags preserved).  This is
+  the only state snapshot: matcher state — including the DIPS COND
+  tables — is derived, and recovery rebuilds it by replaying the
+  snapshot through the batched propagation path;
 * ``MANIFEST.json`` — everything recovery needs: format version,
   sequence number, the WAL position the snapshot corresponds to, the
   time-tag counter, the firing count, the matcher and strategy names,
@@ -31,6 +31,7 @@ import os
 import shutil
 import zlib
 
+from repro.durability.wal import fsync_dir
 from repro.errors import DurabilityError, RecoveryError
 
 MANIFEST_VERSION = 1
@@ -38,7 +39,6 @@ CHECKPOINT_PREFIX = "checkpoint-"
 CURRENT_NAME = "CURRENT"
 MANIFEST_NAME = "MANIFEST.json"
 WM_SNAPSHOT_NAME = "wm.json"
-RDB_SNAPSHOT_NAME = "rdb.json"
 
 
 def checkpoint_dirname(seq):
@@ -64,22 +64,9 @@ def _fsync_file(path):
         os.close(fd)
 
 
-def _fsync_dir(path):
-    try:
-        fd = os.open(path, os.O_RDONLY)
-    except OSError:  # platforms where directories cannot be opened
-        return
-    try:
-        os.fsync(fd)
-    except OSError:
-        pass
-    finally:
-        os.close(fd)
-
-
 def write_checkpoint(directory, *, wm_snapshot, wal_position,
                      next_tag, program, matcher_name, strategy_name,
-                     fired, cycle_count, db_snapshot=None, fault=None):
+                     fired, cycle_count, fault=None):
     """Write one atomic checkpoint; returns its directory path.
 
     The caller (the durability manager) is responsible for syncing the
@@ -107,8 +94,6 @@ def write_checkpoint(directory, *, wm_snapshot, wal_position,
         files[member] = zlib.crc32(data)
 
     _write_member(WM_SNAPSHOT_NAME, wm_snapshot)
-    if db_snapshot is not None:
-        _write_member(RDB_SNAPSHOT_NAME, db_snapshot)
     manifest = {
         "version": MANIFEST_VERSION,
         "seq": seq,
@@ -130,7 +115,7 @@ def write_checkpoint(directory, *, wm_snapshot, wal_position,
         fault.hit("checkpoint.files")
 
     os.rename(tmp_path, final_path)
-    _fsync_dir(directory)
+    fsync_dir(directory)
     if fault is not None:
         fault.hit("checkpoint.rename")
 
@@ -146,7 +131,7 @@ def _set_current(directory, name):
         handle.write(name + "\n")
     _fsync_file(tmp)
     os.rename(tmp, os.path.join(directory, CURRENT_NAME))
-    _fsync_dir(directory)
+    fsync_dir(directory)
 
 
 def prune_checkpoints(directory, retain):
@@ -181,15 +166,14 @@ def read_current(directory):
 
 
 class LoadedCheckpoint:
-    """A validated checkpoint: manifest plus parsed member snapshots."""
+    """A validated checkpoint: manifest plus the parsed WM snapshot."""
 
-    __slots__ = ("path", "manifest", "wm_snapshot", "db_snapshot")
+    __slots__ = ("path", "manifest", "wm_snapshot")
 
-    def __init__(self, path, manifest, wm_snapshot, db_snapshot):
+    def __init__(self, path, manifest, wm_snapshot):
         self.path = path
         self.manifest = manifest
         self.wm_snapshot = wm_snapshot
-        self.db_snapshot = db_snapshot
 
 
 def load_checkpoint(directory):
@@ -241,12 +225,7 @@ def load_checkpoint(directory):
         raise RecoveryError(
             f"checkpoint {name} has no {WM_SNAPSHOT_NAME} member"
         )
-    return LoadedCheckpoint(
-        path,
-        manifest,
-        members[WM_SNAPSHOT_NAME],
-        members.get(RDB_SNAPSHOT_NAME),
-    )
+    return LoadedCheckpoint(path, manifest, members[WM_SNAPSHOT_NAME])
 
 
 def program_source(engine):

@@ -5,8 +5,17 @@ The manager is an ordinary working-memory observer — registered
 change (write-ahead in observer order too).  Batched flushes arrive
 through the ``on_batch`` hook and become ONE record; single events
 outside a batch become one record each.  Firings are logged by the
-engine through :meth:`DurabilityManager.log_fire` so recovery can
-restore refraction stamps.
+engine as a bracketed transaction — :meth:`DurabilityManager.log_fire`
+(the refraction stamp) before the RHS runs, the RHS's own delta
+records as they happen, and :meth:`DurabilityManager.log_fire_end`
+after — so recovery can restore refraction stamps and roll back a
+firing the crash cut short.
+
+A manager opened on a directory that already holds a previous
+session's records refuses to attach: time tags would restart at 1 and
+a later recovery would replay two interleaved histories.  Recovery
+(:func:`repro.durability.recovery.recover_engine`) passes
+``resume=True`` after it has replayed the existing log.
 """
 
 from __future__ import annotations
@@ -77,14 +86,40 @@ def collect_fired(engine):
     return fired
 
 
+def _holds_prior_session(directory):
+    """Does *directory* already contain records or checkpoints?"""
+    import os
+
+    from repro.durability import checkpoint as ckpt
+    from repro.durability.wal import list_segments
+
+    if not os.path.isdir(directory):
+        return False
+    if ckpt.read_current(directory) is not None:
+        return True
+    if ckpt.list_checkpoints(directory):
+        return True
+    return any(
+        os.path.getsize(path) for _, path in list_segments(directory)
+    )
+
+
 class DurabilityManager:
     """Owns the WAL and checkpoints for one engine/working memory."""
 
-    def __init__(self, config, stats=None):
+    def __init__(self, config, stats=None, resume=False):
         from repro.durability.wal import WriteAheadLog
 
         if not isinstance(config, DurabilityConfig):
             config = DurabilityConfig(config)
+        if not resume and _holds_prior_session(config.wal_dir):
+            raise DurabilityError(
+                f"write-ahead log directory {config.wal_dir!r} already "
+                f"holds a previous session; a fresh engine would restart "
+                f"time tags and make the log unrecoverable — use "
+                f"RuleEngine.recover({config.wal_dir!r}) to resume it, "
+                f"or point durability at a fresh directory"
+            )
         self.config = config
         self.stats = stats if stats is not None else NULL_STATS
         self.wal = WriteAheadLog(
@@ -151,13 +186,24 @@ class DurabilityManager:
         self.wal.append({"k": "x", "r": rule_name}, batch=False)
 
     def log_fire(self, instantiation):
-        """Record a firing so recovery can restore its refraction."""
+        """Open a firing transaction: the refraction stamp.
+
+        The RHS's working-memory deltas follow as ordinary records;
+        :meth:`log_fire_end` terminates the transaction.  A log ending
+        between the two is an incomplete firing, which recovery rolls
+        back wholesale instead of replaying a stamp whose effects
+        never became durable.
+        """
         self.wal.append({
             "k": "f",
             "r": instantiation.rule.name,
             "s": 1 if instantiation.is_set_oriented else 0,
             "t": fired_signature(instantiation),
         }, batch=False)
+
+    def log_fire_end(self):
+        """Terminate the firing transaction opened by :meth:`log_fire`."""
+        self.wal.append({"k": "e"}, batch=False)
 
     @staticmethod
     def decode_delta(entry):
@@ -183,12 +229,9 @@ class DurabilityManager:
             )
         self.wal.sync()
         position = self.wal.tell()
-        db = getattr(engine.matcher, "db", None)
-        db_snapshot = None
-        if db is not None:
-            from repro.rdb.storage import dump_database
-
-            db_snapshot = dump_database(db)
+        # No separate DIPS database snapshot: the COND tables are
+        # derived state that restore_wm + tail replay rebuild exactly;
+        # a second serialised copy could only disagree with the WM one.
         path = ckpt.write_checkpoint(
             self.config.wal_dir,
             wm_snapshot=dump_wm(engine.wm),
@@ -199,7 +242,6 @@ class DurabilityManager:
             strategy_name=engine.strategy.name,
             fired=collect_fired(engine),
             cycle_count=engine.cycle_count,
-            db_snapshot=db_snapshot,
             fault=self.config.fault,
         )
         fault = self.config.fault

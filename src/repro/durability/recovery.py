@@ -20,6 +20,18 @@ Recovery rebuilds an engine in four steps:
    timeline; firing records re-stamp refraction at exactly the state
    the original firing saw.
 
+Firings are logged as bracketed transactions (``f`` stamp, the RHS's
+delta records, ``e`` terminator).  A log that ends inside such a
+bracket is a firing the crash cut short: replaying its ``f`` stamp
+would mark the instantiation fired while its effects are lost, a state
+no uninterrupted run can reach.  Recovery therefore rolls the whole
+unterminated firing back — the trailing records from its ``f`` onward
+are dropped (and, when logging resumes, physically truncated so a
+second crash-and-recover sees the same history).  The scan walks
+backward and matches ``e`` terminators to ``f`` stamps so firings
+nested through RHS ``call`` actions roll back as a unit.
+
+
 Because every matcher consumes the same batched delta stream, the
 recovered conflict set, dominance order, refire eligibility, and WM
 contents are identical whichever of Rete/TREAT/naive/DIPS is attached
@@ -38,25 +50,33 @@ class RecoveryReport:
 
     __slots__ = ("checkpoint_path", "restored_wmes", "replayed_records",
                  "replayed_deltas", "replayed_firings", "tail_damaged",
-                 "wal_position")
+                 "dropped_records", "wal_position")
 
     def __init__(self, checkpoint_path, restored_wmes, replayed_records,
                  replayed_deltas, replayed_firings, tail_damaged,
-                 wal_position):
+                 dropped_records, wal_position):
         self.checkpoint_path = checkpoint_path
         self.restored_wmes = restored_wmes
         self.replayed_records = replayed_records
         self.replayed_deltas = replayed_deltas
         self.replayed_firings = replayed_firings
         self.tail_damaged = tail_damaged
+        self.dropped_records = dropped_records
         self.wal_position = wal_position
 
     def __repr__(self):
+        extra = ""
+        if self.tail_damaged:
+            extra += ", damaged tail dropped"
+        if self.dropped_records:
+            extra += (
+                f", {self.dropped_records} records of an incomplete "
+                f"firing rolled back"
+            )
         return (
             f"RecoveryReport({self.restored_wmes} WMEs restored, "
             f"{self.replayed_deltas} deltas + "
-            f"{self.replayed_firings} firings replayed"
-            f"{', damaged tail dropped' if self.tail_damaged else ''})"
+            f"{self.replayed_firings} firings replayed{extra})"
         )
 
 
@@ -76,7 +96,7 @@ def recover_engine(engine_cls, path, *, program=None, matcher=None,
     """
     from repro.durability.checkpoint import build_matcher, load_checkpoint
     from repro.durability.manager import DurabilityConfig, DurabilityManager
-    from repro.durability.wal import read_log_tail
+    from repro.durability.wal import read_log_tail, truncate_after
     from repro.wm.snapshot import restore_wm
 
     if not os.path.isdir(path):
@@ -85,6 +105,27 @@ def recover_engine(engine_cls, path, *, program=None, matcher=None,
     manifest = loaded.manifest if loaded is not None else {}
     start = tuple(manifest["wal"]) if loaded is not None else None
     payloads, end_position, tail_damage = read_log_tail(path, start)
+
+    # A log ending inside a firing transaction (an ``f`` stamp whose
+    # ``e`` terminator never made it to disk) is a firing the crash cut
+    # short: drop it wholesale rather than replay a refraction stamp
+    # whose effects are lost.  Scan backward matching terminators to
+    # stamps so nested firings (RHS ``call`` → ``run()``) are handled.
+    drop_from = None
+    depth = 0
+    for index in range(len(payloads) - 1, -1, -1):
+        kind = payloads[index].get("k")
+        if kind == "e":
+            depth += 1
+        elif kind == "f":
+            if depth:
+                depth -= 1
+            else:
+                drop_from = index
+    dropped = 0
+    if drop_from is not None:
+        dropped = len(payloads) - drop_from
+        payloads = payloads[:drop_from]
 
     # Session-meta records in the tail are newer than the manifest (a
     # resumed session may have overridden the matcher), so they win.
@@ -134,7 +175,15 @@ def recover_engine(engine_cls, path, *, program=None, matcher=None,
         )
         from repro.durability.checkpoint import matcher_name
 
-        manager = DurabilityManager(config, stats=engine.stats)
+        if dropped:
+            # Logging resumes past the rolled-back firing, so cut it
+            # out of the file too: otherwise a second crash-and-recover
+            # would see the dropped stamp mid-log and replay it.
+            cut = truncate_after(path, start, drop_from)
+            if cut is not None:
+                end_position = cut
+        manager = DurabilityManager(config, stats=engine.stats,
+                                    resume=True)
         manager.attach(engine.wm)
         manager.log_meta(matcher_name(engine.matcher),
                          engine.strategy.name)
@@ -147,6 +196,7 @@ def recover_engine(engine_cls, path, *, program=None, matcher=None,
         deltas,
         firings,
         tail_damage is not None,
+        dropped,
         end_position,
     )
     return engine
@@ -194,6 +244,8 @@ def _replay(engine, payloads):
         elif kind == "x":
             if payload["r"] in engine.rules:
                 engine.excise(payload["r"])
+        elif kind == "e":
+            pass  # firing terminator; the rollback scan consumed it
         elif kind == "m":
             pass  # consumed by the pre-scan
         else:

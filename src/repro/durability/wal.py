@@ -8,36 +8,46 @@ On-disk format (version 1; full spec in ``docs/DURABILITY.md``):
   current segment would exceed ``segment_bytes``.
 * A segment is a sequence of **records**, each framed as::
 
-      magic   4 bytes   b"\\xabWAL"  (0xAB cannot start a UTF-8 char,
-                                      so payload text never fakes it)
+      magic   4 bytes   b"\\xabWAL"
       length  4 bytes   little-endian uint32, payload byte count
       crc     4 bytes   little-endian uint32, zlib.crc32 of payload
       payload         length bytes of compact UTF-8 JSON
 
+  The magic sequence is a cheap resynchronisation hint, not proof of
+  a frame: payload bytes may coincide with it, so anything found at a
+  magic hit must still validate (plausible header, CRC-valid payload)
+  before it counts as a record.
+
 * Payload kinds: ``{"k": "d", "n": next_tag, "e": [[sign, class,
   tag, values], ...]}`` for a working-memory delta-set (one record
-  per flushed batch, or per single event outside a batch) and
-  ``{"k": "f", "r": rule, "s": 0|1, "t": [[tags...], ...]}`` for a
-  firing (refraction stamp).
+  per flushed batch, or per single event outside a batch);
+  ``{"k": "f", "r": rule, "s": 0|1, "t": [[tags...], ...]}`` opening
+  a firing (refraction stamp) whose RHS delta records follow; and
+  ``{"k": "e"}`` terminating that firing.  A log that ends inside an
+  ``f``…``e`` window holds an incomplete firing, which recovery rolls
+  back wholesale (:mod:`repro.durability.recovery`).
 
 Damage classification, shared by append-open and recovery:
 
 * an **incomplete final frame** (bad magic, implausible length, or a
-  frame extending past EOF) with no later record start in the file is
-  a *torn tail* — tolerated, the tail is dropped;
+  frame extending past EOF) with no *valid* later record in the file
+  is a *torn tail* — tolerated, the tail is dropped;
 * a **CRC or JSON failure on the final complete frame** is a *damaged
   final record* — tolerated the same way;
-* any damage **followed by evidence of further records** (the magic
-  sequence later in the file), or any damage in a **non-final
+* any damage **followed by a validated record** (a magic hit whose
+  frame parses and passes its CRC), or any damage in a **non-final
   segment**, is silent corruption — a typed
   :class:`~repro.errors.RecoveryError` (or
   :class:`~repro.errors.WalError` when opening for append).
 
 The fsync policy trades durability for throughput: ``always`` fsyncs
 after every record, ``batch`` only after batch records (and on sync
-points such as checkpoints and close), ``off`` never fsyncs — data
-still reaches the OS on every append via ``flush``, so it survives a
-process crash, just not a power failure.
+points such as checkpoints, segment rollover, and close), ``off``
+never fsyncs — data still reaches the OS on every append via
+``flush``, so it survives a process crash, just not a power failure.
+Under ``always`` and ``batch``, segment rollover fsyncs the outgoing
+segment and then the directory entry of the new one, so a durable
+record in segment N+1 implies all of segment N is durable.
 """
 
 from __future__ import annotations
@@ -73,6 +83,20 @@ def list_segments(directory):
             if stem.isdigit():
                 pairs.append((int(stem), os.path.join(directory, name)))
     return sorted(pairs)
+
+
+def fsync_dir(path):
+    """fsync a directory so entries for renamed/created files persist."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # platforms where directories cannot be opened
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 class _Damage:
@@ -118,7 +142,33 @@ def scan_segment(data, start=0):
 
 def _damage(data, offset, frame_end, reason):
     search_from = offset + 1 if frame_end is None else frame_end
-    return _Damage(offset, data.find(MAGIC, search_from) != -1, reason)
+    return _Damage(offset, _valid_record_after(data, search_from), reason)
+
+
+def _valid_record_after(data, search_from):
+    """Is there a *validated* record at some magic hit past *search_from*?
+
+    Payload bytes can coincide with the magic sequence, so a bare hit
+    is not evidence of durable records after the damage — the candidate
+    frame must also parse (plausible length, CRC-valid, JSON-decodable)
+    before a torn tail is escalated to silent mid-log corruption.
+    """
+    index = data.find(MAGIC, search_from)
+    while index != -1:
+        if index + HEADER.size <= len(data):
+            _, length, crc = HEADER.unpack_from(data, index)
+            end = index + HEADER.size + length
+            if length <= MAX_RECORD_BYTES and end <= len(data):
+                payload = data[index + HEADER.size:end]
+                if zlib.crc32(payload) == crc:
+                    try:
+                        json.loads(payload)
+                    except ValueError:
+                        pass
+                    else:
+                        return True
+        index = data.find(MAGIC, index + 1)
+    return False
 
 
 def encode_record(payload):
@@ -184,11 +234,20 @@ class WriteAheadLog:
 
     def _start_segment(self, seq):
         if self._file is not None:
+            # A durable record in the new segment must imply the whole
+            # outgoing segment is durable, or recovery would find a
+            # damaged non-final segment and refuse the entire log.
+            if self.fsync != "off":
+                self.sync()
             self._file.close()
         path = os.path.join(self.directory, segment_name(seq))
         self._file = open(path, "ab")
         self._seq = seq
         self._offset = 0
+        if self.fsync != "off":
+            # Make the new segment's directory entry durable: an
+            # fsync-acknowledged record must not vanish with its file.
+            fsync_dir(self.directory)
 
     # -- appending ---------------------------------------------------------
 
@@ -201,6 +260,13 @@ class WriteAheadLog:
         """
         if self._file is None:
             raise WalError("write-ahead log is closed")
+        if self.fault is not None and self.fault.crashed:
+            # A dead process writes nothing: once a simulated crash has
+            # fired, later appends (e.g. from a ``finally``) must not
+            # scribble valid frames after the torn one.
+            from repro.durability.faultfs import SimulatedCrash
+
+            raise SimulatedCrash("the process already crashed")
         frame = encode_record(payload)
         if self._offset and self._offset + len(frame) > self.segment_bytes:
             self._start_segment(self._seq + 1)
@@ -321,3 +387,59 @@ def read_log_tail(directory, start=None):
         end_position = (seq, end)
         tail_damage = damage
     return payloads, end_position, tail_damage
+
+
+def _record_spans(data, start=0):
+    """``(start, end)`` byte spans of the intact frames from *start*.
+
+    Stops at the first frame that fails the header or CRC check, like
+    :func:`scan_segment` (JSON validity is not re-checked — a
+    CRC-valid frame is a span even if its payload fails to decode).
+    """
+    spans = []
+    offset = start
+    while offset + HEADER.size <= len(data):
+        magic, length, crc = HEADER.unpack_from(data, offset)
+        if magic != MAGIC or length > MAX_RECORD_BYTES:
+            break
+        end = offset + HEADER.size + length
+        if end > len(data):
+            break
+        if zlib.crc32(data[offset + HEADER.size:end]) != crc:
+            break
+        spans.append((offset, end))
+        offset = end
+    return spans
+
+
+def truncate_after(directory, start, keep):
+    """Physically keep only the first *keep* intact records past *start*.
+
+    Everything after them — later records, later segments, and any
+    damaged tail bytes — is deleted.  Recovery uses this to roll an
+    incomplete trailing firing out of the log before logging resumes,
+    so a second recovery of the same directory sees the same history.
+    Returns the ``(seq, offset)`` cut position, or None if the log
+    holds no more than *keep* intact records (nothing to cut).
+    """
+    seq0, off0 = start if start is not None else (0, 0)
+    cut = None
+    for seq, path in list_segments(directory):
+        if seq < seq0:
+            continue
+        if cut is not None:
+            os.remove(path)
+            continue
+        with open(path, "rb") as handle:
+            data = handle.read()
+        for span_start, _ in _record_spans(
+            data, off0 if seq == seq0 else 0
+        ):
+            if keep == 0:
+                cut = (seq, span_start)
+                break
+            keep -= 1
+        if cut is not None:
+            with open(path, "r+b") as handle:
+                handle.truncate(cut[1])
+    return cut

@@ -214,20 +214,39 @@ class RuleEngine:
         # Refraction stamp is taken *before* the RHS runs: per the paper's
         # section 6 control semantics, any change to the instantiation —
         # including one caused by its own firing — makes it eligible again.
+        # In the WAL the stamp opens a bracketed transaction (the ``e``
+        # terminator closes it below) so recovery can roll back a firing
+        # whose effects a crash kept from becoming durable.
         instantiation.mark_fired()
         if self.durability is not None:
             self.durability.log_fire(instantiation)
         executor = RhsExecutor(
             self, instantiation.rule, analysis, instantiation, record
         )
-        if self.stats.enabled:
-            started = perf_counter()
-            executor.run()
-            self.stats.cycle(
-                instantiation.rule.name, perf_counter() - started
-            )
-        else:
-            executor.run()
+        completed = False
+        try:
+            if self.stats.enabled:
+                started = perf_counter()
+                executor.run()
+                self.stats.cycle(
+                    instantiation.rule.name, perf_counter() - started
+                )
+            else:
+                executor.run()
+            completed = True
+        finally:
+            if self.durability is not None:
+                if completed:
+                    self.durability.log_fire_end()
+                else:
+                    # Best effort on the error path: a terminator still
+                    # makes the firing durable (halt/user errors leave WM
+                    # changes applied), but logging failure here must not
+                    # mask the RHS error — especially a simulated crash.
+                    try:
+                        self.durability.log_fire_end()
+                    except Exception:
+                        pass
         return record
 
     def run(self, limit=None):

@@ -55,7 +55,6 @@ class TestWriteLoad:
         assert loaded.manifest["cycle_count"] == 5
         assert loaded.manifest["program"] == "(literalize a)"
         assert loaded.wm_snapshot["wmes"][0]["class"] == "a"
-        assert loaded.db_snapshot is None
 
     def test_sequence_numbers_advance(self, tmp_path):
         _write(tmp_path)
@@ -66,10 +65,9 @@ class TestWriteLoad:
     def test_no_current_means_none(self, tmp_path):
         assert load_checkpoint(str(tmp_path)) is None
 
-    def test_db_snapshot_member(self, tmp_path):
-        _write(tmp_path, db_snapshot={"tables": {}})
-        loaded = load_checkpoint(str(tmp_path))
-        assert loaded.db_snapshot == {"tables": {}}
+    def test_members_are_wm_and_manifest_only(self, tmp_path):
+        path = _write(tmp_path)
+        assert sorted(os.listdir(path)) == ["MANIFEST.json", "wm.json"]
 
 
 class TestValidation:

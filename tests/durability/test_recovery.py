@@ -164,7 +164,7 @@ class TestBasicRecovery:
         assert type(recovered.matcher) is TreatMatcher
         assert recovered.strategy.name == "mea"
 
-    def test_dips_checkpoint_carries_rdb_snapshot(self, tmp_path):
+    def test_dips_checkpoint_needs_no_rdb_snapshot(self, tmp_path):
         import os
 
         from repro.dips import DipsMatcher
@@ -176,10 +176,13 @@ class TestBasicRecovery:
         engine.load(PROGRAM)
         engine.make("player", name="a", team="A", score=10)
         path = engine.checkpoint()
-        assert os.path.exists(os.path.join(path, "rdb.json"))
+        # The COND tables are derived state rebuilt by replay; the
+        # checkpoint holds no second (potentially disagreeing) copy.
+        assert not os.path.exists(os.path.join(path, "rdb.json"))
         recovered = RuleEngine.recover(tmp_path, durability=False)
         assert type(recovered.matcher) is DipsMatcher
         assert wm_state(recovered) == wm_state(engine)
+        assert cs_state(recovered) == cs_state(engine)
 
 
 class TestDamageHandling:
@@ -216,6 +219,7 @@ class TestDamageHandling:
             ["+", "player", 1, {"name": "a", "team": "A", "score": 10}],
         ]})
         wal.append({"k": "f", "r": "promote", "s": 0, "t": [[99]]})
+        wal.append({"k": "e"})  # terminated: a *completed* bogus firing
         wal.close()
         with pytest.raises(RecoveryError, match="conflict set"):
             RuleEngine.recover(tmp_path, durability=False)
@@ -272,6 +276,91 @@ class TestInjectedCrashes:
         assert wm_state(recovered) == before
 
 
+class TestIncompleteFiring:
+    def test_crash_mid_firing_rolls_the_firing_back(self, tmp_path):
+        # Appends: 1 meta, 2 literalize, 3 rule, 4 make, 5 'f' stamp,
+        # 6 the modify's remove delta — torn.  The log ends with a
+        # refraction stamp whose effects never became durable.
+        fault = FaultInjector(torn_append=(6, 0.3))
+        engine = RuleEngine(
+            durability=DurabilityConfig(tmp_path, fsync="off", fault=fault)
+        )
+        engine.load(PROGRAM)
+        engine.make("player", name="a", team="A", score=10)
+        with pytest.raises(SimulatedCrash):
+            engine.run()
+        recovered = RuleEngine.recover(tmp_path, durability=False)
+        report = recovered.recovery_report
+        assert report.tail_damaged
+        assert report.dropped_records == 1  # the orphaned 'f' stamp
+        assert report.replayed_firings == 0
+        # The firing was rolled back wholesale: the instantiation is
+        # eligible again, and refiring converges to the same end state
+        # as an uninterrupted run.
+        assert recovered.run() == 1
+        assert recovered.output == ["promoted a"]
+        baseline = _workload(tmp_path / "baseline")
+        [(tag, _, values)] = wm_state(recovered)
+        assert dict(values)["team"] == "B"
+        del baseline
+
+    def test_rollback_truncates_log_for_the_next_recovery(self, tmp_path):
+        fault = FaultInjector(torn_append=(6, 0.3))
+        engine = RuleEngine(
+            durability=DurabilityConfig(tmp_path, fsync="off", fault=fault)
+        )
+        engine.load(PROGRAM)
+        engine.make("player", name="a", team="A", score=10)
+        with pytest.raises(SimulatedCrash):
+            engine.run()
+        # Resume logging: the rolled-back firing must be cut from the
+        # file, or a second recovery would see its stamp mid-log.
+        first = RuleEngine.recover(tmp_path)
+        state = wm_state(first)
+        cs = cs_state(first)
+        first.close()
+        second = RuleEngine.recover(tmp_path, durability=False)
+        assert second.recovery_report.dropped_records == 0
+        assert wm_state(second) == state
+        assert cs_state(second) == cs
+
+    def test_only_the_unterminated_firing_is_dropped(self, tmp_path):
+        from repro.durability.wal import WriteAheadLog
+
+        # One completed firing (f…e), then an orphaned stamp with a
+        # trailing delta: only the open transaction rolls back.
+        wal = WriteAheadLog(tmp_path, fsync="off")
+        wal.append({"k": "l", "c": "player",
+                    "a": ["name", "team", "score"]})
+        wal.append({"k": "p", "src":
+                    "(p promote (player ^name <n> ^team A ^score 10) "
+                    "--> (modify 1 ^team B) (write promoted <n>))"})
+        wal.append({"k": "d", "n": 2, "e": [
+            ["+", "player", 1, {"name": "a", "team": "A", "score": 10}],
+        ]})
+        wal.append({"k": "f", "r": "promote", "s": 0, "t": [[1]]})
+        wal.append({"k": "d", "n": 2, "e": [["-", "player", 1, None]]})
+        wal.append({"k": "d", "n": 3, "e": [
+            ["+", "player", 2, {"name": "a", "team": "B", "score": 10}],
+        ]})
+        wal.append({"k": "e"})
+        wal.append({"k": "d", "n": 4, "e": [
+            ["+", "player", 3, {"name": "b", "team": "A", "score": 10}],
+        ]})
+        wal.append({"k": "f", "r": "promote", "s": 0, "t": [[3]]})
+        wal.append({"k": "d", "n": 4, "e": [["-", "player", 3, None]]})
+        wal.close()
+        recovered = RuleEngine.recover(tmp_path, durability=False)
+        report = recovered.recovery_report
+        assert report.dropped_records == 2  # the stamp and its delta
+        assert report.replayed_firings == 1
+        tags = [tag for tag, _, _ in wm_state(recovered)]
+        assert tags == [2, 3]  # b's make survived, its removal didn't
+        # b is eligible (its firing rolled back); a stays refracted.
+        assert recovered.run() == 1
+        assert recovered.output == ["promoted b"]
+
+
 class TestEngineGuards:
     def test_checkpoint_requires_durability(self):
         engine = RuleEngine()
@@ -286,6 +375,16 @@ class TestEngineGuards:
             with pytest.raises(DurabilityError, match="batch"):
                 engine.checkpoint()
         engine.close()
+
+    def test_fresh_engine_refuses_used_directory(self, tmp_path):
+        engine = _workload(tmp_path)
+        engine.close()
+        # A fresh engine would restart time tags at 1 and interleave
+        # two sessions in one log; only recover() may reuse the dir.
+        with pytest.raises(DurabilityError, match="previous session"):
+            RuleEngine(durability=DurabilityConfig(tmp_path, fsync="off"))
+        recovered = RuleEngine.recover(tmp_path)  # the sanctioned path
+        recovered.close()
 
     def test_close_is_idempotent(self, tmp_path):
         engine = RuleEngine(

@@ -13,6 +13,7 @@ from repro.durability.wal import (
     read_log_tail,
     scan_segment,
     segment_name,
+    truncate_after,
 )
 from repro.engine.stats import MatchStats
 from repro.errors import RecoveryError, WalError
@@ -71,6 +72,26 @@ class TestFraming:
         payloads, end, damage = scan_segment(bogus)
         assert payloads == []
         assert damage.reason == "frame"
+
+    def test_fake_magic_in_torn_tail_is_not_trailing_evidence(self):
+        # The magic sequence appearing in garbage (or in payload
+        # bytes — 0xAB is a valid UTF-8 continuation byte) is not
+        # proof of durable records after the damage: only a candidate
+        # that parses and passes its CRC may escalate a tolerable torn
+        # tail to silent corruption.
+        frame = encode_record({"k": "d", "i": 1})
+        data = frame + b"garbage" + MAGIC + b"more-garbage"
+        payloads, end, damage = scan_segment(data)
+        assert len(payloads) == 1
+        assert damage is not None
+        assert not damage.trailing
+
+    def test_valid_frame_after_damage_is_trailing_evidence(self):
+        frame = encode_record({"k": "d", "i": 1})
+        tail = encode_record({"k": "d", "i": 2})
+        payloads, end, damage = scan_segment(frame + b"junk" + tail)
+        assert len(payloads) == 1
+        assert damage.trailing
 
 
 class TestAppend:
@@ -183,6 +204,34 @@ class TestFsyncPolicies:
     def test_off_never_fsyncs(self, tmp_path):
         assert self._fsyncs(tmp_path, "off", [True, False]) == 0
 
+    def test_rollover_fsyncs_the_outgoing_segment(self, tmp_path):
+        # A durable record in segment N+1 must imply all of segment N
+        # is durable, even when no record in N was individually
+        # fsynced — otherwise a power failure could damage a non-final
+        # segment and recovery would refuse the whole log.
+        stats = MatchStats()
+        wal = WriteAheadLog(
+            tmp_path, fsync="batch", segment_bytes=120, stats=stats
+        )
+        for p in _payloads(8, size=40):
+            wal.append(p, batch=False)  # no per-record fsyncs
+        rollovers = len(list_segments(tmp_path)) - 1
+        assert rollovers > 0
+        assert stats.counters["wal_fsyncs"] == rollovers
+        wal.close()
+        assert stats.counters["wal_fsyncs"] == rollovers + 1
+
+    def test_rollover_never_fsyncs_under_off(self, tmp_path):
+        stats = MatchStats()
+        wal = WriteAheadLog(
+            tmp_path, fsync="off", segment_bytes=120, stats=stats
+        )
+        for p in _payloads(8, size=40):
+            wal.append(p)
+        assert len(list_segments(tmp_path)) > 1
+        wal.close()
+        assert stats.counters.get("wal_fsyncs", 0) == 0
+
     def test_append_and_byte_counters(self, tmp_path):
         stats = MatchStats()
         wal = WriteAheadLog(tmp_path, fsync="off", stats=stats)
@@ -248,3 +297,60 @@ class TestReadLogTail:
     def test_defaults(self):
         assert DEFAULT_SEGMENT_BYTES == 1 << 20
         assert segment_name(3) == "00000003.wal"
+
+
+class TestTruncateAfter:
+    def test_cuts_within_a_segment(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="off")
+        for p in _payloads(5):
+            wal.append(p)
+        wal.close()
+        cut = truncate_after(tmp_path, None, 3)
+        payloads, end, damage = read_log_tail(tmp_path)
+        assert payloads == _payloads(3)
+        assert end == cut
+        assert damage is None
+
+    def test_cuts_across_segments_and_removes_later_ones(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="off", segment_bytes=80)
+        for p in _payloads(10, size=40):
+            wal.append(p)
+        wal.close()
+        assert len(list_segments(tmp_path)) > 3
+        truncate_after(tmp_path, None, 2)
+        payloads, _, damage = read_log_tail(tmp_path)
+        assert payloads == _payloads(2, size=40)
+        assert damage is None
+
+    def test_respects_the_start_position(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="off")
+        wal.append({"i": 1})
+        start = wal.append({"i": 2})
+        wal.append({"i": 3})
+        wal.append({"i": 4})
+        wal.close()
+        truncate_after(tmp_path, start, 1)
+        payloads, _, _ = read_log_tail(tmp_path)
+        assert [p["i"] for p in payloads] == [1, 2, 3]
+
+    def test_nothing_to_cut_returns_none(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="off")
+        for p in _payloads(2):
+            wal.append(p)
+        wal.close()
+        assert truncate_after(tmp_path, None, 5) is None
+        payloads, _, _ = read_log_tail(tmp_path)
+        assert payloads == _payloads(2)
+
+    def test_cut_also_drops_damaged_tail_bytes(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="off")
+        for p in _payloads(3):
+            wal.append(p)
+        wal.close()
+        path = list_segments(tmp_path)[-1][1]
+        with open(path, "ab") as handle:
+            handle.write(b"torn-tail-bytes")
+        truncate_after(tmp_path, None, 2)
+        payloads, _, damage = read_log_tail(tmp_path)
+        assert payloads == _payloads(2)
+        assert damage is None
