@@ -4,10 +4,18 @@ Usage::
 
     python -m repro.cli [program.ops] [--matcher rete|treat|naive|dips]
                         [--strategy lex|mea] [--run N] [--watch LEVEL]
+                        [--on-error POLICY]
                         [--profile] [--profile-json FILE]
                         [--wal-dir DIR] [--fsync always|batch|off]
                         [--checkpoint]
     python -m repro.cli recover DIR [--run N] [--no-wal] ...
+
+``--on-error`` sets the engine-wide firing error policy — ``halt``
+(default), ``skip``, ``retry[:n[:backoff[:then]]]``, or
+``quarantine[:k]`` — see ``docs/RELIABILITY.md``; the ``on-error``
+REPL command changes it (optionally per rule) at runtime, and
+``deadletters`` / ``quarantined`` / ``release`` inspect and undo what
+containment did.
 
 ``--wal-dir`` enables the durability subsystem: every working-memory
 delta-set and firing is appended to a write-ahead log in *DIR* (fsync
@@ -40,6 +48,10 @@ command                   effect
 ``matches RULE``          show a rule's instantiations and their tokens
 ``watch LEVEL``           0 = silent, 1 = firings, 2 = + WM changes
 ``strategy lex|mea``      switch conflict resolution
+``on-error P [RULE]``     set the error policy (engine-wide or per rule)
+``deadletters``           show abandoned (skip/quarantine) firings
+``quarantined``           show quarantined rules and why
+``release RULE``          re-admit a quarantined rule
 ``stats``                 matcher/engine counters
 ``profile``               per-rule/per-node match-work tables (--profile)
 ``checkpoint``            write a durability checkpoint (--wal-dir)
@@ -100,7 +112,7 @@ class ReplSession:
 
     def __init__(self, matcher="rete", strategy="lex", watch=1,
                  profile=False, wal_dir=None, fsync="batch",
-                 engine=None):
+                 on_error="halt", engine=None):
         from repro.engine.stats import MatchStats
 
         self.profile_stats = None
@@ -120,7 +132,8 @@ class ReplSession:
             self.engine = RuleEngine(matcher=_build_matcher(matcher),
                                      strategy=strategy,
                                      stats=self.profile_stats,
-                                     durability=durability)
+                                     durability=durability,
+                                     on_error=on_error)
         self.watch = watch
         self._pending = ""
         self.engine.wm.attach(self._wm_observer)
@@ -197,8 +210,8 @@ class ReplSession:
     def _cmd_help(self, arguments):
         return __doc__.split("========", 1)[0] + (
             "commands: make remove modify run step wm cs matches watch "
-            "parallel excise strategy stats profile checkpoint network "
-            "load exit"
+            "parallel excise strategy on-error deadletters quarantined "
+            "release stats profile checkpoint network load exit"
         )
 
     def _cmd_make(self, arguments):
@@ -224,14 +237,23 @@ class ReplSession:
 
     def _cmd_run(self, arguments):
         limit = int(arguments[0]) if arguments else None
+        letters_before = len(self.engine.dead_letters)
         fired = 0
         while limit is None or fired < limit:
+            letters = len(self.engine.dead_letters)
             instantiation = self.engine.step()
             if instantiation is None:
                 break
+            if len(self.engine.dead_letters) > letters:
+                continue  # abandoned by its error policy, not a firing
             self._report_firing(instantiation)
             fired += 1
         lines = [f"{fired} firing(s)"]
+        abandoned = len(self.engine.dead_letters) - letters_before
+        if abandoned:
+            lines.append(
+                f"{abandoned} firing(s) abandoned (see deadletters)"
+            )
         lines.extend(list(self.engine.tracer.output)[-20:])
         self.engine.tracer.output.clear()
         return "\n".join(lines)
@@ -331,6 +353,48 @@ class ReplSession:
         path = self.engine.checkpoint()
         return f"checkpoint written to {path}"
 
+    def _cmd_on_error(self, arguments):
+        if not arguments:
+            reliability = self.engine.reliability
+            lines = [f"default: {reliability.default_policy!r}"]
+            for rule_name, policy in sorted(
+                reliability.rule_policies.items()
+            ):
+                lines.append(f"{rule_name}: {policy!r}")
+            return "\n".join(lines)
+        rule = arguments[1] if len(arguments) > 1 else None
+        policy = self.engine.set_error_policy(arguments[0], rule=rule)
+        scope = rule if rule is not None else "default"
+        return f"on-error {scope}: {policy!r}"
+
+    def _cmd_deadletters(self, arguments):
+        letters = self.engine.dead_letters
+        if not letters:
+            return "no dead letters"
+        return "\n".join(repr(letter) for letter in letters)
+
+    def _cmd_quarantined(self, arguments):
+        quarantined = self.engine.quarantined_rules()
+        if not quarantined:
+            return "no rules are quarantined"
+        lines = []
+        for rule_name, info in sorted(quarantined.items()):
+            lines.append(
+                f"{rule_name}: {info['failures']} failure(s), "
+                f"quarantined at cycle {info['cycle']} "
+                f"({info['reason']}); {info['parked']} parked"
+            )
+        return "\n".join(lines)
+
+    def _cmd_release(self, arguments):
+        if not arguments:
+            return "usage: release rule-name"
+        rule_name = arguments[0]
+        if rule_name not in self.engine.quarantined_rules():
+            return f"{rule_name} is not quarantined"
+        restored = self.engine.release_rule(rule_name)
+        return f"released {rule_name}: {restored} instantiation(s) back"
+
     def _cmd_excise(self, arguments):
         if not arguments:
             return "usage: excise rule-name"
@@ -426,6 +490,14 @@ def _recover_main(argv):
         help="override the checkpointed matcher",
     )
     parser.add_argument("--strategy", choices=("lex", "mea"), default=None)
+    parser.add_argument(
+        "--on-error",
+        metavar="POLICY",
+        default=None,
+        help="firing error policy for the recovered session "
+        "(halt|skip|retry[:n[:backoff[:then]]]|quarantine[:k]); "
+        "policies are not persisted, so restate yours here",
+    )
     parser.add_argument("--run", type=int, metavar="N")
     parser.add_argument("--watch", type=int, default=1)
     parser.add_argument("--profile", action="store_true")
@@ -454,6 +526,7 @@ def _recover_main(argv):
             strategy=options.strategy,
             stats=stats,
             durability=not options.no_wal,
+            on_error=options.on_error,
         )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -500,6 +573,13 @@ def main(argv=None):
     )
     parser.add_argument("--strategy", choices=("lex", "mea"), default="lex")
     parser.add_argument(
+        "--on-error",
+        metavar="POLICY",
+        default="halt",
+        help="firing error policy: halt (default), skip, "
+        "retry[:n[:backoff[:then]]], or quarantine[:k]",
+    )
+    parser.add_argument(
         "--run",
         type=int,
         metavar="N",
@@ -544,6 +624,7 @@ def main(argv=None):
             profile=options.profile or options.profile_json is not None,
             wal_dir=options.wal_dir,
             fsync=options.fsync,
+            on_error=options.on_error,
         )
     except ReproError as error:
         # E.g. --wal-dir pointing at a previous session's log: a fresh

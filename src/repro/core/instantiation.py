@@ -104,6 +104,14 @@ class Instantiation:
     def mark_fired(self):
         self.fired = True
 
+    def refraction_state(self):
+        """Opaque refraction snapshot for atomic-firing rollback."""
+        return self.fired
+
+    def restore_refraction(self, state):
+        """Restore a snapshot taken by :meth:`refraction_state`."""
+        self.fired = state
+
     # -- content ------------------------------------------------------------
 
     def tokens(self):
@@ -170,6 +178,14 @@ class SetInstantiation:
 
     def mark_fired(self):
         self._fired_version = self.soi.version
+
+    def refraction_state(self):
+        """Opaque refraction snapshot for atomic-firing rollback."""
+        return self._fired_version
+
+    def restore_refraction(self, state):
+        """Restore a snapshot taken by :meth:`refraction_state`."""
+        self._fired_version = state
 
     # -- content ------------------------------------------------------------
 

@@ -66,7 +66,7 @@ def _fsync_file(path):
 
 def write_checkpoint(directory, *, wm_snapshot, wal_position,
                      next_tag, program, matcher_name, strategy_name,
-                     fired, cycle_count, fault=None):
+                     fired, cycle_count, reliability=None, fault=None):
     """Write one atomic checkpoint; returns its directory path.
 
     The caller (the durability manager) is responsible for syncing the
@@ -106,6 +106,8 @@ def write_checkpoint(directory, *, wm_snapshot, wal_position,
         "fired": fired,
         "files": files,
     }
+    if reliability:
+        manifest["reliability"] = reliability
     manifest_data = json.dumps(manifest, separators=(",", ":"))
     manifest_path = os.path.join(tmp_path, MANIFEST_NAME)
     with open(manifest_path, "w", encoding="utf-8") as handle:

@@ -60,6 +60,14 @@ class DurabilityConfig:
         )
 
 
+def _cause_summary(error):
+    """One-line summary of a FiringError's underlying cause."""
+    cause = error.__cause__
+    if cause is None:
+        return str(error)
+    return f"{type(cause).__name__}: {cause}"
+
+
 def fired_signature(instantiation):
     """Content identity of a fired instantiation, as JSON-safe data.
 
@@ -73,9 +81,17 @@ def fired_signature(instantiation):
 
 
 def collect_fired(engine):
-    """Refraction stamps of every currently-ineligible instantiation."""
+    """Refraction stamps of every currently-ineligible instantiation.
+
+    Parked (quarantined) instantiations are included: they are still
+    matched, and a release after recovery must see their true stamps.
+    """
+    conflict_set = engine.conflict_set
+    candidates = list(conflict_set.instantiations())
+    for rule_name in conflict_set.parked_rules():
+        candidates.extend(conflict_set.parked_of_rule(rule_name))
     fired = []
-    for instantiation in engine.conflict_set.instantiations():
+    for instantiation in candidates:
         if instantiation.eligible():
             continue
         fired.append({
@@ -84,6 +100,41 @@ def collect_fired(engine):
             "t": fired_signature(instantiation),
         })
     return fired
+
+
+def collect_reliability(engine):
+    """JSON-safe reliability state for the checkpoint manifest.
+
+    Returns None when there is nothing to record (no quarantines,
+    failures, or dead letters), keeping clean-run manifests unchanged.
+    """
+    manager = engine.reliability
+    state = {
+        "quarantined": {
+            rule_name: {
+                "cycle": info.get("cycle", 0),
+                "failures": info.get("failures", 0),
+                "reason": info.get("reason", ""),
+            }
+            for rule_name, info in manager.quarantined.items()
+        },
+        "failures": dict(manager.failure_counts),
+        "dead_letters": [
+            {
+                "r": letter.rule_name,
+                "c": letter.cycle,
+                "n": letter.attempts,
+                "i": list(letter.action_path),
+                "err": letter.error,
+                "t": letter.signature,
+                "o": letter.outcome,
+            }
+            for letter in manager.dead_letters
+        ],
+    }
+    if not any(state.values()):
+        return None
+    return state
 
 
 def _holds_prior_session(directory):
@@ -205,6 +256,42 @@ class DurabilityManager:
         """Terminate the firing transaction opened by :meth:`log_fire`."""
         self.wal.append({"k": "e"}, batch=False)
 
+    def log_abort(self, instantiation, outcome, error):
+        """Terminate a firing transaction as *rolled back*.
+
+        The record carries the containment outcome so replay restores
+        the refraction stamp for ``halt`` (the firing never happened)
+        and leaves it consumed for ``skip``/``retry``/``quarantine``
+        (the attempt was spent), plus enough context — failed action
+        path and error summary — to rebuild the dead-letter list.
+        """
+        self.wal.append({
+            "k": "a",
+            "o": outcome,
+            "r": instantiation.rule.name,
+            "c": error.cycle,
+            "n": error.attempt,
+            "i": list(error.action_path),
+            "err": _cause_summary(error),
+        }, batch=False)
+
+    def log_quarantine(self, rule_name):
+        """Record a rule entering quarantine."""
+        self.wal.append({"k": "q", "r": rule_name}, batch=False)
+
+    def log_release(self, rule_name):
+        """Record a quarantined rule being released."""
+        self.wal.append({"k": "Q", "r": rule_name}, batch=False)
+
+    def log_reset(self):
+        """Record an :meth:`RuleEngine.reset` (after its clear deltas).
+
+        Replay zeroes the control state — cycle count, halt flag,
+        trace, dead letters, quarantine — exactly as the live reset
+        did; the preceding delta record already emptied working memory.
+        """
+        self.wal.append({"k": "R"}, batch=False)
+
     @staticmethod
     def decode_delta(entry):
         """``[sign, class, tag, values]`` → usable fields."""
@@ -242,6 +329,7 @@ class DurabilityManager:
             strategy_name=engine.strategy.name,
             fired=collect_fired(engine),
             cycle_count=engine.cycle_count,
+            reliability=collect_reliability(engine),
             fault=self.config.fault,
         )
         fault = self.config.fault

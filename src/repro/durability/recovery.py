@@ -82,7 +82,7 @@ class RecoveryReport:
 
 def recover_engine(engine_cls, path, *, program=None, matcher=None,
                    strategy=None, stats=None, echo=False,
-                   durability=True, trace_limit=None):
+                   durability=True, trace_limit=None, on_error=None):
     """Rebuild a :class:`RuleEngine` from the WAL directory *path*.
 
     *matcher* may be a matcher instance or a registry name
@@ -106,16 +106,18 @@ def recover_engine(engine_cls, path, *, program=None, matcher=None,
     start = tuple(manifest["wal"]) if loaded is not None else None
     payloads, end_position, tail_damage = read_log_tail(path, start)
 
-    # A log ending inside a firing transaction (an ``f`` stamp whose
-    # ``e`` terminator never made it to disk) is a firing the crash cut
-    # short: drop it wholesale rather than replay a refraction stamp
-    # whose effects are lost.  Scan backward matching terminators to
-    # stamps so nested firings (RHS ``call`` → ``run()``) are handled.
+    # A log ending inside a firing transaction (an ``f`` stamp with
+    # neither its ``e`` commit nor its ``a`` abort on disk) is a firing
+    # the crash cut short — possibly mid-rollback: the live engine
+    # stages RHS effects, so nothing of it is durable either way, and
+    # dropping it wholesale is correct for both.  Scan backward
+    # matching terminators to stamps so firings nested through RHS
+    # ``call`` → ``run()`` are handled.
     drop_from = None
     depth = 0
     for index in range(len(payloads) - 1, -1, -1):
         kind = payloads[index].get("k")
-        if kind == "e":
+        if kind in ("e", "a"):
             depth += 1
         elif kind == "f":
             if depth:
@@ -143,8 +145,13 @@ def recover_engine(engine_cls, path, *, program=None, matcher=None,
         strategy = (
             meta.get("strategy") or manifest.get("strategy") or "lex"
         )
+    # Error policies are not persisted (they may hold callables and
+    # tuning the policy is a per-session decision); callers restate
+    # one via *on_error*, defaulting to the engine's own default.
     engine = engine_cls(matcher=matcher, strategy=strategy, echo=echo,
-                        stats=stats, trace_limit=trace_limit)
+                        stats=stats, trace_limit=trace_limit,
+                        **({} if on_error is None
+                           else {"on_error": on_error}))
 
     program_text = program
     if program_text is None:
@@ -161,6 +168,9 @@ def recover_engine(engine_cls, path, *, program=None, matcher=None,
             engine.wm._next_tag, manifest.get("next_tag", 1)
         )
         engine.cycle_count = manifest.get("cycle_count", 0)
+        # Quarantine parking first (so stamps are looked up where the
+        # instantiations actually live), then refraction stamps.
+        _restore_reliability(engine, manifest.get("reliability"))
         for entry in manifest.get("fired", ()):
             _mark_fired(engine, entry)
 
@@ -212,10 +222,18 @@ def _replay(engine, payloads):
     let a make/remove pair net away and silently keep a fired
     instantiation alive where the original run retracted and re-created
     it eligible.
+
+    Firing brackets replay with their recorded outcome: an ``e``
+    commit keeps the refraction stamp its ``f`` applied; an ``a``
+    abort under the ``halt`` outcome restores the pre-fire stamp
+    (the live engine rolled the firing back wholesale), while
+    skip/retry/quarantine aborts leave the stamp consumed and
+    skip/quarantine rebuild the dead-letter record.
     """
     wm = engine.wm
     deltas = 0
     firings = 0
+    open_firings = []
 
     def apply_record(record):
         nonlocal deltas
@@ -235,8 +253,9 @@ def _replay(engine, payloads):
         if kind == "d":
             apply_record(payload)
         elif kind == "f":
-            _mark_fired(engine, payload)
+            open_firings.append(_mark_fired(engine, payload))
             firings += 1
+            engine.cycle_count += 1
         elif kind == "l":
             engine.literalize(payload["c"], *payload["a"])
         elif kind == "p":
@@ -245,12 +264,90 @@ def _replay(engine, payloads):
             if payload["r"] in engine.rules:
                 engine.excise(payload["r"])
         elif kind == "e":
-            pass  # firing terminator; the rollback scan consumed it
+            if open_firings:
+                open_firings.pop()
+        elif kind == "a":
+            _replay_abort(engine, payload, open_firings)
+        elif kind == "q":
+            _replay_quarantine(engine, payload["r"])
+        elif kind == "Q":
+            engine.reliability.release(engine, payload["r"])
+        elif kind == "R":
+            # The reset's clear already replayed as an ordinary delta
+            # record; zero the control state exactly as reset() did.
+            engine.tracer.clear()
+            engine.halted = False
+            engine.cycle_count = 0
+            engine.reliability.clear_runtime_state(engine)
         elif kind == "m":
             pass  # consumed by the pre-scan
         else:
             raise RecoveryError(f"unknown WAL record kind {kind!r}")
     return deltas, firings
+
+
+def _replay_abort(engine, payload, open_firings):
+    """Replay one rolled-back firing's terminator."""
+    from repro.engine.reliability import DeadLetter
+
+    instantiation = prior = None
+    if open_firings:
+        instantiation, prior = open_firings.pop()
+    outcome = payload.get("o", "halt")
+    engine.reliability.record_failure(payload["r"])
+    if outcome == "halt":
+        if instantiation is not None:
+            instantiation.restore_refraction(prior)
+        return
+    if outcome in ("skip", "quarantine"):
+        engine.reliability.add_dead_letter(DeadLetter(
+            payload["r"],
+            payload.get("c", 0),
+            payload.get("n", 1),
+            payload.get("i", ()),
+            payload.get("err", ""),
+            payload.get("t"),
+            outcome,
+        ))
+
+
+def _replay_quarantine(engine, rule_name):
+    """Replay a rule entering quarantine."""
+    parked = engine.conflict_set.quarantine_rule(rule_name)
+    engine.reliability.quarantined[rule_name] = {
+        "cycle": engine.cycle_count,
+        "failures": engine.reliability.failure_counts.get(rule_name, 0),
+        "reason": "recovered from log",
+        "parked": parked,
+    }
+
+
+def _restore_reliability(engine, state):
+    """Apply a checkpoint manifest's reliability section."""
+    from repro.engine.reliability import DeadLetter
+
+    if not state:
+        return
+    manager = engine.reliability
+    manager.failure_counts.update(state.get("failures", {}))
+    for rule_name, info in state.get("quarantined", {}).items():
+        parked = engine.conflict_set.quarantine_rule(rule_name)
+        manager.quarantined[rule_name] = {
+            "cycle": info.get("cycle", 0),
+            "failures": info.get("failures", 0),
+            "reason": info.get("reason", ""),
+            "parked": parked,
+        }
+    for entry in state.get("dead_letters", ()):
+        manager.add_dead_letter(DeadLetter(
+            entry.get("r", "?"),
+            entry.get("c", 0),
+            entry.get("n", 1),
+            entry.get("i", ()),
+            entry.get("err", ""),
+            entry.get("t"),
+            entry.get("o", "skip"),
+        ))
 
 
 def _replay_rule(engine, source):
@@ -273,18 +370,27 @@ def _apply_delta(wm, entry):
 
 
 def _mark_fired(engine, entry):
-    """Re-stamp refraction for one fired-instantiation record."""
+    """Re-stamp refraction for one fired-instantiation record.
+
+    Returns ``(instantiation, prior_refraction_state)`` so an abort
+    terminator can restore the stamp the way the live rollback did.
+    Parked (quarantined) instantiations are searched too — their
+    stamps are as real as live ones.
+    """
     from repro.durability.manager import fired_signature
 
     rule_name = entry["r"]
     wants_soi = bool(entry["s"])
     signature = entry["t"]
-    for instantiation in engine.conflict_set.of_rule(rule_name):
+    candidates = engine.conflict_set.of_rule(rule_name)
+    candidates.extend(engine.conflict_set.parked_of_rule(rule_name))
+    for instantiation in candidates:
         if instantiation.is_set_oriented != wants_soi:
             continue
         if fired_signature(instantiation) == signature:
+            prior = instantiation.refraction_state()
             instantiation.mark_fired()
-            return instantiation
+            return instantiation, prior
     raise RecoveryError(
         f"fired instantiation of rule {rule_name!r} is not in the "
         f"recovered conflict set (tags {signature}); the log and the "

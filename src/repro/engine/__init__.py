@@ -11,19 +11,39 @@ semantics (SOIs, refire-on-change, ``foreach``/``set-modify``/
 from repro.engine.engine import RuleEngine
 from repro.engine.conflict import ConflictSet, LexStrategy, MeaStrategy
 from repro.core.instantiation import Instantiation, SetInstantiation
+from repro.engine.reliability import (
+    DeadLetter,
+    HaltPolicy,
+    LivelockDetector,
+    QuarantinePolicy,
+    ReliabilityManager,
+    RetryPolicy,
+    RunReport,
+    SkipPolicy,
+    policy_named,
+)
 from repro.engine.stats import NULL_STATS, MatchStats, NullStats
 from repro.engine.tracing import FiringRecord, Tracer
 
 __all__ = [
     "ConflictSet",
+    "DeadLetter",
     "FiringRecord",
+    "HaltPolicy",
     "Instantiation",
     "LexStrategy",
+    "LivelockDetector",
     "MatchStats",
     "MeaStrategy",
     "NULL_STATS",
     "NullStats",
+    "QuarantinePolicy",
+    "ReliabilityManager",
+    "RetryPolicy",
     "RuleEngine",
+    "RunReport",
     "SetInstantiation",
+    "SkipPolicy",
     "Tracer",
+    "policy_named",
 ]

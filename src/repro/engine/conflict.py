@@ -67,6 +67,11 @@ class ConflictSet(ConflictListener):
 
     def __init__(self):
         self._instantiations = {}
+        # Quarantined rules: rule name -> {identity: instantiation}.
+        # Parked instantiations stay matched (matchers keep them
+        # current through insert/retract) but are invisible to
+        # selection until released.
+        self._parked = {}
         self.inserts = 0
         self.retracts = 0
         self.repositions = 0
@@ -74,11 +79,19 @@ class ConflictSet(ConflictListener):
     # -- listener side -----------------------------------------------------
 
     def insert(self, instantiation):
-        self._instantiations[instantiation.identity()] = instantiation
+        pool = self._parked.get(instantiation.rule.name)
+        if pool is not None:
+            pool[instantiation.identity()] = instantiation
+        else:
+            self._instantiations[instantiation.identity()] = instantiation
         self.inserts += 1
 
     def retract(self, instantiation):
-        self._instantiations.pop(instantiation.identity(), None)
+        identity = instantiation.identity()
+        if self._instantiations.pop(identity, None) is None:
+            pool = self._parked.get(instantiation.rule.name)
+            if pool is not None:
+                pool.pop(identity, None)
         self.retracts += 1
 
     def reposition(self, instantiation):
@@ -98,12 +111,56 @@ class ConflictSet(ConflictListener):
     def instantiations(self):
         return list(self._instantiations.values())
 
+    def current(self, identity):
+        """The live instantiation with *identity*, or None.
+
+        Parked (quarantined) instantiations are excluded: they are not
+        candidates for firing.
+        """
+        return self._instantiations.get(identity)
+
     def of_rule(self, rule_name):
         return [
             inst
             for inst in self._instantiations.values()
             if inst.rule.name == rule_name
         ]
+
+    # -- quarantine parking ------------------------------------------------
+
+    def quarantine_rule(self, rule_name):
+        """Detach *rule_name*'s instantiations from selection.
+
+        They move to a parked pool that insert/retract keep current, so
+        a later :meth:`release_rule` re-admits exactly the
+        instantiations that would be live had the rule never been
+        quarantined.  Returns the number parked now.
+        """
+        pool = self._parked.setdefault(rule_name, {})
+        moved = [
+            identity
+            for identity, inst in self._instantiations.items()
+            if inst.rule.name == rule_name
+        ]
+        for identity in moved:
+            pool[identity] = self._instantiations.pop(identity)
+        return len(pool)
+
+    def release_rule(self, rule_name):
+        """Re-admit a quarantined rule; returns instantiations restored."""
+        pool = self._parked.pop(rule_name, None)
+        if not pool:
+            return 0
+        self._instantiations.update(pool)
+        return len(pool)
+
+    def parked_rules(self):
+        """Names of currently quarantined rules."""
+        return sorted(self._parked)
+
+    def parked_of_rule(self, rule_name):
+        """Parked instantiations of one quarantined rule."""
+        return list(self._parked.get(rule_name, {}).values())
 
     def select(self, strategy):
         """The dominant eligible instantiation, or None (refraction applies)."""

@@ -26,11 +26,10 @@ conflict-set contents and firing behaviour are identical by contract
 
 from __future__ import annotations
 
-from time import perf_counter
-
 from repro.analysis import RuleAnalysis
+from repro.engine import reliability as _reliability
 from repro.engine.conflict import ConflictSet, strategy_named
-from repro.engine.rhs import RhsExecutor
+from repro.engine.reliability import ReliabilityManager
 from repro.engine.stats import NULL_STATS
 from repro.engine.tracing import Tracer
 from repro.errors import EngineError, RuleError
@@ -44,7 +43,8 @@ class RuleEngine:
     """An OPS5/C5 interpreter with the paper's set-oriented constructs."""
 
     def __init__(self, matcher=None, strategy="lex", echo=False,
-                 stats=None, trace_limit=None, durability=None):
+                 stats=None, trace_limit=None, durability=None,
+                 on_error="halt"):
         """*stats*: a :class:`repro.engine.stats.MatchStats` collector,
         wired through the matcher, the tracer, and the cycle timer
         (default: the no-op :data:`~repro.engine.stats.NULL_STATS`).
@@ -52,6 +52,10 @@ class RuleEngine:
         *durability*: a :class:`repro.durability.DurabilityConfig` (or a
         WAL directory path) enabling write-ahead logging of every WM
         change and firing; see :meth:`checkpoint` and :meth:`recover`.
+        *on_error*: the engine-wide firing error policy — a policy
+        object or spec string (``halt`` / ``skip`` / ``retry[:n[:b]]``
+        / ``quarantine[:k]``); see :mod:`repro.engine.reliability` and
+        :meth:`set_error_policy` for per-rule overrides.
         """
         self.wm = WorkingMemory()
         self.stats = stats if stats is not None else NULL_STATS
@@ -78,6 +82,8 @@ class RuleEngine:
             )
         self.tracer = Tracer(echo=echo, max_records=trace_limit,
                              stats=self.stats)
+        self.reliability = ReliabilityManager(on_error)
+        self.last_run_report = None
         self.rules = {}
         self.analyses = {}
         self.functions = {}
@@ -203,63 +209,74 @@ class RuleEngine:
         return instantiation
 
     def fire(self, instantiation):
-        """Fire *instantiation* now (normally called via :meth:`step`)."""
-        self.cycle_count += 1
-        record = self.tracer.begin_firing(self.cycle_count, instantiation)
-        analysis = self.analyses.get(instantiation.rule.name)
-        if analysis is None:
-            raise EngineError(
-                f"rule {instantiation.rule.name} is not registered"
-            )
-        # Refraction stamp is taken *before* the RHS runs: per the paper's
-        # section 6 control semantics, any change to the instantiation —
-        # including one caused by its own firing — makes it eligible again.
-        # In the WAL the stamp opens a bracketed transaction (the ``e``
-        # terminator closes it below) so recovery can roll back a firing
-        # whose effects a crash kept from becoming durable.
-        instantiation.mark_fired()
-        if self.durability is not None:
-            self.durability.log_fire(instantiation)
-        executor = RhsExecutor(
-            self, instantiation.rule, analysis, instantiation, record
-        )
-        completed = False
-        try:
-            if self.stats.enabled:
-                started = perf_counter()
-                executor.run()
-                self.stats.cycle(
-                    instantiation.rule.name, perf_counter() - started
-                )
-            else:
-                executor.run()
-            completed = True
-        finally:
-            if self.durability is not None:
-                if completed:
-                    self.durability.log_fire_end()
-                else:
-                    # Best effort on the error path: a terminator still
-                    # makes the firing durable (halt/user errors leave WM
-                    # changes applied), but logging failure here must not
-                    # mask the RHS error — especially a simulated crash.
-                    try:
-                        self.durability.log_fire_end()
-                    except Exception:
-                        pass
-        return record
+        """Fire *instantiation* atomically (normally via :meth:`step`).
 
-    def run(self, limit=None):
-        """Run cycles until quiescence, ``(halt)``, or *limit* firings.
+        The RHS stages its effects in a working-memory transaction: on
+        success they flush through the batched propagation path (the
+        write-ahead log first); on an RHS exception the firing rolls
+        back to the exact pre-fire state and the rule's error policy
+        decides between halt (raise :class:`~repro.errors.FiringError`),
+        skip, retry, and quarantine — see
+        :mod:`repro.engine.reliability`.  Refraction is stamped before
+        the RHS runs: per the paper's section 6 control semantics, any
+        change to the instantiation — including one caused by its own
+        firing — makes it eligible again.  In the WAL the stamp opens a
+        bracketed transaction closed by an ``e`` (commit) or ``a``
+        (abort) record, so recovery replays the same outcome.
 
-        Returns the number of firings performed.
+        Returns the firing's trace record, or None when the policy
+        abandoned the instantiation.
         """
-        fired = 0
-        while limit is None or fired < limit:
-            if self.step() is None:
-                break
-            fired += 1
-        return fired
+        return _reliability.fire(self, instantiation)
+
+    def run(self, limit=None, *, wall_clock=None, livelock_threshold=None,
+            on_livelock="stop"):
+        """Run cycles until quiescence, ``(halt)``, or a budget.
+
+        *limit* bounds firings; *wall_clock* bounds elapsed seconds;
+        *livelock_threshold* arms the refire-cycle watchdog (same
+        instantiation content firing more than N times with no net
+        working-memory change), which stops gracefully or raises
+        :class:`~repro.errors.LivelockError` per *on_livelock*
+        (``"stop"``/``"raise"``).  Why the run stopped is recorded in
+        ``self.last_run_report``.  Returns the number of firings.
+        """
+        return _reliability.run_guarded(
+            self, limit, wall_clock=wall_clock,
+            livelock_threshold=livelock_threshold,
+            on_livelock=on_livelock,
+        )
+
+    # -- fault containment ------------------------------------------------
+
+    def set_error_policy(self, policy, rule=None):
+        """Set the firing error policy — engine-wide, or for one *rule*.
+
+        *policy* is a policy object or spec string (``halt``, ``skip``,
+        ``retry[:n[:backoff[:then]]]``, ``quarantine[:after]``).
+        """
+        return self.reliability.set_policy(policy, rule)
+
+    @property
+    def dead_letters(self):
+        """Poison instantiations abandoned by skip/quarantine policies."""
+        return list(self.reliability.dead_letters)
+
+    def quarantined_rules(self):
+        """Quarantine registry: rule name -> failure details."""
+        return dict(self.reliability.quarantined)
+
+    def release_rule(self, rule_name):
+        """Re-admit a quarantined rule to conflict resolution.
+
+        Its parked instantiations (kept current by the matcher all
+        along) return to the conflict set; the rule's failure count
+        resets.  Returns the number of instantiations restored.
+        """
+        restored = self.reliability.release(self, rule_name)
+        if self.durability is not None:
+            self.durability.log_release(rule_name)
+        return restored
 
     # -- parallel firing (the DIPS §8.1 execution model, in memory) -------
 
@@ -289,9 +306,7 @@ class RuleEngine:
         conflicted = 0
         for instantiation, _, version in snapshot:
             still_present = (
-                self.conflict_set._instantiations.get(
-                    instantiation.identity()
-                )
+                self.conflict_set.current(instantiation.identity())
                 is instantiation
             )
             unchanged = (
@@ -302,42 +317,55 @@ class RuleEngine:
                     and instantiation.eligible()):
                 conflicted += 1
                 continue
-            self.fire(instantiation)
-            fired += 1
+            if self.fire(instantiation) is not None:
+                fired += 1
+            # else: abandoned by its error policy — not a firing, and
+            # not a paper-sense conflict either; its consumed stamp
+            # already keeps it out of the next cycle's snapshot.
             if self.halted:
                 break
         return (fired, conflicted)
 
-    def run_parallel(self, max_cycles=None):
-        """Repeat :meth:`parallel_cycle` until quiescence.
+    def run_parallel(self, max_cycles=None, *, wall_clock=None,
+                     firing_budget=None, livelock_threshold=None,
+                     on_livelock="stop"):
+        """Repeat :meth:`parallel_cycle` until quiescence or a budget.
 
-        Returns ``(cycles, fired, conflicted)`` totals.
+        *max_cycles* bounds parallel cycles, *firing_budget* total
+        firings, *wall_clock* elapsed seconds; *livelock_threshold* /
+        *on_livelock* arm the cycle-level refire watchdog (see
+        :meth:`run`).  Returns ``(cycles, fired, conflicted)`` totals;
+        why the run stopped is in ``self.last_run_report``.
         """
-        cycles = 0
-        total_fired = 0
-        total_conflicted = 0
-        while max_cycles is None or cycles < max_cycles:
-            fired, conflicted = self.parallel_cycle()
-            if fired == 0 and conflicted == 0:
-                break
-            cycles += 1
-            total_fired += fired
-            total_conflicted += conflicted
-            if self.halted:
-                break
-        return (cycles, total_fired, total_conflicted)
+        return _reliability.run_parallel_guarded(
+            self, max_cycles, wall_clock=wall_clock,
+            firing_budget=firing_budget,
+            livelock_threshold=livelock_threshold,
+            on_livelock=on_livelock,
+        )
 
     def reset(self):
-        """Clear working memory, trace, and the halt flag (rules stay).
+        """Clear working memory, trace, fault state, and the halt flag.
 
-        Matching state empties through the ordinary removal events, so
-        the engine is ready for a fresh scenario against the same rule
-        base.
+        Rules stay.  Matching state empties through one batched
+        removal delta-set; dead letters and failure counts clear and
+        quarantined rules are released, so the engine is ready for a
+        fresh scenario against the same rule base.  With durability
+        attached the clear is logged as an ordinary delta record
+        followed by a reset record, so :meth:`recover` replays the
+        reset instead of resurrecting pre-reset control state.
         """
-        self.wm.clear()
+        if self.wm.in_batch:
+            raise EngineError("cannot reset() inside an open batch()")
+        with self.wm.batch(stats=self.stats):
+            self.wm.clear()
         self.tracer.clear()
         self.halted = False
         self.cycle_count = 0
+        self.reliability.clear_runtime_state(self)
+        self.last_run_report = None
+        if self.durability is not None:
+            self.durability.log_reset()
 
     # -- durability -----------------------------------------------------------
 

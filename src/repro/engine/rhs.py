@@ -66,6 +66,10 @@ class RhsExecutor:
         self.narrows = []
         self.element_vars = rule.element_vars()
         self._resolver = _RhsResolver(self)
+        # Index path of the action being dispatched, outermost block
+        # first; left at the failure point when the RHS raises, so
+        # FiringError can name the poison action.
+        self.action_path = ()
 
     # -- scope helpers -----------------------------------------------------
 
@@ -191,8 +195,11 @@ class RhsExecutor:
         self._run_block(self.rule.actions)
 
     def _run_block(self, actions):
-        for action in actions:
+        base = self.action_path
+        for index, action in enumerate(actions):
+            self.action_path = base + (index,)
             self._dispatch(action)
+        self.action_path = base
 
     def _dispatch(self, action):
         if isinstance(action, ast.MakeAction):

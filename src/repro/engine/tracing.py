@@ -36,6 +36,9 @@ class FiringRecord:
         "writes",
         "binds",
         "touched_tags",
+        "outcome",
+        "error",
+        "note",
     )
 
     def __init__(self, cycle, rule_name, is_set_oriented, time_tags,
@@ -53,6 +56,20 @@ class FiringRecord:
         # One entry per WM action: the touched element's time tag, or
         # None for a make (used by the parallel-execution cost model).
         self.touched_tags = []
+        # Reliability layer: "fired", or the abort outcome of a rolled
+        # back attempt (halt/skip/retry/quarantine) plus the error; the
+        # rolled-back WM action counts above describe staged effects
+        # that never committed.
+        self.outcome = "fired"
+        self.error = None
+        # Non-fatal anomaly noted by the engine (e.g. a WAL append that
+        # failed after the effects were already published).
+        self.note = None
+
+    @property
+    def aborted(self):
+        """Was this attempt rolled back (its effects never committed)?"""
+        return self.outcome != "fired"
 
     @property
     def wm_actions(self):

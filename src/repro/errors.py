@@ -58,6 +58,46 @@ class ConflictResolutionError(EngineError):
     """An unknown or inapplicable conflict-resolution strategy was chosen."""
 
 
+class FiringError(EngineError):
+    """A rule firing failed and was rolled back atomically.
+
+    Raised (under the ``halt`` error policy) after the engine has
+    restored working memory, the conflict set, and the refraction
+    stamp to their exact pre-fire state.  Carries enough context to
+    diagnose the poison instantiation:
+
+    ``rule_name``, ``cycle``, ``attempt`` (1-based), ``action_path``
+    (indexes into the RHS action tree, outermost first; empty when the
+    failure preceded the first action), ``stage`` (``"rhs"`` for an
+    action failure, ``"commit"`` for a write-ahead-log failure while
+    publishing the firing's effects), and ``__cause__`` — the original
+    exception.
+    """
+
+    def __init__(self, message, *, rule_name, cycle, attempt=1,
+                 action_path=(), stage="rhs"):
+        super().__init__(message)
+        self.rule_name = rule_name
+        self.cycle = cycle
+        self.attempt = attempt
+        self.action_path = tuple(action_path)
+        self.stage = stage
+
+    @property
+    def action_index(self):
+        """Top-level index of the failed RHS action (None if before any)."""
+        return self.action_path[0] if self.action_path else None
+
+
+class LivelockError(EngineError):
+    """A run watchdog detected a refire cycle and ``on_livelock='raise'``.
+
+    The same instantiation identity (rule plus WME *contents*, not time
+    tags) fired more than the configured threshold with no net change
+    to working-memory contents between firings.
+    """
+
+
 class DatabaseError(ReproError):
     """Base error for the relational substrate (:mod:`repro.rdb`)."""
 

@@ -65,15 +65,26 @@ class DeltaBatch:
     Netting is exact because time tags are never reused: a make always
     creates a fresh WME, so the only cancelling pattern is
     ``+w ... -w`` for a WME born inside the batch.
+
+    A batch also journals every mutation it records, so a savepoint
+    taken with :meth:`mark` can be rolled back with :meth:`rewind` —
+    the staging half of atomic rule firings
+    (:mod:`repro.engine.reliability`): RHS effects buffered here never
+    reached an observer, so discarding them plus undoing the
+    working-memory multiset restores the exact pre-fire state.
     """
 
-    __slots__ = ("_deltas", "_pending_adds", "submitted", "coalesced")
+    __slots__ = ("_deltas", "_pending_adds", "_ops", "submitted",
+                 "coalesced")
 
     def __init__(self):
         # List of [sign, wme] entries; a cancelled add is tombstoned to
         # None so surviving deltas keep their original relative order.
         self._deltas = []
         self._pending_adds = {}  # wme -> index into _deltas
+        # Undo journal: ("delta", sign, wme) for an appended entry,
+        # ("cancel", index, wme) for a remove that tombstoned index.
+        self._ops = []
         self.submitted = 0
         self.coalesced = 0
 
@@ -84,10 +95,46 @@ class DeltaBatch:
             if index is not None:
                 self._deltas[index] = None
                 self.coalesced += 2
+                self._ops.append(("cancel", index, wme))
                 return
         else:
             self._pending_adds[wme] = len(self._deltas)
         self._deltas.append((sign, wme))
+        self._ops.append(("delta", sign, wme))
+
+    # -- savepoints ----------------------------------------------------
+
+    def mark(self):
+        """An opaque savepoint: everything recorded so far is kept."""
+        return len(self._ops)
+
+    def rewind(self, mark):
+        """Undo every mutation recorded after *mark*.
+
+        Returns the undone mutations as ``(sign, wme)`` pairs, newest
+        first, so the caller (:meth:`WorkingMemory.rollback_transaction
+        <repro.wm.memory.WorkingMemory.rollback_transaction>`) can
+        apply the inverse of each to the WME multiset.  A ``cancel``
+        journal entry undoes to its original ``-`` mutation: the
+        tombstoned ``+`` entry is restored in place.
+        """
+        undone = []
+        while len(self._ops) > mark:
+            op = self._ops.pop()
+            if op[0] == "delta":
+                _, sign, wme = op
+                self._deltas.pop()
+                if sign == ADD:
+                    del self._pending_adds[wme]
+                undone.append((sign, wme))
+            else:
+                _, index, wme = op
+                self._deltas[index] = (ADD, wme)
+                self._pending_adds[wme] = index
+                self.coalesced -= 2
+                undone.append((REMOVE, wme))
+            self.submitted -= 1
+        return undone
 
     def events(self):
         """The net delta-set, in original order, as WMEvents."""

@@ -7,6 +7,15 @@ from repro.errors import WorkingMemoryError
 from repro.wm.events import ADD, REMOVE, DeltaBatch, WMEvent
 from repro.wm.wme import WME
 
+#: Width of the incremental content fingerprint (sum of per-WME content
+#: hashes modulo 2**64, order-independent by construction).
+_FP_MASK = (1 << 64) - 1
+
+
+def _content_hash(wme):
+    """Hash of a WME's *contents* (class + attribute values, no time tag)."""
+    return hash((wme.wme_class, tuple(sorted(wme.as_dict().items()))))
+
 
 class WMClassRegistry:
     """The ``literalize`` declarations of a program.
@@ -98,6 +107,7 @@ class WorkingMemory:
         self._batch_handlers = {}
         self._batch = None
         self._batch_depth = 0
+        self._fp = None  # incremental content fingerprint; None = off
 
     # -- observation ---------------------------------------------------
 
@@ -158,17 +168,71 @@ class WorkingMemory:
             return
         batch, self._batch = self._batch, None
         events = batch.events()
+        delivered = 0
+        for observer in list(self._observers) if events else ():
+            handler = self._batch_handlers.get(observer)
+            try:
+                if handler is not None:
+                    handler(events)
+                else:
+                    for event in events:
+                        observer(event)
+            except BaseException:
+                if delivered == 0:
+                    # No observer saw the flush yet (the write-ahead log
+                    # delivers first): reopen the batch so the caller can
+                    # still rewind to a savepoint and roll back safely.
+                    self._batch = batch
+                    self._batch_depth += 1
+                raise
+            delivered += 1
         if stats is not None:
             stats.batch_flush(batch.submitted, len(events), batch.coalesced)
-        if not events:
-            return
-        for observer in list(self._observers):
-            handler = self._batch_handlers.get(observer)
-            if handler is not None:
-                handler(events)
+
+    # -- transactions --------------------------------------------------
+
+    def begin_transaction(self):
+        """Open a rollback scope over subsequent mutations.
+
+        Mutations apply to the multiset immediately (as inside
+        ``batch()``, which this nests with) but observer delivery is
+        deferred; the returned opaque savepoint feeds either
+        :meth:`commit_transaction` — flush and deliver as usual — or
+        :meth:`rollback_transaction` — undo every mutation since this
+        call so neither the multiset nor any observer ever saw them.
+        The atomic-firing layer (:mod:`repro.engine.reliability`) wraps
+        each RHS in one of these.
+        """
+        self._enter_batch()
+        return (self._next_tag, self._batch.mark())
+
+    def commit_transaction(self, savepoint, stats=None):
+        """Close the scope opened by :meth:`begin_transaction`, keeping
+        its mutations (flushed to observers once the outermost batch
+        exits)."""
+        self._exit_batch(stats)
+
+    def rollback_transaction(self, savepoint, stats=None):
+        """Undo every mutation since the matching :meth:`begin_transaction`.
+
+        Buffered deltas are rewound from the batch journal, the inverse
+        of each is applied to the WME multiset (newest first), and the
+        time-tag counter is restored — afterwards working memory is
+        byte-identical to the savepoint and no observer ever heard of
+        the rolled-back mutations.
+        """
+        next_tag, batch_mark = savepoint
+        for sign, wme in self._batch.rewind(batch_mark):
+            if sign == ADD:
+                del self._by_tag[wme.time_tag]
+                if self._fp is not None:
+                    self._fp = (self._fp - _content_hash(wme)) & _FP_MASK
             else:
-                for event in events:
-                    observer(event)
+                self._by_tag[wme.time_tag] = wme
+                if self._fp is not None:
+                    self._fp = (self._fp + _content_hash(wme)) & _FP_MASK
+        self._next_tag = next_tag
+        self._exit_batch(stats)
 
     # -- inspection ----------------------------------------------------
 
@@ -206,6 +270,34 @@ class WorkingMemory:
         """The most recently assigned time tag (0 when nothing was made)."""
         return self._next_tag - 1
 
+    def content_fingerprint(self):
+        """An order-independent digest of current WME *contents*.
+
+        Returns ``(count, digest)`` where *digest* sums the per-WME
+        content hashes (class + values, time tags excluded) modulo
+        2**64.  Two memories with equal multisets of contents — however
+        the elements were created — fingerprint equal.  The livelock
+        watchdog compares these across firings, where tag-based
+        comparison would always differ (``modify`` re-tags).
+
+        :meth:`enable_fingerprint` makes subsequent calls O(1); without
+        it each call scans the multiset.
+        """
+        if self._fp is not None:
+            return (len(self._by_tag), self._fp)
+        total = 0
+        for wme in self._by_tag.values():
+            total = (total + _content_hash(wme)) & _FP_MASK
+        return (len(self._by_tag), total)
+
+    def enable_fingerprint(self):
+        """Maintain :meth:`content_fingerprint` incrementally from now on."""
+        if self._fp is None:
+            total = 0
+            for wme in self._by_tag.values():
+                total = (total + _content_hash(wme)) & _FP_MASK
+            self._fp = total
+
     # -- mutation ------------------------------------------------------
 
     def make(self, wme_class, **values):
@@ -214,6 +306,8 @@ class WorkingMemory:
         wme = WME(wme_class, values, self._next_tag)
         self._next_tag += 1
         self._by_tag[wme.time_tag] = wme
+        if self._fp is not None:
+            self._fp = (self._fp + _content_hash(wme)) & _FP_MASK
         self._emit(ADD, wme)
         return wme
 
@@ -235,6 +329,8 @@ class WorkingMemory:
         wme = WME(wme_class, values, time_tag)
         self._next_tag = time_tag + 1
         self._by_tag[wme.time_tag] = wme
+        if self._fp is not None:
+            self._fp = (self._fp + _content_hash(wme)) & _FP_MASK
         self._emit(ADD, wme)
         return wme
 
@@ -250,6 +346,8 @@ class WorkingMemory:
                 f"WME {wme!r} is not in working memory"
             )
         del self._by_tag[wme.time_tag]
+        if self._fp is not None:
+            self._fp = (self._fp - _content_hash(wme)) & _FP_MASK
         self._emit(REMOVE, wme)
         return wme
 

@@ -151,3 +151,75 @@ class TestExciseCommand:
         assert session.execute("excise r") == "excised r"
         assert "0 firing(s)" in session.execute("run")
         assert session.execute("excise ghost").startswith("error:")
+
+
+class TestReliabilityCommands:
+    def _poison(self, on_error):
+        session = ReplSession(watch=0, on_error=on_error)
+        session.engine.register_function(
+            "explode", lambda *a: (_ for _ in ()).throw(ValueError("boom"))
+        )
+        session.execute("(literalize item n)")
+        session.execute("(p bad (item ^n <n>) --> (call explode))")
+        session.execute("make item ^n 1")
+        return session
+
+    def test_on_error_show_and_set(self, session):
+        assert "default: halt" in session.execute("on-error")
+        assert session.execute("on-error skip") == "on-error default: skip"
+        assert session.execute("on-error retry:2 bad") \
+            == "on-error bad: retry(2, backoff=0.0, skip)"
+        listing = session.execute("on-error")
+        assert "bad: retry" in listing
+        assert session.execute("on-error bogus").startswith("error:")
+
+    def test_run_reports_abandoned_firings(self):
+        session = self._poison("skip")
+        output = session.execute("run")
+        assert "0 firing(s)" in output
+        assert "1 firing(s) abandoned" in output
+
+    def test_deadletters_listing(self):
+        session = self._poison("skip")
+        assert session.execute("deadletters") == "no dead letters"
+        session.execute("run")
+        listing = session.execute("deadletters")
+        assert "bad" in listing and "boom" in listing
+
+    def test_quarantined_and_release(self):
+        session = self._poison("quarantine:1")
+        assert session.execute("quarantined") \
+            == "no rules are quarantined"
+        session.execute("run")
+        listing = session.execute("quarantined")
+        assert "bad" in listing and "1 failure(s)" in listing
+        assert session.execute("release ghost") \
+            == "ghost is not quarantined"
+        assert session.execute("release bad") \
+            == "released bad: 1 instantiation(s) back"
+        assert session.execute("quarantined") \
+            == "no rules are quarantined"
+
+    def test_halt_policy_reports_error(self):
+        session = self._poison("halt")
+        output = session.execute("run")
+        assert output.startswith("error:")
+        assert "bad" in output
+
+    def test_main_on_error_flag(self, tmp_path, capsys):
+        program = tmp_path / "prog.ops"
+        program.write_text(
+            """
+            (literalize item n)
+            (p bad (item ^n <n>) --> (remove 2))
+            """
+        )
+        assert main(
+            [str(program), "--run", "5", "--watch", "0",
+             "--on-error", "skip"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "abandoned" not in captured.out  # nothing matched
+        assert main(
+            [str(program), "--run", "5", "--on-error", "bogus"]
+        ) == 1
