@@ -3,9 +3,10 @@
 
 Runs a fixed set of deterministic scenarios with :class:`MatchStats`
 attached, writes the counters (plus informational wall-clock timings)
-to ``BENCH_2.json``, and — under ``--check`` — fails if any gated work
-counter regressed more than 10% against
-``benchmarks/BENCH_baseline.json``.
+to ``BENCH_5.json``, and — under ``--check`` — fails if any gated work
+counter regressed more than 10% against the newest committed
+``benchmarks/BENCH_<n>.json`` report (falling back to
+``benchmarks/BENCH_baseline.json`` when none exists).
 
 Only *work counters* are gated (join activations, join tests, alpha
 activations, index/group probes): they are exact and machine
@@ -27,10 +28,25 @@ import time
 from pathlib import Path
 
 from repro import MatchStats, RuleEngine
-from repro.rete import ReteNetwork
+from repro.rete import ReteNetwork, ShardedReteNetwork
 
 BASELINE_PATH = Path(__file__).parent / "BENCH_baseline.json"
-DEFAULT_OUTPUT = Path("BENCH_2.json")
+DEFAULT_OUTPUT = Path("BENCH_5.json")
+
+
+def latest_reference():
+    """The newest committed ``BENCH_<n>.json``, else the baseline.
+
+    Committed numbered reports carry the same counter payload as the
+    baseline, so the gate always compares against the most recent
+    accepted run rather than a stale hand-written baseline.
+    """
+    best = None
+    for path in BASELINE_PATH.parent.glob("BENCH_*.json"):
+        stem = path.stem[len("BENCH_"):]
+        if stem.isdigit() and (best is None or int(stem) > best[0]):
+            best = (int(stem), path)
+    return best[1] if best is not None else BASELINE_PATH
 
 # Work counters held to the +/-10% gate.  Everything in
 # MatchStats.totals lands in the report; only these fail the build.
@@ -114,11 +130,60 @@ def scenario_churn_batched():
     return stats
 
 
+def scenario_sharded_match():
+    # Sharded propagation runs serially while MatchStats is attached,
+    # so these counters are deterministic and gateable: sharding must
+    # perform exactly the work of the plain network, just partitioned.
+    stats = MatchStats()
+    engine = RuleEngine(
+        matcher=ShardedReteNetwork(shards=SHARD_COUNT), stats=stats
+    )
+    engine.load(SHARD_PROGRAM)
+    for d in range(N_DEPTS):
+        engine.make("dept", name=f"d{d}")
+    engine.load_facts(_facts())
+    engine.run()
+    engine.close()
+    return stats
+
+
 SCENARIOS = {
     "bulk_load_per_event": scenario_bulk_load_per_event,
     "bulk_load_batched": scenario_bulk_load_batched,
     "churn_batched": scenario_churn_batched,
+    "sharded_match": scenario_sharded_match,
 }
+
+# Rules over three distinct CE-class sets ({dept,emp}, {emp}, {dept})
+# so the sharded scenarios exercise three busy shards, not one.
+SHARD_PROGRAM = PROGRAM + """
+(p rich { [emp ^salary > 1500] <R> }
+  :test ((count <R>) >= 1)
+  -->
+  (write rich (count <R>)))
+(p depts { [dept] <D> }
+  :test ((count <D>) >= 1)
+  -->
+  (write depts (count <D>)))
+"""
+SHARD_COUNT = 4
+SHARD_WORKERS = (1, 2, 4)
+
+
+def timed_sharded_match(workers):
+    """Wall clock of one sharded bulk-load propagation (no stats)."""
+    engine = RuleEngine(
+        matcher=ShardedReteNetwork(shards=SHARD_COUNT, workers=workers)
+    )
+    engine.load(SHARD_PROGRAM)
+    for d in range(N_DEPTS):
+        engine.make("dept", name=f"d{d}")
+    facts = _facts()
+    start = time.perf_counter()
+    engine.load_facts(facts)
+    elapsed = time.perf_counter() - start
+    engine.close()
+    return elapsed
 
 
 def run_scenarios():
@@ -131,6 +196,18 @@ def run_scenarios():
             "counters": dict(stats.totals),
             "elapsed_s": round(elapsed, 4),
         }
+    # Informational wall-clock of the sharded match at several pool
+    # sizes.  Timings are machine dependent and never gated; they are
+    # recorded so reports document how the shard pool scales.
+    report["parallel"] = {
+        "sharded_match": {
+            "shards": SHARD_COUNT,
+            "elapsed_s": {
+                str(workers): round(timed_sharded_match(workers), 4)
+                for workers in SHARD_WORKERS
+            },
+        }
+    }
     return report
 
 
@@ -167,6 +244,14 @@ def print_report(report):
         print(f"{name}  ({data['elapsed_s']:.3f}s)")
         for counter in GATED_COUNTERS:
             print(f"  {counter:<24}{data['counters'].get(counter, 0):>12}")
+    sharded = report.get("parallel", {}).get("sharded_match")
+    if sharded:
+        timings = " ".join(
+            f"w{workers}={elapsed:.3f}s"
+            for workers, elapsed in sharded["elapsed_s"].items()
+        )
+        print(f"sharded_match wall clock ({sharded['shards']} shards): "
+              f"{timings}")
 
 
 def main(argv=None):
@@ -203,11 +288,13 @@ def main(argv=None):
         return 0
 
     if args.check:
-        if not BASELINE_PATH.exists():
-            print(f"error: no baseline at {BASELINE_PATH}; "
+        reference = latest_reference()
+        if not reference.exists():
+            print(f"error: no baseline at {reference}; "
                   f"run with --write-baseline first", file=sys.stderr)
             return 2
-        baseline = json.loads(BASELINE_PATH.read_text())
+        print(f"gating against {reference.name}")
+        baseline = json.loads(reference.read_text())
         regressions, improvements = compare(report, baseline)
         for line in improvements:
             print(f"improved: {line} — consider --write-baseline")

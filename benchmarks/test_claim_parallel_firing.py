@@ -41,7 +41,9 @@ def run(program, groups, copies):
     for group in range(groups):
         for serial in range(copies):
             engine.make("rec", key=f"k{group}", serial=serial)
-    cycles, fired, conflicted = engine.run_parallel(max_cycles=50)
+    cycles, fired, conflicted, _ = engine.run_parallel(
+        max_cycles=50
+    )
     assert len(engine.wm) == groups
     return cycles, fired, conflicted
 

@@ -2,9 +2,10 @@
 
 Usage::
 
-    python -m repro.cli [program.ops] [--matcher rete|treat|naive|dips]
+    python -m repro.cli [program.ops]
+                        [--matcher rete|treat|naive|dips|sharded]
                         [--strategy lex|mea] [--run N] [--watch LEVEL]
-                        [--on-error POLICY]
+                        [--on-error POLICY] [--workers N]
                         [--profile] [--profile-json FILE]
                         [--wal-dir DIR] [--fsync always|batch|off]
                         [--checkpoint]
@@ -77,6 +78,10 @@ def _build_matcher(name):
         from repro.rete import ReteNetwork
 
         return ReteNetwork()
+    if name == "sharded":
+        from repro.rete import ShardedReteNetwork
+
+        return ShardedReteNetwork()
     if name == "treat":
         from repro.match import TreatMatcher
 
@@ -112,7 +117,7 @@ class ReplSession:
 
     def __init__(self, matcher="rete", strategy="lex", watch=1,
                  profile=False, wal_dir=None, fsync="batch",
-                 on_error="halt", engine=None):
+                 on_error="halt", engine=None, workers=None):
         from repro.engine.stats import MatchStats
 
         self.profile_stats = None
@@ -133,7 +138,8 @@ class ReplSession:
                                      strategy=strategy,
                                      stats=self.profile_stats,
                                      durability=durability,
-                                     on_error=on_error)
+                                     on_error=on_error,
+                                     workers=workers)
         self.watch = watch
         self._pending = ""
         self.engine.wm.attach(self._wm_observer)
@@ -260,10 +266,11 @@ class ReplSession:
 
     def _cmd_parallel(self, arguments):
         max_cycles = int(arguments[0]) if arguments else None
-        cycles, fired, conflicted = self.engine.run_parallel(max_cycles)
+        result = self.engine.run_parallel(max_cycles)
+        cycles, fired, conflicted, abandoned = result
         lines = [
             f"{cycles} cycle(s): {fired} fired, "
-            f"{conflicted} invalidated"
+            f"{conflicted} invalidated, {abandoned} abandoned"
         ]
         lines.extend(list(self.engine.tracer.output)[-20:])
         self.engine.tracer.output.clear()
@@ -485,11 +492,19 @@ def _recover_main(argv):
     parser.add_argument("wal_dir", help="WAL directory to recover from")
     parser.add_argument(
         "--matcher",
-        choices=("rete", "treat", "naive", "dips"),
+        choices=("rete", "treat", "naive", "dips", "sharded"),
         default=None,
         help="override the checkpointed matcher",
     )
     parser.add_argument("--strategy", choices=("lex", "mea"), default=None)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        default=None,
+        help="firing-pool size for the `parallel` command "
+        "(default: REPRO_WORKERS or 1)",
+    )
     parser.add_argument(
         "--on-error",
         metavar="POLICY",
@@ -527,6 +542,7 @@ def _recover_main(argv):
             stats=stats,
             durability=not options.no_wal,
             on_error=options.on_error,
+            workers=options.workers,
         )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -568,10 +584,18 @@ def main(argv=None):
     parser.add_argument("program", nargs="?", help="program file to load")
     parser.add_argument(
         "--matcher",
-        choices=("rete", "treat", "naive", "dips"),
+        choices=("rete", "treat", "naive", "dips", "sharded"),
         default="rete",
     )
     parser.add_argument("--strategy", choices=("lex", "mea"), default="lex")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        default=None,
+        help="firing-pool size for the `parallel` command "
+        "(default: REPRO_WORKERS or 1; 1 = sequential)",
+    )
     parser.add_argument(
         "--on-error",
         metavar="POLICY",
@@ -625,6 +649,7 @@ def main(argv=None):
             wal_dir=options.wal_dir,
             fsync=options.fsync,
             on_error=options.on_error,
+            workers=options.workers,
         )
     except ReproError as error:
         # E.g. --wal-dir pointing at a previous session's log: a fresh

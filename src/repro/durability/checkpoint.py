@@ -255,9 +255,11 @@ def matcher_name(matcher):
     from repro.dips.matcher import DipsMatcher
     from repro.match import NaiveMatcher, TreatMatcher
     from repro.rete.network import ReteNetwork
+    from repro.rete.sharded import ShardedReteNetwork
 
     for name, cls in (("rete", ReteNetwork), ("treat", TreatMatcher),
-                      ("naive", NaiveMatcher), ("dips", DipsMatcher)):
+                      ("naive", NaiveMatcher), ("dips", DipsMatcher),
+                      ("sharded", ShardedReteNetwork)):
         if type(matcher) is cls:
             return name
     return None
@@ -268,9 +270,11 @@ def build_matcher(name):
     from repro.dips.matcher import DipsMatcher
     from repro.match import NaiveMatcher, TreatMatcher
     from repro.rete.network import ReteNetwork
+    from repro.rete.sharded import ShardedReteNetwork
 
     factories = {"rete": ReteNetwork, "treat": TreatMatcher,
-                 "naive": NaiveMatcher, "dips": DipsMatcher}
+                 "naive": NaiveMatcher, "dips": DipsMatcher,
+                 "sharded": ShardedReteNetwork}
     if name not in factories:
         raise DurabilityError(f"unknown matcher {name!r}")
     return factories[name]()

@@ -205,6 +205,14 @@ class WriteAheadLog:
         self._file = None
         self._seq = 0
         self._offset = 0
+        # Appends must be whole-frame atomic with respect to each
+        # other.  The firing pool serialises commits, so in-engine
+        # appends are single-threaded by construction; the lock makes
+        # frame integrity independent of that discipline (e.g. hosts
+        # driving several engines' firings from their own threads).
+        import threading
+
+        self._append_lock = threading.RLock()
         self._open_tail()
 
     # -- opening -----------------------------------------------------------
@@ -258,47 +266,52 @@ class WriteAheadLog:
         fsync policy.  The frame is flushed to the OS on every append;
         fsync happens per policy.
         """
-        if self._file is None:
-            raise WalError("write-ahead log is closed")
-        if self.fault is not None and self.fault.crashed:
-            # A dead process writes nothing: once a simulated crash has
-            # fired, later appends (e.g. from a ``finally``) must not
-            # scribble valid frames after the torn one.
-            from repro.durability.faultfs import SimulatedCrash
-
-            raise SimulatedCrash("the process already crashed")
-        frame = encode_record(payload)
-        if self._offset and self._offset + len(frame) > self.segment_bytes:
-            self._start_segment(self._seq + 1)
-        if self.fault is not None:
-            self.fault.hit("wal.append.before")
-            partial = self.fault.partial_write("wal.append", len(frame))
-            if partial is not None:
-                self._file.write(frame[:partial])
-                self._file.flush()
-                self.fault.crashed = True
+        with self._append_lock:
+            if self._file is None:
+                raise WalError("write-ahead log is closed")
+            if self.fault is not None and self.fault.crashed:
+                # A dead process writes nothing: once a simulated crash
+                # has fired, later appends (e.g. from a ``finally``)
+                # must not scribble valid frames after the torn one.
                 from repro.durability.faultfs import SimulatedCrash
 
-                raise SimulatedCrash(
-                    f"torn write: {partial}/{len(frame)} bytes"
+                raise SimulatedCrash("the process already crashed")
+            frame = encode_record(payload)
+            if (self._offset
+                    and self._offset + len(frame) > self.segment_bytes):
+                self._start_segment(self._seq + 1)
+            if self.fault is not None:
+                self.fault.hit("wal.append.before")
+                partial = self.fault.partial_write(
+                    "wal.append", len(frame)
                 )
-        self._file.write(frame)
-        self._file.flush()
-        self._offset += len(frame)
-        self.stats.incr("wal_appends")
-        self.stats.incr("wal_bytes", len(frame))
-        if self.fsync == "always" or (self.fsync == "batch" and batch):
-            self.sync()
-        return (self._seq, self._offset)
+                if partial is not None:
+                    self._file.write(frame[:partial])
+                    self._file.flush()
+                    self.fault.crashed = True
+                    from repro.durability.faultfs import SimulatedCrash
+
+                    raise SimulatedCrash(
+                        f"torn write: {partial}/{len(frame)} bytes"
+                    )
+            self._file.write(frame)
+            self._file.flush()
+            self._offset += len(frame)
+            self.stats.incr("wal_appends")
+            self.stats.incr("wal_bytes", len(frame))
+            if self.fsync == "always" or (self.fsync == "batch" and batch):
+                self.sync()
+            return (self._seq, self._offset)
 
     def sync(self):
         """fsync the current segment to stable storage."""
-        if self._file is None:
-            return
-        if self.fault is not None:
-            self.fault.hit("wal.fsync")
-        os.fsync(self._file.fileno())
-        self.stats.incr("wal_fsyncs")
+        with self._append_lock:
+            if self._file is None:
+                return
+            if self.fault is not None:
+                self.fault.hit("wal.fsync")
+            os.fsync(self._file.fileno())
+            self.stats.incr("wal_fsyncs")
 
     def tell(self):
         """``(segment_seq, offset)`` of the append position."""

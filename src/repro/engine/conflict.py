@@ -178,3 +178,19 @@ class ConflictSet(ConflictListener):
             key=strategy.key,
             reverse=True,
         )
+
+    def eligible_snapshot(self, strategy):
+        """Eligible instantiations, dominant first (refraction applies).
+
+        The parallel cycle fires this whole list; it is a snapshot —
+        later mutations of the conflict set do not affect it.
+        """
+        return sorted(
+            (
+                inst
+                for inst in self._instantiations.values()
+                if inst.eligible()
+            ),
+            key=strategy.key,
+            reverse=True,
+        )

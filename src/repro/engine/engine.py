@@ -26,7 +26,10 @@ conflict-set contents and firing behaviour are identical by contract
 
 from __future__ import annotations
 
+import os
+
 from repro.analysis import RuleAnalysis
+from repro.engine import parallel as _parallel
 from repro.engine import reliability as _reliability
 from repro.engine.conflict import ConflictSet, strategy_named
 from repro.engine.reliability import ReliabilityManager
@@ -44,7 +47,7 @@ class RuleEngine:
 
     def __init__(self, matcher=None, strategy="lex", echo=False,
                  stats=None, trace_limit=None, durability=None,
-                 on_error="halt"):
+                 on_error="halt", workers=None):
         """*stats*: a :class:`repro.engine.stats.MatchStats` collector,
         wired through the matcher, the tracer, and the cycle timer
         (default: the no-op :data:`~repro.engine.stats.NULL_STATS`).
@@ -56,10 +59,16 @@ class RuleEngine:
         object or spec string (``halt`` / ``skip`` / ``retry[:n[:b]]``
         / ``quarantine[:k]``); see :mod:`repro.engine.reliability` and
         :meth:`set_error_policy` for per-rule overrides.
+        *workers*: firing-pool width for :meth:`parallel_cycle` /
+        :meth:`run_parallel` (default: the ``REPRO_WORKERS``
+        environment variable, else 1 — the sequential simulation);
+        see ``docs/PARALLELISM.md``.
         """
         self.wm = WorkingMemory()
         self.stats = stats if stats is not None else NULL_STATS
-        self.matcher = matcher if matcher is not None else ReteNetwork()
+        self.matcher = (
+            matcher if matcher is not None else self._default_matcher()
+        )
         if stats is not None:
             self.matcher.set_stats(stats)
         self.conflict_set = ConflictSet()
@@ -89,6 +98,45 @@ class RuleEngine:
         self.functions = {}
         self.halted = False
         self.cycle_count = 0
+        self.workers = self._default_workers(workers)
+        self._pool = None
+        self._pool_size = 0
+
+    @staticmethod
+    def _default_matcher():
+        """The default matcher; honours ``REPRO_MATCH_SHARDS``.
+
+        Setting the environment variable to N > 1 makes default-built
+        engines match on a :class:`~repro.rete.sharded.ShardedReteNetwork`
+        of N shards — the lever the CI parallel-soak job pulls to run
+        ordinary suites against the sharded path.
+        """
+        shards = int(os.environ.get("REPRO_MATCH_SHARDS", "0") or 0)
+        if shards > 1:
+            from repro.rete.sharded import ShardedReteNetwork
+
+            return ShardedReteNetwork(shards=shards)
+        return ReteNetwork()
+
+    @staticmethod
+    def _default_workers(workers):
+        if workers is not None:
+            return max(1, int(workers))
+        return max(1, int(os.environ.get("REPRO_WORKERS", "1") or 1))
+
+    def _firing_pool(self, workers):
+        """The lazily created speculation pool (resized on demand)."""
+        if self._pool is not None and self._pool_size != workers:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-fire"
+            )
+            self._pool_size = workers
+        return self._pool
 
     # -- program definition ---------------------------------------------------
 
@@ -208,7 +256,7 @@ class RuleEngine:
         self.fire(instantiation)
         return instantiation
 
-    def fire(self, instantiation):
+    def fire(self, instantiation, plan=None):
         """Fire *instantiation* atomically (normally via :meth:`step`).
 
         The RHS stages its effects in a working-memory transaction: on
@@ -225,9 +273,11 @@ class RuleEngine:
         (abort) record, so recovery replays the same outcome.
 
         Returns the firing's trace record, or None when the policy
-        abandoned the instantiation.
+        abandoned the instantiation.  *plan* is a speculated
+        :class:`~repro.engine.parallel.FiringPlan` to replay instead of
+        evaluating the RHS live (the firing pool's commit path).
         """
-        return _reliability.fire(self, instantiation)
+        return _reliability.fire(self, instantiation, plan=plan)
 
     def run(self, limit=None, *, wall_clock=None, livelock_threshold=None,
             on_livelock="stop"):
@@ -280,51 +330,31 @@ class RuleEngine:
 
     # -- parallel firing (the DIPS §8.1 execution model, in memory) -------
 
-    def parallel_cycle(self):
-        """Fire every eligible instantiation of one cycle "in parallel".
+    def parallel_cycle(self, workers=None):
+        """Fire every eligible instantiation of one cycle in parallel.
 
         DIPS "attempts to execute all satisfied instantiations
-        concurrently" (paper §8.1).  This simulates that model on the
-        in-memory engine: the eligible set is snapshotted, then each
-        member fires in conflict-resolution order — unless an earlier
-        firing of the *same cycle* already invalidated it (retracted it
-        from the conflict set, or changed the SOI it views), in which
-        case it is a *conflict*, the mutual-invalidation case the paper
-        criticises tuple-oriented rules for.
+        concurrently" (paper §8.1).  The eligible set is snapshotted;
+        with *workers* > 1 every member's RHS is speculated
+        concurrently on the firing pool, then the plans commit serially
+        in conflict-resolution order (so time tags, WAL records, and
+        trace output are bit-identical to the sequential path) — unless
+        an earlier firing of the *same cycle* already invalidated a
+        member (retracted it from the conflict set, or changed the SOI
+        it views), in which case it is a *conflict*, the
+        mutual-invalidation case the paper criticises tuple-oriented
+        rules for.  See :mod:`repro.engine.parallel`.
 
-        Returns ``(fired, conflicted)`` counts.
+        *workers* defaults to the engine's ``workers`` setting.
+        Returns a ``CycleResult(fired, conflicted, abandoned)``
+        namedtuple; ``abandoned`` counts members whose error policy
+        gave up on them (skip/quarantine) — every snapshot member lands
+        in exactly one of the three buckets unless a ``halt`` stopped
+        the cycle midway.
         """
-        if self.halted:
-            return (0, 0)
-        snapshot = [
-            (inst, inst.recency_key(),
-             inst.soi.version if inst.is_set_oriented else None)
-            for inst in self.conflict_set.ordered(self.strategy)
-            if inst.eligible()
-        ]
-        fired = 0
-        conflicted = 0
-        for instantiation, _, version in snapshot:
-            still_present = (
-                self.conflict_set.current(instantiation.identity())
-                is instantiation
-            )
-            unchanged = (
-                version is None
-                or instantiation.soi.version == version
-            )
-            if not (still_present and unchanged
-                    and instantiation.eligible()):
-                conflicted += 1
-                continue
-            if self.fire(instantiation) is not None:
-                fired += 1
-            # else: abandoned by its error policy — not a firing, and
-            # not a paper-sense conflict either; its consumed stamp
-            # already keeps it out of the next cycle's snapshot.
-            if self.halted:
-                break
-        return (fired, conflicted)
+        return _parallel.execute_cycle(
+            self, self.workers if workers is None else workers
+        )
 
     def run_parallel(self, max_cycles=None, *, wall_clock=None,
                      firing_budget=None, livelock_threshold=None,
@@ -334,8 +364,9 @@ class RuleEngine:
         *max_cycles* bounds parallel cycles, *firing_budget* total
         firings, *wall_clock* elapsed seconds; *livelock_threshold* /
         *on_livelock* arm the cycle-level refire watchdog (see
-        :meth:`run`).  Returns ``(cycles, fired, conflicted)`` totals;
-        why the run stopped is in ``self.last_run_report``.
+        :meth:`run`).  Returns a ``ParallelRunResult(cycles, fired,
+        conflicted, abandoned)`` namedtuple; why the run stopped is in
+        ``self.last_run_report``.
         """
         return _reliability.run_parallel_guarded(
             self, max_cycles, wall_clock=wall_clock,
@@ -398,7 +429,14 @@ class RuleEngine:
         return recover_engine(cls, path, **kwargs)
 
     def close(self):
-        """Flush and close the durability log (no-op without one)."""
+        """Release pools and the durability log (no-op without them)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_size = 0
+        closer = getattr(self.matcher, "close", None)
+        if closer is not None:
+            closer()
         if self.durability is not None:
             self.durability.close()
             self.durability = None

@@ -44,6 +44,7 @@ from __future__ import annotations
 import time
 from time import perf_counter
 
+from repro.engine.parallel import ParallelRunResult, PlanReplayer
 from repro.engine.rhs import RhsExecutor
 from repro.errors import (
     EngineError,
@@ -406,13 +407,19 @@ class _FiringTransaction:
             )
 
 
-def fire(engine, instantiation):
+def fire(engine, instantiation, plan=None):
     """Fire *instantiation* atomically under the rule's error policy.
 
     Returns the :class:`~repro.engine.tracing.FiringRecord` of the
     committed firing, or ``None`` when the policy abandoned it
     (skip/quarantine).  Raises :class:`~repro.errors.FiringError`
     under ``halt`` — after full rollback.
+
+    *plan* is a :class:`~repro.engine.parallel.FiringPlan` speculated
+    by the firing pool: the first attempt replays its recorded actions
+    instead of evaluating the RHS; retries (and everything after a
+    replay failure) fall back to live execution, so policy behaviour
+    is identical either way.
     """
     reliability = engine.reliability
     rule_name = instantiation.rule.name
@@ -428,9 +435,13 @@ def fire(engine, instantiation):
             raise EngineError(f"rule {rule_name} is not registered")
         txn = _FiringTransaction(engine, instantiation, record)
         txn.begin()
-        executor = RhsExecutor(
-            engine, instantiation.rule, analysis, instantiation, record
-        )
+        if plan is not None and attempt == 1:
+            executor = PlanReplayer(engine, plan, record)
+        else:
+            executor = RhsExecutor(
+                engine, instantiation.rule, analysis, instantiation,
+                record
+            )
         error = None
         try:
             if engine.stats.enabled:
@@ -544,16 +555,17 @@ class LivelockDetector:
 class RunReport:
     """Why a guarded run stopped; ``engine.last_run_report``."""
 
-    __slots__ = ("fired", "cycles", "conflicted", "reason", "elapsed",
-                 "livelock_rule")
+    __slots__ = ("fired", "cycles", "conflicted", "abandoned", "reason",
+                 "elapsed", "livelock_rule")
 
     def __init__(self, fired, reason, elapsed, cycles=None,
-                 conflicted=None, livelock_rule=None):
+                 conflicted=None, abandoned=None, livelock_rule=None):
         self.fired = fired
         self.reason = reason
         self.elapsed = elapsed
         self.cycles = cycles
         self.conflicted = conflicted
+        self.abandoned = abandoned
         self.livelock_rule = livelock_rule
 
     def __repr__(self):
@@ -647,6 +659,7 @@ def run_parallel_guarded(engine, max_cycles=None, *, wall_clock=None,
     cycles = 0
     total_fired = 0
     total_conflicted = 0
+    total_abandoned = 0
     reason = "quiescent"
     culprit = None
     while max_cycles is None or cycles < max_cycles:
@@ -658,13 +671,14 @@ def run_parallel_guarded(engine, max_cycles=None, *, wall_clock=None,
                 and total_fired >= firing_budget):
             reason = "limit"
             break
-        fired, conflicted = engine.parallel_cycle()
-        if fired == 0 and conflicted == 0:
+        fired, conflicted, abandoned = engine.parallel_cycle()
+        if fired == 0 and conflicted == 0 and abandoned == 0:
             reason = "halt" if engine.halted else "quiescent"
             break
         cycles += 1
         total_fired += fired
         total_conflicted += conflicted
+        total_abandoned += abandoned
         if engine.halted:
             reason = "halt"
             break
@@ -679,6 +693,9 @@ def run_parallel_guarded(engine, max_cycles=None, *, wall_clock=None,
         reason = "limit"
     engine.last_run_report = RunReport(
         total_fired, reason, perf_counter() - started, cycles=cycles,
-        conflicted=total_conflicted, livelock_rule=culprit,
+        conflicted=total_conflicted, abandoned=total_abandoned,
+        livelock_rule=culprit,
     )
-    return (cycles, total_fired, total_conflicted)
+    return ParallelRunResult(
+        cycles, total_fired, total_conflicted, total_abandoned
+    )

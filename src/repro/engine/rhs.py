@@ -236,7 +236,7 @@ class RhsExecutor:
         }
         self.engine.wm.make(action.wme_class, **values)
         self.record.makes += 1
-        self.record.touched_tags.append(None)
+        self.record.touch("make")
 
     def _resolve_target(self, target):
         if isinstance(target, int):
@@ -260,7 +260,7 @@ class RhsExecutor:
         self._check_live(wme)
         self.engine.wm.remove(wme)
         self.record.removes += 1
-        self.record.touched_tags.append(wme.time_tag)
+        self.record.touch("remove", wme.time_tag)
 
     def _do_modify(self, action):
         wme = self._resolve_target(action.target)
@@ -269,9 +269,9 @@ class RhsExecutor:
             attribute: self._eval(expression)
             for attribute, expression in action.assignments
         }
-        self.engine.wm.modify(wme, **updates)
+        replacement = self.engine.wm.modify(wme, **updates)
         self.record.modifies += 1
-        self.record.touched_tags.append(wme.time_tag)
+        self.record.touch("modify", wme.time_tag, replacement.time_tag)
 
     def _do_write(self, action):
         parts = [
@@ -319,9 +319,9 @@ class RhsExecutor:
         }
         for wme in self.members_of(level):
             self._check_live(wme)
-            self.engine.wm.modify(wme, **updates)
+            replacement = self.engine.wm.modify(wme, **updates)
             self.record.modifies += 1
-            self.record.touched_tags.append(wme.time_tag)
+            self.record.touch("modify", wme.time_tag, replacement.time_tag)
 
     def _do_set_remove(self, action):
         level = self._set_level(action.target, "set-remove")
@@ -329,7 +329,7 @@ class RhsExecutor:
             self._check_live(wme)
             self.engine.wm.remove(wme)
             self.record.removes += 1
-            self.record.touched_tags.append(wme.time_tag)
+            self.record.touch("remove", wme.time_tag)
 
     # -- foreach ------------------------------------------------------------------
 

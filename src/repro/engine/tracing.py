@@ -36,6 +36,8 @@ class FiringRecord:
         "writes",
         "binds",
         "touched_tags",
+        "touched_ops",
+        "_chain_roots",
         "outcome",
         "error",
         "note",
@@ -53,9 +55,20 @@ class FiringRecord:
         self.modifies = 0
         self.writes = 0
         self.binds = 0
-        # One entry per WM action: the touched element's time tag, or
-        # None for a make (used by the parallel-execution cost model).
+        # One entry per WM action: the touched element's *chain root*
+        # time tag, or None for a make (used by the parallel-execution
+        # cost model).  A modify re-tags its element, so the chain root
+        # — the tag the element had when this firing first touched its
+        # lineage — is recorded instead of the momentary tag: two
+        # modifies of the same logical element form one dependency
+        # chain even though the second one sees a fresh tag.
         self.touched_tags = []
+        # Parallel list of (kind, root) pairs, kind in
+        # {"make", "remove", "modify"}; the cost model needs the kind
+        # because the executor performs a modify as remove+insert on
+        # the same element (a 2-unit chain link).
+        self.touched_ops = []
+        self._chain_roots = {}
         # Reliability layer: "fired", or the abort outcome of a rolled
         # back attempt (halt/skip/retry/quarantine) plus the error; the
         # rolled-back WM action counts above describe staged effects
@@ -65,6 +78,23 @@ class FiringRecord:
         # Non-fatal anomaly noted by the engine (e.g. a WAL append that
         # failed after the effects were already published).
         self.note = None
+
+    def touch(self, kind, tag=None, new_tag=None):
+        """Record one WM action for the parallelism model.
+
+        *tag* is the time tag of the element the action removed or
+        modified (None for a make).  *new_tag*, for a modify, is the
+        replacement element's tag: it joins the original element's
+        dependency chain, so a later action on the replacement is
+        correctly charged to the same chain.
+        """
+        root = None
+        if tag is not None:
+            root = self._chain_roots.get(tag, tag)
+        self.touched_tags.append(root)
+        self.touched_ops.append((kind, root))
+        if new_tag is not None and root is not None:
+            self._chain_roots[new_tag] = root
 
     @property
     def aborted(self):

@@ -19,6 +19,7 @@ sharing applies uniformly to set-oriented and regular rules.
 """
 
 from repro.rete.network import ReteNetwork
+from repro.rete.sharded import ShardedReteNetwork
 from repro.rete.snode import SNode, SetOrientedInstance
 from repro.rete.aggregates import AggregateSpec, AggregateState
 
@@ -26,6 +27,7 @@ __all__ = [
     "AggregateSpec",
     "AggregateState",
     "ReteNetwork",
+    "ShardedReteNetwork",
     "SNode",
     "SetOrientedInstance",
 ]

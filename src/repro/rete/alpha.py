@@ -170,6 +170,18 @@ class AlphaNetwork:
     def memories(self):
         return list(self._memories.values())
 
+    def handles_class(self, wme_class):
+        """Does any alpha memory admit WMEs of *wme_class*?"""
+        return wme_class in self._by_class
+
+    def classes(self):
+        """The WME classes this network has memories for."""
+        return tuple(self._by_class)
+
+    def memories_of_class(self, wme_class):
+        """The alpha memories fed by *wme_class* (possibly empty)."""
+        return self._by_class.get(wme_class, [])
+
     @property
     def memory_count(self):
         return len(self._memories)
@@ -189,7 +201,7 @@ class AlphaNetwork:
             if memory.analysis.wme_passes_alpha(wme):
                 memory.add(wme)
 
-    def add_batch(self, wmes):
+    def add_batch(self, wmes, alpha_filter=None):
         """Route a delta-set into the alpha network, partitioned by class.
 
         Each alpha memory receives its passing subset as one
@@ -197,15 +209,24 @@ class AlphaNetwork:
         per successor).  Memories are processed one at a time —
         insert-then-activate per memory — which preserves the
         exactly-once pair discovery of the per-event path.
+
+        *alpha_filter*, if given, is ``f(memory, group) -> passing``
+        replacing the inline constant-test evaluation — the sharded
+        matcher's process-pool mode precomputes the passing subsets
+        out-of-process and injects them here.
         """
         by_class = {}
         for wme in wmes:
             by_class.setdefault(wme.wme_class, []).append(wme)
         for wme_class, group in by_class.items():
             for memory in self._by_class.get(wme_class, []):
-                passing = [
-                    w for w in group if memory.analysis.wme_passes_alpha(w)
-                ]
+                if alpha_filter is not None:
+                    passing = alpha_filter(memory, group)
+                else:
+                    passing = [
+                        w for w in group
+                        if memory.analysis.wme_passes_alpha(w)
+                    ]
                 if passing:
                     memory.add_batch(passing)
 

@@ -272,7 +272,15 @@ class ReteNetwork(Matcher):
             if token.node is not None:
                 token.node.release_blocker(wme, token)
 
-    def on_batch(self, events):
+    def interested_in(self, wme_class):
+        """Does this network's alpha layer admit *wme_class* WMEs?
+
+        The sharded wrapper routes batch events by this predicate, so
+        a shard only sees deltas its own rule subnetwork can react to.
+        """
+        return self.alpha.handles_class(wme_class)
+
+    def on_batch(self, events, alpha_filter=None):
         """Propagate one flushed delta-set set-oriented.
 
         Removes run first (per WME — deletion is a token cascade), then
@@ -282,6 +290,10 @@ class ReteNetwork(Matcher):
         flush.  The outcome — conflict set, firing order, refire
         eligibility — is the atomic net-delta semantics the per-event
         replay of the same flushed batch produces.
+
+        *alpha_filter* forwards to
+        :meth:`~repro.rete.alpha.AlphaNetwork.add_batch` (precomputed
+        constant-test results from the sharded matcher's process pool).
         """
         if not self.batched or self.strict_paper_decide:
             # strict_paper_decide is a per-event ablation of Figure 3's
@@ -301,7 +313,7 @@ class ReteNetwork(Matcher):
                     self._remove_wme(event.wme)
             if adds:
                 self.stats.right_activations += len(adds)
-                self.alpha.add_batch(adds)
+                self.alpha.add_batch(adds, alpha_filter)
         finally:
             for snode in snodes:
                 snode.flush_batch()

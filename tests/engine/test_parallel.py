@@ -11,31 +11,45 @@ from repro.engine.parallel import (
 from repro.engine.tracing import FiringRecord
 
 
-def record_with(tags):
+def record_with(tags, kind="modify"):
+    """A record that touched *tags* (None means an independent make)."""
     record = FiringRecord(1, "r", True, (1,), len(tags))
+    next_tag = 1000
     for tag in tags:
         if tag is None:
             record.makes += 1
+            record.touch("make")
+        elif kind == "remove":
+            record.removes += 1
+            record.touch("remove", tag)
         else:
             record.modifies += 1
-        record.touched_tags.append(tag)
+            record.touch("modify", tag, next_tag)
+            next_tag += 1
     return record
 
 
 class TestFiringLatency:
-    def test_sequential_is_action_count(self):
+    def test_sequential_is_total_cost(self):
+        # Each modify is a 2-unit remove+insert chain on its element.
         record = record_with([1, 2, 3, 4])
-        assert firing_latency(record, 1) == 4
+        assert firing_latency(record, 1) == 8
 
-    def test_independent_actions_divide_by_workers(self):
+    def test_independent_modifies_divide_by_workers(self):
         record = record_with([1, 2, 3, 4])
-        assert firing_latency(record, 2) == 2
+        assert firing_latency(record, 2) == 4
+        assert firing_latency(record, 4) == 2
+        # The 2-unit remove+insert chain cannot be split further.
+        assert firing_latency(record, 100) == 2
+
+    def test_removes_are_unit_cost(self):
+        record = record_with([1, 2, 3, 4], kind="remove")
+        assert firing_latency(record, 1) == 4
         assert firing_latency(record, 4) == 1
-        assert firing_latency(record, 100) == 1
 
     def test_same_element_chain_limits(self):
         record = record_with([1, 1, 1, 2])
-        assert firing_latency(record, 100) == 3  # chain on element 1
+        assert firing_latency(record, 100) == 6  # chain on element 1
 
     def test_makes_are_always_independent(self):
         record = record_with([None, None, None])
@@ -44,6 +58,15 @@ class TestFiringLatency:
     def test_empty_firing(self):
         record = record_with([])
         assert firing_latency(record, 8) == 0
+
+    def test_modify_chain_follows_the_replacement(self):
+        # modify(5) -> 1001, then modify(1001): one logical element,
+        # so both land on chain root 5 (a 4-unit chain).
+        record = FiringRecord(1, "r", True, (1,), 2)
+        record.modifies = 2
+        record.touch("modify", 5, 1001)
+        record.touch("modify", 1001, 1002)
+        assert firing_latency(record, 100) == 4
 
 
 class TestRunModel:

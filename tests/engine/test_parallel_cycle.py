@@ -38,18 +38,23 @@ class TestMutualInvalidation:
         engine = RuleEngine()
         engine.load(TUPLE_DEDUP)
         feed(engine, 5)
-        cycles, fired, conflicted = engine.run_parallel(max_cycles=10)
+        cycles, fired, conflicted, abandoned = engine.run_parallel(
+            max_cycles=10
+        )
         # 10 pair instantiations existed; most were invalidated by
         # earlier firings of the same cycle — the paper's criticism.
         assert conflicted > 0
+        assert abandoned == 0
         assert len(engine.wm) == 1
 
     def test_set_instantiation_never_conflicts(self):
         engine = RuleEngine()
         engine.load(SET_DEDUP)
         feed(engine, 5)
-        cycles, fired, conflicted = engine.run_parallel(max_cycles=10)
-        assert (fired, conflicted) == (1, 0)
+        cycles, fired, conflicted, abandoned = engine.run_parallel(
+            max_cycles=10
+        )
+        assert (fired, conflicted, abandoned) == (1, 0, 0)
         assert len(engine.wm) == 1
 
     def test_disjoint_instantiations_all_fire(self):
@@ -62,8 +67,8 @@ class TestMutualInvalidation:
         )
         for index in range(4):
             engine.make("task", id=index, state="todo")
-        fired, conflicted = engine.parallel_cycle()
-        assert (fired, conflicted) == (4, 0)
+        fired, conflicted, abandoned = engine.parallel_cycle()
+        assert (fired, conflicted, abandoned) == (4, 0, 0)
         assert len(engine.wm.find("task", state="run")) == 4
 
 
@@ -71,15 +76,16 @@ class TestCycleMechanics:
     def test_quiescence(self):
         engine = RuleEngine()
         engine.add_rule("(p r (a) --> (write x))")
-        assert engine.run_parallel() == (0, 0, 0)
+        assert engine.run_parallel() == (0, 0, 0, 0)
 
     def test_halt_stops_the_cycle(self):
         engine = RuleEngine()
         engine.add_rule("(p r (a ^n <n>) --> (halt))")
         engine.make("a", n=1)
         engine.make("a", n=2)
-        fired, conflicted = engine.parallel_cycle()
+        fired, conflicted, abandoned = engine.parallel_cycle()
         assert fired == 1  # halt took effect before the second firing
+        assert abandoned == 0
 
     def test_soi_version_guard(self):
         """An SOI changed by an earlier same-cycle firing is a conflict."""
@@ -100,11 +106,12 @@ class TestCycleMechanics:
         engine.make("item", v=1)
         engine.make("item", v=2)
         engine.make("go")  # most recent: shrink dominates the cycle
-        fired, conflicted = engine.parallel_cycle()
+        fired, conflicted, abandoned = engine.parallel_cycle()
         # shrink fires first and empties the items; watch's SOI was
         # destroyed mid-cycle -> conflict, exactly the §8.1 case.
         assert fired == 1
         assert conflicted == 1
+        assert abandoned == 0
         assert not engine.wm.find("note")
 
     def test_matches_sequential_end_state(self):

@@ -518,17 +518,17 @@ class TestWatchdogs:
 
     def test_parallel_budgets(self):
         engine = self._counter_engine()
-        cycles, fired, _ = engine.run_parallel(firing_budget=3)
+        cycles, fired, _, _ = engine.run_parallel(firing_budget=3)
         assert fired >= 3
         assert engine.last_run_report.reason == "limit"
         engine = self._counter_engine()
-        cycles, fired, _ = engine.run_parallel(wall_clock=0.0)
+        cycles, fired, _, _ = engine.run_parallel(wall_clock=0.0)
         assert (cycles, fired) == (0, 0)
         assert engine.last_run_report.reason == "wall_clock"
 
     def test_parallel_livelock_detector(self):
         engine = self._spinner_engine()
-        cycles, fired, _ = engine.run_parallel(
+        cycles, fired, _, _ = engine.run_parallel(
             max_cycles=1000, livelock_threshold=4
         )
         assert cycles < 1000

@@ -1,0 +1,415 @@
+"""Differential testing: the parallel paths must equal sequential.
+
+Two independent equivalence claims back ``docs/PARALLELISM.md``:
+
+* **firing pool** — running a program with a worker pool
+  (speculate-then-commit-in-order) must produce the same firing
+  sequence, the same ``write`` output, the same working memory, the
+  same conflict accounting, and byte-identical WAL contents as the
+  sequential engine, on every matcher;
+* **sharded match** — propagating deltas through
+  :class:`ShardedReteNetwork` must yield conflict sets identical to a
+  single plain :class:`ReteNetwork`, under Hypothesis-driven random
+  operation sequences.
+
+Plus the cost-model property the fix to ``firing_latency`` demands:
+the closed-form latency must equal a measured greedy schedule of the
+firing's dependency chains.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import RuleEngine, ShardedReteNetwork
+from repro.dips import DipsMatcher
+from repro.durability import DurabilityConfig
+from repro.engine.parallel import (
+    firing_latency,
+    measured_schedule,
+)
+from repro.engine.tracing import FiringRecord
+from repro.lang.parser import parse_rule
+from repro.match import NaiveMatcher, TreatMatcher
+from repro.rete import ReteNetwork
+from repro.wm import WorkingMemory
+
+MATCHERS = [ReteNetwork, TreatMatcher, NaiveMatcher, DipsMatcher]
+
+# Scalar rules, a set-oriented rule with set-modify, writes, and a
+# mutual-invalidation dedup workload (the §8.1 conflict case) in one
+# program: every commit-time validation branch is exercised.
+PROGRAM = """
+(literalize emp name dept salary)
+(literalize dept name budget)
+(literalize note text)
+(literalize rec key serial)
+(p promote
+  { [emp ^dept <d> ^salary < 9] <E> }
+  (dept ^name <d> ^budget > 100)
+  -->
+  (set-modify <E> ^salary 9)
+  (write promoted <d>))
+(p tally
+  (emp ^salary 9 ^name <n>)
+  -(note ^text <n>)
+  -->
+  (make note ^text <n>)
+  (write tally <n>))
+(p dedup
+  (rec ^key <k> ^serial <s>)
+  { (rec ^key <k> ^serial < <s>) <Old> }
+  -->
+  (remove <Old>))
+"""
+
+
+def seed(engine):
+    with engine.batch():
+        for index in range(6):
+            engine.make("emp", name=f"e{index}",
+                        dept=f"d{index % 2}", salary=index)
+        engine.make("dept", name="d0", budget=200)
+        engine.make("dept", name="d1", budget=150)
+        for serial in range(4):
+            engine.make("rec", key="dup", serial=serial)
+
+
+def canonical_wm(engine):
+    return sorted(
+        (wme.wme_class, wme.time_tag, tuple(sorted(wme.as_dict().items())))
+        for wme in engine.wm
+    )
+
+
+def canonical_firings(engine):
+    return [
+        (record.cycle, record.rule_name, record.time_tags,
+         record.makes, record.removes, record.modifies,
+         record.writes, tuple(record.touched_ops), record.outcome)
+        for record in engine.tracer.firings
+    ]
+
+
+def wal_bytes(wal_dir):
+    import os
+
+    from repro.durability.wal import SEGMENT_SUFFIX
+
+    chunks = []
+    for name in sorted(os.listdir(wal_dir)):
+        if name.endswith(SEGMENT_SUFFIX):
+            with open(os.path.join(wal_dir, name), "rb") as handle:
+                chunks.append(handle.read())
+    return b"".join(chunks)
+
+
+def run_pooled(matcher_cls, workers, wal_dir=None):
+    durability = (
+        DurabilityConfig(wal_dir, fsync="off") if wal_dir else None
+    )
+    engine = RuleEngine(matcher=matcher_cls(), workers=workers,
+                        durability=durability)
+    engine.load(PROGRAM)
+    seed(engine)
+    result = engine.run_parallel(max_cycles=30)
+    state = (
+        result,
+        canonical_firings(engine),
+        list(engine.tracer.output),
+        canonical_wm(engine),
+    )
+    engine.close()
+    return state
+
+
+class TestPooledFiringEquivalence:
+    """workers=4 ≡ workers=1, per matcher, down to the WAL bytes."""
+
+    @pytest.mark.parametrize("matcher_cls", MATCHERS)
+    def test_pool_matches_sequential(self, matcher_cls):
+        sequential = run_pooled(matcher_cls, workers=1)
+        pooled = run_pooled(matcher_cls, workers=4)
+        assert pooled == sequential
+        result = pooled[0]
+        assert result.fired > 0 and result.conflicted > 0
+
+    @pytest.mark.parametrize("matcher_cls", MATCHERS)
+    def test_wal_bytes_identical(self, matcher_cls, tmp_path):
+        seq_dir = tmp_path / "seq"
+        pool_dir = tmp_path / "pool"
+        sequential = run_pooled(matcher_cls, 1, wal_dir=str(seq_dir))
+        pooled = run_pooled(matcher_cls, 4, wal_dir=str(pool_dir))
+        assert pooled == sequential
+        assert wal_bytes(str(pool_dir)) == wal_bytes(str(seq_dir))
+
+    def test_sharded_matcher_with_pool_matches_sequential(self):
+        sequential = run_pooled(ReteNetwork, workers=1)
+        sharded = run_pooled(
+            lambda: ShardedReteNetwork(shards=3), workers=4
+        )
+        assert sharded == sequential
+
+    def test_speculation_counters(self):
+        from repro.engine.stats import MatchStats
+
+        engine = RuleEngine(workers=4, stats=MatchStats())
+        engine.load(PROGRAM)
+        seed(engine)
+        engine.run_parallel(max_cycles=30)
+        counters = engine.stats.counters
+        assert counters.get("pool_speculations", 0) > 0
+        committed = counters.get("pool_plan_commits", 0)
+        fallbacks = counters.get("pool_plan_fallbacks", 0)
+        assert committed > 0
+        # Every firing either replayed its plan or fell back live.
+        assert committed + fallbacks >= len(
+            [r for r in engine.tracer.firings if r.outcome == "fired"]
+        )
+        engine.close()
+
+
+class TestCycleAccounting:
+    """fired + conflicted + abandoned == snapshot, on every matcher."""
+
+    @pytest.mark.parametrize("matcher_cls", MATCHERS)
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_conflict_accounting(self, matcher_cls, workers):
+        engine = RuleEngine(matcher=matcher_cls(), workers=workers)
+        engine.load(PROGRAM)
+        seed(engine)
+        snapshot = len(
+            engine.conflict_set.eligible_snapshot(engine.strategy)
+        )
+        fired, conflicted, abandoned = engine.parallel_cycle()
+        assert fired + conflicted + abandoned == snapshot
+        assert conflicted > 0  # dedup guarantees invalidations
+        assert abandoned == 0
+        engine.close()
+
+    @pytest.mark.parametrize("matcher_cls", MATCHERS)
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_abandoned_accounting(self, matcher_cls, workers):
+        engine = RuleEngine(matcher=matcher_cls(), workers=workers,
+                            on_error="skip")
+        engine.load(
+            """
+            (literalize item n)
+            (p poison (item ^n 1) --> (call explode))
+            (p fine (item ^n { <n> > 1 }) --> (write ok <n>))
+            """
+        )
+
+        def boom(*args):
+            raise ValueError("boom")
+
+        engine.register_function("explode", boom)
+        engine.make("item", n=1)
+        engine.make("item", n=2)
+        fired, conflicted, abandoned = engine.parallel_cycle()
+        assert (fired, conflicted, abandoned) == (1, 0, 1)
+        assert len(engine.dead_letters) == 1
+        engine.close()
+
+    @pytest.mark.parametrize("matcher_cls", MATCHERS)
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_halt_mid_cycle_skips_the_sum_assert(
+        self, matcher_cls, workers
+    ):
+        engine = RuleEngine(matcher=matcher_cls(), workers=workers)
+        engine.load("(p r (a ^n <n>) --> (halt))")
+        engine.make("a", n=1)
+        engine.make("a", n=2)
+        engine.make("a", n=3)
+        fired, conflicted, abandoned = engine.parallel_cycle()
+        # halt stops the commit loop: exactly one firing, the rest of
+        # the snapshot is neither fired nor conflicted nor abandoned.
+        assert (fired, conflicted, abandoned) == (1, 0, 0)
+        engine.close()
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_soi_version_bump_between_snapshot_and_fire(self, workers):
+        engine = RuleEngine(workers=workers)
+        engine.load(
+            """
+            (literalize item v)
+            (literalize note text)
+            (literalize go)
+            (p shrink (go) { [item] <S> } :test ((count <S>) > 1)
+              -->
+              (foreach <S> descending (remove <S>)))
+            (p watch { [item] <S> } :test ((count <S>) > 1)
+              -->
+              (make note ^text saw))
+            """
+        )
+        engine.make("item", v=1)
+        engine.make("item", v=2)
+        engine.make("go")
+        fired, conflicted, abandoned = engine.parallel_cycle()
+        # shrink empties the set mid-cycle; watch's SOI version moved
+        # between snapshot and fire -> conflicted, never fired.
+        assert (fired, conflicted, abandoned) == (1, 1, 0)
+        assert not engine.wm.find("note")
+        engine.close()
+
+
+# -- sharded match equivalence (Hypothesis-driven) -----------------------
+
+SHARD_RULES = [
+    "(p join (item ^owner <o>) (owner ^name <o>) --> (halt))",
+    "(p lonely (item ^owner <o>) -(owner ^name <o>) --> (halt))",
+    "(p groups { [item ^owner <o>] <S> } :scalar (<o>) "
+    ":test ((count <S>) >= 2) --> (halt))",
+    "(p budget (owner ^name <o>) { [item ^owner <o> ^v <v>] <S> } "
+    ":test ((sum <S> ^v) > 10) --> (halt))",
+]
+
+OWNERS = ["ann", "bob", "cat"]
+
+
+class _SnapshotListener:
+    def __init__(self):
+        self.live = {}
+
+    def insert(self, inst):
+        self.live[inst.identity()] = inst
+
+    def retract(self, inst):
+        self.live.pop(inst.identity(), None)
+
+    def reposition(self, inst):
+        pass
+
+    def snapshot(self):
+        entries = []
+        for inst in self.live.values():
+            token_tags = sorted(
+                tuple(
+                    wme.time_tag if wme is not None else 0
+                    for wme in token.wmes()
+                )
+                for token in inst.tokens()
+            )
+            entries.append((inst.rule.name, tuple(token_tags)))
+        return sorted(entries)
+
+
+@st.composite
+def operation_sequences(draw):
+    return draw(
+        st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("make-item"),
+                    st.sampled_from(OWNERS),
+                    st.integers(0, 9),
+                ),
+                st.tuples(st.just("make-owner"), st.sampled_from(OWNERS)),
+                st.tuples(st.just("remove"), st.integers(0, 30)),
+                st.tuples(st.just("batch"), st.integers(2, 5)),
+            ),
+            min_size=1,
+            max_size=25,
+        )
+    )
+
+
+def drive(matcher, ops):
+    wm = WorkingMemory()
+    listener = _SnapshotListener()
+    matcher.set_listener(listener)
+    matcher.attach(wm)
+    for source in SHARD_RULES:
+        matcher.add_rule(parse_rule(source))
+    made = []
+    snapshots = []
+    for op in ops:
+        if op[0] == "make-item":
+            made.append(wm.make("item", owner=op[1], v=op[2]))
+        elif op[0] == "make-owner":
+            made.append(wm.make("owner", name=op[1]))
+        elif op[0] == "remove":
+            live = [w for w in made if w in wm]
+            if live:
+                wm.remove(live[op[1] % len(live)])
+        else:  # a delta batch: several adds in one propagation
+            with wm.batch():
+                for index in range(op[1]):
+                    made.append(
+                        wm.make("item", owner=OWNERS[index % 3], v=index)
+                    )
+        snapshots.append(listener.snapshot())
+    close = getattr(matcher, "close", None)
+    if close is not None:
+        close()
+    return snapshots
+
+
+class TestShardedMatchEquivalence:
+    @given(operation_sequences())
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_sharded_equals_plain_rete(self, ops):
+        assert drive(ShardedReteNetwork(shards=3), ops) == drive(
+            ReteNetwork(), ops
+        )
+
+    @given(operation_sequences())
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_single_shard_equals_plain_rete(self, ops):
+        assert drive(ShardedReteNetwork(shards=1), ops) == drive(
+            ReteNetwork(), ops
+        )
+
+
+# -- cost model: closed form == measured greedy schedule -----------------
+
+
+@st.composite
+def traced_records(draw):
+    record = FiringRecord(1, "r", True, (1,), 1)
+    next_tag = 100
+    for _ in range(draw(st.integers(0, 12))):
+        kind = draw(st.sampled_from(["make", "remove", "modify"]))
+        if kind == "make":
+            record.makes += 1
+            record.touch("make")
+        else:
+            tag = draw(st.integers(1, 6))
+            if kind == "remove":
+                record.removes += 1
+                record.touch("remove", tag)
+            else:
+                record.modifies += 1
+                record.touch("modify", tag, next_tag)
+                next_tag += 1
+    return record
+
+
+class TestLatencyModelMatchesSchedule:
+    @given(traced_records(), st.integers(1, 16))
+    @settings(max_examples=200, deadline=None)
+    def test_model_equals_measured_schedule(self, record, workers):
+        assert firing_latency(record, workers) == measured_schedule(
+            record, workers
+        )
+
+    def test_model_on_a_real_traced_run(self):
+        engine = RuleEngine()
+        engine.load(PROGRAM)
+        seed(engine)
+        engine.run(limit=30)
+        for record in engine.tracer.firings:
+            for workers in (1, 2, 4, 100):
+                assert firing_latency(record, workers) == (
+                    measured_schedule(record, workers)
+                )
+        engine.close()
