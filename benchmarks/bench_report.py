@@ -3,10 +3,18 @@
 
 Runs a fixed set of deterministic scenarios with :class:`MatchStats`
 attached, writes the counters (plus informational wall-clock timings)
-to ``BENCH_5.json``, and — under ``--check`` — fails if any gated work
+to ``BENCH_6.json``, and — under ``--check`` — fails if any gated work
 counter regressed more than 10% against the newest committed
 ``benchmarks/BENCH_<n>.json`` report (falling back to
 ``benchmarks/BENCH_baseline.json`` when none exists).
+
+The ``storage_1m_*`` scenarios exercise the relational substrate
+itself: one million WMEs streamed through :class:`CondStore` in
+batched set-oriented statements, ten thousand incremental updates,
+and one grouped SOI-retrieval query — once on the memory backend and
+once on sqlite with native SQL pushdown.  Their gated counters are
+statement and row counts (exact on any machine); the recorded timings
+document the §8 claim that grouped retrieval belongs in the database.
 
 Only *work counters* are gated (join activations, join tests, alpha
 activations, index/group probes): they are exact and machine
@@ -31,7 +39,7 @@ from repro import MatchStats, RuleEngine
 from repro.rete import ReteNetwork, ShardedReteNetwork
 
 BASELINE_PATH = Path(__file__).parent / "BENCH_baseline.json"
-DEFAULT_OUTPUT = Path("BENCH_5.json")
+DEFAULT_OUTPUT = Path("BENCH_6.json")
 
 
 def latest_reference():
@@ -58,7 +66,17 @@ GATED_COUNTERS = (
     "index_probes",
     "group_probes",
     "snode_batch_reevals",
+    # Storage-backend scenarios: exact statement/row counts.
+    "storage_batch_statements",
+    "storage_cond_rows",
+    "storage_soi_groups",
+    "storage_soi_rows",
+    "storage_statements_pushed",
 )
+# Deterministic counters that must match the baseline *exactly*:
+# losing native pushdown shows as a decrease, which the one-sided
+# tolerance gate would misread as an improvement.
+EXACT_COUNTERS = ("storage_statements_pushed",)
 TOLERANCE = 0.10
 
 PROGRAM = """
@@ -147,11 +165,122 @@ def scenario_sharded_match():
     return stats
 
 
+# -- storage-backend scenarios (out-of-core DIPS, ISSUE PR 6) -------------
+
+N_STORAGE_WMES = 1_000_000
+STORAGE_CHUNK = 20_000
+N_STORAGE_UPDATES = 10_000
+STORAGE_UPDATE_CHUNK = 100
+N_STORAGE_OWNERS = 1_000
+
+STORAGE_RULES = (
+    "(p probe (item ^owner <o> ^v <v>) --> (halt))",
+    "(p hot (item ^owner o1 ^v <v>) --> (halt))",
+)
+
+STORAGE_RETRIEVAL = (
+    "SELECT owner, COUNT(*) AS n FROM \"COND-item\" "
+    "WHERE wme_tag IS NOT NULL AND rule_id = 'probe' GROUP BY owner"
+)
+
+
+class _BenchWme:
+    """Minimal WME protocol (class, tag, get) for CondStore streaming."""
+
+    __slots__ = ("wme_class", "time_tag", "_values")
+
+    def __init__(self, tag, owner, v):
+        self.wme_class = "item"
+        self.time_tag = tag
+        self._values = {"owner": owner, "v": v}
+
+    def get(self, attribute):
+        return self._values.get(attribute, "nil")
+
+
+class _BenchEvent:
+    __slots__ = ("is_add", "wme")
+
+    def __init__(self, is_add, wme):
+        self.is_add = is_add
+        self.wme = wme
+
+
+def _storage_scenario(backend):
+    """1M-WME bulk load + incremental updates + grouped retrieval."""
+    from repro.dips.cond import CondStore
+    from repro.lang.parser import parse_rule
+    from repro.rdb.sql import run_sql
+
+    stats = MatchStats()
+    store = CondStore(backend=backend)
+    for source in STORAGE_RULES:
+        store.add_rule(parse_rule(source))
+    statements = 0
+    load_start = time.perf_counter()
+    for base in range(0, N_STORAGE_WMES, STORAGE_CHUNK):
+        statements += store.apply_batch([
+            _BenchEvent(True, _BenchWme(
+                base + i + 1,
+                f"o{(base + i) % N_STORAGE_OWNERS}",
+                (base + i) % 97,
+            ))
+            for i in range(STORAGE_CHUNK)
+        ])
+    load_elapsed = time.perf_counter() - load_start
+    update_start = time.perf_counter()
+    for base in range(0, N_STORAGE_UPDATES, STORAGE_UPDATE_CHUNK):
+        events = []
+        for i in range(STORAGE_UPDATE_CHUNK):
+            old_tag = base + i + 1
+            events.append(_BenchEvent(False, _BenchWme(old_tag, "", 0)))
+            events.append(_BenchEvent(True, _BenchWme(
+                N_STORAGE_WMES + old_tag,
+                f"o{old_tag % N_STORAGE_OWNERS}",
+                old_tag % 97,
+            )))
+        statements += store.apply_batch(events)
+    update_elapsed = time.perf_counter() - update_start
+    retrieve_start = time.perf_counter()
+    groups = run_sql(store.db, STORAGE_RETRIEVAL)
+    retrieve_elapsed = time.perf_counter() - retrieve_start
+
+    # These are report counters, not matcher-event totals, so they go
+    # straight into .totals (what run_scenarios records).
+    stats.totals["storage_batch_statements"] = statements
+    stats.totals["storage_cond_rows"] = len(store.cond_table("item"))
+    stats.totals["storage_soi_groups"] = len(groups)
+    stats.totals["storage_soi_rows"] = sum(row["n"] for row in groups)
+    stats.totals["storage_statements_pushed"] = getattr(
+        store.db.backend, "statements_pushed", 0
+    )
+    # Informational timings (never gated, machine dependent).
+    stats.totals["storage_load_ms"] = int(load_elapsed * 1000)
+    stats.totals["storage_update_ms"] = int(update_elapsed * 1000)
+    stats.totals["storage_retrieve_ms"] = int(retrieve_elapsed * 1000)
+    store.db.close()
+    return stats
+
+
+def scenario_storage_1m_memory():
+    from repro.rdb.memory_backend import MemoryBackend
+
+    return _storage_scenario(MemoryBackend())
+
+
+def scenario_storage_1m_sqlite():
+    from repro.rdb.sqlite_backend import SqliteBackend
+
+    return _storage_scenario(SqliteBackend())
+
+
 SCENARIOS = {
     "bulk_load_per_event": scenario_bulk_load_per_event,
     "bulk_load_batched": scenario_bulk_load_batched,
     "churn_batched": scenario_churn_batched,
     "sharded_match": scenario_sharded_match,
+    "storage_1m_memory": scenario_storage_1m_memory,
+    "storage_1m_sqlite": scenario_storage_1m_sqlite,
 }
 
 # Rules over three distinct CE-class sets ({dept,emp}, {emp}, {dept})
@@ -225,6 +354,13 @@ def compare(report, baseline):
             got = current["counters"].get(counter)
             if want is None or got is None:
                 continue
+            if counter in EXACT_COUNTERS:
+                if got != want:
+                    regressions.append(
+                        f"{name}.{counter}: {got} != {want} "
+                        f"(must match exactly)"
+                    )
+                continue
             limit = want * (1 + TOLERANCE)
             if got > limit and got - want > 1:
                 regressions.append(
@@ -243,7 +379,8 @@ def print_report(report):
     for name, data in report["scenarios"].items():
         print(f"{name}  ({data['elapsed_s']:.3f}s)")
         for counter in GATED_COUNTERS:
-            print(f"  {counter:<24}{data['counters'].get(counter, 0):>12}")
+            if counter in data["counters"]:
+                print(f"  {counter:<24}{data['counters'][counter]:>12}")
     sharded = report.get("parallel", {}).get("sharded_match")
     if sharded:
         timings = " ".join(

@@ -4,12 +4,20 @@ Usage::
 
     python -m repro.cli [program.ops]
                         [--matcher rete|treat|naive|dips|sharded]
+                        [--backend memory|sqlite|sqlite:PATH]
                         [--strategy lex|mea] [--run N] [--watch LEVEL]
                         [--on-error POLICY] [--workers N]
                         [--profile] [--profile-json FILE]
                         [--wal-dir DIR] [--fsync always|batch|off]
                         [--checkpoint]
     python -m repro.cli recover DIR [--run N] [--no-wal] ...
+
+``--backend`` picks the relational storage backend for the ``dips``
+matcher's COND tables — ``memory`` (default), ``sqlite`` (private
+in-memory database, queries pushed down to real SQL), or
+``sqlite:PATH`` (out-of-core, file-backed).  The ``REPRO_RDB_BACKEND``
+environment variable supplies the default; the flag wins.  Other
+matchers ignore it.  See ``docs/STORAGE.md``.
 
 ``--on-error`` sets the engine-wide firing error policy — ``halt``
 (default), ``skip``, ``retry[:n[:backoff[:then]]]``, or
@@ -73,7 +81,7 @@ from repro.lang.printer import format_ce
 from repro.symbols import coerce_literal
 
 
-def _build_matcher(name):
+def _build_matcher(name, backend=None):
     if name == "rete":
         from repro.rete import ReteNetwork
 
@@ -93,7 +101,7 @@ def _build_matcher(name):
     if name == "dips":
         from repro.dips import DipsMatcher
 
-        return DipsMatcher()
+        return DipsMatcher(backend=backend)
     raise ValueError(f"unknown matcher {name!r}")
 
 
@@ -117,7 +125,8 @@ class ReplSession:
 
     def __init__(self, matcher="rete", strategy="lex", watch=1,
                  profile=False, wal_dir=None, fsync="batch",
-                 on_error="halt", engine=None, workers=None):
+                 on_error="halt", engine=None, workers=None,
+                 backend=None):
         from repro.engine.stats import MatchStats
 
         self.profile_stats = None
@@ -134,7 +143,8 @@ class ReplSession:
                 from repro.durability import DurabilityConfig
 
                 durability = DurabilityConfig(wal_dir, fsync=fsync)
-            self.engine = RuleEngine(matcher=_build_matcher(matcher),
+            self.engine = RuleEngine(matcher=_build_matcher(matcher,
+                                                            backend),
                                      strategy=strategy,
                                      stats=self.profile_stats,
                                      durability=durability,
@@ -496,6 +506,14 @@ def _recover_main(argv):
         default=None,
         help="override the checkpointed matcher",
     )
+    parser.add_argument(
+        "--backend",
+        metavar="SPEC",
+        default=None,
+        help="storage backend for the dips matcher "
+        "(memory, sqlite, or sqlite:PATH; default: the checkpoint "
+        "manifest's backend, else REPRO_RDB_BACKEND, else memory)",
+    )
     parser.add_argument("--strategy", choices=("lex", "mea"), default=None)
     parser.add_argument(
         "--workers",
@@ -538,6 +556,7 @@ def _recover_main(argv):
         engine = RuleEngine.recover(
             options.wal_dir,
             matcher=options.matcher,
+            backend=options.backend,
             strategy=options.strategy,
             stats=stats,
             durability=not options.no_wal,
@@ -586,6 +605,14 @@ def main(argv=None):
         "--matcher",
         choices=("rete", "treat", "naive", "dips", "sharded"),
         default="rete",
+    )
+    parser.add_argument(
+        "--backend",
+        metavar="SPEC",
+        default=None,
+        help="storage backend for the dips matcher: memory (default), "
+        "sqlite (in-memory SQL pushdown), or sqlite:PATH (file-backed, "
+        "out-of-core); REPRO_RDB_BACKEND sets the default",
     )
     parser.add_argument("--strategy", choices=("lex", "mea"), default="lex")
     parser.add_argument(
@@ -650,6 +677,7 @@ def main(argv=None):
             fsync=options.fsync,
             on_error=options.on_error,
             workers=options.workers,
+            backend=options.backend,
         )
     except ReproError as error:
         # E.g. --wal-dir pointing at a previous session's log: a fresh

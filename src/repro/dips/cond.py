@@ -79,8 +79,8 @@ class _CondCE:
 class CondStore:
     """Builds and maintains the COND tables for a set of rules."""
 
-    def __init__(self, db=None):
-        self.db = db if db is not None else Database()
+    def __init__(self, db=None, backend=None):
+        self.db = db if db is not None else Database(backend)
         self._class_attributes = {}
         self._cond_ces = {}  # wme_class -> [(rule, analysis, _CondCE)]
         self._rules = {}
@@ -130,8 +130,7 @@ class CondStore:
             table = self.db.create_table(table_name, Schema(columns))
             table.create_index("wme_tag")
             table.create_index("rule_id")
-            for row in rows:
-                table.insert(row)
+            table.insert_many(rows)
 
     def _insert_template(self, cond_ce):
         table = self.cond_table(cond_ce.ce.wme_class)
@@ -160,8 +159,8 @@ class CondStore:
         for ce in rule.ces:
             table_name = cond_table_name(ce.wme_class)
             if self.db.has_table(table_name):
-                self.db.table(table_name).delete_where(
-                    lambda row: row.get("rule_id") == rule_name
+                self.db.table(table_name).delete_in(
+                    "rule_id", [rule_name]
                 )
 
     # -- WME maintenance -------------------------------------------------------
@@ -193,9 +192,7 @@ class CondStore:
         if not self.db.has_table(table_name):
             return 0
         table = self.db.table(table_name)
-        return table.delete_where(
-            lambda row: row.get("wme_tag") == wme.time_tag
-        )
+        return table.delete_in("wme_tag", [wme.time_tag])
 
     def apply_batch(self, events):
         """Apply one flushed delta-set as set-oriented statements.
@@ -220,9 +217,7 @@ class CondStore:
             table_name = cond_table_name(wme_class)
             if not self.db.has_table(table_name):
                 continue
-            self.db.table(table_name).delete_where(
-                lambda row, tags=tags: row.get("wme_tag") in tags
-            )
+            self.db.table(table_name).delete_in("wme_tag", sorted(tags))
             statements += 1
         for wme_class, wmes in added.items():
             registrations = self._cond_ces.get(wme_class, ())

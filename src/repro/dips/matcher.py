@@ -39,15 +39,39 @@ class _DipsRule:
 class DipsMatcher(Matcher):
     """Match through the relational substrate, per paper section 8."""
 
-    def __init__(self, db=None):
+    def __init__(self, db=None, backend=None):
         super().__init__()
-        self.store = CondStore(db)
+        self.store = CondStore(db, backend=backend)
         self._rules = {}
+        self._restoring = False
         self.stats = {"queries_run": 0, "rows_retrieved": 0}
 
     @property
     def db(self):
         return self.store.db
+
+    @property
+    def storage_backend(self):
+        """The rdb storage backend the COND tables live on."""
+        return self.store.db.backend
+
+    def close(self):
+        """Release the storage backend (sqlite connections)."""
+        self.store.db.close()
+
+    # -- checkpoint restore --------------------------------------------------
+
+    def begin_restore(self):
+        """Enter restore mode: COND tables were primed from a checkpoint
+        member, so WM events replayed by the restore must not repopulate
+        them (or refresh rules row-by-row)."""
+        self._restoring = True
+
+    def end_restore(self):
+        """Leave restore mode and run every rule's SOI query once."""
+        self._restoring = False
+        for state in self._rules.values():
+            self._refresh(state)
 
     def add_rule(self, rule):
         if rule.name in self._rules:
@@ -87,6 +111,8 @@ class DipsMatcher(Matcher):
     # -- events ------------------------------------------------------------
 
     def on_event(self, event):
+        if self._restoring:
+            return
         if event.is_add:
             self.store.wme_added(event.wme)
         else:
@@ -102,7 +128,7 @@ class DipsMatcher(Matcher):
         each rule's SOI query runs *once* against the settled tables —
         instead of table-update plus full refresh per event.
         """
-        if not events:
+        if not events or self._restoring:
             return
         statements = self.store.apply_batch(events)
         self.match_stats.incr("dips_batch_statements", statements)

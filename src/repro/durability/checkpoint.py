@@ -4,10 +4,13 @@ A checkpoint is a directory ``checkpoint-%08d`` inside the WAL
 directory holding:
 
 * ``wm.json`` — the working-memory snapshot
-  (:func:`repro.wm.snapshot.dump_wm`, time tags preserved).  This is
-  the only state snapshot: matcher state — including the DIPS COND
-  tables — is derived, and recovery rebuilds it by replaying the
+  (:func:`repro.wm.snapshot.dump_wm`, time tags preserved).  Matcher
+  state is derived, and recovery normally rebuilds it by replaying the
   snapshot through the batched propagation path;
+* ``dips.sqlite3`` (only when the matcher runs on the sqlite storage
+  backend) — the whole COND-table database captured through sqlite's
+  backup API, so recovery can prime the matcher instead of recomputing
+  every instance row (ROADMAP item 2's "cheap checkpoints");
 * ``MANIFEST.json`` — everything recovery needs: format version,
   sequence number, the WAL position the snapshot corresponds to, the
   time-tag counter, the firing count, the matcher and strategy names,
@@ -39,6 +42,7 @@ CHECKPOINT_PREFIX = "checkpoint-"
 CURRENT_NAME = "CURRENT"
 MANIFEST_NAME = "MANIFEST.json"
 WM_SNAPSHOT_NAME = "wm.json"
+DIPS_DB_NAME = "dips.sqlite3"
 
 
 def checkpoint_dirname(seq):
@@ -66,11 +70,19 @@ def _fsync_file(path):
 
 def write_checkpoint(directory, *, wm_snapshot, wal_position,
                      next_tag, program, matcher_name, strategy_name,
-                     fired, cycle_count, reliability=None, fault=None):
+                     fired, cycle_count, reliability=None, fault=None,
+                     binary_members=None, rdb_backend=None):
     """Write one atomic checkpoint; returns its directory path.
 
     The caller (the durability manager) is responsible for syncing the
     WAL up to *wal_position* first and for truncating/pruning after.
+
+    *binary_members* maps member names to raw bytes — e.g. the sqlite
+    database file captured through the backup API when the matcher runs
+    on an out-of-core backend.  They are CRC-checked like JSON members
+    but listed under ``manifest["binary"]`` so loading leaves them as
+    bytes.  *rdb_backend* records the storage backend spec so recovery
+    rebuilds the matcher on the same kind of store.
     """
     if fault is not None:
         fault.hit("checkpoint.begin")
@@ -93,7 +105,16 @@ def write_checkpoint(directory, *, wm_snapshot, wal_position,
         _fsync_file(path)
         files[member] = zlib.crc32(data)
 
+    def _write_binary_member(member, data):
+        path = os.path.join(tmp_path, member)
+        with open(path, "wb") as handle:
+            handle.write(data)
+        _fsync_file(path)
+        files[member] = zlib.crc32(data)
+
     _write_member(WM_SNAPSHOT_NAME, wm_snapshot)
+    for member, data in (binary_members or {}).items():
+        _write_binary_member(member, data)
     manifest = {
         "version": MANIFEST_VERSION,
         "seq": seq,
@@ -106,6 +127,10 @@ def write_checkpoint(directory, *, wm_snapshot, wal_position,
         "fired": fired,
         "files": files,
     }
+    if binary_members:
+        manifest["binary"] = sorted(binary_members)
+    if rdb_backend:
+        manifest["rdb_backend"] = rdb_backend
     if reliability:
         manifest["reliability"] = reliability
     manifest_data = json.dumps(manifest, separators=(",", ":"))
@@ -168,14 +193,16 @@ def read_current(directory):
 
 
 class LoadedCheckpoint:
-    """A validated checkpoint: manifest plus the parsed WM snapshot."""
+    """A validated checkpoint: manifest, parsed WM snapshot, and any
+    raw binary members (``.binary`` maps member name to bytes)."""
 
-    __slots__ = ("path", "manifest", "wm_snapshot")
+    __slots__ = ("path", "manifest", "wm_snapshot", "binary")
 
-    def __init__(self, path, manifest, wm_snapshot):
+    def __init__(self, path, manifest, wm_snapshot, binary=None):
         self.path = path
         self.manifest = manifest
         self.wm_snapshot = wm_snapshot
+        self.binary = binary or {}
 
 
 def load_checkpoint(directory):
@@ -207,7 +234,9 @@ def load_checkpoint(directory):
             f"unsupported checkpoint manifest version "
             f"{manifest.get('version')!r}"
         )
+    binary_names = set(manifest.get("binary", ()))
     members = {}
+    binary = {}
     for member, crc in manifest.get("files", {}).items():
         member_path = os.path.join(path, member)
         try:
@@ -222,12 +251,17 @@ def load_checkpoint(directory):
                 f"checkpoint {name} member {member} fails its CRC "
                 f"(stored {crc}, computed {zlib.crc32(data)})"
             )
-        members[member] = json.loads(data)
+        if member in binary_names:
+            binary[member] = data
+        else:
+            members[member] = json.loads(data)
     if WM_SNAPSHOT_NAME not in members:
         raise RecoveryError(
             f"checkpoint {name} has no {WM_SNAPSHOT_NAME} member"
         )
-    return LoadedCheckpoint(path, manifest, members[WM_SNAPSHOT_NAME])
+    return LoadedCheckpoint(
+        path, manifest, members[WM_SNAPSHOT_NAME], binary
+    )
 
 
 def program_source(engine):
@@ -265,8 +299,12 @@ def matcher_name(matcher):
     return None
 
 
-def build_matcher(name):
-    """Instantiate a matcher by registry name."""
+def build_matcher(name, backend=None):
+    """Instantiate a matcher by registry name.
+
+    *backend* is a storage backend spec for matchers that run on the
+    relational substrate (dips); the others ignore it.
+    """
     from repro.dips.matcher import DipsMatcher
     from repro.match import NaiveMatcher, TreatMatcher
     from repro.rete.network import ReteNetwork
@@ -277,4 +315,6 @@ def build_matcher(name):
                  "sharded": ShardedReteNetwork}
     if name not in factories:
         raise DurabilityError(f"unknown matcher {name!r}")
+    if name == "dips":
+        return DipsMatcher(backend=backend)
     return factories[name]()

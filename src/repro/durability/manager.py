@@ -316,9 +316,19 @@ class DurabilityManager:
             )
         self.wal.sync()
         position = self.wal.tell()
-        # No separate DIPS database snapshot: the COND tables are
-        # derived state that restore_wm + tail replay rebuild exactly;
-        # a second serialised copy could only disagree with the WM one.
+        # COND tables are derived state that restore_wm + tail replay
+        # rebuild exactly, so no separate snapshot is *needed* — but on
+        # a file-backed storage backend (sqlite) the whole database is
+        # one cheap backup-API copy, and recovery can prime the matcher
+        # from it instead of recomputing every instance row.
+        binary_members = {}
+        rdb_backend = None
+        storage = getattr(engine.matcher, "storage_backend", None)
+        if storage is not None and getattr(
+            storage, "supports_file_backup", False
+        ):
+            binary_members[ckpt.DIPS_DB_NAME] = storage.serialize()
+            rdb_backend = storage.spec
         path = ckpt.write_checkpoint(
             self.config.wal_dir,
             wm_snapshot=dump_wm(engine.wm),
@@ -331,6 +341,8 @@ class DurabilityManager:
             cycle_count=engine.cycle_count,
             reliability=collect_reliability(engine),
             fault=self.config.fault,
+            binary_members=binary_members or None,
+            rdb_backend=rdb_backend,
         )
         fault = self.config.fault
         if fault is not None:

@@ -83,13 +83,15 @@ class RecoveryReport:
 def recover_engine(engine_cls, path, *, program=None, matcher=None,
                    strategy=None, stats=None, echo=False,
                    durability=True, trace_limit=None, on_error=None,
-                   workers=None):
+                   workers=None, backend=None):
     """Rebuild a :class:`RuleEngine` from the WAL directory *path*.
 
     *matcher* may be a matcher instance or a registry name
     (``rete``/``treat``/``naive``/``dips``); by default the manifest's
     recorded matcher (falling back to Rete) is used, so recovery is
-    matcher-faithful without the caller restating it.  *durability*
+    matcher-faithful without the caller restating it.  *backend*
+    overrides the storage backend spec for substrate-backed matchers
+    (default: the manifest's recorded backend).  *durability*
     re-attaches logging to the same directory (pass ``False`` for a
     read-only resurrection, or a :class:`DurabilityConfig` to change
     the policy).  The recovered engine carries a
@@ -141,7 +143,9 @@ def recover_engine(engine_cls, path, *, program=None, matcher=None,
             meta.get("matcher") or manifest.get("matcher") or "rete"
         )
     if isinstance(matcher, str):
-        matcher = build_matcher(matcher)
+        matcher = build_matcher(
+            matcher, backend=backend or manifest.get("rdb_backend")
+        )
     if strategy is None:
         strategy = (
             meta.get("strategy") or manifest.get("strategy") or "lex"
@@ -163,9 +167,22 @@ def recover_engine(engine_cls, path, *, program=None, matcher=None,
 
     restored = 0
     if loaded is not None:
-        restored = len(
-            restore_wm(engine.wm, loaded.wm_snapshot, stats=engine.stats)
-        )
+        # When the checkpoint carries the matcher's sqlite database
+        # (backup-API member), prime the COND tables from it and have
+        # the WM restore skip repopulating them — the cheap-checkpoint
+        # path.  Only safe when the program was not overridden: the
+        # member's template rows belong to the manifest's program.
+        primed = program is None and _prime_dips(engine, loaded)
+        if primed:
+            engine.matcher.begin_restore()
+        try:
+            restored = len(
+                restore_wm(engine.wm, loaded.wm_snapshot,
+                           stats=engine.stats)
+            )
+        finally:
+            if primed:
+                engine.matcher.end_restore()
         engine.wm._next_tag = max(
             engine.wm._next_tag, manifest.get("next_tag", 1)
         )
@@ -212,6 +229,27 @@ def recover_engine(engine_cls, path, *, program=None, matcher=None,
         end_position,
     )
     return engine
+
+
+def _prime_dips(engine, loaded):
+    """Restore the matcher's database from a checkpoint binary member.
+
+    Returns True when the member existed and the attached matcher runs
+    on a backup-capable storage backend; False means the caller should
+    let the WM restore rebuild COND tables the ordinary way.
+    """
+    from repro.durability.checkpoint import DIPS_DB_NAME
+
+    data = loaded.binary.get(DIPS_DB_NAME)
+    if data is None:
+        return False
+    storage = getattr(engine.matcher, "storage_backend", None)
+    if storage is None or not getattr(
+        storage, "supports_file_backup", False
+    ):
+        return False
+    storage.restore(data)
+    return True
 
 
 def _replay(engine, payloads):

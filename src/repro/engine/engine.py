@@ -66,6 +66,10 @@ class RuleEngine:
         """
         self.wm = WorkingMemory()
         self.stats = stats if stats is not None else NULL_STATS
+        if isinstance(matcher, str):
+            from repro.durability.checkpoint import build_matcher
+
+            matcher = build_matcher(matcher)
         self.matcher = (
             matcher if matcher is not None else self._default_matcher()
         )

@@ -106,6 +106,17 @@ class SchemaError(DatabaseError):
     """A table/schema definition or row violates declared structure."""
 
 
+class StorageError(DatabaseError):
+    """A storage backend failed or rejected an operation.
+
+    Raised for unknown backend specs, values outside the backend's
+    storable domain (the substrate's value domain is strings, numbers,
+    and NULL), and unexpected errors surfaced by an out-of-core engine
+    (e.g. sqlite).  Batch operations that raise this guarantee the
+    table is unchanged — writes are all-or-nothing per statement.
+    """
+
+
 class QueryError(DatabaseError):
     """A logical query plan is invalid or cannot be evaluated."""
 

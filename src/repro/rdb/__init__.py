@@ -15,9 +15,14 @@ scratch:
   NULL``, qualified names) plus DML/DDL;
 * :mod:`repro.rdb.transaction` — optimistic transactions with
   first-committer-wins conflict detection, the mechanism DIPS relies on
-  to serialise conflicting instantiations.
+  to serialise conflicting instantiations;
+* :mod:`repro.rdb.backend` — the pluggable storage-backend seam
+  (in-process dicts or out-of-core sqlite; see docs/STORAGE.md).
 """
 
+from repro.rdb.backend import StorageBackend, TableStorage, resolve_backend
+from repro.rdb.memory_backend import MemoryBackend
+from repro.rdb.sqlite_backend import SqliteBackend
 from repro.rdb.schema import Column, Schema
 from repro.rdb.table import Table
 from repro.rdb.database import Database
@@ -65,14 +70,19 @@ __all__ = [
     "LogicalAnd",
     "LogicalNot",
     "LogicalOr",
+    "MemoryBackend",
     "OrderBy",
     "PlanCounters",
     "Project",
     "Scan",
     "Schema",
+    "SqliteBackend",
+    "StorageBackend",
     "Table",
+    "TableStorage",
     "Transaction",
     "TransactionManager",
+    "resolve_backend",
     "execute_plan",
     "optimize",
     "plan_counters",

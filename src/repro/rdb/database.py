@@ -1,16 +1,24 @@
-"""The database object: a named collection of tables."""
+"""The database object: a named collection of tables over one backend."""
 
 from __future__ import annotations
 
 from repro.errors import SchemaError
+from repro.rdb.backend import resolve_backend
 from repro.rdb.schema import Schema
 from repro.rdb.table import Table
 
 
 class Database:
-    """Holds tables by name; the unit :mod:`repro.rdb.sql` runs against."""
+    """Holds tables by name; the unit :mod:`repro.rdb.sql` runs against.
 
-    def __init__(self):
+    All tables share one storage backend (see :mod:`repro.rdb.backend`):
+    ``Database()`` resolves it from the ``REPRO_RDB_BACKEND`` environment
+    variable (default ``memory``); pass a backend instance or spec
+    string (``"memory"``, ``"sqlite"``, ``"sqlite:PATH"``) to choose.
+    """
+
+    def __init__(self, backend=None):
+        self.backend = resolve_backend(backend)
         self._tables = {}
 
     def create_table(self, name, schema):
@@ -18,7 +26,8 @@ class Database:
             raise SchemaError(f"table {name} already exists")
         if isinstance(schema, (list, tuple)):
             schema = Schema(schema)
-        table = Table(name, schema)
+        storage = self.backend.create_table_storage(name, schema)
+        table = Table(name, schema, storage)
         self._tables[name] = table
         return table
 
@@ -26,6 +35,7 @@ class Database:
         if name not in self._tables:
             raise SchemaError(f"no table named {name}")
         del self._tables[name]
+        self.backend.drop_table_storage(name)
 
     def table(self, name):
         try:
@@ -38,6 +48,10 @@ class Database:
 
     def table_names(self):
         return sorted(self._tables)
+
+    def close(self):
+        """Release the backend's resources (no-op for memory)."""
+        self.backend.close()
 
     def __contains__(self, name):
         return name in self._tables

@@ -496,7 +496,15 @@ def run_sql(db, sql, optimize=True):
     ablation benchmark.
     """
     kind, spec = parse_sql(sql)
+    backend = getattr(db, "backend", None)
+    native = backend is not None and getattr(
+        backend, "supports_native_sql", False
+    )
     if kind == "select":
+        if native:
+            rows = backend.execute_select(db, spec)
+            if rows is not None:
+                return rows
         plan = _build_select_plan(spec)
         if optimize:
             from repro.rdb.planner import optimize as optimize_plan
@@ -505,10 +513,16 @@ def run_sql(db, sql, optimize=True):
         return q.execute_plan(plan, db)
     if kind == "insert":
         table = db.table(spec["table"])
-        for values in spec["rows"]:
-            table.insert(dict(zip(spec["columns"], values)))
+        # One atomic batch: a bad row leaves the table untouched.
+        table.insert_many(
+            dict(zip(spec["columns"], values)) for values in spec["rows"]
+        )
         return len(spec["rows"])
     if kind == "update":
+        if native:
+            count = backend.execute_update(db, spec)
+            if count is not None:
+                return count
         table = db.table(spec["table"])
         count = 0
         for row_id, row in table.rows():
@@ -519,6 +533,10 @@ def run_sql(db, sql, optimize=True):
                 count += 1
         return count
     if kind == "delete":
+        if native:
+            count = backend.execute_delete(db, spec)
+            if count is not None:
+                return count
         table = db.table(spec["table"])
         doomed = [
             row_id

@@ -45,13 +45,13 @@ def dump_database(db):
                 }
                 for column in table.schema
             ],
-            "indexes": sorted(table._indexes),
+            "indexes": table.indexed_columns(),
             "rows": table.scan(),
         }
     return {"version": FORMAT_VERSION, "tables": tables}
 
 
-def restore_database(snapshot):
+def restore_database(snapshot, backend=None):
     """Rebuild a :class:`Database` from :func:`dump_database` output."""
     version = snapshot.get("version")
     if version != FORMAT_VERSION:
@@ -59,7 +59,7 @@ def restore_database(snapshot):
             f"unsupported snapshot version {version!r} "
             f"(expected {FORMAT_VERSION})"
         )
-    db = Database()
+    db = Database(backend)
     for name, payload in snapshot.get("tables", {}).items():
         columns = [
             Column(spec["name"], spec["type"], spec["nullable"])
@@ -68,8 +68,7 @@ def restore_database(snapshot):
         table = db.create_table(name, Schema(columns))
         for column in payload.get("indexes", ()):
             table.create_index(column)
-        for row in payload.get("rows", ()):
-            table.insert(row)
+        table.insert_many(payload.get("rows", ()))
     return db
 
 
@@ -81,8 +80,8 @@ def save_database(db, path):
     return snapshot
 
 
-def load_database(path):
+def load_database(path, backend=None):
     """Load a database snapshot written by :func:`save_database`."""
     with open(path) as handle:
         snapshot = json.load(handle)
-    return restore_database(snapshot)
+    return restore_database(snapshot, backend=backend)

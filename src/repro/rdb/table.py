@@ -1,9 +1,16 @@
-"""Tables: row storage with schema validation and index maintenance."""
+"""Tables: schema validation and index maintenance over a row store.
+
+A :class:`Table` owns the schema and validates every mutation; the rows
+themselves live in a :class:`~repro.rdb.backend.TableStorage` supplied
+by the database's storage backend — an in-process dict by default, a
+sqlite table under ``--backend sqlite``.  Validation happens *before*
+storage is touched, so a batch that fails schema checks leaves the
+table untouched on every backend.
+"""
 
 from __future__ import annotations
 
 from repro.errors import SchemaError
-from repro.rdb.index import HashIndex
 from repro.rdb.schema import Schema
 
 
@@ -11,128 +18,120 @@ class Table:
     """One relation: named, schema-checked rows with optional indexes.
 
     Rows are stored under monotonically assigned integer row ids; all
-    mutation goes through :meth:`insert`, :meth:`update`,
-    :meth:`delete`, keeping indexes synchronised.
+    mutation goes through :meth:`insert`, :meth:`insert_many`,
+    :meth:`update`, :meth:`delete`, keeping indexes synchronised.
     """
 
-    def __init__(self, name, schema):
+    def __init__(self, name, schema, storage=None):
         if isinstance(schema, (list, tuple)):
             schema = Schema(schema)
+        if storage is None:
+            from repro.rdb.memory_backend import MemoryTableStorage
+
+            storage = MemoryTableStorage(name)
         self.name = name
         self.schema = schema
-        self._rows = {}
-        self._next_id = 1
-        self._indexes = {}
+        self.storage = storage
 
     # -- index management --------------------------------------------------
 
     def create_index(self, column):
-        """Create (or return) a hash index on *column*."""
+        """Create (or return) an index on *column*."""
         if not self.schema.has_column(column):
             raise SchemaError(f"table {self.name} has no column {column!r}")
-        index = self._indexes.get(column)
-        if index is not None:
-            return index
-        index = HashIndex(column)
-        for row_id, row in self._rows.items():
-            index.insert(row_id, row.get(column))
-        self._indexes[column] = index
-        return index
+        return self.storage.create_index(column)
 
     def index_on(self, column):
-        return self._indexes.get(column)
+        return self.storage.index_view(column)
+
+    def indexed_columns(self):
+        """Sorted names of the indexed columns."""
+        return self.storage.indexed_columns()
 
     # -- mutation ------------------------------------------------------------
 
     def insert(self, row):
         """Insert a row dict; returns its row id."""
         full = self.schema.normalise(row)
-        row_id = self._next_id
-        self._next_id += 1
-        self._rows[row_id] = full
-        for column, index in self._indexes.items():
-            index.insert(row_id, full.get(column))
-        return row_id
+        return self.storage.insert_rows([full])[0]
 
     def insert_many(self, rows):
-        """Insert several row dicts at once; returns their row ids.
+        """Insert several row dicts atomically; returns their row ids.
 
         The set-oriented counterpart of :meth:`insert` — one statement's
-        worth of rows, validated and indexed in a single pass.
+        worth of rows.  Every row is validated and normalised *before*
+        storage is touched, so a schema error on any row leaves the
+        table exactly as it was (no partial batch).
         """
-        return [self.insert(row) for row in rows]
+        normalised = [self.schema.normalise(row) for row in rows]
+        return self.storage.insert_rows(normalised)
 
     def update(self, row_id, updates):
         """Apply *updates* to a row; returns the new row dict."""
-        row = self._rows.get(row_id)
+        row = self.storage.get(row_id)
         if row is None:
             raise SchemaError(f"table {self.name}: no row {row_id}")
         merged = dict(row)
         merged.update(updates)
         full = self.schema.normalise(merged)
-        for column, index in self._indexes.items():
-            index.update(row_id, row.get(column), full.get(column))
-        self._rows[row_id] = full
+        self.storage.replace(row_id, full)
         return full
 
     def delete(self, row_id):
         """Delete a row by id; returns the removed row dict."""
-        row = self._rows.pop(row_id, None)
+        row = self.storage.delete_row(row_id)
         if row is None:
             raise SchemaError(f"table {self.name}: no row {row_id}")
-        for column, index in self._indexes.items():
-            index.delete(row_id, row.get(column))
         return row
 
     def delete_where(self, predicate):
         """Delete every row satisfying *predicate(row)*; returns count."""
-        doomed = [
-            row_id for row_id, row in self._rows.items() if predicate(row)
-        ]
-        for row_id in doomed:
-            self.delete(row_id)
-        return len(doomed)
+        return self.storage.delete_matching(predicate)
+
+    def delete_in(self, column, values):
+        """Delete rows whose *column* is any of *values*; returns count.
+
+        The set-oriented counterpart of :meth:`delete_where` — one
+        ``DELETE ... WHERE col IN (...)`` statement on a SQL backend.
+        """
+        if not self.schema.has_column(column):
+            raise SchemaError(f"table {self.name} has no column {column!r}")
+        return self.storage.delete_in(column, values)
 
     def clear(self):
-        for row_id in list(self._rows):
-            self.delete(row_id)
+        self.storage.clear()
 
     # -- reads --------------------------------------------------------------
 
     def get(self, row_id):
-        return self._rows.get(row_id)
+        return self.storage.get(row_id)
 
     def rows(self):
         """(row_id, row) pairs in insertion order."""
-        return list(self._rows.items())
+        return self.storage.items()
 
     def scan(self):
         """Row dicts in insertion order (copies; safe to mutate)."""
-        return [dict(row) for row in self._rows.values()]
+        return [dict(row) for _, row in self.storage.items()]
 
     def select(self, predicate=None):
         if predicate is None:
             return self.scan()
-        return [dict(row) for row in self._rows.values() if predicate(row)]
+        return [
+            dict(row)
+            for _, row in self.storage.items()
+            if predicate(row)
+        ]
 
     def lookup(self, column, value):
         """Rows whose *column* equals *value*, via index when available."""
-        index = self._indexes.get(column)
-        if index is not None:
-            return [dict(self._rows[rid]) for rid in sorted(
-                index.lookup(value)
-            )]
-        return [
-            dict(row)
-            for row in self._rows.values()
-            if row.get(column) == value
-        ]
+        return self.storage.lookup(column, value)
 
     def __len__(self):
-        return len(self._rows)
+        return self.storage.count()
 
     def __iter__(self):
         return iter(self.scan())
 
     def __repr__(self):
-        return f"Table({self.name}, {len(self._rows)} rows)"
+        return f"Table({self.name}, {self.storage.count()} rows)"

@@ -17,11 +17,14 @@ that (experiment C5) we need real transactions over the COND/WM tables:
 
 from __future__ import annotations
 
-from repro.errors import TransactionConflict, TransactionError
+from repro.errors import DatabaseError, TransactionConflict, TransactionError
 
 _PENDING = "pending"
 _COMMITTED = "committed"
 _ABORTED = "aborted"
+
+#: Staging marker: the row was deleted earlier in the same transaction.
+_DELETED = object()
 
 
 class Transaction:
@@ -122,21 +125,75 @@ class TransactionManager:
                     f"transaction {txn.txn_id}: row {key} was modified by "
                     f"a concurrent committed transaction"
                 )
+        # Stage every buffered write against a virtual view of the
+        # tables before touching any of them: a bad operation (deleting
+        # a missing row, a schema violation) must abort the whole
+        # transaction with nothing applied and no clock advance, never
+        # leave it half-applied with status still pending.
+        try:
+            staged = self._stage(txn)
+        except DatabaseError:
+            txn.status = _ABORTED
+            self.aborts += 1
+            raise
         self._clock += 1
         commit_ts = self._clock
-        for kind, table, payload in txn._operations:
+        for kind, table, row_id, full in staged:
             if kind == "insert":
-                row_id = table.insert(payload)
-                self._last_write[(table.name, row_id)] = commit_ts
+                row_id = table.insert(full)
             elif kind == "update":
-                row_id, updates = payload
-                table.update(row_id, updates)
-                self._last_write[(table.name, row_id)] = commit_ts
+                table.update(row_id, full)
             else:
-                table.delete(payload)
-                self._last_write[(table.name, payload)] = commit_ts
+                table.delete(row_id)
+            self._last_write[(table.name, row_id)] = commit_ts
         txn.status = _COMMITTED
         self.commits += 1
+
+    def _stage(self, txn):
+        """Dry-run the buffered operations; returns the apply list.
+
+        ``effects`` tracks what each row would look like after the
+        operations staged so far, so in-transaction sequences (update
+        after delete, double delete) are judged against the state the
+        transaction itself created, exactly as a sequential apply would.
+        """
+        staged = []  # (kind, table, row_id, normalised full row)
+        effects = {}  # (table_name, row_id) -> full row or _DELETED
+        for kind, table, payload in txn._operations:
+            if kind == "insert":
+                staged.append(
+                    ("insert", table, None, table.schema.normalise(payload))
+                )
+            elif kind == "update":
+                row_id, updates = payload
+                key = (table.name, row_id)
+                current = effects.get(key)
+                if current is None:
+                    current = table.get(row_id)
+                if current is _DELETED or current is None:
+                    raise TransactionError(
+                        f"transaction {txn.txn_id}: table {table.name} "
+                        f"has no row {row_id} to update"
+                    )
+                merged = dict(current)
+                merged.update(updates)
+                full = table.schema.normalise(merged)
+                effects[key] = full
+                staged.append(("update", table, row_id, full))
+            else:
+                row_id = payload
+                key = (table.name, row_id)
+                current = effects.get(key)
+                if current is None:
+                    current = table.get(row_id)
+                if current is _DELETED or current is None:
+                    raise TransactionError(
+                        f"transaction {txn.txn_id}: table {table.name} "
+                        f"has no row {row_id} to delete"
+                    )
+                effects[key] = _DELETED
+                staged.append(("delete", table, row_id, None))
+        return staged
 
     def record_abort(self, txn):
         self.aborts += 1

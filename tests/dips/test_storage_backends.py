@@ -1,0 +1,130 @@
+"""DIPS on sqlite must behave bit-for-bit like DIPS on memory.
+
+The matcher's correctness contract does not change with the storage
+backend: the same WM history must yield identical conflict sets,
+firing sequences, and engine output whether the COND tables live in
+Python dicts or in a sqlite database with the SOI-retrieval queries
+pushed down to real SQL.  Hypothesis drives random histories through
+both in lockstep; engine-level tests compare full runs (including
+set-oriented firings and negation) against Rete as ground truth.
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.dips import DipsMatcher
+from repro.engine import RuleEngine
+from repro.rdb.memory_backend import MemoryBackend
+from repro.rdb.sqlite_backend import SqliteBackend
+from repro.rete import ReteNetwork
+
+from tests.match.test_equivalence import (
+    RULES,
+    drive,
+    operation_sequences,
+)
+
+PROGRAM = """
+(literalize item owner v)
+(literalize owner name)
+(literalize tally owner total)
+(p tally-owner
+  (owner ^name <o>)
+  { [item ^owner <o> ^v <v>] <S> }
+  :test ((count <S>) >= 1)
+  -->
+  (make tally ^owner <o> ^total (sum <S> ^v))
+  (write tallied <o>))
+(p drop-owner
+  (owner ^name <o>)
+  -(item ^owner <o>)
+  -->
+  (remove 1)
+  (write dropped <o>))
+"""
+
+
+def _engine(backend):
+    engine = RuleEngine(matcher=DipsMatcher(backend=backend))
+    engine.load(PROGRAM)
+    return engine
+
+
+def _seed(engine):
+    with engine.batch():
+        for name in ("ann", "bob", "cyd"):
+            engine.make("owner", name=name)
+        for i in range(6):
+            engine.make("item", owner=("ann", "bob")[i % 2], v=i)
+
+
+def wm_state(engine):
+    return sorted(
+        (w.time_tag, w.wme_class, tuple(sorted(w.as_dict().items())))
+        for w in engine.wm
+    )
+
+
+class TestEngineEquivalence:
+    def test_full_run_identical(self):
+        memory = _engine(MemoryBackend())
+        sqlite = _engine(SqliteBackend())
+        for engine in (memory, sqlite):
+            _seed(engine)
+            engine.run()
+        assert memory.output == sqlite.output
+        assert wm_state(memory) == wm_state(sqlite)
+        assert memory.cycle_count == sqlite.cycle_count
+        memory.close()
+        sqlite.close()
+
+    def test_sqlite_run_matches_rete(self):
+        rete = RuleEngine(matcher=ReteNetwork())
+        rete.load(PROGRAM)
+        sqlite = _engine(SqliteBackend())
+        for engine in (rete, sqlite):
+            _seed(engine)
+            engine.run()
+        assert rete.output == sqlite.output
+        assert wm_state(rete) == wm_state(sqlite)
+        sqlite.close()
+
+    def test_sqlite_actually_pushes_queries_down(self):
+        engine = _engine(SqliteBackend())
+        backend = engine.matcher.storage_backend
+        _seed(engine)
+        engine.run()
+        assert backend.statements_pushed > 0
+        engine.close()
+
+    def test_incremental_removal_identical(self):
+        memory = _engine(MemoryBackend())
+        sqlite = _engine(SqliteBackend())
+        for engine in (memory, sqlite):
+            _seed(engine)
+            engine.run()
+            # Retract every item one at a time; the negation rule
+            # must fire identically on both.
+            for wme in [w for w in engine.wm if w.wme_class == "item"]:
+                engine.remove(wme.time_tag)
+                engine.run()
+        assert memory.output == sqlite.output
+        assert wm_state(memory) == wm_state(sqlite)
+        memory.close()
+        sqlite.close()
+
+
+class TestConflictSetLockstep:
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(operation_sequences())
+    def test_random_histories_agree(self, ops):
+        memory = DipsMatcher(backend=MemoryBackend())
+        sqlite = DipsMatcher(backend=SqliteBackend())
+        try:
+            assert drive(memory, RULES, ops) == drive(sqlite, RULES, ops)
+        finally:
+            memory.close()
+            sqlite.close()

@@ -1,0 +1,216 @@
+"""Checkpoints on the sqlite storage backend: binary members + priming.
+
+A DIPS engine on the sqlite backend checkpoints its whole COND-table
+database as one ``dips.sqlite3`` member (captured through sqlite's
+backup API), and the manifest records the backend spec.  Recovery must
+
+* prime the matcher from the member instead of recomputing every
+  instance row, yet end up in *exactly* the state full recomputation
+  yields;
+* rebuild on the recorded backend when the caller does not say
+  otherwise, and honour an explicit override;
+* CRC-check binary members like any other;
+* keep memory-backed checkpoints byte-compatible with before (no
+  ``binary`` section at all).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import DurabilityConfig, RuleEngine
+from repro.dips import DipsMatcher
+from repro.durability.checkpoint import (
+    DIPS_DB_NAME,
+    MANIFEST_NAME,
+    read_current,
+)
+from repro.errors import RecoveryError
+from repro.rdb.memory_backend import MemoryBackend
+from repro.rdb.sqlite_backend import SqliteBackend
+
+PROGRAM = """
+(literalize item owner v)
+(literalize owner name)
+(literalize tally owner total)
+(p tally-owner
+  (owner ^name <o>)
+  { [item ^owner <o> ^v <v>] <S> }
+  :test ((count <S>) >= 1)
+  -->
+  (make tally ^owner <o> ^total (sum <S> ^v))
+  (write tallied <o>))
+"""
+
+
+def wm_state(engine):
+    return sorted(
+        (w.time_tag, w.wme_class, tuple(sorted(w.as_dict().items())))
+        for w in engine.wm
+    )
+
+
+def cond_state(matcher):
+    """Every COND table's full contents, comparable across backends."""
+    state = {}
+    for name in matcher.db.table_names():
+        table = matcher.db.table(name)
+        state[name] = [
+            (rid, tuple(sorted(row.items()))) for rid, row in table.rows()
+        ]
+    return state
+
+
+def _workload(wal_dir, backend):
+    engine = RuleEngine(
+        matcher=DipsMatcher(backend=backend),
+        durability=DurabilityConfig(wal_dir, fsync="off"),
+    )
+    engine.load(PROGRAM)
+    with engine.batch():
+        for name in ("ann", "bob"):
+            engine.make("owner", name=name)
+        for i in range(4):
+            engine.make("item", owner=("ann", "bob")[i % 2], v=i)
+    engine.run()
+    return engine
+
+
+def _manifest(wal_dir):
+    current = read_current(str(wal_dir))
+    with open(os.path.join(str(wal_dir), current, MANIFEST_NAME)) as fh:
+        return json.load(fh), os.path.join(str(wal_dir), current)
+
+
+class TestSqliteCheckpointMember:
+    def test_manifest_records_member_and_backend(self, tmp_path):
+        engine = _workload(tmp_path, SqliteBackend())
+        engine.checkpoint()
+        manifest, path = _manifest(tmp_path)
+        assert manifest["binary"] == [DIPS_DB_NAME]
+        assert manifest["rdb_backend"] == "sqlite"
+        assert DIPS_DB_NAME in manifest["files"]
+        assert os.path.exists(os.path.join(path, DIPS_DB_NAME))
+        engine.close()
+
+    def test_file_backed_spec_recorded(self, tmp_path):
+        db_path = str(tmp_path / "cond.db")
+        engine = _workload(
+            tmp_path / "wal", SqliteBackend(db_path)
+        )
+        engine.checkpoint()
+        manifest, _ = _manifest(tmp_path / "wal")
+        assert manifest["rdb_backend"] == f"sqlite:{db_path}"
+        engine.close()
+
+    def test_memory_checkpoint_unchanged(self, tmp_path):
+        engine = _workload(tmp_path, MemoryBackend())
+        engine.checkpoint()
+        manifest, path = _manifest(tmp_path)
+        assert "binary" not in manifest
+        assert "rdb_backend" not in manifest
+        assert not os.path.exists(os.path.join(path, DIPS_DB_NAME))
+        engine.close()
+
+
+class TestPrimedRecovery:
+    def test_recovery_rebuilds_on_recorded_backend(self, tmp_path,
+                                                   monkeypatch):
+        monkeypatch.delenv("REPRO_RDB_BACKEND", raising=False)
+        engine = _workload(tmp_path, SqliteBackend())
+        engine.checkpoint()
+        recovered = RuleEngine.recover(tmp_path, durability=False)
+        assert isinstance(
+            recovered.matcher.storage_backend, SqliteBackend
+        )
+        assert wm_state(recovered) == wm_state(engine)
+        assert cond_state(recovered.matcher) == cond_state(engine.matcher)
+        recovered.close()
+        engine.close()
+
+    def test_primed_state_equals_recomputed_state(self, tmp_path):
+        engine = _workload(tmp_path / "a", SqliteBackend())
+        engine.checkpoint()
+        primed = RuleEngine.recover(tmp_path / "a", durability=False)
+        # Force the rebuild path by recovering onto the memory backend:
+        # the member is ignored and COND tables recompute from the WM
+        # snapshot.  Instance rows must agree row-for-row (ids too).
+        rebuilt = RuleEngine.recover(
+            tmp_path / "a", durability=False, backend="memory"
+        )
+        assert isinstance(rebuilt.matcher.storage_backend, MemoryBackend)
+        assert cond_state(primed.matcher) == cond_state(rebuilt.matcher)
+        assert wm_state(primed) == wm_state(rebuilt)
+        primed.close()
+        rebuilt.close()
+        engine.close()
+
+    def test_primed_recovery_preserves_refraction(self, tmp_path):
+        engine = _workload(tmp_path, SqliteBackend())
+        engine.checkpoint()
+        recovered = RuleEngine.recover(tmp_path, durability=False)
+        # Everything already fired before the checkpoint.
+        assert recovered.run() == 0
+        recovered.close()
+        engine.close()
+
+    def test_primed_recovery_continues_matching(self, tmp_path):
+        engine = _workload(tmp_path, SqliteBackend())
+        engine.checkpoint()
+        engine.close()
+        recovered = RuleEngine.recover(tmp_path)
+        recovered.make("owner", name="cyd")
+        recovered.make("item", owner="cyd", v=9)
+        assert recovered.run() == 1
+        assert recovered.output == ["tallied cyd"]
+        tallies = [
+            w for w in recovered.wm
+            if w.wme_class == "tally" and w.get("owner") == "cyd"
+        ]
+        assert [w.get("total") for w in tallies] == [9]
+        recovered.close()
+
+    def test_checkpoint_plus_tail_replay(self, tmp_path):
+        engine = _workload(tmp_path, SqliteBackend())
+        engine.checkpoint()
+        engine.make("owner", name="cyd")
+        engine.make("item", owner="cyd", v=7)
+        engine.run()  # past-checkpoint firing lands in the WAL tail
+        recovered = RuleEngine.recover(tmp_path, durability=False)
+        assert wm_state(recovered) == wm_state(engine)
+        assert cond_state(recovered.matcher) == cond_state(engine.matcher)
+        assert recovered.run() == 0
+        recovered.close()
+        engine.close()
+
+    def test_corrupt_binary_member_detected(self, tmp_path):
+        engine = _workload(tmp_path, SqliteBackend())
+        engine.checkpoint()
+        engine.close()
+        _, path = _manifest(tmp_path)
+        member = os.path.join(path, DIPS_DB_NAME)
+        with open(member, "r+b") as fh:
+            fh.seek(100)
+            fh.write(b"\xff\xff\xff\xff")
+        with pytest.raises(RecoveryError):
+            RuleEngine.recover(tmp_path, durability=False)
+
+    def test_program_override_skips_priming(self, tmp_path):
+        engine = _workload(tmp_path, SqliteBackend())
+        engine.checkpoint()
+        engine.close()
+        # An explicit program override invalidates the member's
+        # template rows; recovery must recompute COND state instead of
+        # priming, and still match.
+        recovered = RuleEngine.recover(
+            tmp_path, durability=False, program=PROGRAM
+        )
+        reference = RuleEngine.recover(
+            tmp_path, durability=False, backend="memory"
+        )
+        assert cond_state(recovered.matcher) == cond_state(
+            reference.matcher
+        )
+        recovered.close()
+        reference.close()
