@@ -3,10 +3,20 @@
 
 Runs a fixed set of deterministic scenarios with :class:`MatchStats`
 attached, writes the counters (plus informational wall-clock timings)
-to ``BENCH_6.json``, and — under ``--check`` — fails if any gated work
+to ``BENCH_7.json``, and — under ``--check`` — fails if any gated work
 counter regressed more than 10% against the newest committed
 ``benchmarks/BENCH_<n>.json`` report (falling back to
-``benchmarks/BENCH_baseline.json`` when none exists).
+``benchmarks/BENCH_baseline.json`` when none exists; a clear error and
+exit code 2 when there is no baseline at all).
+
+The ``kernel_*`` scenarios benchmark the compiled match kernels
+(``docs/KERNELS.md``): 10k- and 100k-WME bulk loads plus an
+incremental-update run, each at kernels ``off`` (interpreted),
+``closure``, and ``exec``.  The runner refuses to write a report
+unless all three modes produced identical firings, conflict sets, and
+outputs; the ``kernels.speedup_vs_off`` section records the wall-clock
+ratios, and ``kernels_compiled`` / ``kernel_cache_hits`` are gated
+exactly so a silently-lost compilation fails the build.
 
 The ``storage_1m_*`` scenarios exercise the relational substrate
 itself: one million WMEs streamed through :class:`CondStore` in
@@ -39,22 +49,32 @@ from repro import MatchStats, RuleEngine
 from repro.rete import ReteNetwork, ShardedReteNetwork
 
 BASELINE_PATH = Path(__file__).parent / "BENCH_baseline.json"
-DEFAULT_OUTPUT = Path("BENCH_6.json")
+DEFAULT_OUTPUT = Path("BENCH_7.json")
 
 
-def latest_reference():
+def latest_reference(exclude=None):
     """The newest committed ``BENCH_<n>.json``, else the baseline.
 
     Committed numbered reports carry the same counter payload as the
     baseline, so the gate always compares against the most recent
-    accepted run rather than a stale hand-written baseline.
+    accepted run rather than a stale hand-written baseline.  ``exclude``
+    skips the report the current run just wrote — gating a report
+    against itself always passes.  Returns ``None`` when neither a
+    numbered report nor the baseline file exists — callers must handle
+    that explicitly rather than trip over a missing file
+    mid-comparison.
     """
+    exclude = exclude.resolve() if exclude is not None else None
     best = None
     for path in BASELINE_PATH.parent.glob("BENCH_*.json"):
+        if exclude is not None and path.resolve() == exclude:
+            continue
         stem = path.stem[len("BENCH_"):]
         if stem.isdigit() and (best is None or int(stem) > best[0]):
             best = (int(stem), path)
-    return best[1] if best is not None else BASELINE_PATH
+    if best is not None:
+        return best[1]
+    return BASELINE_PATH if BASELINE_PATH.exists() else None
 
 # Work counters held to the +/-10% gate.  Everything in
 # MatchStats.totals lands in the report; only these fail the build.
@@ -72,11 +92,19 @@ GATED_COUNTERS = (
     "storage_soi_groups",
     "storage_soi_rows",
     "storage_statements_pushed",
+    # Kernel scenarios: compilation and cache behaviour are structural.
+    "kernels_compiled",
+    "kernel_cache_hits",
 )
 # Deterministic counters that must match the baseline *exactly*:
 # losing native pushdown shows as a decrease, which the one-sided
-# tolerance gate would misread as an improvement.
-EXACT_COUNTERS = ("storage_statements_pushed",)
+# tolerance gate would misread as an improvement — and a silently-lost
+# kernel compilation likewise shows as kernels_compiled dropping.
+EXACT_COUNTERS = (
+    "storage_statements_pushed",
+    "kernels_compiled",
+    "kernel_cache_hits",
+)
 TOLERANCE = 0.10
 
 PROGRAM = """
@@ -274,6 +302,169 @@ def scenario_storage_1m_sqlite():
     return _storage_scenario(SqliteBackend())
 
 
+# -- compiled-kernel scenarios (off vs closure vs exec, ISSUE PR 7) -------
+#
+# Match-work-dominated runs: multi-constant-test alpha chains most WMEs
+# fail, an indexed join with a residual test, a *non-indexed* join (no
+# equality test, so left activations scan the whole — columnar — alpha
+# memory), and a negated CE.  Set-oriented rules keep the firing count
+# tiny, so wall clock measures the match kernels, not the RHS.  The
+# runner asserts the three modes produce identical firings, conflict
+# sets, and outputs before the report is written.
+
+KERNEL_PROGRAM = """
+(literalize order dept status priority qty)
+(literalize dept name cap)
+(p open-volume
+  (dept ^name <d>)
+  { [order ^dept <d> ^status open ^priority > 5] <S> }
+  :test ((count <S>) >= 1)
+  -->
+  (write open <d> (count <S>)))
+(p over-cap
+  (dept ^cap <c>)
+  { [order ^status held ^qty > <c>] <B> }
+  :test ((count <B>) >= 1)
+  -->
+  (write over (count <B>)))
+(p all-quiet
+  (dept ^name <d>)
+  -(order ^dept <d> ^status open ^priority > 8)
+  -->
+  (write quiet <d>))
+"""
+
+N_KERNEL_SMALL = 10_000
+N_KERNEL_LARGE = 100_000
+N_KERNEL_UPDATES = 2_000
+
+#: (scenario label) -> (firings, eligible conflict order, write output);
+#: filled by the kernel scenarios, checked identical across modes.
+_KERNEL_OUTCOMES = {}
+
+
+def _kernel_facts(count):
+    statuses = ("open", "closed", "held", "void", "hold2")
+    return [
+        ("order", {
+            "dept": f"d{i % N_DEPTS}",
+            "status": statuses[i % len(statuses)],
+            "priority": i % 10,
+            "qty": i % 97,
+        })
+        for i in range(count)
+    ]
+
+
+def _kernel_engine(mode):
+    stats = MatchStats()
+    engine = RuleEngine(
+        matcher=ReteNetwork(batched=True, kernels=mode), stats=stats
+    )
+    engine.load(KERNEL_PROGRAM)
+    return engine, stats
+
+
+def _kernel_depts(engine):
+    # Depts load *after* the orders: each dept token then left-activates
+    # the joins, so the non-indexed CEs scan the (columnar) order
+    # memories — the path the scan kernels compile.
+    for d in range(N_DEPTS):
+        engine.make("dept", name=f"d{d}", cap=90 + (d % 5))
+
+
+def _record_outcome(label, mode, engine):
+    outcome = (
+        engine.cycle_count,
+        [
+            (inst.rule.name, inst.recency_key())
+            for inst in engine.conflict_set.ordered(engine.strategy)
+        ],
+        engine.output,
+    )
+    _KERNEL_OUTCOMES.setdefault(label, {})[mode] = outcome
+
+
+def _kernel_bulk(mode, count, label):
+    engine, stats = _kernel_engine(mode)
+    engine.load_facts(_kernel_facts(count))
+    _kernel_depts(engine)
+    engine.run()
+    _record_outcome(label, mode, engine)
+    return stats
+
+
+def _kernel_incremental(mode, label):
+    engine, stats = _kernel_engine(mode)
+    orders = engine.load_facts(_kernel_facts(N_KERNEL_SMALL))
+    _kernel_depts(engine)
+    engine.run()
+    with engine.batch():
+        for i in range(N_KERNEL_UPDATES):
+            wme = orders[(i * 7) % len(orders)]
+            if wme not in engine.wm:
+                continue
+            orders.append(engine.modify(
+                wme,
+                status="open" if i % 2 else "held",
+                priority=(i % 10),
+            ))
+    engine.run()
+    _record_outcome(label, mode, engine)
+    return stats
+
+
+def _kernel_scenarios():
+    scenarios = {}
+    for mode in ("off", "closure", "exec"):
+        for label, count in (
+            ("kernel_bulk_load_10k", N_KERNEL_SMALL),
+            ("kernel_bulk_load_100k", N_KERNEL_LARGE),
+        ):
+            scenarios[f"{label}_{mode}"] = (
+                lambda mode=mode, count=count, label=label:
+                _kernel_bulk(mode, count, label)
+            )
+        scenarios[f"kernel_incremental_{mode}"] = (
+            lambda mode=mode: _kernel_incremental(
+                mode, "kernel_incremental"
+            )
+        )
+    return scenarios
+
+
+def verify_kernel_equivalence():
+    """Every kernel scenario must be result-identical across modes.
+
+    Raises ``SystemExit`` on divergence: a report documenting a speedup
+    is meaningless if the modes did different work.
+    """
+    for label, by_mode in _KERNEL_OUTCOMES.items():
+        baseline = by_mode.get("off")
+        for mode, outcome in by_mode.items():
+            if outcome != baseline:
+                raise SystemExit(
+                    f"kernel scenario {label}: mode {mode} diverged "
+                    f"from the interpreter (firings/conflict/output)"
+                )
+
+
+def kernel_speedups(report):
+    """off/<mode> wall-clock ratios per kernel scenario family."""
+    scenarios = report["scenarios"]
+    speedups = {}
+    for label in ("kernel_bulk_load_10k", "kernel_bulk_load_100k",
+                  "kernel_incremental"):
+        off = scenarios.get(f"{label}_off", {}).get("elapsed_s")
+        if not off:
+            continue
+        for mode in ("closure", "exec"):
+            elapsed = scenarios.get(f"{label}_{mode}", {}).get("elapsed_s")
+            if elapsed:
+                speedups[f"{label}_{mode}"] = round(off / elapsed, 3)
+    return speedups
+
+
 SCENARIOS = {
     "bulk_load_per_event": scenario_bulk_load_per_event,
     "bulk_load_batched": scenario_bulk_load_batched,
@@ -282,6 +473,7 @@ SCENARIOS = {
     "storage_1m_memory": scenario_storage_1m_memory,
     "storage_1m_sqlite": scenario_storage_1m_sqlite,
 }
+SCENARIOS.update(_kernel_scenarios())
 
 # Rules over three distinct CE-class sets ({dept,emp}, {emp}, {dept})
 # so the sharded scenarios exercise three busy shards, not one.
@@ -337,6 +529,8 @@ def run_scenarios():
             },
         }
     }
+    verify_kernel_equivalence()
+    report["kernels"] = {"speedup_vs_off": kernel_speedups(report)}
     return report
 
 
@@ -389,6 +583,11 @@ def print_report(report):
         )
         print(f"sharded_match wall clock ({sharded['shards']} shards): "
               f"{timings}")
+    speedups = report.get("kernels", {}).get("speedup_vs_off")
+    if speedups:
+        print("kernel wall-clock speedup vs interpreted (off):")
+        for name, ratio in speedups.items():
+            print(f"  {name:<32}{ratio:>6.2f}x")
 
 
 def main(argv=None):
@@ -425,10 +624,12 @@ def main(argv=None):
         return 0
 
     if args.check:
-        reference = latest_reference()
-        if not reference.exists():
-            print(f"error: no baseline at {reference}; "
-                  f"run with --write-baseline first", file=sys.stderr)
+        reference = latest_reference(exclude=args.output)
+        if reference is None:
+            print("error: no benchmark baseline found "
+                  f"(no BENCH_<n>.json or {BASELINE_PATH.name} in "
+                  f"{BASELINE_PATH.parent}); run with --write-baseline "
+                  "first", file=sys.stderr)
             return 2
         print(f"gating against {reference.name}")
         baseline = json.loads(reference.read_text())

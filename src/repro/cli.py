@@ -5,6 +5,7 @@ Usage::
     python -m repro.cli [program.ops]
                         [--matcher rete|treat|naive|dips|sharded]
                         [--backend memory|sqlite|sqlite:PATH]
+                        [--kernels off|closure|exec]
                         [--strategy lex|mea] [--run N] [--watch LEVEL]
                         [--on-error POLICY] [--workers N]
                         [--profile] [--profile-json FILE]
@@ -18,6 +19,13 @@ in-memory database, queries pushed down to real SQL), or
 ``sqlite:PATH`` (out-of-core, file-backed).  The ``REPRO_RDB_BACKEND``
 environment variable supplies the default; the flag wins.  Other
 matchers ignore it.  See ``docs/STORAGE.md``.
+
+``--kernels`` picks the compiled-match-kernel mode for the Rete-family
+matchers — ``closure`` (default: per-node test chains composed into
+specialized closures at build time), ``exec`` (test chains rendered to
+Python source and exec-compiled), or ``off`` (the interpreted test
+walk).  ``REPRO_KERNELS`` supplies the default; the flag wins.
+Results are identical in every mode.  See ``docs/KERNELS.md``.
 
 ``--on-error`` sets the engine-wide firing error policy — ``halt``
 (default), ``skip``, ``retry[:n[:backoff[:then]]]``, or
@@ -81,15 +89,15 @@ from repro.lang.printer import format_ce
 from repro.symbols import coerce_literal
 
 
-def _build_matcher(name, backend=None):
+def _build_matcher(name, backend=None, kernels=None):
     if name == "rete":
         from repro.rete import ReteNetwork
 
-        return ReteNetwork()
+        return ReteNetwork(kernels=kernels)
     if name == "sharded":
         from repro.rete import ShardedReteNetwork
 
-        return ShardedReteNetwork()
+        return ShardedReteNetwork(kernels=kernels)
     if name == "treat":
         from repro.match import TreatMatcher
 
@@ -126,7 +134,7 @@ class ReplSession:
     def __init__(self, matcher="rete", strategy="lex", watch=1,
                  profile=False, wal_dir=None, fsync="batch",
                  on_error="halt", engine=None, workers=None,
-                 backend=None):
+                 backend=None, kernels=None):
         from repro.engine.stats import MatchStats
 
         self.profile_stats = None
@@ -144,7 +152,8 @@ class ReplSession:
 
                 durability = DurabilityConfig(wal_dir, fsync=fsync)
             self.engine = RuleEngine(matcher=_build_matcher(matcher,
-                                                            backend),
+                                                            backend,
+                                                            kernels),
                                      strategy=strategy,
                                      stats=self.profile_stats,
                                      durability=durability,
@@ -514,6 +523,13 @@ def _recover_main(argv):
         "(memory, sqlite, or sqlite:PATH; default: the checkpoint "
         "manifest's backend, else REPRO_RDB_BACKEND, else memory)",
     )
+    parser.add_argument(
+        "--kernels",
+        choices=("off", "closure", "exec"),
+        default=None,
+        help="compiled match kernels for the recovered rete/sharded "
+        "matcher (default: REPRO_KERNELS, else closure)",
+    )
     parser.add_argument("--strategy", choices=("lex", "mea"), default=None)
     parser.add_argument(
         "--workers",
@@ -557,6 +573,7 @@ def _recover_main(argv):
             options.wal_dir,
             matcher=options.matcher,
             backend=options.backend,
+            kernels=options.kernels,
             strategy=options.strategy,
             stats=stats,
             durability=not options.no_wal,
@@ -613,6 +630,14 @@ def main(argv=None):
         help="storage backend for the dips matcher: memory (default), "
         "sqlite (in-memory SQL pushdown), or sqlite:PATH (file-backed, "
         "out-of-core); REPRO_RDB_BACKEND sets the default",
+    )
+    parser.add_argument(
+        "--kernels",
+        choices=("off", "closure", "exec"),
+        default=None,
+        help="compiled match kernels for the rete/sharded matchers "
+        "(default: REPRO_KERNELS, else closure); off restores the "
+        "interpreted test walk — see docs/KERNELS.md",
     )
     parser.add_argument("--strategy", choices=("lex", "mea"), default="lex")
     parser.add_argument(
@@ -678,6 +703,7 @@ def main(argv=None):
             on_error=options.on_error,
             workers=options.workers,
             backend=options.backend,
+            kernels=options.kernels,
         )
     except ReproError as error:
         # E.g. --wal-dir pointing at a previous session's log: a fresh

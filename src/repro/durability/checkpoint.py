@@ -299,11 +299,13 @@ def matcher_name(matcher):
     return None
 
 
-def build_matcher(name, backend=None):
+def build_matcher(name, backend=None, kernels=None):
     """Instantiate a matcher by registry name.
 
     *backend* is a storage backend spec for matchers that run on the
-    relational substrate (dips); the others ignore it.
+    relational substrate (dips); the others ignore it.  *kernels* is a
+    compiled-kernel mode spec for the Rete-family matchers (rete,
+    sharded); the interpreted comparison matchers ignore it.
     """
     from repro.dips.matcher import DipsMatcher
     from repro.match import NaiveMatcher, TreatMatcher
@@ -317,4 +319,6 @@ def build_matcher(name, backend=None):
         raise DurabilityError(f"unknown matcher {name!r}")
     if name == "dips":
         return DipsMatcher(backend=backend)
+    if name in ("rete", "sharded"):
+        return factories[name](kernels=kernels)
     return factories[name]()

@@ -47,7 +47,7 @@ class RuleEngine:
 
     def __init__(self, matcher=None, strategy="lex", echo=False,
                  stats=None, trace_limit=None, durability=None,
-                 on_error="halt", workers=None):
+                 on_error="halt", workers=None, kernels=None):
         """*stats*: a :class:`repro.engine.stats.MatchStats` collector,
         wired through the matcher, the tracer, and the cycle timer
         (default: the no-op :data:`~repro.engine.stats.NULL_STATS`).
@@ -63,15 +63,22 @@ class RuleEngine:
         :meth:`run_parallel` (default: the ``REPRO_WORKERS``
         environment variable, else 1 — the sequential simulation);
         see ``docs/PARALLELISM.md``.
+        *kernels*: compiled-match-kernel mode for Rete-family matchers
+        built here — ``off`` / ``closure`` / ``exec`` (default: the
+        ``REPRO_KERNELS`` environment variable, else ``closure``);
+        ignored when *matcher* is a pre-built matcher object.  See
+        ``docs/KERNELS.md``.
         """
         self.wm = WorkingMemory()
         self.stats = stats if stats is not None else NULL_STATS
         if isinstance(matcher, str):
             from repro.durability.checkpoint import build_matcher
 
-            matcher = build_matcher(matcher)
+            matcher = build_matcher(matcher, kernels=kernels)
         self.matcher = (
-            matcher if matcher is not None else self._default_matcher()
+            matcher
+            if matcher is not None
+            else self._default_matcher(kernels)
         )
         if stats is not None:
             self.matcher.set_stats(stats)
@@ -107,20 +114,21 @@ class RuleEngine:
         self._pool_size = 0
 
     @staticmethod
-    def _default_matcher():
+    def _default_matcher(kernels=None):
         """The default matcher; honours ``REPRO_MATCH_SHARDS``.
 
         Setting the environment variable to N > 1 makes default-built
         engines match on a :class:`~repro.rete.sharded.ShardedReteNetwork`
         of N shards — the lever the CI parallel-soak job pulls to run
-        ordinary suites against the sharded path.
+        ordinary suites against the sharded path.  *kernels* forwards
+        the compiled-kernel mode (``REPRO_KERNELS`` applies when None).
         """
         shards = int(os.environ.get("REPRO_MATCH_SHARDS", "0") or 0)
         if shards > 1:
             from repro.rete.sharded import ShardedReteNetwork
 
-            return ShardedReteNetwork(shards=shards)
-        return ReteNetwork()
+            return ShardedReteNetwork(shards=shards, kernels=kernels)
+        return ReteNetwork(kernels=kernels)
 
     @staticmethod
     def _default_workers(workers):

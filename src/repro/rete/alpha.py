@@ -25,12 +25,27 @@ class AlphaMemory:
 
     ``successors`` are beta-side consumers (join or negative nodes)
     right-activated when the memory changes.
+
+    ``passes`` is the memory's admission predicate: the interpreted
+    :meth:`repro.analysis.CEAnalysis.wme_passes_alpha` by default, or a
+    compiled kernel when the network carries a
+    :class:`~repro.rete.kernels.KernelPack`.
+
+    With ``columnar=True`` the memory additionally mirrors its WMEs
+    into parallel per-attribute arrays (``wme_list`` + ``columns``),
+    kept in insertion order so columnar scans visit candidates exactly
+    like an ``items`` iteration.  Columns are built lazily per
+    attribute (joins ask only for the attributes their tests read) and
+    rebuilt wholesale after removals rather than spending O(columns)
+    per retract.
     """
 
     __slots__ = ("key", "analysis", "items", "successors", "indexes",
-                 "stats", "stats_key")
+                 "stats", "stats_key", "passes", "columnar", "wme_list",
+                 "columns", "_columns_dirty")
 
-    def __init__(self, key, analysis, stats=None):
+    def __init__(self, key, analysis, stats=None, kernels=None,
+                 columnar=False):
         self.key = key
         self.analysis = analysis
         # dict used as an ordered set: insertion order, O(1) removal.
@@ -39,11 +54,53 @@ class AlphaMemory:
         # attribute -> {value -> {wme: None}}; built on demand by
         # equality joins so left activations probe instead of scanning.
         self.indexes = {}
+        self.passes = (
+            kernels.alpha(analysis)
+            if kernels is not None
+            else analysis.wme_passes_alpha
+        )
+        self.columnar = bool(columnar)
+        self.wme_list = []
+        self.columns = {}
+        self._columns_dirty = False
         self.attach_stats(stats if stats is not None else NULL_STATS)
 
     def attach_stats(self, stats):
         self.stats = stats
         self.stats_key = stats.register_node("alpha", str(self.key[0]))
+
+    # -- columnar mirror ---------------------------------------------------
+
+    def ensure_column(self, attribute):
+        """Create (once) the parallel value array for *attribute*."""
+        if attribute not in self.columns:
+            self.columns[attribute] = [
+                wme.get(attribute) for wme in self.wme_list
+            ]
+
+    def scan_view(self, attributes):
+        """``(wmes, columns)`` aligned arrays for a columnar scan.
+
+        Refreshes the mirror if removals invalidated it; the returned
+        order equals ``items`` insertion order.
+        """
+        if self._columns_dirty or len(self.wme_list) != len(self.items):
+            self.wme_list = list(self.items)
+            for attribute in self.columns:
+                self.columns[attribute] = [
+                    wme.get(attribute) for wme in self.wme_list
+                ]
+            self._columns_dirty = False
+        for attribute in attributes:
+            self.ensure_column(attribute)
+        return self.wme_list, self.columns
+
+    def _columnar_add(self, wme):
+        if self._columns_dirty:
+            return  # the next scan_view rebuilds everything anyway
+        self.wme_list.append(wme)
+        for attribute, column in self.columns.items():
+            column.append(wme.get(attribute))
 
     def ensure_index(self, attribute):
         """Create (once) the WME index on *attribute*."""
@@ -70,6 +127,8 @@ class AlphaMemory:
 
     def add(self, wme):
         self.items[wme] = None
+        if self.columnar:
+            self._columnar_add(wme)
         for attribute, index in self.indexes.items():
             _index_add(index, wme.get(attribute), wme)
         self.stats.alpha_activation(self.stats_key, "+", len(self.items))
@@ -87,6 +146,8 @@ class AlphaMemory:
         """
         for wme in wmes:
             self.items[wme] = None
+            if self.columnar:
+                self._columnar_add(wme)
             for attribute, index in self.indexes.items():
                 _index_add(index, wme.get(attribute), wme)
         self.stats.alpha_activation(self.stats_key, "+", len(self.items))
@@ -95,6 +156,8 @@ class AlphaMemory:
 
     def remove(self, wme):
         self.items.pop(wme, None)
+        if self.columnar:
+            self._columns_dirty = True
         for attribute, index in self.indexes.items():
             _index_discard(index, wme.get(attribute), wme)
         self.stats.alpha_activation(self.stats_key, "-", len(self.items))
@@ -137,11 +200,19 @@ def _index_discard(index, value, member):
 
 
 class AlphaNetwork:
-    """Builds and feeds the shared alpha memories."""
+    """Builds and feeds the shared alpha memories.
 
-    def __init__(self, stats=None):
+    *kernels* (a :class:`~repro.rete.kernels.KernelPack` or None) makes
+    every memory's admission predicate a compiled kernel; *columnar*
+    additionally gives each memory the parallel-array mirror columnar
+    scans and the process-pool mask offload evaluate against.
+    """
+
+    def __init__(self, stats=None, kernels=None, columnar=False):
         self._memories = {}
         self._by_class = {}
+        self.kernels = kernels
+        self.columnar = bool(columnar)
         self.stats = stats if stats is not None else NULL_STATS
 
     def attach_stats(self, stats):
@@ -160,7 +231,9 @@ class AlphaNetwork:
             key = key + (("private", key_extra),)
         memory = self._memories.get(key)
         if memory is None:
-            memory = AlphaMemory(key, ce_analysis, stats=self.stats)
+            memory = AlphaMemory(key, ce_analysis, stats=self.stats,
+                                 kernels=self.kernels,
+                                 columnar=self.columnar)
             self._memories[key] = memory
             self._by_class.setdefault(ce_analysis.ce.wme_class, []).append(
                 memory
@@ -198,7 +271,7 @@ class AlphaNetwork:
             else self._by_class.get(wme.wme_class, [])
         )
         for memory in candidates:
-            if memory.analysis.wme_passes_alpha(wme):
+            if memory.passes(wme):
                 memory.add(wme)
 
     def add_batch(self, wmes, alpha_filter=None):
@@ -223,10 +296,8 @@ class AlphaNetwork:
                 if alpha_filter is not None:
                     passing = alpha_filter(memory, group)
                 else:
-                    passing = [
-                        w for w in group
-                        if memory.analysis.wme_passes_alpha(w)
-                    ]
+                    passes = memory.passes
+                    passing = [w for w in group if passes(w)]
                 if passing:
                     memory.add_batch(passing)
 

@@ -23,6 +23,21 @@ from repro.engine.stats import NULL_STATS
 from repro.rete.alpha import UNHASHABLE, _index_add, _index_discard
 
 
+def _interpreted_matcher(tests):
+    """Uncompiled fallback with the kernel calling convention.
+
+    Gives nodes one uniform ``fn(wme, lookup) -> bool`` entry point
+    whether or not a kernel pack is attached.
+    """
+    if not tests:
+        return lambda wme, lookup: True
+
+    def matcher(wme, lookup, _tests=tests):
+        return all(test.matches(wme, lookup) for test in _tests)
+
+    return matcher
+
+
 class Token:
     """A partial (or full) match: a chain of one WME per CE level."""
 
@@ -190,10 +205,20 @@ class JoinNode:
     the candidate WME against values bound in the left token.  Output
     flows into exactly one :class:`BetaMemory` (created by the network
     compiler; shared when two rules have an identical join prefix).
+
+    When the network carries a :class:`~repro.rete.kernels.KernelPack`,
+    the test list (and its index-residual subset) is compiled once into
+    a match kernel at construction; ``_match``/``_match_residual`` are
+    then single specialized functions instead of an interpreted walk of
+    the test objects, and full scans over a columnar alpha memory run
+    through a columnar scan kernel with the token's bindings hoisted
+    out of the candidate loop.  Candidate order, pass/fail results, and
+    every stats counter are identical to the interpreted path.
     """
 
     __slots__ = ("left", "amem", "tests", "level", "output", "network",
-                 "index_test", "residual_tests", "stats", "stats_key")
+                 "index_test", "residual_tests", "stats", "stats_key",
+                 "_match", "_match_residual", "_scan", "_scan_attrs")
 
     def __init__(self, left, amem, tests, level, network):
         self.left = left
@@ -219,6 +244,29 @@ class JoinNode:
                      self.index_test.bound_attribute)
                 )
                 amem.ensure_index(self.index_test.attribute)
+        kernels = getattr(network, "kernels", None)
+        if kernels is not None:
+            self._match = kernels.join(self.tests)
+            self._match_residual = (
+                self._match
+                if self.residual_tests is self.tests
+                else kernels.join(self.residual_tests)
+            )
+        else:
+            self._match = _interpreted_matcher(self.tests)
+            self._match_residual = (
+                self._match
+                if self.residual_tests is self.tests
+                else _interpreted_matcher(self.residual_tests)
+            )
+        self._scan = None
+        self._scan_attrs = ()
+        if (kernels is not None and self.index_test is None
+                and getattr(amem, "columnar", False)):
+            self._scan = kernels.scan(self.tests)
+            self._scan_attrs = tuple(
+                dict.fromkeys(t.attribute for t in self.tests)
+            )
         self.attach_stats(network.match_stats)
 
     def attach_stats(self, stats):
@@ -226,13 +274,14 @@ class JoinNode:
         self.stats_key = stats.register_node("join", f"L{self.level}")
 
     def _passes(self, token, wme):
-        return all(test.matches(wme, token.lookup) for test in self.tests)
+        return self._match(wme, token.lookup)
 
     def left_activate(self, token):
         """A new token arrived in the left memory."""
         if not token.active:
             return
         probed = False
+        scanned = None
         if self.index_test is not None:
             try:
                 candidates = self.amem.indexed_wmes(
@@ -246,13 +295,25 @@ class JoinNode:
             except TypeError:
                 # Unhashable probe value: fall back to the scan.
                 candidates = list(self.amem.items)
+        elif self._scan is not None:
+            candidates, columns = self.amem.scan_view(self._scan_attrs)
+            scanned = self._scan(token.lookup, candidates, columns)
         else:
             candidates = list(self.amem.items)
-        passed = 0
-        for wme in candidates:
-            if self._passes(token, wme):
-                passed += 1
-                self.output.left_activate(token, wme, self.network)
+        output = self.output
+        network = self.network
+        if scanned is not None:
+            passed = len(scanned)
+            for wme in scanned:
+                output.left_activate(token, wme, network)
+        else:
+            match = self._match
+            lookup = token.lookup
+            passed = 0
+            for wme in candidates:
+                if match(wme, lookup):
+                    passed += 1
+                    output.left_activate(token, wme, network)
         stats = self.stats
         if stats.enabled:
             stats.left_activation(self.stats_key)
@@ -277,9 +338,10 @@ class JoinNode:
                 candidates = self.left.active_tokens()
         else:
             candidates = self.left.active_tokens()
+        match = self._match
         passed = 0
         for token in candidates:
-            if self._passes(token, wme):
+            if match(wme, token.lookup):
                 passed += 1
                 self.output.left_activate(token, wme, self.network)
         stats = self.stats
@@ -325,6 +387,8 @@ class JoinNode:
                 leftovers.append(wme)
         index = self.left.indexes[site]
         residual = self.residual_tests
+        match_full = self._match
+        match_residual = self._match_residual
         output = self.output
         network = self.network
         candidates_total = 0
@@ -345,16 +409,18 @@ class JoinNode:
                     for wme in group:
                         output.left_activate(token, wme, network)
                     continue
-                checks = residual if verified else self.tests
+                check = match_residual if verified else match_full
+                lookup = token.lookup
                 for wme in group:
                     attempted += 1
-                    if all(t.matches(wme, token.lookup) for t in checks):
+                    if check(wme, lookup):
                         passed += 1
                         output.left_activate(token, wme, network)
             for token in extras:
+                lookup = token.lookup
                 for wme in group:
                     attempted += 1
-                    if self._passes(token, wme):
+                    if match_full(wme, lookup):
                         passed += 1
                         output.left_activate(token, wme, network)
         stats = self.stats

@@ -13,11 +13,18 @@ descendants are deleted); when the last blocker disappears it
 
 from __future__ import annotations
 
-from repro.rete.beta import Token
+from repro.rete.beta import Token, _interpreted_matcher
 
 
 class NegativeNode:
-    """Beta node for one negated CE."""
+    """Beta node for one negated CE.
+
+    Like :class:`~repro.rete.beta.JoinNode`, the test list is compiled
+    to a match kernel when the network carries a
+    :class:`~repro.rete.kernels.KernelPack`; full scans over a columnar
+    alpha memory run through the columnar scan kernel.  Candidate
+    order, blocker lists, and stats counters are identical either way.
+    """
 
     __slots__ = (
         "left",
@@ -30,6 +37,9 @@ class NegativeNode:
         "observers",
         "stats",
         "stats_key",
+        "_match",
+        "_scan",
+        "_scan_attrs",
     )
 
     def __init__(self, left, amem, tests, level, network):
@@ -41,6 +51,18 @@ class NegativeNode:
         self.items = {}
         self.successors = []
         self.observers = []
+        kernels = getattr(network, "kernels", None)
+        if kernels is not None:
+            self._match = kernels.join(self.tests)
+        else:
+            self._match = _interpreted_matcher(self.tests)
+        self._scan = None
+        self._scan_attrs = ()
+        if kernels is not None and getattr(amem, "columnar", False):
+            self._scan = kernels.scan(self.tests)
+            self._scan_attrs = tuple(
+                dict.fromkeys(t.attribute for t in self.tests)
+            )
         self.attach_stats(network.match_stats)
 
     def attach_stats(self, stats):
@@ -48,7 +70,7 @@ class NegativeNode:
         self.stats_key = stats.register_node("neg", f"L{self.level}")
 
     def _passes(self, token, wme):
-        return all(test.matches(wme, token.lookup) for test in self.tests)
+        return self._match(wme, token.lookup)
 
     def active_tokens(self):
         return [token for token in self.items if token.active]
@@ -62,11 +84,20 @@ class NegativeNode:
         token = Token(parent_token, None, self, self.level)
         self.network.register_token(token)
         self.items[token] = None
-        candidates = list(self.amem.items)
-        for wme in candidates:
-            if self._passes(token, wme):
+        register = self.network.register_neg_result
+        if self._scan is not None:
+            candidates, columns = self.amem.scan_view(self._scan_attrs)
+            for wme in self._scan(token.lookup, candidates, columns):
                 token.neg_results.append(wme)
-                self.network.register_neg_result(wme, token)
+                register(wme, token)
+        else:
+            candidates = list(self.amem.items)
+            match = self._match
+            lookup = token.lookup
+            for wme in candidates:
+                if match(wme, lookup):
+                    token.neg_results.append(wme)
+                    register(wme, token)
         token.active = not token.neg_results
         stats = self.stats
         if stats.enabled:
@@ -100,9 +131,10 @@ class NegativeNode:
     def right_activate(self, wme):
         """A WME joined the negated pattern's alpha memory."""
         candidates = list(self.items)
+        match = self._match
         passed = 0
         for token in candidates:
-            if self._passes(token, wme):
+            if match(wme, token.lookup):
                 passed += 1
                 token.neg_results.append(wme)
                 self.network.register_neg_result(wme, token)

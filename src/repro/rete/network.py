@@ -18,6 +18,7 @@ from repro.errors import RuleError
 from repro.match.base import Matcher
 from repro.rete.alpha import AlphaNetwork
 from repro.rete.beta import BetaMemory, DummyToken, JoinNode
+from repro.rete.kernels import build_kernels, resolve_kernels
 from repro.rete.negative import NegativeNode
 from repro.rete.pnode import PNode, SetPNode
 from repro.rete.snode import SNode, build_aggregate_specs
@@ -50,7 +51,7 @@ class ReteNetwork(Matcher):
 
     def __init__(self, strict_paper_decide=False, share_alpha=True,
                  share_beta=True, indexed_joins=True, batched=True,
-                 stats=None):
+                 stats=None, kernels=None, columnar=None):
         super().__init__()
         self.match_stats = stats if stats is not None else NULL_STATS
         self.share_alpha = share_alpha
@@ -62,8 +63,19 @@ class ReteNetwork(Matcher):
         # propagation, staged S-nodes); False replays them per event —
         # the reference semantics the property tests compare against.
         self.batched = batched
+        # Compiled match kernels (off|closure|exec; None defers to the
+        # REPRO_KERNELS env var, default closure).  Columnar alpha
+        # mirrors default to on whenever kernels are on.
+        self.kernel_mode = resolve_kernels(kernels)
+        self.kernels = build_kernels(self.kernel_mode,
+                                     stats=self.match_stats)
+        self.columnar = (
+            self.kernels is not None if columnar is None else bool(columnar)
+        )
         self._private_counter = 0
-        self.alpha = AlphaNetwork(stats=self.match_stats)
+        self.alpha = AlphaNetwork(stats=self.match_stats,
+                                  kernels=self.kernels,
+                                  columnar=self.columnar)
         self.dummy_top = BetaMemory(None, -1, stats=self.match_stats)
         self._beta_nodes = [self.dummy_top]
         self._dummy_token = DummyToken()
@@ -79,6 +91,8 @@ class ReteNetwork(Matcher):
     def set_stats(self, stats):
         """Swap in a (possibly live) stats hook, re-registering all nodes."""
         self.match_stats = stats
+        if self.kernels is not None:
+            self.kernels.attach_stats(stats)
         self.alpha.attach_stats(stats)
         for node in self._beta_nodes:
             node.attach_stats(stats)
@@ -161,8 +175,9 @@ class ReteNetwork(Matcher):
         created = self.alpha.memory_count != before
         if created and self.wm is not None:
             # No successors yet, so direct adds cannot double-propagate.
+            passes = amem.passes
             for wme in self.wm:
-                if ce_analysis.wme_passes_alpha(wme):
+                if passes(wme):
                     amem.add(wme)
         return amem
 

@@ -45,6 +45,7 @@ import zlib
 from repro.engine.stats import NULL_STATS
 from repro.errors import RuleError
 from repro.match.base import ConflictListener, Matcher
+from repro.rete.kernels import alpha_spec, columnar_mask, spec_attributes
 from repro.rete.network import ReteNetwork, ReteStats
 
 
@@ -254,6 +255,13 @@ class ShardedReteNetwork(Matcher):
         alpha memory to its precomputed passing subset, or None when
         the work cannot be shipped (unpicklable values, dead pool) —
         the shards then filter inline, which is always correct.
+
+        Kernelized shards ship the **columnar** form: the memory's
+        structural :func:`~repro.rete.kernels.alpha_spec` plus parallel
+        per-attribute value arrays for just the attributes the tests
+        read, evaluated by :func:`~repro.rete.kernels.columnar_mask`
+        (compiled once per worker process, cached by spec).  Shards
+        without kernels ship the analysis + WME objects as before.
         """
         tasks = []
         for shard, part in live:
@@ -265,17 +273,28 @@ class ShardedReteNetwork(Matcher):
                     ).append(event.wme)
             for wme_class, group in by_class.items():
                 for memory in shard.alpha.memories_of_class(wme_class):
-                    tasks.append((memory, group))
+                    tasks.append((memory, group, shard.kernels is not None))
         if not tasks:
             return None
         try:
             pool = self._processes()
-            futures = [
-                pool.submit(_alpha_mask, memory.analysis, group)
-                for memory, group in tasks
-            ]
+            futures = []
+            for memory, group, kernelized in tasks:
+                if kernelized:
+                    spec = alpha_spec(memory.analysis)
+                    columns = {
+                        attribute: [wme.get(attribute) for wme in group]
+                        for attribute in spec_attributes(spec)
+                    }
+                    futures.append(pool.submit(
+                        columnar_mask, spec, columns, len(group)
+                    ))
+                else:
+                    futures.append(pool.submit(
+                        _alpha_mask, memory.analysis, group
+                    ))
             table = {}
-            for (memory, group), future in zip(tasks, futures):
+            for (memory, group, _), future in zip(tasks, futures):
                 mask = future.result()
                 table[id(memory)] = [
                     wme for wme, passed in zip(group, mask) if passed
@@ -286,10 +305,8 @@ class ShardedReteNetwork(Matcher):
         def alpha_filter(memory, group):
             passing = table.get(id(memory))
             if passing is None:  # a memory added mid-flight: inline
-                passing = [
-                    w for w in group
-                    if memory.analysis.wme_passes_alpha(w)
-                ]
+                passes = memory.passes
+                passing = [w for w in group if passes(w)]
             return passing
 
         return alpha_filter

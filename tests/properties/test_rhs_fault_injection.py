@@ -351,6 +351,36 @@ def _apply(engine, op):
         engine.run(limit=op[1])
 
 
+def _apply_retrying(engine, op):
+    """Re-apply *op* after halt rollbacks without extra firing budget.
+
+    A faulted ``run`` op must not simply be re-issued whole: firings
+    that committed before the fault would then be granted over again,
+    letting the faulted engine fire past the reference's limit.  The
+    remaining limit shrinks by the firings that *committed* before
+    each fault (aborted attempts stay in the trace, flagged).
+    """
+    if op[0] != "run":
+        while True:
+            try:
+                return _apply(engine, op)
+            except FiringError:
+                # rolled back; the injector is now spent, so simply
+                # continuing re-fires it cleanly.
+                continue
+
+    def committed():
+        return sum(1 for f in engine.tracer.firings if not f.aborted)
+
+    remaining = op[1]
+    while remaining > 0:
+        before = committed()
+        try:
+            return engine.run(limit=remaining)
+        except FiringError:
+            remaining -= committed() - before
+
+
 class TestHypothesisFaultAtRandomPoint:
     @settings(max_examples=FAULT_EXAMPLES, deadline=None)
     @given(
@@ -369,15 +399,7 @@ class TestHypothesisFaultAtRandomPoint:
         engine = build(matcher_name)
         with DispatchFault(target):
             for op in ops:
-                applied = False
-                while not applied:
-                    try:
-                        _apply(engine, op)
-                        applied = True
-                    except FiringError:
-                        # rolled back; the injector is now spent, so
-                        # simply continuing re-fires it cleanly.
-                        continue
+                _apply_retrying(engine, op)
             while True:
                 try:
                     engine.run()
