@@ -49,7 +49,7 @@ from repro import MatchStats, RuleEngine
 from repro.rete import ReteNetwork, ShardedReteNetwork
 
 BASELINE_PATH = Path(__file__).parent / "BENCH_baseline.json"
-DEFAULT_OUTPUT = Path("BENCH_7.json")
+DEFAULT_OUTPUT = Path("BENCH_8.json")
 
 
 def latest_reference(exclude=None):
@@ -95,6 +95,13 @@ GATED_COUNTERS = (
     # Kernel scenarios: compilation and cache behaviour are structural.
     "kernels_compiled",
     "kernel_cache_hits",
+    # Service scenarios: request/ingest/firing volume is deterministic
+    # for a fixed fleet; compile counts prove rule-base sharing.
+    "service_requests",
+    "service_facts_ingested",
+    "service_firings",
+    "service_rulebase_compiles",
+    "service_sessions_built",
 )
 # Deterministic counters that must match the baseline *exactly*:
 # losing native pushdown shows as a decrease, which the one-sided
@@ -104,6 +111,9 @@ EXACT_COUNTERS = (
     "storage_statements_pushed",
     "kernels_compiled",
     "kernel_cache_hits",
+    # N sessions of one program must cost exactly one parse/compile.
+    "service_rulebase_compiles",
+    "service_sessions_built",
 )
 TOLERANCE = 0.10
 
@@ -465,6 +475,87 @@ def kernel_speedups(report):
     return speedups
 
 
+# -- service scenarios -------------------------------------------------
+#
+# Each one boots an in-process rule service and drives it with the
+# load generator: N concurrent sessions x assert/run ticks.  The work
+# counters (requests, facts, firings) are deterministic for a fixed
+# fleet; the rule-base counters pin the sharing contract — however
+# many sessions, one compile per distinct (program, matcher, kernels).
+# Wall-clock throughput and latency percentiles are recorded in the
+# report's informational ``service`` section, never gated.
+
+SERVICE_SESSIONS = 8
+SERVICE_TICKS = 5
+SERVICE_FACTS = 40
+_SERVICE_RESULTS = {}
+
+
+class _ServiceCounters:
+    """Adapter giving loadgen results the ``.totals`` shape the
+    scenario runner records."""
+
+    def __init__(self, totals):
+        self.totals = totals
+
+
+def _service_scenario(label, matchers):
+    from repro.service.loadgen import run_load
+    from repro.service.server import ServiceConfig, ServiceThread
+
+    with ServiceThread(ServiceConfig(port=0, engine_workers=4)) as server:
+        host, port = server.address
+        result = run_load(
+            host, port,
+            sessions=SERVICE_SESSIONS,
+            ticks=SERVICE_TICKS,
+            facts_per_tick=SERVICE_FACTS,
+            matchers=matchers,
+            session_prefix=label,
+        )
+    if result["errors"]:
+        raise SystemExit(
+            f"service scenario {label}: {result['errors']}"
+        )
+    stats = result["server"]
+    _SERVICE_RESULTS[label] = {
+        "sessions": result["sessions"],
+        "matchers": result["matchers"],
+        "events_total": result["events_total"],
+        "events_per_s": result["events_per_s"],
+        "latency": result["latency"],
+        "busy_retries": result["busy_retries"],
+    }
+    return _ServiceCounters({
+        "service_requests": stats["server"].get("requests", 0),
+        "service_facts_ingested": stats["server"].get(
+            "facts_ingested", 0
+        ),
+        "service_firings": result["firings"],
+        "service_rulebase_compiles": stats["rule_bases"]["compiles"],
+        "service_rulebase_hits": stats["rule_bases"]["hits"],
+        "service_sessions_built": stats["rule_bases"][
+            "sessions_built"
+        ],
+        "service_kernels_compiled": stats["rule_bases"][
+            "kernels_compiled"
+        ],
+        "service_kernel_cache_hits": stats["rule_bases"][
+            "kernel_cache_hits"
+        ],
+    })
+
+
+def scenario_service_shared_rete():
+    # One program, one matcher, eight tenants: exactly one compile.
+    return _service_scenario("svc-rete", ("rete",))
+
+
+def scenario_service_mixed_matchers():
+    # Half rete, half treat: exactly two rule bases, shared 4 ways each.
+    return _service_scenario("svc-mixed", ("rete", "treat"))
+
+
 SCENARIOS = {
     "bulk_load_per_event": scenario_bulk_load_per_event,
     "bulk_load_batched": scenario_bulk_load_batched,
@@ -472,6 +563,8 @@ SCENARIOS = {
     "sharded_match": scenario_sharded_match,
     "storage_1m_memory": scenario_storage_1m_memory,
     "storage_1m_sqlite": scenario_storage_1m_sqlite,
+    "service_shared_rete": scenario_service_shared_rete,
+    "service_mixed_matchers": scenario_service_mixed_matchers,
 }
 SCENARIOS.update(_kernel_scenarios())
 
@@ -531,6 +624,10 @@ def run_scenarios():
     }
     verify_kernel_equivalence()
     report["kernels"] = {"speedup_vs_off": kernel_speedups(report)}
+    # Informational service throughput/latency: machine dependent,
+    # recorded so reports document sessions x events/sec and p50/p99.
+    if _SERVICE_RESULTS:
+        report["service"] = dict(_SERVICE_RESULTS)
     return report
 
 
@@ -588,6 +685,14 @@ def print_report(report):
         print("kernel wall-clock speedup vs interpreted (off):")
         for name, ratio in speedups.items():
             print(f"  {name:<32}{ratio:>6.2f}x")
+    for label, svc in report.get("service", {}).items():
+        run = svc["latency"]["run"]
+        print(
+            f"service {label}: {svc['sessions']} sessions "
+            f"({','.join(svc['matchers'])}) "
+            f"{svc['events_per_s']:.0f} events/s, run "
+            f"p50={run['p50_ms']:.1f}ms p99={run['p99_ms']:.1f}ms"
+        )
 
 
 def main(argv=None):

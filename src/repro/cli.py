@@ -80,6 +80,7 @@ command                   effect
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.engine.conflict import strategy_named
@@ -607,11 +608,146 @@ def _recover_main(argv):
     return _run_session(session, options)
 
 
+def _serve_main(argv):
+    parser = argparse.ArgumentParser(
+        prog="repro-ops serve",
+        description="run the multi-tenant rule service "
+        "(NDJSON-over-TCP; see docs/SERVICE.md)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=7471,
+        help="listen port (0 = ephemeral; default 7471)",
+    )
+    parser.add_argument(
+        "--wal-root",
+        metavar="DIR",
+        default=None,
+        help="enable per-session durability: each session logs to "
+        "DIR/<session-id> (default: durability off)",
+    )
+    parser.add_argument(
+        "--fsync", choices=("always", "batch", "off"), default="batch",
+        help="session WAL fsync policy (default: batch)",
+    )
+    parser.add_argument(
+        "--matcher",
+        choices=("rete", "treat", "naive", "dips", "sharded"),
+        default="rete",
+        help="default matcher for sessions that do not choose one",
+    )
+    parser.add_argument(
+        "--kernels", choices=("off", "closure", "exec"), default=None,
+        help="default compiled-kernel mode (REPRO_KERNELS, else closure)",
+    )
+    parser.add_argument("--backend", metavar="SPEC", default=None,
+                        help="default dips storage backend")
+    parser.add_argument("--strategy", choices=("lex", "mea"),
+                        default="lex")
+    parser.add_argument(
+        "--on-error", metavar="POLICY", default="halt",
+        help="default per-session firing error policy",
+    )
+    parser.add_argument(
+        "--max-sessions", type=int, default=256,
+        help="session table size; beyond it the LRU idle session is "
+        "evicted (default 256)",
+    )
+    parser.add_argument(
+        "--idle-ttl", type=float, default=300.0,
+        help="seconds of inactivity before a session is checkpointed "
+        "and evicted (default 300)",
+    )
+    parser.add_argument(
+        "--session-queue", type=int, default=16,
+        help="pending requests admitted per session (default 16)",
+    )
+    parser.add_argument(
+        "--global-queue", type=int, default=128,
+        help="pending requests admitted server-wide (default 128)",
+    )
+    parser.add_argument(
+        "--engine-workers", type=int, default=None,
+        help="threads running engine work (default: REPRO_WORKERS "
+        "or 4)",
+    )
+    parser.add_argument(
+        "--run-limit", type=int, default=10_000,
+        help="firing-limit watchdog cap per run request (default 10000)",
+    )
+    parser.add_argument(
+        "--run-wall-clock", type=float, default=30.0,
+        help="wall-clock watchdog cap per run request, seconds "
+        "(default 30)",
+    )
+    parser.add_argument(
+        "--run-seconds", type=float, default=None, metavar="S",
+        help="serve for S seconds then exit cleanly (smoke tests)",
+    )
+    options = parser.parse_args(argv)
+
+    import asyncio
+
+    from repro.service.server import RuleService, ServiceConfig
+
+    workers = options.engine_workers
+    if workers is None:
+        workers = int(os.environ.get("REPRO_WORKERS", "0") or 0) or 4
+    config = ServiceConfig(
+        host=options.host,
+        port=options.port,
+        wal_root=options.wal_root,
+        fsync=options.fsync,
+        matcher=options.matcher,
+        kernels=options.kernels,
+        backend=options.backend,
+        strategy=options.strategy,
+        on_error=options.on_error,
+        max_sessions=options.max_sessions,
+        idle_ttl=options.idle_ttl,
+        session_queue=options.session_queue,
+        global_queue=options.global_queue,
+        engine_workers=workers,
+        run_limit=options.run_limit,
+        run_wall_clock=options.run_wall_clock,
+    )
+
+    async def _serve():
+        service = RuleService(config)
+        await service.start()
+        host, port = service.address
+        durable = (
+            f"wal_root={options.wal_root}" if options.wal_root
+            else "durability off"
+        )
+        print(
+            f"rule service listening on {host}:{port} "
+            f"({durable}, {workers} engine worker(s), "
+            f"max {options.max_sessions} sessions)",
+            flush=True,
+        )
+        try:
+            if options.run_seconds is not None:
+                await asyncio.sleep(options.run_seconds)
+            else:
+                await service.serve_forever()
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("interrupted; sessions closed", file=sys.stderr)
+    return 0
+
+
 def main(argv=None):
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "recover":
         return _recover_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-ops",
         description="OPS5/C5 interpreter with set-oriented constructs "

@@ -34,14 +34,17 @@ class DurabilityConfig:
     *segment_bytes* — WAL rollover threshold;
     *retain_checkpoints* — checkpoints kept after each new one;
     *fault* — an optional
-    :class:`~repro.durability.faultfs.FaultInjector`.
+    :class:`~repro.durability.faultfs.FaultInjector`;
+    *label* — an owner tag named in operator-facing errors (the
+    service layer sets it to the tenant's session id, so a used-dir
+    collision says *whose* directory collided).
     """
 
     __slots__ = ("wal_dir", "fsync", "segment_bytes",
-                 "retain_checkpoints", "fault")
+                 "retain_checkpoints", "fault", "label")
 
     def __init__(self, wal_dir, fsync="batch", segment_bytes=None,
-                 retain_checkpoints=2, fault=None):
+                 retain_checkpoints=2, fault=None, label=None):
         from repro.durability.wal import DEFAULT_SEGMENT_BYTES
 
         self.wal_dir = str(wal_dir)
@@ -52,6 +55,7 @@ class DurabilityConfig:
         )
         self.retain_checkpoints = retain_checkpoints
         self.fault = fault
+        self.label = label
 
     def __repr__(self):
         return (
@@ -164,10 +168,14 @@ class DurabilityManager:
         if not isinstance(config, DurabilityConfig):
             config = DurabilityConfig(config)
         if not resume and _holds_prior_session(config.wal_dir):
+            owner = (
+                f" (session {config.label!r})"
+                if config.label is not None else ""
+            )
             raise DurabilityError(
-                f"write-ahead log directory {config.wal_dir!r} already "
-                f"holds a previous session; a fresh engine would restart "
-                f"time tags and make the log unrecoverable — use "
+                f"write-ahead log directory {config.wal_dir!r}{owner} "
+                f"already holds a previous session; a fresh engine would "
+                f"restart time tags and make the log unrecoverable — use "
                 f"RuleEngine.recover({config.wal_dir!r}) to resume it, "
                 f"or point durability at a fresh directory"
             )

@@ -331,14 +331,21 @@ class WriteAheadLog:
         return removed
 
     def close(self):
-        """Flush, fsync (unless policy is ``off``), and close."""
-        if self._file is None:
-            return
-        self._file.flush()
-        if self.fsync != "off":
-            self.sync()
-        self._file.close()
-        self._file = None
+        """Flush, fsync (unless policy is ``off``), and close.
+
+        Idempotent and thread-safe: a second close — or one racing an
+        in-flight append, as when session eviction races a client
+        disconnect in the service layer — is a no-op rather than a
+        crash on a half-torn-down file object.
+        """
+        with self._append_lock:
+            if self._file is None:
+                return
+            self._file.flush()
+            if self.fsync != "off":
+                self.sync()
+            self._file.close()
+            self._file = None
 
     def __repr__(self):
         return (

@@ -27,6 +27,7 @@ conflict-set contents and firing behaviour are identical by contract
 from __future__ import annotations
 
 import os
+import threading
 
 from repro.analysis import RuleAnalysis
 from repro.engine import parallel as _parallel
@@ -112,6 +113,8 @@ class RuleEngine:
         self.workers = self._default_workers(workers)
         self._pool = None
         self._pool_size = 0
+        self._close_lock = threading.Lock()
+        self.closed = False
 
     @staticmethod
     def _default_matcher(kernels=None):
@@ -441,17 +444,28 @@ class RuleEngine:
         return recover_engine(cls, path, **kwargs)
 
     def close(self):
-        """Release pools and the durability log (no-op without them)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-            self._pool_size = 0
-        closer = getattr(self.matcher, "close", None)
-        if closer is not None:
-            closer()
-        if self.durability is not None:
-            self.durability.close()
-            self.durability = None
+        """Release pools and the durability log (no-op without them).
+
+        Idempotent and thread-safe: the service layer's eviction path
+        (idle-TTL sweeps, LRU pressure) can race a client-initiated
+        close — both calls succeed, the second (and any later one)
+        doing nothing.  ``closed`` reports whether a close has
+        completed.
+        """
+        with self._close_lock:
+            if self.closed:
+                return
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+                self._pool_size = 0
+            closer = getattr(self.matcher, "close", None)
+            if closer is not None:
+                closer()
+            if self.durability is not None:
+                self.durability.close()
+                self.durability = None
+            self.closed = True
 
     # -- inspection -----------------------------------------------------------
 

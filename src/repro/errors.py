@@ -163,3 +163,26 @@ class RecoveryError(DurabilityError):
     torn or truncated *final* record is NOT an error — recovery drops
     the unflushed tail and proceeds.
     """
+
+
+class ServiceError(ReproError):
+    """Failure in the rule-service layer (:mod:`repro.service`).
+
+    Raised for session-registry misuse (unknown or duplicate session
+    ids, ids unsafe to map onto a WAL directory name) and for server
+    configuration problems.  Protocol-level failures are reported to
+    the client as error responses, not exceptions.
+    """
+
+
+class AdmissionError(ServiceError):
+    """A request was rejected by admission control (backpressure).
+
+    Carries ``retry_after`` (seconds), surfaced to clients as a
+    ``busy`` response so they can back off and retry instead of piling
+    onto a saturated session or server.
+    """
+
+    def __init__(self, message, retry_after=0.05):
+        super().__init__(message)
+        self.retry_after = retry_after

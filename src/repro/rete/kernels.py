@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import math
 import os
+import threading
 
 from repro.engine.stats import NULL_STATS
 from repro.errors import ReproError
@@ -588,11 +589,21 @@ class KernelPack:
     function.  Counters surface through the attached
     :class:`~repro.engine.stats.MatchStats` (``kernels_compiled`` /
     ``kernel_cache_hits``) and locally as ``compiled`` / ``cache_hits``.
+
+    A pack constructed with ``shared=True`` is meant to outlive any one
+    network: the service layer's rule-base cache
+    (:mod:`repro.service.rulebase`) hands the same pack to every
+    session built from the same program, so a thousand tenants compile
+    each structural test chain once.  Shared packs are thread-safe
+    (networks for different sessions may be built concurrently) and pin
+    their stats hook: per-session ``set_stats`` calls must not
+    re-attribute the shared compile counters to one tenant's collector.
     """
 
-    __slots__ = ("mode", "stats", "compiled", "cache_hits", "_cache")
+    __slots__ = ("mode", "stats", "compiled", "cache_hits", "_cache",
+                 "shared", "_lock")
 
-    def __init__(self, mode=None, stats=None):
+    def __init__(self, mode=None, stats=None, shared=False):
         self.mode = resolve_kernels(mode)
         if self.mode == "off":
             raise ReproError(
@@ -603,21 +614,26 @@ class KernelPack:
         self.compiled = 0
         self.cache_hits = 0
         self._cache = {}
+        self.shared = shared
+        self._lock = threading.Lock()
 
     def attach_stats(self, stats):
+        if self.shared:
+            return
         self.stats = stats
 
     def _get(self, key, build):
-        fn = self._cache.get(key)
-        if fn is not None:
-            self.cache_hits += 1
-            self.stats.kernel_cache_hit()
+        with self._lock:
+            fn = self._cache.get(key)
+            if fn is not None:
+                self.cache_hits += 1
+                self.stats.kernel_cache_hit()
+                return fn
+            fn = build()
+            self._cache[key] = fn
+            self.compiled += 1
+            self.stats.kernel_compiled()
             return fn
-        fn = build()
-        self._cache[key] = fn
-        self.compiled += 1
-        self.stats.kernel_compiled()
-        return fn
 
     def alpha(self, analysis):
         """Compiled ``fn(wme) -> bool`` for a CE's alpha-test chain."""
@@ -648,7 +664,14 @@ class KernelPack:
 
 
 def build_kernels(spec=None, stats=None):
-    """Resolve *spec* and return a :class:`KernelPack`, or None for off."""
+    """Resolve *spec* and return a :class:`KernelPack`, or None for off.
+
+    *spec* may also be a ready-made :class:`KernelPack` — typically a
+    ``shared=True`` pack from the service layer's rule-base cache — in
+    which case it is returned as-is (its own stats binding wins).
+    """
+    if isinstance(spec, KernelPack):
+        return spec
     mode = resolve_kernels(spec)
     if mode == "off":
         return None

@@ -18,7 +18,7 @@ from repro.errors import RuleError
 from repro.match.base import Matcher
 from repro.rete.alpha import AlphaNetwork
 from repro.rete.beta import BetaMemory, DummyToken, JoinNode
-from repro.rete.kernels import build_kernels, resolve_kernels
+from repro.rete.kernels import KernelPack, build_kernels, resolve_kernels
 from repro.rete.negative import NegativeNode
 from repro.rete.pnode import PNode, SetPNode
 from repro.rete.snode import SNode, build_aggregate_specs
@@ -65,10 +65,16 @@ class ReteNetwork(Matcher):
         self.batched = batched
         # Compiled match kernels (off|closure|exec; None defers to the
         # REPRO_KERNELS env var, default closure).  Columnar alpha
-        # mirrors default to on whenever kernels are on.
-        self.kernel_mode = resolve_kernels(kernels)
-        self.kernels = build_kernels(self.kernel_mode,
-                                     stats=self.match_stats)
+        # mirrors default to on whenever kernels are on.  A ready-made
+        # KernelPack — the service layer's shared, per-rule-base pack —
+        # is adopted as-is so sessions share compiled functions.
+        if isinstance(kernels, KernelPack):
+            self.kernel_mode = kernels.mode
+            self.kernels = kernels
+        else:
+            self.kernel_mode = resolve_kernels(kernels)
+            self.kernels = build_kernels(self.kernel_mode,
+                                         stats=self.match_stats)
         self.columnar = (
             self.kernels is not None if columnar is None else bool(columnar)
         )

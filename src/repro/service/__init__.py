@@ -1,0 +1,41 @@
+"""The rule-service layer: a long-lived, multi-tenant engine server.
+
+The paper's endpoint is a rule base served like a database: many
+clients, one shared compiled rule program, per-client working
+memories.  This package is that shape —
+
+* :mod:`repro.service.protocol` — the NDJSON wire protocol;
+* :mod:`repro.service.rulebase` — parse-once/kernel-compile-once
+  shared rule bases keyed by content hash;
+* :mod:`repro.service.session` — per-tenant engine sessions with
+  TTL/LRU eviction and WAL-backed resume;
+* :mod:`repro.service.server` — the asyncio front end with bounded
+  admission queues and backpressure;
+* :mod:`repro.service.client` — a blocking client;
+* :mod:`repro.service.loadgen` — the concurrency/latency benchmark.
+
+See ``docs/SERVICE.md``.
+"""
+
+from repro.service.client import (
+    ServiceBusyError,
+    ServiceClient,
+    ServiceClientError,
+)
+from repro.service.rulebase import RuleBase, RuleBaseCache, rule_base_key
+from repro.service.server import RuleService, ServiceConfig, ServiceThread
+from repro.service.session import Session, SessionRegistry
+
+__all__ = [
+    "RuleBase",
+    "RuleBaseCache",
+    "RuleService",
+    "ServiceBusyError",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceConfig",
+    "ServiceThread",
+    "Session",
+    "SessionRegistry",
+    "rule_base_key",
+]

@@ -1,0 +1,169 @@
+"""A blocking NDJSON client for the rule service.
+
+:class:`ServiceClient` is deliberately small — a socket, a buffered
+line reader, and one method per protocol op — because it is what the
+tests, the load generator, and the differential harness all drive the
+server with.  It raises :class:`ServiceClientError` for any non-``ok``
+terminal response *except* ``busy``, which raises
+:class:`ServiceBusyError` carrying ``retry_after`` so callers can
+implement backoff (``retry=True`` on the op methods does it for you).
+
+Streaming ops (``run``, ``facts``) collect the event lines that
+precede the terminal response and return them alongside it.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+from repro.service.protocol import MAX_LINE_BYTES, decode_line, encode_line
+
+
+class ServiceClientError(RuntimeError):
+    """A terminal error response from the server."""
+
+    def __init__(self, response):
+        self.response = response
+        self.code = response.get("error", "internal")
+        super().__init__(
+            f"[{self.code}] {response.get('message', 'unknown error')}"
+        )
+
+
+class ServiceBusyError(ServiceClientError):
+    """The server shed this request; retry after ``retry_after``."""
+
+    def __init__(self, response):
+        super().__init__(response)
+        self.retry_after = float(response.get("retry_after", 0.05))
+
+
+class ServiceClient:
+    """One connection to a :class:`~repro.service.server.RuleService`."""
+
+    def __init__(self, host, port, timeout=30.0):
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+        self._next_id = 0
+        #: Total seconds slept honouring ``busy`` backpressure.
+        self.backoff_s = 0.0
+        self.busy_retries = 0
+
+    def close(self):
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _read_line(self):
+        line = self._reader.readline(MAX_LINE_BYTES + 1)
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return decode_line(line)
+
+    def request(self, op, *, events=None, retry=False, max_retries=50,
+                **fields):
+        """Send one request; return the terminal response object.
+
+        *events*, if a list, collects the event lines streamed before
+        the terminal response.  *retry* sleeps through ``busy``
+        responses (honouring their ``retry_after``) up to
+        *max_retries* times before letting :class:`ServiceBusyError`
+        escape.
+        """
+        attempts = 0
+        while True:
+            try:
+                return self._request_once(op, events=events, **fields)
+            except ServiceBusyError as busy:
+                attempts += 1
+                if not retry or attempts > max_retries:
+                    raise
+                self.busy_retries += 1
+                self.backoff_s += busy.retry_after
+                time.sleep(busy.retry_after)
+                if events is not None:
+                    events.clear()
+
+    def _request_once(self, op, *, events=None, **fields):
+        self._next_id += 1
+        request_id = self._next_id
+        payload = {"op": op, "id": request_id}
+        payload.update(
+            (k, v) for k, v in fields.items() if v is not None
+        )
+        self._sock.sendall(encode_line(payload))
+        while True:
+            line = self._read_line()
+            if "event" in line:
+                if events is not None:
+                    events.append(line)
+                continue
+            if line.get("ok"):
+                return line
+            if line.get("error") == "busy":
+                raise ServiceBusyError(line)
+            raise ServiceClientError(line)
+
+    # -- ops ---------------------------------------------------------------
+
+    def ping(self):
+        return self.request("ping")
+
+    def create(self, session, program, *, matcher=None, kernels=None,
+               backend=None, strategy=None, on_error=None, durable=True,
+               resume=False, workers=None, retry=False):
+        return self.request(
+            "create", session=session, program=program, matcher=matcher,
+            kernels=kernels, backend=backend, strategy=strategy,
+            on_error=on_error, durable=durable, resume=resume or None,
+            workers=workers, retry=retry,
+        )
+
+    def assert_facts(self, session, facts, *, retry=False):
+        """*facts* is a list of ``(wme_class, {attribute: value})``."""
+        return self.request(
+            "assert", session=session,
+            facts=[[c, dict(v)] for c, v in facts], retry=retry,
+        )
+
+    def run(self, session, *, limit=None, wall_clock=None, parallel=False,
+            retry=False):
+        """``(terminal_response, event_lines)`` for one run request."""
+        events = []
+        response = self.request(
+            "run", session=session, limit=limit, wall_clock=wall_clock,
+            parallel=parallel or None, events=events, retry=retry,
+        )
+        return response, events
+
+    def facts(self, session, wme_class=None, *, retry=False):
+        events = []
+        response = self.request(
+            "facts", session=session, events=events, retry=retry,
+            **({"class": wme_class} if wme_class else {}),
+        )
+        return response, events
+
+    def checkpoint(self, session, *, retry=False):
+        return self.request("checkpoint", session=session, retry=retry)
+
+    def close_session(self, session, *, checkpoint=False, retry=False):
+        return self.request(
+            "close", session=session,
+            checkpoint=checkpoint or None, retry=retry,
+        )
+
+    def stats(self):
+        return self.request("stats")

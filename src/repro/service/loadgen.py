@@ -1,0 +1,314 @@
+"""Load generator for the rule service.
+
+Drives N concurrent sessions against a live server — each worker
+thread owns one connection and one session, ticking ``assert`` (a
+batch of facts) + ``run`` (recognize-act to quiescence) at an optional
+target rate — and reports latency percentiles (p50/p95/p99/max, per
+op), throughput (events/sec, firings), busy-backoff totals, and an
+error count.  The CI soak job runs it against a mixed-matcher server
+and fails on any error; the benchmark harness records its output as
+the ``service_*`` scenarios.
+
+Run standalone (spins up an in-process server when no ``--port``)::
+
+    python -m repro.service.loadgen --sessions 8 --ticks 20 --facts 50
+
+or against an already-running ``repro serve``::
+
+    python -m repro.service.loadgen --host 127.0.0.1 --port 7471
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+
+from repro.service.client import ServiceClient, ServiceClientError
+
+#: The default workload: one set-oriented rule (the paper's department
+#: roll-up shape) so every tick exercises S-node batch re-evaluation,
+#: plus a per-employee rule so firing volume scales with fact volume.
+DEFAULT_PROGRAM = """
+(literalize dept name)
+(literalize emp name dept salary)
+(literalize seen name)
+(p note-emp
+  (emp ^name <n> ^salary {<s> > 1500})
+  -(seen ^name <n>)
+  -->
+  (make seen ^name <n>))
+(p dept-size
+  (dept ^name <d>)
+  { [emp ^dept <d>] <staff> }
+  :test ((count <staff>) >= 1)
+  -->
+  (write staffed <d> (count <staff>)))
+"""
+
+N_DEPTS = 8
+
+
+def percentile(sorted_values, fraction):
+    """The *fraction* percentile of an ascending list (nearest-rank)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(fraction * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+def _latency_summary(samples_ms):
+    ordered = sorted(samples_ms)
+    return {
+        "count": len(ordered),
+        "p50_ms": round(percentile(ordered, 0.50), 3),
+        "p95_ms": round(percentile(ordered, 0.95), 3),
+        "p99_ms": round(percentile(ordered, 0.99), 3),
+        "max_ms": round(ordered[-1], 3) if ordered else 0.0,
+    }
+
+
+class _Worker:
+    """One session's drive loop, on its own thread + connection."""
+
+    def __init__(self, index, host, port, *, program, matcher, ticks,
+                 facts_per_tick, rate, durable, parallel,
+                 session_prefix):
+        self.index = index
+        self.host = host
+        self.port = port
+        self.program = program
+        self.matcher = matcher
+        self.ticks = ticks
+        self.facts_per_tick = facts_per_tick
+        self.rate = rate
+        self.durable = durable
+        self.parallel = parallel
+        self.session_id = f"{session_prefix}-{index}"
+        self.latencies = {"assert": [], "run": []}
+        self.firings = 0
+        self.events_sent = 0
+        self.rulebase_hit = False
+        self.busy_retries = 0
+        self.backoff_s = 0.0
+        self.errors = []
+
+    def _facts(self, tick):
+        base = tick * self.facts_per_tick
+        return [
+            ("emp", {
+                "name": f"s{self.index}-e{base + i}",
+                "dept": f"d{(base + i) % N_DEPTS}",
+                "salary": 1000 + ((base + i) % 1500),
+            })
+            for i in range(self.facts_per_tick)
+        ]
+
+    def run(self):
+        try:
+            with ServiceClient(self.host, self.port) as client:
+                self._drive(client)
+                self.busy_retries = client.busy_retries
+                self.backoff_s = client.backoff_s
+        except (ServiceClientError, ConnectionError, OSError) as error:
+            self.errors.append(f"{self.session_id}: {error}")
+
+    def _drive(self, client):
+        response = client.create(
+            self.session_id, self.program, matcher=self.matcher,
+            durable=self.durable, retry=True,
+        )
+        self.rulebase_hit = bool(response.get("rulebase_hit"))
+        client.assert_facts(
+            self.session_id,
+            [("dept", {"name": f"d{d}"}) for d in range(N_DEPTS)],
+            retry=True,
+        )
+        tick_interval = (
+            self.facts_per_tick / self.rate if self.rate else 0.0
+        )
+        start = time.perf_counter()
+        for tick in range(self.ticks):
+            t0 = time.perf_counter()
+            client.assert_facts(
+                self.session_id, self._facts(tick), retry=True,
+            )
+            t1 = time.perf_counter()
+            run_response, _events = client.run(
+                self.session_id, parallel=self.parallel, retry=True,
+            )
+            t2 = time.perf_counter()
+            self.latencies["assert"].append((t1 - t0) * 1000.0)
+            self.latencies["run"].append((t2 - t1) * 1000.0)
+            self.firings += int(run_response.get("fired", 0))
+            self.events_sent += self.facts_per_tick
+            if tick_interval:
+                deadline = start + (tick + 1) * tick_interval
+                sleep_for = deadline - time.perf_counter()
+                if sleep_for > 0:
+                    time.sleep(sleep_for)
+        client.close_session(self.session_id, retry=True)
+
+
+def run_load(host, port, *, sessions=4, ticks=10, facts_per_tick=50,
+             matchers=("rete",), program=DEFAULT_PROGRAM, rate=None,
+             durable=False, parallel=False, session_prefix="load",
+             collect_server_stats=True):
+    """Drive the server at ``host:port``; returns the report dict.
+
+    *matchers* round-robins across the sessions, so a two-element
+    tuple splits the fleet between match algorithms (and exercises two
+    shared rule bases).  *rate* paces each session to that many
+    events/sec (None = as fast as the server admits).  Any worker
+    error lands in ``report["errors"]`` — an empty list is the soak
+    job's pass condition.
+    """
+    workers = [
+        _Worker(
+            i, host, port, program=program,
+            matcher=matchers[i % len(matchers)],
+            ticks=ticks, facts_per_tick=facts_per_tick, rate=rate,
+            durable=durable, parallel=parallel,
+            session_prefix=session_prefix,
+        )
+        for i in range(sessions)
+    ]
+    threads = [
+        threading.Thread(target=w.run, name=w.session_id, daemon=True)
+        for w in workers
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+
+    events_total = sum(w.events_sent for w in workers)
+    report = {
+        "sessions": sessions,
+        "matchers": list(matchers),
+        "ticks": ticks,
+        "facts_per_tick": facts_per_tick,
+        "rate_events_per_s": rate,
+        "durable": durable,
+        "parallel": parallel,
+        "duration_s": round(elapsed, 3),
+        "events_total": events_total,
+        "events_per_s": round(events_total / elapsed, 1) if elapsed else 0.0,
+        "firings": sum(w.firings for w in workers),
+        "rulebase_hits": sum(1 for w in workers if w.rulebase_hit),
+        "busy_retries": sum(w.busy_retries for w in workers),
+        "backoff_s": round(sum(w.backoff_s for w in workers), 3),
+        "latency": {
+            op: _latency_summary(
+                [ms for w in workers for ms in w.latencies[op]]
+            )
+            for op in ("assert", "run")
+        },
+        "errors": [e for w in workers for e in w.errors],
+    }
+    if collect_server_stats:
+        try:
+            with ServiceClient(host, port) as client:
+                report["server"] = {
+                    k: v for k, v in client.stats().items()
+                    if k in ("server", "registry", "rule_bases")
+                }
+        except (ServiceClientError, ConnectionError, OSError) as error:
+            report["errors"].append(f"stats: {error}")
+    return report
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro-loadgen",
+        description="drive a rule service with N concurrent sessions",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=None,
+        help="server port (omit to start an in-process server)",
+    )
+    parser.add_argument("--sessions", type=int, default=4)
+    parser.add_argument("--ticks", type=int, default=10)
+    parser.add_argument(
+        "--facts", type=int, default=50, dest="facts_per_tick",
+        help="facts per assert batch (default 50)",
+    )
+    parser.add_argument(
+        "--matchers", default="rete",
+        help="comma-separated matcher list, round-robined (default rete)",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=None,
+        help="per-session events/sec pacing (default: unpaced)",
+    )
+    parser.add_argument("--parallel", action="store_true",
+                        help="use parallel-cycle runs")
+    parser.add_argument("--durable", action="store_true",
+                        help="create durable sessions (needs wal_root)")
+    parser.add_argument(
+        "--wal-root", default=None,
+        help="WAL root for the in-process server (implies durability "
+             "support)",
+    )
+    parser.add_argument(
+        "--engine-workers", type=int, default=4,
+        help="executor threads for the in-process server (default 4)",
+    )
+    parser.add_argument(
+        "--json", default=None,
+        help="write the report to this path as JSON",
+    )
+    parser.add_argument(
+        "--fail-on-error", action="store_true",
+        help="exit 1 if any request errored (the soak gate)",
+    )
+    options = parser.parse_args(argv)
+    matchers = tuple(
+        m.strip() for m in options.matchers.split(",") if m.strip()
+    )
+
+    server = None
+    host, port = options.host, options.port
+    if port is None:
+        from repro.service.server import ServiceConfig, ServiceThread
+
+        server = ServiceThread(ServiceConfig(
+            host="127.0.0.1", port=0, wal_root=options.wal_root,
+            engine_workers=options.engine_workers,
+        )).start()
+        host, port = server.address
+        print(f"started in-process service on {host}:{port}")
+    try:
+        report = run_load(
+            host, port,
+            sessions=options.sessions,
+            ticks=options.ticks,
+            facts_per_tick=options.facts_per_tick,
+            matchers=matchers,
+            rate=options.rate,
+            durable=options.durable,
+            parallel=options.parallel,
+        )
+    finally:
+        if server is not None:
+            server.stop()
+
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if options.json:
+        with open(options.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if options.fail_on_error and report["errors"]:
+        print(f"FAIL: {len(report['errors'])} error(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,107 @@
+"""The rule service's wire protocol: newline-delimited JSON (NDJSON).
+
+One request per line, one *terminal* response line per request, with
+zero or more *event* lines streamed before it — firings and derived
+facts flow back as they are drained, the Reaction-RuleML
+request/response shape (a producer/consumer event exchange, not RPC
+with a single opaque result).
+
+Request::
+
+    {"op": "<name>", "id": <any JSON, echoed back>, "session": "...",
+     ...op-specific fields...}
+
+Event lines carry ``"event"`` (``firing`` / ``write`` / ``fact``) and
+echo the request ``id``; the terminal line carries ``"ok"``:
+
+* success — ``{"ok": true, "id": ..., ...}``
+* failure — ``{"ok": false, "id": ..., "error": "<code>",
+  "message": "..."}``; code ``busy`` additionally carries
+  ``retry_after`` (seconds): the admission queues are full, back off
+  and retry (the load generator honours it).
+
+Ops: ``ping``, ``create`` (program + per-session configuration),
+``assert`` (a fact batch, ingested atomically), ``run`` (recognize-act
+cycles, streaming firings/writes/derived facts), ``facts`` (dump
+working memory), ``checkpoint``, ``close``, ``stats``.  See
+``docs/SERVICE.md`` for the full field tables.
+"""
+
+from __future__ import annotations
+
+import json
+
+#: Bumped on incompatible protocol changes; ``ping`` reports it.
+PROTOCOL_VERSION = 1
+
+#: Cap on one request line; longer lines are a protocol error (and a
+#: guard against a client streaming garbage into server memory).  Fact
+#: batches beyond this split into several ``assert`` requests.
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+#: Error codes a terminal failure response may carry.
+ERROR_CODES = ("protocol", "busy", "no_session", "bad_request",
+               "engine", "internal")
+
+
+def encode_line(obj):
+    """*obj* as one NDJSON line (bytes, trailing newline)."""
+    return (json.dumps(obj, separators=(",", ":"),
+                       ensure_ascii=False) + "\n").encode("utf-8")
+
+
+def decode_line(data):
+    """One NDJSON line (bytes/str) back to an object.
+
+    Raises ``ValueError`` for malformed JSON or a non-object payload —
+    the server maps that to a ``protocol`` error response.
+    """
+    if isinstance(data, (bytes, bytearray)):
+        data = data.decode("utf-8")
+    obj = json.loads(data)
+    if not isinstance(obj, dict):
+        raise ValueError(f"request must be a JSON object, got {obj!r}")
+    return obj
+
+
+def ok_response(request_id, **fields):
+    response = {"ok": True, "id": request_id}
+    response.update(fields)
+    return response
+
+
+def error_response(request_id, code, message, **fields):
+    response = {
+        "ok": False, "id": request_id, "error": code, "message": message,
+    }
+    response.update(fields)
+    return response
+
+
+def event_line(request_id, event, **fields):
+    line = {"event": event, "id": request_id}
+    line.update(fields)
+    return line
+
+
+def firing_event(request_id, record):
+    """An event line for one :class:`~repro.engine.tracing.FiringRecord`."""
+    return event_line(
+        request_id, "firing",
+        rule=record.rule_name,
+        cycle=record.cycle,
+        soi=bool(record.is_set_oriented),
+        tags=list(record.time_tags),
+        outcome=record.outcome,
+    )
+
+
+def fact_event(request_id, sign, wme):
+    """An event line for one derived/retracted working-memory element."""
+    return event_line(
+        request_id, "fact",
+        sign=sign,
+        **{"class": wme.wme_class},
+        tag=wme.time_tag,
+        values=wme.as_dict(),
+    )

@@ -1,0 +1,182 @@
+"""Shared rule bases: parse once, kernel-compile once, serve N tenants.
+
+A long-lived decision service runs one *program* for many concurrent
+sessions — Knowledgenet's ``entrypoint(input_facts, rules)`` shape with
+the rules fixed per service.  Building each session's engine from
+source would pay the parse and every kernel compilation again per
+tenant; at a thousand sessions that is a thousand network builds of
+identical structure.
+
+:class:`RuleBaseCache` removes the repetition:
+
+* the program is **parsed once** per distinct ``(source, matcher,
+  kernels, backend)`` key — sessions reuse the AST ``Rule`` objects
+  (they are read-only to the matchers; each engine computes its own
+  :class:`~repro.analysis.RuleAnalysis`);
+* for Rete-family matchers a single ``shared=True``
+  :class:`~repro.rete.kernels.KernelPack` is handed to every session's
+  network, so the structural-key kernel cache spans tenants: the first
+  session compiles each distinct alpha/join/scan chain, every later
+  session hits the cache.  ``RuleBase.kernel_stats()`` exposes the
+  counters the acceptance test pins (N sessions ⇒ 1 compile's worth of
+  ``compiled``, the rest ``cache_hits``).
+
+Cache keys hash the program source (SHA-256), so two tenants posting
+byte-identical programs share a rule base even over separate
+connections.  Matcher *instances* are never shared — alpha/beta
+memories, tokens, and conflict sets are session state; only the
+immutable artifacts (ASTs, compiled kernel functions) cross tenants.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+
+from repro.durability.checkpoint import build_matcher
+from repro.lang.parser import parse_program
+from repro.rete.kernels import KernelPack, resolve_kernels
+
+#: Matchers whose networks consume compiled kernel packs.
+KERNELIZED_MATCHERS = ("rete", "sharded")
+
+
+def rule_base_key(source, matcher="rete", kernels=None, backend=None):
+    """The cache key for one compiled rule base.
+
+    The program source is content-hashed; matcher/kernel/backend specs
+    are normalised so equivalent spellings collide.  Kernel mode is
+    irrelevant to (and normalised away for) the interpreted matchers.
+    """
+    mode = resolve_kernels(kernels)
+    if matcher not in KERNELIZED_MATCHERS:
+        mode = "-"
+    digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+    return (digest, matcher, mode, backend or "memory")
+
+
+class RuleBase:
+    """One parsed program + its shared kernel pack, ready to stamp
+    engines out of."""
+
+    __slots__ = ("key", "source", "matcher_name", "kernel_mode",
+                 "backend", "literalizations", "rules", "kernel_pack",
+                 "sessions_built", "_lock")
+
+    def __init__(self, source, matcher="rete", kernels=None,
+                 backend=None):
+        self.key = rule_base_key(source, matcher, kernels, backend)
+        self.source = source
+        self.matcher_name = matcher
+        self.kernel_mode = resolve_kernels(kernels)
+        self.backend = backend
+        self.literalizations, self.rules = parse_program(source)
+        self.kernel_pack = None
+        if (matcher in KERNELIZED_MATCHERS
+                and self.kernel_mode != "off"):
+            self.kernel_pack = KernelPack(self.kernel_mode, shared=True)
+        self.sessions_built = 0
+        self._lock = threading.Lock()
+
+    def build_matcher(self):
+        """A fresh matcher wired to the shared kernel pack (if any)."""
+        kernels = (
+            self.kernel_pack if self.kernel_pack is not None
+            else self.kernel_mode
+        )
+        return build_matcher(
+            self.matcher_name, backend=self.backend, kernels=kernels
+        )
+
+    def build_engine(self, **engine_kwargs):
+        """A fresh :class:`~repro.engine.engine.RuleEngine` loaded with
+        this rule base (no reparse, shared kernels).
+
+        *engine_kwargs* pass through to the engine constructor
+        (``strategy``, ``durability``, ``on_error``, ``workers``,
+        ``stats``, ``trace_limit``).  With durability attached, the
+        engine's WAL records the same literalize/rule records a
+        ``load()`` of the source would — recovery does not care that
+        the parse was shared.
+        """
+        from repro.engine.engine import RuleEngine
+
+        engine = RuleEngine(matcher=self.build_matcher(),
+                            **engine_kwargs)
+        for wme_class, attributes in self.literalizations:
+            engine.literalize(wme_class, *attributes)
+        for rule in self.rules:
+            engine.add_rule(rule)
+        with self._lock:
+            self.sessions_built += 1
+        return engine
+
+    def kernel_stats(self):
+        """``{"compiled": n, "cache_hits": n}`` of the shared pack
+        (zeros for interpreted matchers / kernels off)."""
+        if self.kernel_pack is None:
+            return {"compiled": 0, "cache_hits": 0}
+        return {
+            "compiled": self.kernel_pack.compiled,
+            "cache_hits": self.kernel_pack.cache_hits,
+        }
+
+    def __repr__(self):
+        return (
+            f"RuleBase({len(self.rules)} rules, {self.matcher_name}, "
+            f"kernels={self.kernel_mode}, "
+            f"{self.sessions_built} session(s) built)"
+        )
+
+
+class RuleBaseCache:
+    """Thread-safe cache of :class:`RuleBase` by structural key."""
+
+    def __init__(self):
+        self._bases = {}
+        self._lock = threading.Lock()
+        self.compiles = 0
+        self.hits = 0
+
+    def get(self, source, matcher="rete", kernels=None, backend=None):
+        """``(rule_base, hit)`` for the given program/configuration."""
+        key = rule_base_key(source, matcher, kernels, backend)
+        with self._lock:
+            base = self._bases.get(key)
+            if base is not None:
+                self.hits += 1
+                return base, True
+        # Parse outside the lock (parse can be slow for big programs);
+        # a concurrent miss on the same key keeps the first one in.
+        base = RuleBase(source, matcher=matcher, kernels=kernels,
+                        backend=backend)
+        with self._lock:
+            existing = self._bases.get(key)
+            if existing is not None:
+                self.hits += 1
+                return existing, True
+            self._bases[key] = base
+            self.compiles += 1
+            return base, False
+
+    def stats(self):
+        """Cache-level and per-base counters, JSON-safe."""
+        with self._lock:
+            bases = list(self._bases.values())
+            compiles, hits = self.compiles, self.hits
+        return {
+            "rule_bases": len(bases),
+            "compiles": compiles,
+            "hits": hits,
+            "kernels_compiled": sum(
+                b.kernel_stats()["compiled"] for b in bases
+            ),
+            "kernel_cache_hits": sum(
+                b.kernel_stats()["cache_hits"] for b in bases
+            ),
+            "sessions_built": sum(b.sessions_built for b in bases),
+        }
+
+    def __len__(self):
+        with self._lock:
+            return len(self._bases)

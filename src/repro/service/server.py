@@ -1,0 +1,588 @@
+"""The rule service: a long-lived, multi-tenant engine server.
+
+:class:`RuleService` is an asyncio front end over the embedded engine:
+clients connect over TCP, speak the NDJSON protocol
+(:mod:`repro.service.protocol`), and drive per-session
+:class:`~repro.engine.engine.RuleEngine` instances owned by a
+:class:`~repro.service.session.SessionRegistry`.  Engine work —
+parsing, matching, firing, checkpointing — is synchronous Python, so
+every engine call runs on a bounded :class:`ThreadPoolExecutor` while
+the event loop keeps accepting connections; a per-session asyncio lock
+serialises each tenant's requests (the engine is not reentrant), and
+fact batches ingest through ``load_facts`` so all service traffic
+rides the batched propagation path.
+
+**Admission control.**  Two bounded queues implement backpressure: a
+global in-flight cap (``global_queue``) and a per-session pending cap
+(``session_queue``).  A request arriving past either is rejected
+immediately with a ``busy`` response carrying ``retry_after`` — the
+server never buffers unbounded work, it tells the client to back off
+(load shedding at the edge, the only stable answer once the executor
+saturates).
+
+**Watchdogs.**  Every ``run`` is guarded by the reliability layer's
+firing limit and wall-clock budget, capped at the server's configured
+maximums — a tenant may ask for less, never more — so one runaway
+program cannot monopolise an executor thread.
+
+See ``docs/SERVICE.md`` for the operator-facing story.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.errors import AdmissionError, ReproError, ServiceError
+from repro.service import protocol
+from repro.service.rulebase import RuleBaseCache
+from repro.service.session import SessionRegistry
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    encode_line,
+    error_response,
+    event_line,
+    fact_event,
+    firing_event,
+    ok_response,
+)
+
+
+class ServiceConfig:
+    """Configuration for one :class:`RuleService`.
+
+    *host*/*port* — bind address (port 0 picks an ephemeral port);
+    *wal_root* — per-session WAL directories live under it (None
+    disables durability);
+    *fsync* — the sessions' WAL fsync policy;
+    *matcher*/*kernels*/*backend*/*strategy*/*on_error* — per-session
+    defaults a ``create`` may override;
+    *max_sessions*/*idle_ttl*/*sweep_interval* — registry sizing and
+    the idle-eviction cadence (seconds);
+    *session_queue*/*global_queue* — admission bounds (pending
+    requests per session / server-wide);
+    *engine_workers* — executor threads running engine calls;
+    *run_limit*/*run_wall_clock* — per-request watchdog caps;
+    *trace_limit* — per-session tracer ring bound.
+    """
+
+    __slots__ = ("host", "port", "wal_root", "fsync", "matcher",
+                 "kernels", "backend", "strategy", "on_error",
+                 "max_sessions", "idle_ttl", "sweep_interval",
+                 "session_queue", "global_queue", "engine_workers",
+                 "run_limit", "run_wall_clock", "trace_limit")
+
+    def __init__(self, host="127.0.0.1", port=0, wal_root=None,
+                 fsync="batch", matcher="rete", kernels=None,
+                 backend=None, strategy="lex", on_error="halt",
+                 max_sessions=256, idle_ttl=300.0, sweep_interval=5.0,
+                 session_queue=16, global_queue=128, engine_workers=4,
+                 run_limit=10_000, run_wall_clock=30.0,
+                 trace_limit=10_000):
+        self.host = host
+        self.port = port
+        self.wal_root = wal_root
+        self.fsync = fsync
+        self.matcher = matcher
+        self.kernels = kernels
+        self.backend = backend
+        self.strategy = strategy
+        self.on_error = on_error
+        self.max_sessions = max_sessions
+        self.idle_ttl = idle_ttl
+        self.sweep_interval = sweep_interval
+        self.session_queue = session_queue
+        self.global_queue = global_queue
+        self.engine_workers = engine_workers
+        self.run_limit = run_limit
+        self.run_wall_clock = run_wall_clock
+        self.trace_limit = trace_limit
+
+
+class RuleService:
+    """The server: connection handling, admission, dispatch."""
+
+    def __init__(self, config=None):
+        self.config = config if config is not None else ServiceConfig()
+        self.rule_bases = RuleBaseCache()
+        self.registry = SessionRegistry(
+            self.rule_bases,
+            wal_root=self.config.wal_root,
+            fsync=self.config.fsync,
+            max_sessions=self.config.max_sessions,
+            idle_ttl=self.config.idle_ttl,
+            default_matcher=self.config.matcher,
+            default_kernels=self.config.kernels,
+            default_backend=self.config.backend,
+            default_strategy=self.config.strategy,
+            default_on_error=self.config.on_error,
+        )
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.engine_workers,
+            thread_name_prefix="repro-service",
+        )
+        self._session_locks = {}
+        self.global_pending = 0
+        self.counters = Counter()
+        self._server = None
+        self._sweeper = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self):
+        """Bind and start accepting connections (returns immediately)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=MAX_LINE_BYTES,
+        )
+        if self.config.sweep_interval and self.config.idle_ttl:
+            self._sweeper = asyncio.create_task(self._sweep_loop())
+        return self
+
+    @property
+    def address(self):
+        """``(host, port)`` actually bound (after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            raise ServiceError("service is not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def serve_forever(self):
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self):
+        """Stop accepting, close every session cleanly, release pools."""
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+            try:
+                await self._sweeper
+            except asyncio.CancelledError:
+                pass
+            self._sweeper = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await asyncio.get_running_loop().run_in_executor(
+            self._executor, self.registry.close_all
+        )
+        self._executor.shutdown(wait=True)
+
+    async def _sweep_loop(self):
+        while True:
+            await asyncio.sleep(self.config.sweep_interval)
+            evicted = await self._in_executor(self.registry.sweep_idle)
+            if evicted:
+                self.counters["sessions_swept"] += len(evicted)
+                for session_id in evicted:
+                    self._session_locks.pop(session_id, None)
+
+    # -- plumbing ----------------------------------------------------------
+
+    async def _in_executor(self, fn, *args):
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._executor, fn, *args)
+
+    def _session_lock(self, session_id):
+        lock = self._session_locks.get(session_id)
+        if lock is None:
+            lock = self._session_locks[session_id] = asyncio.Lock()
+        return lock
+
+    def _admit_global(self):
+        if self.global_pending >= self.config.global_queue:
+            self.counters["busy_rejections"] += 1
+            raise AdmissionError(
+                f"server at capacity ({self.config.global_queue} "
+                f"requests in flight)",
+                retry_after=0.05,
+            )
+
+    def _admit(self, session):
+        """Admission check for one session-scoped request."""
+        self._admit_global()
+        if session.pending >= self.config.session_queue:
+            self.counters["busy_rejections"] += 1
+            raise AdmissionError(
+                f"session {session.id!r} queue full "
+                f"({self.config.session_queue} pending)",
+                retry_after=0.05,
+            )
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle_connection(self, reader, writer):
+        self.counters["connections"] += 1
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, asyncio.LimitOverrunError):
+                    # Oversized line: unrecoverable framing, drop the
+                    # connection after telling the client why.
+                    self.counters["protocol_errors"] += 1
+                    writer.write(encode_line(error_response(
+                        None, "protocol",
+                        f"request line exceeds {MAX_LINE_BYTES} bytes",
+                    )))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                try:
+                    request = protocol.decode_line(stripped)
+                except ValueError as error:
+                    self.counters["protocol_errors"] += 1
+                    writer.write(encode_line(error_response(
+                        None, "protocol", f"malformed request: {error}",
+                    )))
+                    await writer.drain()
+                    continue
+                await self._dispatch(request, writer)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, request, writer):
+        request_id = request.get("id")
+        op = request.get("op")
+        handler = getattr(self, f"_op_{op}", None) if op else None
+        self.counters["requests"] += 1
+        if handler is None or not str(op).isidentifier():
+            self.counters["protocol_errors"] += 1
+            await self._send(writer, error_response(
+                request_id, "bad_request", f"unknown op {op!r}",
+            ))
+            return
+        try:
+            await handler(request, request_id, writer)
+        except AdmissionError as error:
+            await self._send(writer, error_response(
+                request_id, "busy", str(error),
+                retry_after=error.retry_after,
+            ))
+        except ServiceError as error:
+            code = (
+                "no_session" if "no session named" in str(error)
+                else "bad_request"
+            )
+            await self._send(writer, error_response(
+                request_id, code, str(error),
+            ))
+        except ReproError as error:
+            self.counters["engine_errors"] += 1
+            await self._send(writer, error_response(
+                request_id, "engine",
+                f"{type(error).__name__}: {error}",
+            ))
+        except (ConnectionResetError, BrokenPipeError):
+            raise
+        except Exception as error:  # keep the server alive per request
+            self.counters["internal_errors"] += 1
+            await self._send(writer, error_response(
+                request_id, "internal",
+                f"{type(error).__name__}: {error}",
+            ))
+
+    async def _send(self, writer, obj):
+        writer.write(encode_line(obj))
+        await writer.drain()
+
+    def _checked_out(self, session_id):
+        """The session, re-validated under its lock (eviction race)."""
+        session = self.registry.get(session_id)
+        if session.closed:
+            raise ServiceError(f"no session named {session_id!r}")
+        return session
+
+    async def _with_session(self, request, fn):
+        """Admit, lock, and run ``fn(session)`` on the executor."""
+        session_id = request.get("session")
+        if not isinstance(session_id, str):
+            raise ServiceError("request needs a 'session' field")
+        session = self.registry.get(session_id)
+        self._admit(session)
+        session.pending += 1
+        self.global_pending += 1
+        try:
+            async with self._session_lock(session_id):
+                session = self._checked_out(session_id)
+                session.requests += 1
+                return await self._in_executor(fn, session)
+        finally:
+            session.pending -= 1
+            self.global_pending -= 1
+            session.touch()
+
+    # -- ops ---------------------------------------------------------------
+
+    async def _op_ping(self, request, request_id, writer):
+        await self._send(writer, ok_response(
+            request_id, pong=True, protocol=PROTOCOL_VERSION,
+        ))
+
+    async def _op_create(self, request, request_id, writer):
+        program = request.get("program", "")
+        resume = bool(request.get("resume", False))
+        if not isinstance(program, str) or (not program and not resume):
+            raise ServiceError("create needs a 'program' string")
+        session_id = request.get("session")
+        if not isinstance(session_id, str):
+            raise ServiceError("create needs a 'session' field")
+        self._admit_global()
+        self.global_pending += 1
+        try:
+            session, hit = await self._in_executor(
+                lambda: self.registry.create(
+                    session_id, program,
+                    matcher=request.get("matcher"),
+                    kernels=request.get("kernels"),
+                    backend=request.get("backend"),
+                    strategy=request.get("strategy"),
+                    on_error=request.get("on_error"),
+                    durable=bool(request.get("durable", True)),
+                    resume=resume,
+                    workers=request.get("workers"),
+                )
+            )
+        finally:
+            self.global_pending -= 1
+        self.counters["sessions_created"] += 1
+        if hit:
+            self.counters["rulebase_hits"] += 1
+        await self._send(writer, ok_response(
+            request_id,
+            session=session.id,
+            rulebase_hit=hit,
+            resumed=session.resumed,
+            rules=len(session.engine.rules),
+            wm_size=len(session.engine.wm),
+            durable=session.wal_dir is not None,
+        ))
+
+    @staticmethod
+    def _validate_facts(raw):
+        if not isinstance(raw, list):
+            raise ServiceError("'facts' must be a list of "
+                               "[class, {attribute: value}] pairs")
+        pairs = []
+        for entry in raw:
+            if (not isinstance(entry, (list, tuple)) or len(entry) != 2
+                    or not isinstance(entry[0], str)
+                    or not isinstance(entry[1], dict)):
+                raise ServiceError(
+                    f"bad fact entry {entry!r}: expected "
+                    f"[class, {{attribute: value}}]"
+                )
+            pairs.append((entry[0], entry[1]))
+        return pairs
+
+    async def _op_assert(self, request, request_id, writer):
+        pairs = self._validate_facts(request.get("facts"))
+
+        def ingest(session):
+            made = session.engine.load_facts(pairs)
+            session.facts_ingested += len(made)
+            return len(made), len(session.engine.wm)
+
+        ingested, wm_size = await self._with_session(request, ingest)
+        self.counters["facts_ingested"] += ingested
+        await self._send(writer, ok_response(
+            request_id, ingested=ingested, wm_size=wm_size,
+        ))
+
+    async def _op_run(self, request, request_id, writer):
+        limit = request.get("limit")
+        wall_clock = request.get("wall_clock")
+        parallel = bool(request.get("parallel", False))
+        cap_limit = self.config.run_limit
+        cap_clock = self.config.run_wall_clock
+        limit = cap_limit if limit is None else min(int(limit), cap_limit)
+        wall_clock = (
+            cap_clock if wall_clock is None
+            else min(float(wall_clock), cap_clock)
+        )
+
+        def execute(session):
+            engine = session.engine
+            derived = []
+            engine.wm.attach(derived.append)
+            try:
+                if parallel:
+                    result = engine.run_parallel(
+                        firing_budget=limit, wall_clock=wall_clock,
+                    )
+                    fired = result.fired
+                else:
+                    fired = engine.run(limit, wall_clock=wall_clock)
+            finally:
+                engine.wm.detach(derived.append)
+            # The trace's new home is the response stream: drain it so
+            # a long-lived session's memory stays bounded per-request.
+            records = list(engine.tracer.firings)
+            engine.tracer.firings.clear()
+            outputs = list(engine.tracer.output)
+            engine.tracer.output.clear()
+            session.firings += fired
+            report = engine.last_run_report
+            return fired, records, outputs, derived, report, engine
+
+        fired, records, outputs, derived, report, engine = (
+            await self._with_session(request, execute)
+        )
+        self.counters["firings"] += fired
+        for record in records:
+            await self._send(writer, firing_event(request_id, record))
+        for text in outputs:
+            await self._send(writer, event_line(
+                request_id, "write", text=text,
+            ))
+        for event in derived:
+            await self._send(writer, fact_event(
+                request_id, event.sign, event.wme,
+            ))
+        await self._send(writer, ok_response(
+            request_id,
+            fired=fired,
+            halted=engine.halted,
+            stopped=getattr(report, "reason", None),
+            wm_size=len(engine.wm),
+            conflict_set=len(engine.conflict_set),
+        ))
+
+    async def _op_facts(self, request, request_id, writer):
+        wme_class = request.get("class")
+
+        def dump(session):
+            wm = session.engine.wm
+            wmes = (
+                wm.of_class(wme_class) if wme_class else list(wm)
+            )
+            return [(w.wme_class, w.time_tag, w.as_dict()) for w in wmes]
+
+        rows = await self._with_session(request, dump)
+        for wme_class_, tag, values in rows:
+            await self._send(writer, event_line(
+                request_id, "fact", sign="+",
+                **{"class": wme_class_}, tag=tag, values=values,
+            ))
+        await self._send(writer, ok_response(request_id, count=len(rows)))
+
+    async def _op_checkpoint(self, request, request_id, writer):
+        def checkpoint(session):
+            if session.engine.durability is None:
+                raise ServiceError(
+                    f"session {session.id!r} is not durable "
+                    f"(server has no wal_root, or created with "
+                    f"durable=false)"
+                )
+            return session.engine.checkpoint()
+
+        path = await self._with_session(request, checkpoint)
+        self.counters["checkpoints"] += 1
+        await self._send(writer, ok_response(request_id, path=str(path)))
+
+    async def _op_close(self, request, request_id, writer):
+        session_id = request.get("session")
+        if not isinstance(session_id, str):
+            raise ServiceError("close needs a 'session' field")
+        checkpoint = bool(request.get("checkpoint", False))
+        await self._in_executor(
+            lambda: self.registry.close_session(
+                session_id, checkpoint=checkpoint
+            )
+        )
+        self._session_locks.pop(session_id, None)
+        self.counters["sessions_closed"] += 1
+        await self._send(writer, ok_response(
+            request_id, closed=session_id,
+        ))
+
+    async def _op_stats(self, request, request_id, writer):
+        await self._send(writer, ok_response(
+            request_id,
+            server=dict(self.counters),
+            pending=self.global_pending,
+            registry=self.registry.stats(),
+            rule_bases=self.rule_bases.stats(),
+            sessions=[s.info() for s in self.registry.sessions()],
+        ))
+
+
+class ServiceThread:
+    """A :class:`RuleService` on a background thread (tests, benches,
+    and the load generator's self-serve mode).
+
+    ::
+
+        with ServiceThread(ServiceConfig(port=0)) as server:
+            client = ServiceClient(*server.address)
+            ...
+    """
+
+    def __init__(self, config=None):
+        self.config = config if config is not None else ServiceConfig()
+        self.service = None
+        self.address = None
+        self._thread = None
+        self._loop = None
+        self._stop_event = None
+        self._ready = threading.Event()
+        self._error = None
+
+    def start(self):
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service-loop", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise ServiceError("service thread did not start in time")
+        if self._error is not None:
+            raise self._error
+        return self
+
+    def _run(self):
+        asyncio.run(self._main())
+
+    async def _main(self):
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self.service = RuleService(self.config)
+        try:
+            await self.service.start()
+            self.address = self.service.address
+        except Exception as error:  # surface bind failures to start()
+            self._error = error
+            self._ready.set()
+            return
+        self._ready.set()
+        await self._stop_event.wait()
+        await self.service.stop()
+
+    def stop(self):
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+        return self
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc_info):
+        self.stop()

@@ -1,0 +1,329 @@
+"""Session lifecycle for the rule service: one tenant = one engine.
+
+A :class:`Session` wraps a private :class:`~repro.engine.engine.RuleEngine`
+built from a shared :class:`~repro.service.rulebase.RuleBase`.  Tenant
+isolation is composed from the subsystems earlier PRs built:
+
+* **state** — working memory, conflict set, refraction, and trace are
+  engine-private; nothing about one tenant's facts is visible to
+  another (shared rule bases expose only immutable ASTs and compiled
+  kernel functions);
+* **durability** — each session owns a WAL directory
+  (``<wal_root>/<session_id>``), so a crash recovers every tenant
+  independently and an evicted session can be resumed later;
+* **fault containment** — per-session error policies
+  (halt/skip/retry/quarantine) and per-request run watchdogs
+  (firing limit + wall clock) keep one tenant's poison rule or
+  runaway program from taking the server down.
+
+:class:`SessionRegistry` owns the id → session map and the eviction
+policy: sessions idle past ``idle_ttl`` are checkpointed and closed by
+the sweeper, and when ``max_sessions`` is reached the least recently
+used *idle* session is evicted to admit the new one (every admitted
+session is busy ⇒ the create is rejected with
+:class:`~repro.errors.AdmissionError` backpressure instead).
+Eviction and client disconnects race by design; ``RuleEngine.close``
+is idempotent, so both paths simply call it.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+import time
+
+from repro.errors import AdmissionError, ServiceError
+
+#: Session ids double as WAL directory names, so they are restricted
+#: to filesystem-safe characters (and can never traverse).
+SESSION_ID_PATTERN = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]{0,63}\Z")
+
+
+def validate_session_id(session_id):
+    """Return *session_id* or raise :class:`ServiceError`."""
+    if not isinstance(session_id, str) or not SESSION_ID_PATTERN.match(
+        session_id
+    ):
+        raise ServiceError(
+            f"invalid session id {session_id!r}: need 1-64 characters "
+            f"from [A-Za-z0-9._-], starting with a letter or digit"
+        )
+    return session_id
+
+
+class Session:
+    """One tenant's engine plus its admission/accounting state."""
+
+    __slots__ = ("id", "engine", "rule_base", "wal_dir", "created_at",
+                 "last_used", "pending", "requests", "facts_ingested",
+                 "firings", "resumed", "_clock")
+
+    def __init__(self, session_id, engine, rule_base=None, wal_dir=None,
+                 resumed=False, clock=time.monotonic):
+        self.id = session_id
+        self.engine = engine
+        self.rule_base = rule_base
+        self.wal_dir = wal_dir
+        self._clock = clock
+        self.created_at = clock()
+        self.last_used = self.created_at
+        #: Requests admitted but not yet completed (admission control).
+        self.pending = 0
+        self.requests = 0
+        self.facts_ingested = 0
+        self.firings = 0
+        self.resumed = resumed
+
+    @property
+    def closed(self):
+        return self.engine.closed
+
+    def touch(self):
+        self.last_used = self._clock()
+
+    def idle_for(self):
+        return self._clock() - self.last_used
+
+    def close(self, checkpoint=False):
+        """Close the tenant's engine (idempotent).
+
+        *checkpoint* writes a durability checkpoint first when the
+        session has a WAL — the eviction path's default, so a later
+        resume replays a short tail instead of the whole history.
+        Checkpoint failure never blocks the close.
+        """
+        if checkpoint and self.engine.durability is not None:
+            try:
+                self.engine.checkpoint()
+            except Exception:
+                pass
+        self.engine.close()
+
+    def info(self):
+        """JSON-safe session summary for the stats surface."""
+        return {
+            "session": self.id,
+            "requests": self.requests,
+            "pending": self.pending,
+            "facts_ingested": self.facts_ingested,
+            "firings": self.firings,
+            "wm_size": len(self.engine.wm),
+            "conflict_set": len(self.engine.conflict_set),
+            "idle_s": round(self.idle_for(), 3),
+            "resumed": self.resumed,
+            "durable": self.wal_dir is not None,
+        }
+
+    def __repr__(self):
+        return (f"Session({self.id!r}, {len(self.engine.wm)} WMEs, "
+                f"pending={self.pending})")
+
+
+class SessionRegistry:
+    """id → :class:`Session`, with TTL/LRU eviction and clean closes."""
+
+    def __init__(self, rule_bases, wal_root=None, fsync="batch",
+                 max_sessions=256, idle_ttl=300.0,
+                 default_matcher="rete", default_kernels=None,
+                 default_backend=None, default_strategy="lex",
+                 default_on_error="halt", clock=time.monotonic):
+        self.rule_bases = rule_bases
+        self.wal_root = str(wal_root) if wal_root is not None else None
+        self.fsync = fsync
+        self.max_sessions = max_sessions
+        self.idle_ttl = idle_ttl
+        self.default_matcher = default_matcher
+        self.default_kernels = default_kernels
+        self.default_backend = default_backend
+        self.default_strategy = default_strategy
+        self.default_on_error = default_on_error
+        self.clock = clock
+        self._sessions = {}
+        self._lock = threading.RLock()
+        self.created = 0
+        self.resumed = 0
+        self.evicted_idle = 0
+        self.evicted_lru = 0
+        self.closed = 0
+
+    # -- lookup ------------------------------------------------------------
+
+    def get(self, session_id, touch=True):
+        """The live session for *session_id*, or raise ServiceError."""
+        with self._lock:
+            session = self._sessions.get(session_id)
+            if session is None or session.closed:
+                raise ServiceError(f"no session named {session_id!r}")
+            if touch:
+                session.touch()
+            return session
+
+    def __contains__(self, session_id):
+        with self._lock:
+            session = self._sessions.get(session_id)
+            return session is not None and not session.closed
+
+    def __len__(self):
+        with self._lock:
+            return len(self._sessions)
+
+    def ids(self):
+        with self._lock:
+            return sorted(self._sessions)
+
+    def sessions(self):
+        with self._lock:
+            return list(self._sessions.values())
+
+    # -- creation ----------------------------------------------------------
+
+    def _session_wal_dir(self, session_id):
+        if self.wal_root is None:
+            return None
+        return os.path.join(self.wal_root, session_id)
+
+    def create(self, session_id, source, *, matcher=None, kernels=None,
+               backend=None, strategy=None, on_error=None, durable=True,
+               resume=False, workers=None):
+        """Admit a new tenant; returns ``(session, rulebase_hit)``.
+
+        The engine is stamped out of the shared rule base for
+        ``(source, matcher, kernels, backend)``.  With a ``wal_root``
+        configured and *durable*, the session logs to its own WAL
+        directory; *resume* recovers an evicted/crashed session from
+        that directory instead (the request's program must match the
+        logged one — the log is authoritative).  A fresh create whose
+        directory already holds history raises
+        :class:`~repro.errors.DurabilityError` naming the session.
+        """
+        validate_session_id(session_id)
+        matcher = matcher or self.default_matcher
+        kernels = kernels if kernels is not None else self.default_kernels
+        backend = backend or self.default_backend
+        strategy = strategy or self.default_strategy
+        on_error = on_error or self.default_on_error
+        with self._lock:
+            if session_id in self:
+                raise ServiceError(
+                    f"session {session_id!r} already exists"
+                )
+            if len(self._sessions) >= self.max_sessions:
+                self._evict_lru_locked()
+            wal_dir = self._session_wal_dir(session_id) if durable else None
+            resumed = False
+            if resume:
+                if wal_dir is None:
+                    raise ServiceError(
+                        "resume requires a wal_root-configured server "
+                        "and a durable session"
+                    )
+                from repro.durability import recover_engine
+                from repro.engine.engine import RuleEngine
+
+                engine = recover_engine(
+                    RuleEngine, wal_dir, on_error=on_error,
+                    kernels=kernels, workers=workers,
+                )
+                base = None
+                resumed = True
+                self.resumed += 1
+            else:
+                base, hit = self.rule_bases.get(
+                    source, matcher=matcher, kernels=kernels,
+                    backend=backend,
+                )
+                durability = None
+                if wal_dir is not None:
+                    from repro.durability import DurabilityConfig
+
+                    durability = DurabilityConfig(
+                        wal_dir, fsync=self.fsync, label=session_id
+                    )
+                engine = base.build_engine(
+                    strategy=strategy, durability=durability,
+                    on_error=on_error, workers=workers,
+                )
+            session = Session(
+                session_id, engine, rule_base=base, wal_dir=wal_dir,
+                resumed=resumed, clock=self.clock,
+            )
+            self._sessions[session_id] = session
+            self.created += 1
+            if resumed:
+                return session, False
+            return session, hit
+
+    # -- eviction ----------------------------------------------------------
+
+    def close_session(self, session_id, checkpoint=False):
+        """Close and drop one session (client-initiated)."""
+        with self._lock:
+            session = self._sessions.pop(session_id, None)
+        if session is None:
+            raise ServiceError(f"no session named {session_id!r}")
+        session.close(checkpoint=checkpoint)
+        self.closed += 1
+        return session
+
+    def _evict_lru_locked(self):
+        """Evict the least recently used idle session (caller holds
+        the lock); raise AdmissionError when every session is busy."""
+        candidates = [
+            s for s in self._sessions.values() if s.pending == 0
+        ]
+        if not candidates:
+            raise AdmissionError(
+                f"session table full ({self.max_sessions} sessions, "
+                f"all busy); retry shortly",
+                retry_after=0.1,
+            )
+        victim = min(candidates, key=lambda s: s.last_used)
+        del self._sessions[victim.id]
+        victim.close(checkpoint=True)
+        self.evicted_lru += 1
+        return victim.id
+
+    def sweep_idle(self):
+        """Evict sessions idle past ``idle_ttl``; returns their ids.
+
+        Busy sessions (pending requests) are never swept, whatever
+        their age.  Swept sessions are checkpointed so a resume is
+        cheap.
+        """
+        if self.idle_ttl is None:
+            return []
+        with self._lock:
+            expired = [
+                s for s in self._sessions.values()
+                if s.pending == 0 and s.idle_for() >= self.idle_ttl
+            ]
+            for session in expired:
+                del self._sessions[session.id]
+        for session in expired:
+            session.close(checkpoint=True)
+            self.evicted_idle += 1
+        return [s.id for s in expired]
+
+    def close_all(self):
+        """Close every session (server shutdown)."""
+        with self._lock:
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+        for session in sessions:
+            session.close(checkpoint=False)
+            self.closed += 1
+
+    def stats(self):
+        """JSON-safe registry counters."""
+        with self._lock:
+            return {
+                "sessions": len(self._sessions),
+                "created": self.created,
+                "resumed": self.resumed,
+                "evicted_idle": self.evicted_idle,
+                "evicted_lru": self.evicted_lru,
+                "closed": self.closed,
+                "max_sessions": self.max_sessions,
+                "idle_ttl": self.idle_ttl,
+            }

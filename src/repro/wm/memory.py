@@ -129,7 +129,13 @@ class WorkingMemory:
             self._batch_handlers[observer] = on_batch
 
     def detach(self, observer):
-        self._observers.remove(observer)
+        """Unregister *observer*; detaching one never attached (or
+        already detached — a close() racing another close()) is a
+        no-op, so teardown paths need not coordinate."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
         self._batch_handlers.pop(observer, None)
 
     def _emit(self, sign, wme):

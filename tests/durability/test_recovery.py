@@ -386,6 +386,24 @@ class TestEngineGuards:
         recovered = RuleEngine.recover(tmp_path)  # the sanctioned path
         recovered.close()
 
+    def test_used_directory_guard_names_labelled_owner(self, tmp_path):
+        engine = _workload(tmp_path)
+        engine.close()
+        # The service layer labels each config with its tenant's
+        # session id, so the operator-facing error says whose WAL
+        # directory collided, not just which path.
+        with pytest.raises(DurabilityError, match="tenant-42"):
+            RuleEngine(durability=DurabilityConfig(
+                tmp_path, fsync="off", label="tenant-42"
+            ))
+
+    def test_unlabelled_guard_has_no_owner_clause(self, tmp_path):
+        engine = _workload(tmp_path)
+        engine.close()
+        with pytest.raises(DurabilityError) as info:
+            RuleEngine(durability=DurabilityConfig(tmp_path, fsync="off"))
+        assert "(session" not in str(info.value)
+
     def test_close_is_idempotent(self, tmp_path):
         engine = RuleEngine(
             durability=DurabilityConfig(tmp_path, fsync="off")

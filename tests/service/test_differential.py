@@ -1,0 +1,154 @@
+"""The service's contract with the embedded engine: a session served
+over the wire is *the same computation* — identical firing sequence,
+identical derived facts, and a byte-identical write-ahead log — as the
+program run in process.  Anything less means the service layer changed
+engine semantics, not just transport."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import RuleEngine
+from repro.durability import DurabilityConfig
+from repro.durability.wal import list_segments
+from repro.service import ServiceClient, ServiceConfig, ServiceThread
+from repro.service.protocol import fact_event, firing_event
+
+PROGRAM = """
+(literalize dept name)
+(literalize emp name dept salary)
+(literalize payroll dept total)
+(p dept-payroll
+  (dept ^name <d>)
+  { [emp ^dept <d>] <staff> }
+  :test ((count <staff>) >= 1)
+  -(payroll ^dept <d>)
+  -->
+  (make payroll ^dept <d> ^total (sum <staff> ^salary))
+  (write payroll <d> (sum <staff> ^salary)))
+"""
+
+BATCHES = [
+    [("dept", {"name": "d0"}), ("dept", {"name": "d1"})],
+    [
+        ("emp", {"name": "e0", "dept": "d0", "salary": 100}),
+        ("emp", {"name": "e1", "dept": "d1", "salary": 200}),
+        ("emp", {"name": "e2", "dept": "d0", "salary": 300}),
+    ],
+    [("emp", {"name": "e3", "dept": "d1", "salary": 400})],
+]
+
+
+def _wal_bytes(wal_dir):
+    """``{segment filename: contents}`` for a WAL directory."""
+    return {
+        os.path.basename(path): open(path, "rb").read()
+        for _, path in list_segments(str(wal_dir))
+    }
+
+
+def _strip_ids(events):
+    return [
+        {k: v for k, v in event.items() if k != "id"} for event in events
+    ]
+
+
+@pytest.fixture
+def embedded(tmp_path):
+    """The reference run: same program, same batches, in process."""
+    wal_dir = tmp_path / "embedded"
+    engine = RuleEngine(
+        durability=DurabilityConfig(wal_dir, fsync="batch")
+    )
+    engine.load(PROGRAM)
+    events = []
+    fired_total = 0
+    for batch in BATCHES:
+        engine.load_facts(batch)
+        derived = []
+        engine.wm.attach(derived.append)
+        fired_total += engine.run()
+        engine.wm.detach(derived.append)
+        for record in engine.tracer.firings:
+            events.append(firing_event(None, record))
+        for text in engine.tracer.output:
+            events.append({"event": "write", "id": None, "text": text})
+        engine.tracer.firings.clear()
+        engine.tracer.output.clear()
+        for event in derived:
+            events.append(fact_event(None, event.sign, event.wme))
+    wm_state = sorted(
+        (w.wme_class, w.time_tag, tuple(sorted(w.as_dict().items())))
+        for w in engine.wm
+    )
+    engine.close()
+    return {
+        "wal_dir": wal_dir,
+        "events": _strip_ids(events),
+        "fired": fired_total,
+        "wm": wm_state,
+    }
+
+
+def test_wire_session_is_byte_identical_to_embedded(tmp_path, embedded):
+    wal_root = tmp_path / "service"
+    config = ServiceConfig(port=0, wal_root=str(wal_root))
+    with ServiceThread(config) as server:
+        with ServiceClient(*server.address) as client:
+            client.create("diff", PROGRAM)
+            wire_events = []
+            wire_fired = 0
+            for batch in BATCHES:
+                client.assert_facts("diff", batch)
+                response, events = client.run("diff")
+                wire_fired += response["fired"]
+                wire_events.extend(events)
+            _, fact_lines = client.facts("diff")
+            client.close_session("diff")
+
+    # Same firings, same writes, same derived facts, in order.
+    assert _strip_ids(wire_events) == embedded["events"]
+    assert wire_fired == embedded["fired"]
+
+    # Same final working memory (classes, time tags, and values).
+    wire_wm = sorted(
+        (e["class"], e["tag"], tuple(sorted(e["values"].items())))
+        for e in fact_lines
+    )
+    assert wire_wm == embedded["wm"]
+
+    # And the write-ahead logs agree byte for byte: the service added
+    # transport, not semantics — a recovery of either directory yields
+    # the same session.
+    wire_wal = _wal_bytes(wal_root / "diff")
+    embedded_wal = _wal_bytes(embedded["wal_dir"])
+    assert sorted(wire_wal) == sorted(embedded_wal)
+    for name in embedded_wal:
+        assert wire_wal[name] == embedded_wal[name], (
+            f"segment {name} diverged between wire and embedded runs"
+        )
+
+
+def test_recovered_wire_session_matches_embedded(tmp_path, embedded):
+    """Recovering the service-written WAL in process reproduces the
+    embedded engine's working memory exactly."""
+    wal_root = tmp_path / "service"
+    with ServiceThread(
+        ServiceConfig(port=0, wal_root=str(wal_root))
+    ) as server:
+        with ServiceClient(*server.address) as client:
+            client.create("diff", PROGRAM)
+            for batch in BATCHES:
+                client.assert_facts("diff", batch)
+                client.run("diff")
+            client.close_session("diff")
+
+    engine = RuleEngine.recover(str(wal_root / "diff"), durability=False)
+    assert sorted(
+        (w.wme_class, w.time_tag, tuple(sorted(w.as_dict().items())))
+        for w in engine.wm
+    ) == embedded["wm"]
+    assert engine.run() == 0  # refraction carried over the wire
+    engine.close()

@@ -1,0 +1,77 @@
+"""The load generator: percentile math and a small end-to-end drive."""
+
+from __future__ import annotations
+
+from repro.service import ServiceConfig, ServiceThread
+from repro.service.loadgen import (
+    DEFAULT_PROGRAM,
+    main,
+    percentile,
+    run_load,
+)
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_single(self):
+        assert percentile([7.0], 0.5) == 7.0
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_median_and_tail(self):
+        values = sorted(float(i) for i in range(1, 101))
+        # Nearest-rank over indices 0..99: 0.5 lands on index 50.
+        assert percentile(values, 0.50) == 51.0
+        assert percentile(values, 0.99) == 99.0
+        assert percentile(values, 1.0) == 100.0
+
+
+class TestRunLoad:
+    def test_small_fleet_drives_cleanly(self):
+        with ServiceThread(ServiceConfig(port=0)) as server:
+            host, port = server.address
+            report = run_load(
+                host, port, sessions=3, ticks=2, facts_per_tick=5,
+                matchers=("rete", "treat"),
+            )
+        assert report["errors"] == []
+        assert report["events_total"] == 3 * 2 * 5
+        assert report["firings"] > 0
+        # Three sessions over two matchers: two compiles, one hit.
+        assert report["server"]["rule_bases"]["compiles"] == 2
+        assert report["rulebase_hits"] == 1
+        for op in ("assert", "run"):
+            summary = report["latency"][op]
+            assert summary["count"] == 3 * 2
+            assert summary["p99_ms"] >= summary["p50_ms"] >= 0
+
+    def test_rate_pacing_slows_the_fleet(self):
+        with ServiceThread(ServiceConfig(port=0)) as server:
+            host, port = server.address
+            report = run_load(
+                host, port, sessions=1, ticks=3, facts_per_tick=10,
+                rate=1000.0,  # 10 facts/tick @ 1000/s => >= 20ms floor
+            )
+        assert report["errors"] == []
+        assert report["duration_s"] >= 0.02
+
+    def test_default_program_parses(self):
+        from repro.lang.parser import parse_program
+
+        literalizations, rules = parse_program(DEFAULT_PROGRAM)
+        assert len(rules) == 2
+        assert len(literalizations) == 3
+
+
+class TestCli:
+    def test_self_serve_smoke(self, capsys, tmp_path):
+        out = tmp_path / "load.json"
+        code = main([
+            "--sessions", "2", "--ticks", "2", "--facts", "5",
+            "--json", str(out), "--fail-on-error",
+        ])
+        assert code == 0
+        assert out.exists()
+        captured = capsys.readouterr()
+        assert "events_per_s" in captured.out

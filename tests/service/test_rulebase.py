@@ -1,0 +1,134 @@
+"""Shared rule bases: parse once, kernel-compile once, serve N tenants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rete import ReteNetwork
+from repro.service.rulebase import RuleBase, RuleBaseCache, rule_base_key
+
+PROGRAM = """
+(literalize dept name)
+(literalize emp name dept salary)
+(p dept-size
+  (dept ^name <d>)
+  { [emp ^dept <d>] <staff> }
+  :test ((count <staff>) >= 1)
+  -->
+  (write staffed <d> (count <staff>)))
+"""
+
+
+class TestKey:
+    def test_same_source_same_key(self):
+        assert rule_base_key(PROGRAM) == rule_base_key(PROGRAM)
+
+    def test_source_changes_key(self):
+        assert rule_base_key(PROGRAM) != rule_base_key(PROGRAM + " ")
+
+    def test_matcher_changes_key(self):
+        assert (rule_base_key(PROGRAM, matcher="rete")
+                != rule_base_key(PROGRAM, matcher="treat"))
+
+    def test_kernel_mode_irrelevant_for_interpreted_matchers(self):
+        assert (rule_base_key(PROGRAM, matcher="treat", kernels="off")
+                == rule_base_key(PROGRAM, matcher="treat",
+                                 kernels="exec"))
+
+    def test_kernel_mode_distinguishes_rete(self):
+        assert (rule_base_key(PROGRAM, matcher="rete", kernels="closure")
+                != rule_base_key(PROGRAM, matcher="rete",
+                                 kernels="exec"))
+
+
+class TestRuleBase:
+    def test_engines_share_one_kernel_pack(self):
+        base = RuleBase(PROGRAM, matcher="rete", kernels="closure")
+        engines = [base.build_engine() for _ in range(4)]
+        try:
+            # The acceptance contract: N sessions, one compile's worth
+            # of kernels; every later network hits the shared cache.
+            stats = base.kernel_stats()
+            one_session = RuleBase(
+                PROGRAM, matcher="rete", kernels="closure"
+            )
+            one_session.build_engine().close()
+            assert (stats["compiled"]
+                    == one_session.kernel_stats()["compiled"])
+            assert stats["cache_hits"] > stats["compiled"]
+            assert base.sessions_built == 4
+        finally:
+            for engine in engines:
+                engine.close()
+
+    def test_engines_are_isolated(self):
+        base = RuleBase(PROGRAM)
+        first = base.build_engine()
+        second = base.build_engine()
+        try:
+            first.make("dept", name="d0")
+            first.make("emp", name="sue", dept="d0", salary=100)
+            first.run()
+            assert len(first.wm) == 2
+            assert len(second.wm) == 0
+            assert first.output == ["staffed d0 1"]
+            assert second.output == []
+        finally:
+            first.close()
+            second.close()
+
+    def test_matcher_instances_are_private(self):
+        base = RuleBase(PROGRAM)
+        first = base.build_matcher()
+        second = base.build_matcher()
+        assert first is not second
+        assert isinstance(first, ReteNetwork)
+        # ... but both ride the same compiled-kernel pack.
+        assert first.kernels is second.kernels
+        assert first.kernels is base.kernel_pack
+
+    def test_interpreted_matcher_has_no_pack(self):
+        base = RuleBase(PROGRAM, matcher="treat")
+        assert base.kernel_pack is None
+        assert base.kernel_stats() == {"compiled": 0, "cache_hits": 0}
+
+    def test_kernels_off_has_no_pack(self):
+        base = RuleBase(PROGRAM, matcher="rete", kernels="off")
+        assert base.kernel_pack is None
+
+
+class TestRuleBaseCache:
+    def test_miss_then_hits(self):
+        cache = RuleBaseCache()
+        base, hit = cache.get(PROGRAM)
+        assert hit is False
+        again, hit = cache.get(PROGRAM)
+        assert hit is True
+        assert again is base
+        assert cache.compiles == 1
+        assert cache.hits == 1
+
+    def test_distinct_configs_do_not_collide(self):
+        cache = RuleBaseCache()
+        rete, _ = cache.get(PROGRAM, matcher="rete")
+        treat, _ = cache.get(PROGRAM, matcher="treat")
+        assert rete is not treat
+        assert len(cache) == 2
+
+    def test_stats_aggregate(self):
+        cache = RuleBaseCache()
+        base, _ = cache.get(PROGRAM)
+        cache.get(PROGRAM)
+        base.build_engine().close()
+        stats = cache.stats()
+        assert stats["rule_bases"] == 1
+        assert stats["compiles"] == 1
+        assert stats["hits"] == 1
+        assert stats["sessions_built"] == 1
+        assert stats["kernels_compiled"] > 0
+
+    def test_bad_program_is_not_cached(self):
+        cache = RuleBaseCache()
+        with pytest.raises(Exception):
+            cache.get("(p broken")
+        assert len(cache) == 0

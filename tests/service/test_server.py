@@ -1,0 +1,310 @@
+"""The service front end over a live socket: ops, errors, backpressure,
+session lifecycle driven end to end through :class:`ServiceClient`."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.service import (
+    ServiceBusyError,
+    ServiceClient,
+    ServiceClientError,
+    ServiceConfig,
+    ServiceThread,
+)
+from repro.service.protocol import encode_line
+
+PROGRAM = """
+(literalize order id status)
+(literalize shipped id)
+(p ship-open
+  (order ^id <i> ^status open)
+  -(shipped ^id <i>)
+  -->
+  (make shipped ^id <i>)
+  (write shipping <i>))
+"""
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    wal_root = tmp_path_factory.mktemp("service-wal")
+    with ServiceThread(ServiceConfig(
+        port=0, wal_root=str(wal_root), engine_workers=2,
+    )) as thread:
+        yield thread
+
+
+@pytest.fixture
+def client(server):
+    with ServiceClient(*server.address) as connection:
+        yield connection
+
+
+def _unique(request):
+    return request.node.name.replace("[", "-").replace("]", "")
+
+
+class TestBasicOps:
+    def test_ping(self, client):
+        response = client.ping()
+        assert response["pong"] is True
+        assert response["protocol"] == 1
+
+    def test_create_assert_run_round_trip(self, client, request):
+        sid = _unique(request)
+        created = client.create(sid, PROGRAM, durable=False)
+        assert created["rules"] == 1
+        client.assert_facts(sid, [
+            ("order", {"id": 1, "status": "open"}),
+            ("order", {"id": 2, "status": "held"}),
+        ])
+        response, events = client.run(sid)
+        assert response["fired"] == 1
+        assert response["stopped"] == "quiescent"
+        kinds = [e["event"] for e in events]
+        assert kinds.count("firing") == 1
+        assert "write" in kinds
+        facts = [e for e in events if e["event"] == "fact"]
+        assert facts == [{
+            "event": "fact", "id": response["id"], "sign": "+",
+            "class": "shipped", "tag": 3, "values": {"id": 1},
+        }]
+        client.close_session(sid)
+
+    def test_run_events_drain_between_requests(self, client, request):
+        sid = _unique(request)
+        client.create(sid, PROGRAM, durable=False)
+        client.assert_facts(sid, [("order", {"id": 1, "status": "open"})])
+        _, first = client.run(sid)
+        _, second = client.run(sid)
+        assert any(e["event"] == "firing" for e in first)
+        # Quiescent re-run must not replay the old trace.
+        assert second == []
+        client.close_session(sid)
+
+    def test_facts_dump(self, client, request):
+        sid = _unique(request)
+        client.create(sid, PROGRAM, durable=False)
+        client.assert_facts(sid, [
+            ("order", {"id": 1, "status": "open"}),
+            ("order", {"id": 2, "status": "held"}),
+        ])
+        response, events = client.facts(sid, "order")
+        assert response["count"] == 2
+        assert {e["values"]["id"] for e in events} == {1, 2}
+        client.close_session(sid)
+
+    def test_stats_surface(self, client, request):
+        sid = _unique(request)
+        client.create(sid, PROGRAM, durable=False)
+        stats = client.stats()
+        assert stats["server"]["connections"] >= 1
+        assert stats["registry"]["sessions"] >= 1
+        assert stats["rule_bases"]["rule_bases"] >= 1
+        assert any(s["session"] == sid for s in stats["sessions"])
+        client.close_session(sid)
+
+
+class TestErrors:
+    def test_unknown_op(self, client):
+        with pytest.raises(ServiceClientError) as info:
+            client.request("frobnicate")
+        assert info.value.code == "bad_request"
+
+    def test_missing_session_field(self, client):
+        with pytest.raises(ServiceClientError) as info:
+            client.request("run")
+        assert info.value.code == "bad_request"
+
+    def test_no_such_session(self, client):
+        with pytest.raises(ServiceClientError) as info:
+            client.run("never-created")
+        assert info.value.code == "no_session"
+
+    def test_invalid_session_id(self, client):
+        with pytest.raises(ServiceClientError) as info:
+            client.create("../escape", PROGRAM)
+        assert info.value.code == "bad_request"
+
+    def test_duplicate_session(self, client, request):
+        sid = _unique(request)
+        client.create(sid, PROGRAM, durable=False)
+        with pytest.raises(ServiceClientError) as info:
+            client.create(sid, PROGRAM)
+        assert info.value.code == "bad_request"
+        client.close_session(sid)
+
+    def test_parse_error_maps_to_engine_code(self, client, request):
+        sid = _unique(request)
+        with pytest.raises(ServiceClientError) as info:
+            client.create(sid, "(p broken")
+        assert info.value.code == "engine"
+        # The connection survives a failed request.
+        assert client.ping()["pong"] is True
+
+    def test_bad_fact_shape(self, client, request):
+        sid = _unique(request)
+        client.create(sid, PROGRAM, durable=False)
+        with pytest.raises(ServiceClientError) as info:
+            client.request("assert", session=sid, facts=["not-a-pair"])
+        assert info.value.code == "bad_request"
+        client.close_session(sid)
+
+    def test_checkpoint_needs_durability(self, client, request):
+        sid = _unique(request)
+        client.create(sid, PROGRAM, durable=False)
+        with pytest.raises(ServiceClientError) as info:
+            client.checkpoint(sid)
+        assert info.value.code == "bad_request"
+        client.close_session(sid)
+
+    def test_malformed_line_is_protocol_error(self, server):
+        with ServiceClient(*server.address) as raw:
+            raw._sock.sendall(b"this is not json\n")
+            response = raw._read_line()
+            assert response["ok"] is False
+            assert response["error"] == "protocol"
+            # Framing is intact: the next request still works.
+            assert raw.ping()["pong"] is True
+
+    def test_non_object_payload_is_protocol_error(self, server):
+        with ServiceClient(*server.address) as raw:
+            raw._sock.sendall(encode_line([1, 2, 3]))
+            response = raw._read_line()
+            assert response["error"] == "protocol"
+
+
+class TestDurableSessions:
+    def test_checkpoint_and_wire_resume(self, server, request):
+        sid = _unique(request)
+        with ServiceClient(*server.address) as client:
+            client.create(sid, PROGRAM)
+            client.assert_facts(
+                sid, [("order", {"id": 1, "status": "open"})]
+            )
+            response, _ = client.run(sid)
+            assert response["fired"] == 1
+            assert client.checkpoint(sid)["path"]
+            client.close_session(sid)
+
+        # A new connection resumes the evicted/closed session by id.
+        with ServiceClient(*server.address) as client:
+            resumed = client.create(sid, "", resume=True)
+            assert resumed["resumed"] is True
+            assert resumed["wm_size"] == 2  # order + shipped
+            response, _ = client.run(sid)
+            assert response["fired"] == 0  # refraction survived
+            client.close_session(sid)
+
+    def test_fresh_create_on_used_dir_names_session(self, server, request):
+        sid = _unique(request)
+        with ServiceClient(*server.address) as client:
+            client.create(sid, PROGRAM)
+            client.assert_facts(
+                sid, [("order", {"id": 1, "status": "open"})]
+            )
+            client.close_session(sid)
+            with pytest.raises(ServiceClientError) as info:
+                client.create(sid, PROGRAM)
+            assert info.value.code == "engine"
+            assert sid in str(info.value)
+
+
+class TestBackpressure:
+    def test_global_queue_full_rejects_with_retry_after(self):
+        with ServiceThread(ServiceConfig(port=0, global_queue=0)) as srv:
+            with ServiceClient(*srv.address) as client:
+                with pytest.raises(ServiceBusyError) as info:
+                    client.create("t1", PROGRAM, durable=False)
+                assert info.value.retry_after > 0
+                assert info.value.code == "busy"
+
+    def test_session_queue_full_rejects(self):
+        with ServiceThread(ServiceConfig(port=0, session_queue=0)) as srv:
+            with ServiceClient(*srv.address) as client:
+                client.create("t1", PROGRAM, durable=False)
+                with pytest.raises(ServiceBusyError):
+                    client.run("t1")
+
+    def test_client_retry_honours_backoff(self):
+        with ServiceThread(ServiceConfig(port=0, global_queue=0)) as srv:
+            with ServiceClient(*srv.address) as client:
+                with pytest.raises(ServiceBusyError):
+                    client.create("t1", PROGRAM, durable=False,
+                                  retry=True)
+                assert client.busy_retries == 50
+                assert client.backoff_s > 0
+
+
+class TestIdleEviction:
+    def test_idle_session_swept_and_resumable(self, tmp_path):
+        config = ServiceConfig(
+            port=0, wal_root=str(tmp_path / "wal"),
+            idle_ttl=0.2, sweep_interval=0.05,
+        )
+        with ServiceThread(config) as srv:
+            with ServiceClient(*srv.address) as client:
+                client.create("t1", PROGRAM)
+                client.assert_facts(
+                    "t1", [("order", {"id": 1, "status": "open"})]
+                )
+                # Poll the (session-agnostic) stats surface: a facts
+                # request would touch the session and reset its idle
+                # clock — the sweep only takes truly idle tenants.
+                deadline = time.time() + 5.0
+                while time.time() < deadline:
+                    time.sleep(0.1)
+                    if client.stats()["registry"]["evicted_idle"]:
+                        break
+                else:
+                    pytest.fail("idle session was never evicted")
+                with pytest.raises(ServiceClientError) as info:
+                    client.request("facts", session="t1")
+                assert info.value.code == "no_session"
+                resumed = client.create("t1", "", resume=True)
+                assert resumed["resumed"] is True
+                assert resumed["wm_size"] == 1
+
+
+class TestConcurrentTenants:
+    def test_interleaved_sessions_do_not_cross(self, server):
+        import threading
+
+        errors = []
+
+        def tenant(index):
+            try:
+                sid = f"tenant-{index}"
+                with ServiceClient(*server.address) as client:
+                    client.create(sid, PROGRAM, durable=False,
+                                  retry=True)
+                    for batch in range(3):
+                        client.assert_facts(sid, [
+                            ("order", {
+                                "id": index * 100 + batch,
+                                "status": "open",
+                            }),
+                        ], retry=True)
+                        response, events = client.run(sid, retry=True)
+                        assert response["fired"] == 1
+                        (firing,) = [
+                            e for e in events if e["event"] == "fact"
+                        ]
+                        assert firing["values"]["id"] == (
+                            index * 100 + batch
+                        )
+                    client.close_session(sid, retry=True)
+            except Exception as error:  # surfaced below
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=tenant, args=(i,)) for i in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []

@@ -89,6 +89,42 @@ class TestMainFlags:
         assert "recovered from checkpoint" in out
         assert "1 WME(s) restored" in out
 
+    def test_recover_with_sqlite_backend_and_exec_kernels(
+        self, tmp_path, capsys
+    ):
+        # Both overrides on one command line: the recovered dips
+        # matcher takes the sqlite backend, and the kernel flag (which
+        # only the rete family consumes) must be accepted alongside it
+        # rather than rejected as contradictory.
+        session = _durable_session(tmp_path)
+        session.execute("make reading ^sensor t1 ^value 10")
+        session.close()
+        rc = main([
+            "recover", str(tmp_path / "wal"),
+            "--matcher", "dips", "--backend", "sqlite",
+            "--kernels", "exec",
+            "--run", "5", "--no-wal",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 WME(s) restored" in out or "1 delta(s)" in out
+        assert "t1" in out
+
+    def test_recover_rete_exec_kernels_with_backend_flag(
+        self, tmp_path, capsys
+    ):
+        session = _durable_session(tmp_path)
+        session.execute("make reading ^sensor t1 ^value 10")
+        session.close()
+        rc = main([
+            "recover", str(tmp_path / "wal"),
+            "--matcher", "rete", "--kernels", "exec",
+            "--backend", "sqlite",
+            "--run", "5", "--no-wal",
+        ])
+        assert rc == 0
+        assert "t1" in capsys.readouterr().out
+
     def test_recover_missing_directory_fails(self, tmp_path, capsys):
         rc = main(["recover", str(tmp_path / "nothing")])
         assert rc == 1
