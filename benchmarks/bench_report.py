@@ -3,7 +3,7 @@
 
 Runs a fixed set of deterministic scenarios with :class:`MatchStats`
 attached, writes the counters (plus informational wall-clock timings)
-to ``BENCH_7.json``, and — under ``--check`` — fails if any gated work
+to ``BENCH_9.json``, and — under ``--check`` — fails if any gated work
 counter regressed more than 10% against the newest committed
 ``benchmarks/BENCH_<n>.json`` report (falling back to
 ``benchmarks/BENCH_baseline.json`` when none exists; a clear error and
@@ -49,7 +49,7 @@ from repro import MatchStats, RuleEngine
 from repro.rete import ReteNetwork, ShardedReteNetwork
 
 BASELINE_PATH = Path(__file__).parent / "BENCH_baseline.json"
-DEFAULT_OUTPUT = Path("BENCH_8.json")
+DEFAULT_OUTPUT = Path("BENCH_9.json")
 
 
 def latest_reference(exclude=None):
@@ -102,6 +102,10 @@ GATED_COUNTERS = (
     "service_firings",
     "service_rulebase_compiles",
     "service_sessions_built",
+    # Chaos scenario: exactly-once semantics make ingest/firing totals
+    # deterministic even under seeded fault injection.
+    "service_chaos_facts_ingested",
+    "service_chaos_firings",
 )
 # Deterministic counters that must match the baseline *exactly*:
 # losing native pushdown shows as a decrease, which the one-sided
@@ -114,6 +118,10 @@ EXACT_COUNTERS = (
     # N sessions of one program must cost exactly one parse/compile.
     "service_rulebase_compiles",
     "service_sessions_built",
+    # Keyed retries must dedup: any drift here is a lost or
+    # double-applied batch, not noise.
+    "service_chaos_facts_ingested",
+    "service_chaos_firings",
 )
 TOLERANCE = 0.10
 
@@ -556,6 +564,73 @@ def scenario_service_mixed_matchers():
     return _service_scenario("svc-mixed", ("rete", "treat"))
 
 
+#: Seeded fault injection: roughly every tenth response line is torn
+#: down or delayed, and ~4% of session ops kill the session outright.
+#: ``wal_error`` stays off — a mid-firing WAL failure halts the run by
+#: policy (non-retryable by design), which is not this scenario's point.
+SERVICE_CHAOS = ("disconnect=0.03,partial=0.02,delay=0.05,"
+                 "delay_s=0.001,kill=0.04,seed=29")
+
+
+def scenario_service_chaos_keyed():
+    """A durable idempotent fleet under chaos lands *exactly* the same
+    ingest/firing totals as a quiet one: retries dedup, kills resume.
+    Retry overhead and latency are recorded as informational."""
+    import tempfile
+
+    from repro.service.loadgen import run_load
+    from repro.service.server import ServiceConfig, ServiceThread
+
+    label = "svc-chaos"
+    with tempfile.TemporaryDirectory() as wal_root:
+        with ServiceThread(ServiceConfig(
+            port=0, engine_workers=4, wal_root=wal_root,
+            chaos=SERVICE_CHAOS,
+        )) as server:
+            host, port = server.address
+            result = run_load(
+                host, port,
+                sessions=4,
+                ticks=4,
+                facts_per_tick=10,
+                matchers=("rete",),
+                durable=True,
+                idempotent=True,
+                session_prefix=label,
+            )
+    if result["errors"]:
+        raise SystemExit(
+            f"service scenario {label}: {result['errors']}"
+        )
+    stats = result["server"]
+    injected = stats.get("chaos", {}).get("injected", {})
+    if not sum(injected.values()):
+        raise SystemExit(
+            f"service scenario {label}: chaos layer injected nothing"
+        )
+    _SERVICE_RESULTS[label] = {
+        "sessions": result["sessions"],
+        "matchers": result["matchers"],
+        "events_total": result["events_total"],
+        "events_per_s": result["events_per_s"],
+        "latency": result["latency"],
+        "busy_retries": result["busy_retries"],
+        # Informational resilience overhead; machine/timing dependent.
+        "retries": result["retries"],
+        "reconnects": result["reconnects"],
+        "deduped": result["deduped"],
+        "busy_shed": result["busy_shed"],
+        "session_restarts": result["session_restarts"],
+        "chaos_injected": dict(injected),
+    }
+    return _ServiceCounters({
+        "service_chaos_facts_ingested": stats["server"].get(
+            "facts_ingested", 0
+        ),
+        "service_chaos_firings": result["firings"],
+    })
+
+
 SCENARIOS = {
     "bulk_load_per_event": scenario_bulk_load_per_event,
     "bulk_load_batched": scenario_bulk_load_batched,
@@ -565,6 +640,7 @@ SCENARIOS = {
     "storage_1m_sqlite": scenario_storage_1m_sqlite,
     "service_shared_rete": scenario_service_shared_rete,
     "service_mixed_matchers": scenario_service_mixed_matchers,
+    "service_chaos_keyed": scenario_service_chaos_keyed,
 }
 SCENARIOS.update(_kernel_scenarios())
 

@@ -684,9 +684,36 @@ def _serve_main(argv):
         "--run-seconds", type=float, default=None, metavar="S",
         help="serve for S seconds then exit cleanly (smoke tests)",
     )
+    parser.add_argument(
+        "--chaos", metavar="SPEC", default=None,
+        help="inject faults, e.g. 'disconnect=0.05,delay=0.05,"
+        "kill=0.02,seed=7' (see repro.service.chaos; soak testing "
+        "only)",
+    )
+    parser.add_argument(
+        "--drain-grace", type=float, default=10.0,
+        help="seconds a drain shutdown (SIGTERM) waits for in-flight "
+        "requests before checkpointing sessions (default 10)",
+    )
+    parser.add_argument(
+        "--journal-limit", type=int, default=512,
+        help="idempotency keys remembered per session for "
+        "request dedup (default 512)",
+    )
+    parser.add_argument(
+        "--breaker-threshold", type=int, default=5,
+        help="consecutive engine failures that open a session's "
+        "circuit breaker (default 5)",
+    )
+    parser.add_argument(
+        "--breaker-cooldown", type=float, default=1.0,
+        help="seconds an open breaker rejects requests before "
+        "admitting a half-open probe (default 1)",
+    )
     options = parser.parse_args(argv)
 
     import asyncio
+    import signal
 
     from repro.service.server import RuleService, ServiceConfig
 
@@ -710,6 +737,11 @@ def _serve_main(argv):
         engine_workers=workers,
         run_limit=options.run_limit,
         run_wall_clock=options.run_wall_clock,
+        chaos=options.chaos,
+        drain_grace=options.drain_grace,
+        journal_limit=options.journal_limit,
+        breaker_threshold=options.breaker_threshold,
+        breaker_cooldown=options.breaker_cooldown,
     )
 
     async def _serve():
@@ -720,17 +752,47 @@ def _serve_main(argv):
             f"wal_root={options.wal_root}" if options.wal_root
             else "durability off"
         )
+        chaos = f", chaos={options.chaos}" if options.chaos else ""
         print(
             f"rule service listening on {host}:{port} "
             f"({durable}, {workers} engine worker(s), "
-            f"max {options.max_sessions} sessions)",
+            f"max {options.max_sessions} sessions{chaos})",
             flush=True,
         )
+        # SIGTERM → graceful drain: stop accepting, finish in-flight
+        # requests, checkpoint every session for fast resume.
+        drain_requested = asyncio.Event()
+        loop = asyncio.get_running_loop()
         try:
+            loop.add_signal_handler(
+                signal.SIGTERM, drain_requested.set
+            )
+        except (NotImplementedError, RuntimeError):
+            pass  # platform without signal-handler support
+        try:
+            wait_drain = asyncio.create_task(drain_requested.wait())
             if options.run_seconds is not None:
-                await asyncio.sleep(options.run_seconds)
+                serving = asyncio.create_task(
+                    asyncio.sleep(options.run_seconds)
+                )
             else:
-                await service.serve_forever()
+                serving = asyncio.create_task(service.serve_forever())
+            done, _pending = await asyncio.wait(
+                {serving, wait_drain},
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+            serving.cancel()
+            wait_drain.cancel()
+            for task in done:
+                if not task.cancelled() and task.exception():
+                    raise task.exception()
+            if drain_requested.is_set():
+                print(
+                    "SIGTERM: draining (finishing in-flight requests, "
+                    "checkpointing sessions)",
+                    file=sys.stderr, flush=True,
+                )
+                await service.stop(drain=True)
         finally:
             await service.stop()
 

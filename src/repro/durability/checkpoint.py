@@ -70,7 +70,8 @@ def _fsync_file(path):
 
 def write_checkpoint(directory, *, wm_snapshot, wal_position,
                      next_tag, program, matcher_name, strategy_name,
-                     fired, cycle_count, reliability=None, fault=None,
+                     fired, cycle_count, reliability=None,
+                     requests=None, fault=None,
                      binary_members=None, rdb_backend=None):
     """Write one atomic checkpoint; returns its directory path.
 
@@ -133,6 +134,12 @@ def write_checkpoint(directory, *, wm_snapshot, wal_position,
         manifest["rdb_backend"] = rdb_backend
     if reliability:
         manifest["reliability"] = reliability
+    if requests:
+        # The request-dedup journal ([key, response] pairs, insertion
+        # order preserved): checkpointing truncates the WAL segments
+        # that carried the journal records, so the manifest must carry
+        # the live entries across the truncation.
+        manifest["requests"] = requests
     manifest_data = json.dumps(manifest, separators=(",", ":"))
     manifest_path = os.path.join(tmp_path, MANIFEST_NAME)
     with open(manifest_path, "w", encoding="utf-8") as handle:

@@ -18,6 +18,13 @@ Two complementary tools:
   :func:`corrupt_record` (flip a bit inside a record's payload, which
   the CRC must catch).
 
+Beyond crashes, ``error_at`` injects *survivable* I/O errors: the
+n-th hit of a point raises a plain :class:`OSError` (default errno
+``ENOSPC`` — disk full) without marking the injector crashed.  The
+process is expected to stay up, surface the failure to its caller,
+and keep serving — the contract the chaos-hardened service layer is
+tested against.
+
 :class:`SimulatedCrash` deliberately derives from :class:`Exception`
 but NOT from :class:`~repro.errors.ReproError`, so production error
 handling (which catches ``ReproError``) can never swallow a simulated
@@ -26,6 +33,7 @@ crash in a test.
 
 from __future__ import annotations
 
+import errno as _errno
 import os
 import struct
 
@@ -43,22 +51,41 @@ class FaultInjector:
     before": 3}`` crashes immediately before the third WAL append.
     *torn_append* is ``(n, keep)``: the n-th append writes only
     ``keep`` bytes of its frame (a float is a fraction of the frame)
-    and then crashes.  ``counts`` records every hit for inspection.
+    and then crashes.  *error_at* maps point names to an n-th hit —
+    either a bare count (errno defaults to ``ENOSPC``) or an
+    ``(n, errno)`` pair — at which a plain :class:`OSError` is raised
+    *without* marking the injector crashed: the process survives and
+    must contain the failure (a full disk, a flaky volume).
+    ``counts`` records every hit for inspection; ``errors_injected``
+    counts the survivable errors actually raised.
     """
 
-    def __init__(self, crash_at=None, torn_append=None):
+    def __init__(self, crash_at=None, torn_append=None, error_at=None):
         self.crash_at = dict(crash_at or {})
         self.torn_append = torn_append
+        self.error_at = {}
+        for point, spec in (error_at or {}).items():
+            if isinstance(spec, int):
+                spec = (spec, _errno.ENOSPC)
+            self.error_at[point] = (int(spec[0]), int(spec[1]))
         self.counts = {}
         self.crashed = False
+        self.errors_injected = 0
 
     def hit(self, point):
-        """Record a hit of *point*; raise if a crash is scheduled here."""
+        """Record a hit of *point*; raise if a fault is scheduled here."""
         count = self.counts.get(point, 0) + 1
         self.counts[point] = count
         if self.crash_at.get(point) == count:
             self.crashed = True
             raise SimulatedCrash(f"injected crash at {point} (hit {count})")
+        spec = self.error_at.get(point)
+        if spec is not None and spec[0] == count:
+            self.errors_injected += 1
+            code = spec[1]
+            raise OSError(
+                code, f"{os.strerror(code)} (injected at {point})"
+            )
 
     def partial_write(self, point, frame_size):
         """Bytes of the frame to write before crashing, or None.

@@ -189,6 +189,12 @@ class DurabilityManager:
             fault=config.fault,
         )
         self.wm = None
+        # Idempotency key of the request whose delta record is about to
+        # be written.  The service layer sets it immediately before a
+        # keyed assert; the next delta record consumes it, embedding the
+        # key in the same atomic WAL frame as the effects — a crash
+        # loses both or neither, never the effects without the marker.
+        self.pending_request_key = None
 
     # -- observation -------------------------------------------------------
 
@@ -209,7 +215,7 @@ class DurabilityManager:
         self.wal.append(self._delta_payload(events), batch=True)
 
     def _delta_payload(self, events):
-        return {
+        payload = {
             "k": "d",
             "n": self.wm.latest_time_tag + 1,
             "e": [
@@ -218,6 +224,10 @@ class DurabilityManager:
                 for event in events
             ],
         }
+        if self.pending_request_key is not None:
+            payload["q"] = self.pending_request_key
+            self.pending_request_key = None
+        return payload
 
     def log_meta(self, matcher_name, strategy_name):
         """Record the session's matcher/strategy for checkpoint-free
@@ -300,6 +310,21 @@ class DurabilityManager:
         """
         self.wal.append({"k": "R"}, batch=False)
 
+    def log_request(self, key, response):
+        """Record a completed idempotent request's journal entry.
+
+        Written *after* the request's effects are durable (a run's
+        firing brackets, an assert's delta record), so replay restores
+        the exact response a retried request should see.  A crash
+        between the effects and this record is safe for ``run``:
+        replay restores refraction stamps, so re-running to quiescence
+        fires nothing new — the retry converges on the same state and
+        merely reports a smaller ``fired`` count.
+        """
+        self.wal.append(
+            {"k": "j", "key": key, "resp": response}, batch=False
+        )
+
     @staticmethod
     def decode_delta(entry):
         """``[sign, class, tag, values]`` → usable fields."""
@@ -348,6 +373,12 @@ class DurabilityManager:
             fired=collect_fired(engine),
             cycle_count=engine.cycle_count,
             reliability=collect_reliability(engine),
+            requests=[
+                [key, resp]
+                for key, resp in getattr(
+                    engine, "request_journal", {}
+                ).items()
+            ] or None,
             fault=self.config.fault,
             binary_members=binary_members or None,
             rdb_backend=rdb_backend,

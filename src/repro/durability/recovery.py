@@ -193,6 +193,8 @@ def recover_engine(engine_cls, path, *, program=None, matcher=None,
         _restore_reliability(engine, manifest.get("reliability"))
         for entry in manifest.get("fired", ()):
             _mark_fired(engine, entry)
+        for key, resp in manifest.get("requests", ()):
+            engine.request_journal[key] = resp
 
     deltas, firings = _replay(engine, payloads)
     engine.stats.incr("replayed_deltas", deltas)
@@ -288,6 +290,21 @@ def _replay(engine, payloads):
                 f"WAL replay failed: {error}"
             ) from error
         wm._next_tag = max(wm._next_tag, record.get("n", 1))
+        # A delta record carrying an idempotency key is a keyed assert
+        # whose effects and dedup marker share one atomic frame: mark
+        # the key applied so a post-recovery retry is deduplicated
+        # instead of double-applied.  The synthesized response carries
+        # the applied delta count; the server adds ``deduped`` when it
+        # answers a retry from the journal.
+        key = record.get("q")
+        if key is not None:
+            engine.request_journal[key] = {
+                "ingested": sum(
+                    1 for entry in record["e"] if entry[0] == "+"
+                ),
+                "wm_size": len(wm),
+                "recovered": True,
+            }
 
     for payload in payloads:
         kind = payload.get("k")
@@ -320,6 +337,11 @@ def _replay(engine, payloads):
             engine.halted = False
             engine.cycle_count = 0
             engine.reliability.clear_runtime_state(engine)
+        elif kind == "j":
+            # A completed idempotent request's journal entry: restore
+            # the recorded response so a retried request after recovery
+            # is answered from the journal, never re-applied.
+            engine.request_journal[payload["key"]] = payload["resp"]
         elif kind == "m":
             pass  # consumed by the pre-scan
         else:

@@ -115,6 +115,12 @@ class RuleEngine:
         self._pool_size = 0
         self._close_lock = threading.Lock()
         self.closed = False
+        # Request-dedup journal: idempotency key -> the response of the
+        # mutating request that carried it.  The service layer consults
+        # it before applying a retried request; durable sessions carry
+        # the entries through the WAL and checkpoint manifest so a
+        # crash-and-recover cannot double-apply an acknowledged request.
+        self.request_journal = {}
 
     @staticmethod
     def _default_matcher(kernels=None):
@@ -294,20 +300,23 @@ class RuleEngine:
         """
         return _reliability.fire(self, instantiation, plan=plan)
 
-    def run(self, limit=None, *, wall_clock=None, livelock_threshold=None,
-            on_livelock="stop"):
+    def run(self, limit=None, *, wall_clock=None, deadline=None,
+            livelock_threshold=None, on_livelock="stop"):
         """Run cycles until quiescence, ``(halt)``, or a budget.
 
         *limit* bounds firings; *wall_clock* bounds elapsed seconds;
-        *livelock_threshold* arms the refire-cycle watchdog (same
-        instantiation content firing more than N times with no net
-        working-memory change), which stops gracefully or raises
-        :class:`~repro.errors.LivelockError` per *on_livelock*
-        (``"stop"``/``"raise"``).  Why the run stopped is recorded in
-        ``self.last_run_report``.  Returns the number of firings.
+        *deadline* is an absolute :func:`time.monotonic` cutoff (the
+        service layer propagates per-request deadlines here, stopping
+        with reason ``"deadline"``); *livelock_threshold* arms the
+        refire-cycle watchdog (same instantiation content firing more
+        than N times with no net working-memory change), which stops
+        gracefully or raises :class:`~repro.errors.LivelockError` per
+        *on_livelock* (``"stop"``/``"raise"``).  Why the run stopped
+        is recorded in ``self.last_run_report``.  Returns the number
+        of firings.
         """
         return _reliability.run_guarded(
-            self, limit, wall_clock=wall_clock,
+            self, limit, wall_clock=wall_clock, deadline=deadline,
             livelock_threshold=livelock_threshold,
             on_livelock=on_livelock,
         )
@@ -372,19 +381,20 @@ class RuleEngine:
         )
 
     def run_parallel(self, max_cycles=None, *, wall_clock=None,
-                     firing_budget=None, livelock_threshold=None,
-                     on_livelock="stop"):
+                     deadline=None, firing_budget=None,
+                     livelock_threshold=None, on_livelock="stop"):
         """Repeat :meth:`parallel_cycle` until quiescence or a budget.
 
         *max_cycles* bounds parallel cycles, *firing_budget* total
-        firings, *wall_clock* elapsed seconds; *livelock_threshold* /
+        firings, *wall_clock* elapsed seconds, *deadline* an absolute
+        :func:`time.monotonic` cutoff; *livelock_threshold* /
         *on_livelock* arm the cycle-level refire watchdog (see
         :meth:`run`).  Returns a ``ParallelRunResult(cycles, fired,
         conflicted, abandoned)`` namedtuple; why the run stopped is in
         ``self.last_run_report``.
         """
         return _reliability.run_parallel_guarded(
-            self, max_cycles, wall_clock=wall_clock,
+            self, max_cycles, wall_clock=wall_clock, deadline=deadline,
             firing_budget=firing_budget,
             livelock_threshold=livelock_threshold,
             on_livelock=on_livelock,

@@ -42,7 +42,7 @@ way forward.
 from __future__ import annotations
 
 import time
-from time import perf_counter
+from time import monotonic, perf_counter
 
 from repro.engine.parallel import ParallelRunResult, PlanReplayer
 from repro.engine.rhs import RhsExecutor
@@ -597,9 +597,16 @@ def _livelock(engine, on_livelock, rule_name, count):
         )
 
 
-def run_guarded(engine, limit=None, *, wall_clock=None,
+def run_guarded(engine, limit=None, *, wall_clock=None, deadline=None,
                 livelock_threshold=None, on_livelock="stop"):
-    """``RuleEngine.run`` with budgets and the livelock watchdog."""
+    """``RuleEngine.run`` with budgets and the livelock watchdog.
+
+    *deadline* is an absolute :func:`time.monotonic` instant (the
+    service layer propagates a client's per-request deadline here);
+    crossing it stops the run with reason ``"deadline"`` — distinct
+    from ``"wall_clock"`` so callers can tell a client-imposed cutoff
+    from the server-side cap.
+    """
     if on_livelock not in ("stop", "raise"):
         raise EngineError(
             f"on_livelock must be 'stop' or 'raise', got {on_livelock!r}"
@@ -612,6 +619,9 @@ def run_guarded(engine, limit=None, *, wall_clock=None,
     while True:
         if limit is not None and fired >= limit:
             reason = "limit"
+            break
+        if deadline is not None and monotonic() >= deadline:
+            reason = "deadline"
             break
         if (wall_clock is not None
                 and perf_counter() - started >= wall_clock):
@@ -642,13 +652,15 @@ def run_guarded(engine, limit=None, *, wall_clock=None,
 
 
 def run_parallel_guarded(engine, max_cycles=None, *, wall_clock=None,
-                         firing_budget=None, livelock_threshold=None,
-                         on_livelock="stop"):
+                         deadline=None, firing_budget=None,
+                         livelock_threshold=None, on_livelock="stop"):
     """``RuleEngine.run_parallel`` with budgets and the watchdog.
 
     Livelock is judged per parallel cycle: a whole cycle that fires
     but returns working memory to an already-seen content fingerprint
-    more than the threshold is a cycle-level refire loop.
+    more than the threshold is a cycle-level refire loop.  *deadline*
+    is an absolute :func:`time.monotonic` cutoff, as in
+    :func:`run_guarded`.
     """
     if on_livelock not in ("stop", "raise"):
         raise EngineError(
@@ -663,6 +675,9 @@ def run_parallel_guarded(engine, max_cycles=None, *, wall_clock=None,
     reason = "quiescent"
     culprit = None
     while max_cycles is None or cycles < max_cycles:
+        if deadline is not None and monotonic() >= deadline:
+            reason = "deadline"
+            break
         if (wall_clock is not None
                 and perf_counter() - started >= wall_clock):
             reason = "wall_clock"

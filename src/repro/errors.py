@@ -186,3 +186,16 @@ class AdmissionError(ServiceError):
     def __init__(self, message, retry_after=0.05):
         super().__init__(message)
         self.retry_after = retry_after
+
+
+class DeadlineError(ServiceError):
+    """A request's deadline expired before the server could serve it.
+
+    Raised when a ``deadline_ms``-carrying request is still queued (on
+    admission, the session lock, or the executor) when its deadline
+    passes.  Surfaced to clients as a ``deadline`` error response; by
+    construction the request was *not* applied, so retrying with a
+    fresh deadline is always safe.  A deadline that expires mid-run
+    does not raise — the run watchdog stops the run and reports
+    ``stopped="deadline"`` in an ok response instead.
+    """

@@ -8,16 +8,24 @@ memories.  This package is that shape —
 * :mod:`repro.service.rulebase` — parse-once/kernel-compile-once
   shared rule bases keyed by content hash;
 * :mod:`repro.service.session` — per-tenant engine sessions with
-  TTL/LRU eviction and WAL-backed resume;
+  TTL/LRU eviction, WAL-backed resume, and the exactly-once request
+  journal;
 * :mod:`repro.service.server` — the asyncio front end with bounded
-  admission queues and backpressure;
-* :mod:`repro.service.client` — a blocking client;
-* :mod:`repro.service.loadgen` — the concurrency/latency benchmark.
+  admission queues, backpressure, deadlines, circuit breakers, and
+  drain-mode shutdown;
+* :mod:`repro.service.client` — a blocking client with transparent
+  reconnect, jittered backoff, and idempotency keys;
+* :mod:`repro.service.chaos` — deterministic wire/lifecycle fault
+  injection for proving all of the above;
+* :mod:`repro.service.loadgen` — the concurrency/latency benchmark
+  and chaos soak driver.
 
 See ``docs/SERVICE.md``.
 """
 
+from repro.service.chaos import ChaosConfig, ChaosInjector
 from repro.service.client import (
+    AmbiguousRequestError,
     ServiceBusyError,
     ServiceClient,
     ServiceClientError,
@@ -27,6 +35,9 @@ from repro.service.server import RuleService, ServiceConfig, ServiceThread
 from repro.service.session import Session, SessionRegistry
 
 __all__ = [
+    "AmbiguousRequestError",
+    "ChaosConfig",
+    "ChaosInjector",
     "RuleBase",
     "RuleBaseCache",
     "RuleService",

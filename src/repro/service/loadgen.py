@@ -5,13 +5,27 @@ thread owns one connection and one session, ticking ``assert`` (a
 batch of facts) + ``run`` (recognize-act to quiescence) at an optional
 target rate — and reports latency percentiles (p50/p95/p99/max, per
 op), throughput (events/sec, firings), busy-backoff totals, and an
-error count.  The CI soak job runs it against a mixed-matcher server
-and fails on any error; the benchmark harness records its output as
-the ``service_*`` scenarios.
+error count.  The CI soak jobs run it against mixed-matcher servers
+(one of them chaos-injected) and fail on any *real* error; the
+benchmark harness records its output as the ``service_*`` scenarios.
+
+Failure classification matters here: **shed load is not an error**.  A
+request the server rejected with ``busy`` past the retry budget lands
+in ``report["busy_shed"]`` (the worker skips that tick — the load was
+shed, which is the server doing its job under overload), while
+protocol/engine/connection failures land in ``report["errors"]`` and
+fail ``--fail-on-error``.  A ``no_session`` mid-soak (chaos kill,
+eviction) triggers a resume (durable sessions) or a fresh create and
+is counted in ``report["session_restarts"]``.
 
 Run standalone (spins up an in-process server when no ``--port``)::
 
     python -m repro.service.loadgen --sessions 8 --ticks 20 --facts 50
+
+chaos-soak an in-process server with idempotent retries::
+
+    python -m repro.service.loadgen --chaos "disconnect=0.05,seed=7" \
+        --idempotent --durable --wal-root /tmp/wal --fail-on-error
 
 or against an already-running ``repro serve``::
 
@@ -26,7 +40,11 @@ import sys
 import threading
 import time
 
-from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.client import (
+    ServiceBusyError,
+    ServiceClient,
+    ServiceClientError,
+)
 
 #: The default workload: one set-oriented rule (the paper's department
 #: roll-up shape) so every tick exercises S-node batch re-evaluation,
@@ -76,7 +94,7 @@ class _Worker:
 
     def __init__(self, index, host, port, *, program, matcher, ticks,
                  facts_per_tick, rate, durable, parallel,
-                 session_prefix):
+                 session_prefix, idempotent=False, deadline_ms=None):
         self.index = index
         self.host = host
         self.port = port
@@ -87,6 +105,8 @@ class _Worker:
         self.rate = rate
         self.durable = durable
         self.parallel = parallel
+        self.idempotent = idempotent
+        self.deadline_ms = deadline_ms
         self.session_id = f"{session_prefix}-{index}"
         self.latencies = {"assert": [], "run": []}
         self.firings = 0
@@ -94,7 +114,26 @@ class _Worker:
         self.rulebase_hit = False
         self.busy_retries = 0
         self.backoff_s = 0.0
+        self.reconnects = 0
+        self.client_retries = 0
+        self.deduped = 0
+        self.shed = 0
+        self.session_restarts = 0
         self.errors = []
+
+    def _key(self, op):
+        """Deterministic idempotency key for one logical op.
+
+        Stable across the recover-and-retry path: if the op already
+        applied before a wire fault or chaos kill ate its response,
+        the retried request dedups against the journal and recovers
+        the *exact* original summary — ingest and firing credit
+        included — instead of silently re-running against an engine
+        whose refraction makes it a no-op.
+        """
+        if not self.idempotent:
+            return None
+        return f"{self.session_id}-{op}"
 
     def _facts(self, tick):
         base = tick * self.facts_per_tick
@@ -108,63 +147,153 @@ class _Worker:
         ]
 
     def run(self):
+        client = None
         try:
-            with ServiceClient(self.host, self.port) as client:
-                self._drive(client)
-                self.busy_retries = client.busy_retries
-                self.backoff_s = client.backoff_s
+            client = ServiceClient(self.host, self.port, seed=self.index)
+            self._drive(client)
         except (ServiceClientError, ConnectionError, OSError) as error:
             self.errors.append(f"{self.session_id}: {error}")
+        finally:
+            if client is not None:
+                self.busy_retries = client.busy_retries
+                self.backoff_s = client.backoff_s
+                self.reconnects = client.reconnects
+                self.client_retries = client.retries
+                self.deduped = client.deduped
+                client.close()
+
+    def _recover_session(self, client):
+        """Re-establish the session after a chaos kill or eviction."""
+        self.session_restarts += 1
+        if self.durable:
+            client.create(
+                self.session_id, self.program, matcher=self.matcher,
+                durable=True, resume=True, retry=True,
+                idempotent=self.idempotent,
+            )
+        else:
+            client.create(
+                self.session_id, self.program, matcher=self.matcher,
+                durable=False, retry=True, idempotent=self.idempotent,
+            )
+
+    def _call(self, client, fn):
+        """One request with failure classification.
+
+        Returns ``(result, ok)``.  Shed load (``busy`` past the retry
+        budget) skips the op without recording an error; a vanished
+        session is recovered and the op retried; anything else is a
+        real error.
+        """
+        for attempt in range(3):
+            try:
+                return fn(), True
+            except ServiceBusyError:
+                self.shed += 1
+                return None, False
+            except ServiceClientError as error:
+                if error.code == "no_session" and attempt < 2:
+                    try:
+                        self._recover_session(client)
+                        continue
+                    except ServiceBusyError:
+                        self.shed += 1
+                        return None, False
+                    except (ServiceClientError, ConnectionError,
+                            OSError) as recover_error:
+                        self.errors.append(
+                            f"{self.session_id}: recover failed: "
+                            f"{recover_error}"
+                        )
+                        return None, False
+                self.errors.append(f"{self.session_id}: {error}")
+                return None, False
+            except (ConnectionError, OSError) as error:
+                self.errors.append(f"{self.session_id}: {error}")
+                return None, False
+        self.errors.append(
+            f"{self.session_id}: session kept vanishing; giving up"
+        )
+        return None, False
 
     def _drive(self, client):
-        response = client.create(
+        response, ok = self._call(client, lambda: client.create(
             self.session_id, self.program, matcher=self.matcher,
             durable=self.durable, retry=True,
-        )
+            idempotent=self.idempotent,
+        ))
+        if not ok:
+            return
         self.rulebase_hit = bool(response.get("rulebase_hit"))
-        client.assert_facts(
+        self._call(client, lambda: client.assert_facts(
             self.session_id,
             [("dept", {"name": f"d{d}"}) for d in range(N_DEPTS)],
-            retry=True,
-        )
+            retry=True, key=self._key("depts"),
+            deadline_ms=self.deadline_ms,
+        ))
         tick_interval = (
             self.facts_per_tick / self.rate if self.rate else 0.0
         )
         start = time.perf_counter()
         for tick in range(self.ticks):
             t0 = time.perf_counter()
-            client.assert_facts(
-                self.session_id, self._facts(tick), retry=True,
+            _response, sent = self._call(
+                client,
+                lambda: client.assert_facts(
+                    self.session_id, self._facts(tick), retry=True,
+                    key=self._key(f"a{tick}"),
+                    deadline_ms=self.deadline_ms,
+                ),
             )
             t1 = time.perf_counter()
-            run_response, _events = client.run(
-                self.session_id, parallel=self.parallel, retry=True,
+            run_response, ran = self._call(
+                client,
+                lambda: client.run(
+                    self.session_id, parallel=self.parallel, retry=True,
+                    key=self._key(f"r{tick}"),
+                    deadline_ms=self.deadline_ms,
+                ),
             )
             t2 = time.perf_counter()
-            self.latencies["assert"].append((t1 - t0) * 1000.0)
-            self.latencies["run"].append((t2 - t1) * 1000.0)
-            self.firings += int(run_response.get("fired", 0))
-            self.events_sent += self.facts_per_tick
+            if sent:
+                self.latencies["assert"].append((t1 - t0) * 1000.0)
+                self.events_sent += self.facts_per_tick
+            if ran:
+                self.latencies["run"].append((t2 - t1) * 1000.0)
+                self.firings += int(run_response[0].get("fired", 0))
             if tick_interval:
                 deadline = start + (tick + 1) * tick_interval
                 sleep_for = deadline - time.perf_counter()
                 if sleep_for > 0:
                     time.sleep(sleep_for)
-        client.close_session(self.session_id, retry=True)
+        try:
+            client.close_session(
+                self.session_id, retry=True,
+                idempotent=self.idempotent,
+            )
+        except ServiceBusyError:
+            self.shed += 1
+        except ServiceClientError as error:
+            # A chaos kill or eviction may have beaten us to it.
+            if error.code != "no_session":
+                self.errors.append(f"{self.session_id}: {error}")
 
 
 def run_load(host, port, *, sessions=4, ticks=10, facts_per_tick=50,
              matchers=("rete",), program=DEFAULT_PROGRAM, rate=None,
              durable=False, parallel=False, session_prefix="load",
+             idempotent=False, deadline_ms=None,
              collect_server_stats=True):
     """Drive the server at ``host:port``; returns the report dict.
 
     *matchers* round-robins across the sessions, so a two-element
     tuple splits the fleet between match algorithms (and exercises two
     shared rule bases).  *rate* paces each session to that many
-    events/sec (None = as fast as the server admits).  Any worker
-    error lands in ``report["errors"]`` — an empty list is the soak
-    job's pass condition.
+    events/sec (None = as fast as the server admits).  *idempotent*
+    attaches idempotency keys to every mutating request — the chaos
+    soak's exactly-once mode.  Real worker errors land in
+    ``report["errors"]`` (the soak job's fail condition); shed load
+    lands in ``report["busy_shed"]`` and does not fail the soak.
     """
     workers = [
         _Worker(
@@ -172,7 +301,8 @@ def run_load(host, port, *, sessions=4, ticks=10, facts_per_tick=50,
             matcher=matchers[i % len(matchers)],
             ticks=ticks, facts_per_tick=facts_per_tick, rate=rate,
             durable=durable, parallel=parallel,
-            session_prefix=session_prefix,
+            session_prefix=session_prefix, idempotent=idempotent,
+            deadline_ms=deadline_ms,
         )
         for i in range(sessions)
     ]
@@ -196,6 +326,7 @@ def run_load(host, port, *, sessions=4, ticks=10, facts_per_tick=50,
         "rate_events_per_s": rate,
         "durable": durable,
         "parallel": parallel,
+        "idempotent": idempotent,
         "duration_s": round(elapsed, 3),
         "events_total": events_total,
         "events_per_s": round(events_total / elapsed, 1) if elapsed else 0.0,
@@ -203,6 +334,11 @@ def run_load(host, port, *, sessions=4, ticks=10, facts_per_tick=50,
         "rulebase_hits": sum(1 for w in workers if w.rulebase_hit),
         "busy_retries": sum(w.busy_retries for w in workers),
         "backoff_s": round(sum(w.backoff_s for w in workers), 3),
+        "busy_shed": sum(w.shed for w in workers),
+        "reconnects": sum(w.reconnects for w in workers),
+        "retries": sum(w.client_retries for w in workers),
+        "deduped": sum(w.deduped for w in workers),
+        "session_restarts": sum(w.session_restarts for w in workers),
         "latency": {
             op: _latency_summary(
                 [ms for w in workers for ms in w.latencies[op]]
@@ -216,7 +352,7 @@ def run_load(host, port, *, sessions=4, ticks=10, facts_per_tick=50,
             with ServiceClient(host, port) as client:
                 report["server"] = {
                     k: v for k, v in client.stats().items()
-                    if k in ("server", "registry", "rule_bases")
+                    if k in ("server", "registry", "rule_bases", "chaos")
                 }
         except (ServiceClientError, ConnectionError, OSError) as error:
             report["errors"].append(f"stats: {error}")
@@ -252,6 +388,25 @@ def main(argv=None):
     parser.add_argument("--durable", action="store_true",
                         help="create durable sessions (needs wal_root)")
     parser.add_argument(
+        "--idempotent", action="store_true",
+        help="attach idempotency keys to every mutating request "
+             "(exactly-once retries under chaos)",
+    )
+    parser.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-request deadline forwarded to the server",
+    )
+    parser.add_argument(
+        "--session-prefix", default="load",
+        help="session id prefix (default 'load')",
+    )
+    parser.add_argument(
+        "--chaos", default=None,
+        help="chaos spec for the in-process server, e.g. "
+             "'disconnect=0.05,delay=0.05,kill=0.02,seed=7' "
+             "(ignored with --port)",
+    )
+    parser.add_argument(
         "--wal-root", default=None,
         help="WAL root for the in-process server (implies durability "
              "support)",
@@ -266,7 +421,8 @@ def main(argv=None):
     )
     parser.add_argument(
         "--fail-on-error", action="store_true",
-        help="exit 1 if any request errored (the soak gate)",
+        help="exit 1 if any request hit a real error (shed load and "
+             "chaos-recovered requests do not fail the soak)",
     )
     options = parser.parse_args(argv)
     matchers = tuple(
@@ -281,9 +437,14 @@ def main(argv=None):
         server = ServiceThread(ServiceConfig(
             host="127.0.0.1", port=0, wal_root=options.wal_root,
             engine_workers=options.engine_workers,
+            chaos=options.chaos,
         )).start()
         host, port = server.address
         print(f"started in-process service on {host}:{port}")
+    elif options.chaos:
+        print("--chaos only applies to the in-process server; "
+              "start the remote server with 'serve --chaos'",
+              file=sys.stderr)
     try:
         report = run_load(
             host, port,
@@ -294,6 +455,9 @@ def main(argv=None):
             rate=options.rate,
             durable=options.durable,
             parallel=options.parallel,
+            idempotent=options.idempotent,
+            deadline_ms=options.deadline_ms,
+            session_prefix=options.session_prefix,
         )
     finally:
         if server is not None:

@@ -16,15 +16,30 @@ echo the request ``id``; the terminal line carries ``"ok"``:
 
 * success — ``{"ok": true, "id": ..., ...}``
 * failure — ``{"ok": false, "id": ..., "error": "<code>",
-  "message": "..."}``; code ``busy`` additionally carries
-  ``retry_after`` (seconds): the admission queues are full, back off
-  and retry (the load generator honours it).
+  "message": "..."}``; codes ``busy``, ``deadline``, and
+  ``unavailable`` additionally carry ``retry_after`` (seconds): the
+  request was *not* applied, back off and retry (the load generator
+  and ``ServiceClient`` honour it).
 
-Ops: ``ping``, ``create`` (program + per-session configuration),
-``assert`` (a fact batch, ingested atomically), ``run`` (recognize-act
-cycles, streaming firings/writes/derived facts), ``facts`` (dump
-working memory), ``checkpoint``, ``close``, ``stats``.  See
-``docs/SERVICE.md`` for the full field tables.
+Resilience fields every mutating request may carry:
+
+* ``deadline_ms`` — a relative per-request deadline.  The server
+  anchors it at receipt; a request still queued when it expires gets
+  a ``deadline`` error (never applied), and a ``run`` in flight is
+  stopped by the deadline-aware watchdog (``stopped="deadline"``).
+* ``key`` — an idempotency key.  The server consults the session's
+  WAL-backed request-dedup journal first, so retrying ``assert`` /
+  ``run`` / ``create`` after an ambiguous failure (connection torn
+  down before the terminal line arrived) applies exactly once; a
+  journal hit is answered with the recorded response plus
+  ``deduped: true`` and streams no event lines.
+
+Ops: ``ping``, ``health`` (readiness/drain state, never shed),
+``create`` (program + per-session configuration), ``assert`` (a fact
+batch, ingested atomically), ``run`` (recognize-act cycles, streaming
+firings/writes/derived facts), ``facts`` (dump working memory),
+``checkpoint``, ``close``, ``stats``.  See ``docs/SERVICE.md`` for
+the full field tables.
 """
 
 from __future__ import annotations
@@ -39,9 +54,16 @@ PROTOCOL_VERSION = 1
 #: batches beyond this split into several ``assert`` requests.
 MAX_LINE_BYTES = 8 * 1024 * 1024
 
-#: Error codes a terminal failure response may carry.
+#: Error codes a terminal failure response may carry.  ``busy``
+#: (admission/backpressure, circuit breaker, drain), ``deadline``
+#: (expired while queued), and ``unavailable`` (transient I/O failure,
+#: e.g. a WAL append hitting ENOSPC — rolled back, nothing applied)
+#: are retryable; the rest are not.
 ERROR_CODES = ("protocol", "busy", "no_session", "bad_request",
-               "engine", "internal")
+               "engine", "internal", "deadline", "unavailable")
+
+#: Codes whose failure responses mean "not applied — safe to retry".
+RETRYABLE_CODES = frozenset({"busy", "deadline", "unavailable"})
 
 
 def encode_line(obj):

@@ -9,8 +9,8 @@ parsing, matching, firing, checkpointing — is synchronous Python, so
 every engine call runs on a bounded :class:`ThreadPoolExecutor` while
 the event loop keeps accepting connections; a per-session asyncio lock
 serialises each tenant's requests (the engine is not reentrant), and
-fact batches ingest through ``load_facts`` so all service traffic
-rides the batched propagation path.
+fact batches ingest transactionally so all service traffic rides the
+batched propagation path and a failed batch rolls back whole.
 
 **Admission control.**  Two bounded queues implement backpressure: a
 global in-flight cap (``global_queue``) and a per-session pending cap
@@ -18,12 +18,38 @@ global in-flight cap (``global_queue``) and a per-session pending cap
 immediately with a ``busy`` response carrying ``retry_after`` — the
 server never buffers unbounded work, it tells the client to back off
 (load shedding at the edge, the only stable answer once the executor
-saturates).
+saturates).  Shedding is tiered: control ops (``ping``/``health``/
+``stats``) are never shed, and ``create`` sheds earlier (at 80% of the
+global queue) than work on existing sessions, so overload pressure
+falls on new tenants before established ones; ``retry_after`` scales
+with how far past capacity the server is.
 
-**Watchdogs.**  Every ``run`` is guarded by the reliability layer's
-firing limit and wall-clock budget, capped at the server's configured
-maximums — a tenant may ask for less, never more — so one runaway
-program cannot monopolise an executor thread.
+**Watchdogs and deadlines.**  Every ``run`` is guarded by the
+reliability layer's firing limit and wall-clock budget, capped at the
+server's configured maximums — a tenant may ask for less, never more.
+A request carrying ``deadline_ms`` is additionally anchored to an
+absolute deadline at receipt: if it expires while the request is still
+queued the server answers ``deadline`` (nothing was applied, safe to
+retry), and a running ``run`` is stopped by the deadline-aware
+watchdog (``stopped="deadline"`` in an ok response).
+
+**Exactly-once.**  A mutating request may carry an idempotency
+``key``.  Completed responses are recorded in a per-session journal
+that is WAL-backed for durable sessions (an ``assert``'s key rides
+inside its delta record; a ``run``'s summary is a ``j`` record), so a
+retry after an ambiguous failure — connection torn down before the
+terminal line arrived, a server crash mid-request — is answered from
+the journal instead of re-applied, across eviction, resume, and crash
+recovery.
+
+**Graceful degradation.**  A per-session circuit breaker trips
+repeatedly-failing sessions into quarantine (``busy`` with
+``retry_after`` = remaining cooldown, then a half-open probe);
+:meth:`RuleService.drain` stops accepting, finishes in-flight work,
+and checkpoints every session for fast resume by the next server
+generation.  The optional chaos layer (:mod:`repro.service.chaos`)
+injects wire and lifecycle faults to prove all of the above under
+fire.
 
 See ``docs/SERVICE.md`` for the operator-facing story.
 """
@@ -31,14 +57,23 @@ See ``docs/SERVICE.md`` for the operator-facing story.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import threading
 from collections import Counter
 from concurrent.futures import ThreadPoolExecutor
+from time import monotonic
 
-from repro.errors import AdmissionError, ReproError, ServiceError
+from repro.errors import (
+    AdmissionError,
+    DeadlineError,
+    ReproError,
+    ServiceError,
+    WalError,
+)
 from repro.service import protocol
+from repro.service.chaos import ChaosInjector
 from repro.service.rulebase import RuleBaseCache
-from repro.service.session import SessionRegistry
+from repro.service.session import SessionRegistry, journal_put
 from repro.service.protocol import (
     MAX_LINE_BYTES,
     PROTOCOL_VERSION,
@@ -49,6 +84,12 @@ from repro.service.protocol import (
     firing_event,
     ok_response,
 )
+
+#: Ops served even while draining and never load-shed.
+_CONTROL_OPS = frozenset({"ping", "health", "stats", "close"})
+
+#: Session-scoped work ops whose failures feed the circuit breaker.
+_SESSION_OPS = frozenset({"assert", "run", "facts", "checkpoint"})
 
 
 class ServiceConfig:
@@ -66,14 +107,23 @@ class ServiceConfig:
     requests per session / server-wide);
     *engine_workers* — executor threads running engine calls;
     *run_limit*/*run_wall_clock* — per-request watchdog caps;
-    *trace_limit* — per-session tracer ring bound.
+    *trace_limit* — per-session tracer ring bound;
+    *chaos* — a :class:`~repro.service.chaos.ChaosConfig` (or spec
+    string) enabling fault injection, None for a quiet server;
+    *breaker_threshold*/*breaker_cooldown* — consecutive failures that
+    trip a session's circuit breaker, and how long it stays open;
+    *journal_limit* — idempotency-journal entries retained per session;
+    *drain_grace* — seconds :meth:`RuleService.drain` waits for
+    in-flight requests before checkpointing and closing sessions.
     """
 
     __slots__ = ("host", "port", "wal_root", "fsync", "matcher",
                  "kernels", "backend", "strategy", "on_error",
                  "max_sessions", "idle_ttl", "sweep_interval",
                  "session_queue", "global_queue", "engine_workers",
-                 "run_limit", "run_wall_clock", "trace_limit")
+                 "run_limit", "run_wall_clock", "trace_limit",
+                 "chaos", "breaker_threshold", "breaker_cooldown",
+                 "journal_limit", "drain_grace")
 
     def __init__(self, host="127.0.0.1", port=0, wal_root=None,
                  fsync="batch", matcher="rete", kernels=None,
@@ -81,7 +131,9 @@ class ServiceConfig:
                  max_sessions=256, idle_ttl=300.0, sweep_interval=5.0,
                  session_queue=16, global_queue=128, engine_workers=4,
                  run_limit=10_000, run_wall_clock=30.0,
-                 trace_limit=10_000):
+                 trace_limit=10_000, chaos=None, breaker_threshold=5,
+                 breaker_cooldown=1.0, journal_limit=512,
+                 drain_grace=10.0):
         self.host = host
         self.port = port
         self.wal_root = wal_root
@@ -100,6 +152,57 @@ class ServiceConfig:
         self.run_limit = run_limit
         self.run_wall_clock = run_wall_clock
         self.trace_limit = trace_limit
+        self.chaos = chaos
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+        self.journal_limit = journal_limit
+        self.drain_grace = drain_grace
+
+
+class _CircuitBreaker:
+    """Per-session failure tracker: closed → open → half-open.
+
+    ``threshold`` consecutive engine/internal/unavailable failures
+    trip the breaker; while open, requests are rejected up front with
+    ``busy`` + ``retry_after`` (the remaining cooldown) instead of
+    burning an executor slot on a session that keeps failing.  After
+    the cooldown one probe request is admitted: success closes the
+    breaker, another failure re-opens it for a fresh cooldown.
+    """
+
+    __slots__ = ("failures", "open_until", "trips")
+
+    def __init__(self):
+        self.failures = 0
+        self.open_until = None
+        self.trips = 0
+
+    @property
+    def is_open(self):
+        return self.open_until is not None
+
+    def check(self, session_id, now):
+        if self.open_until is not None and now < self.open_until:
+            raise AdmissionError(
+                f"session {session_id!r} is quarantined by its circuit "
+                f"breaker ({self.failures} consecutive failures)",
+                retry_after=max(0.001, round(self.open_until - now, 3)),
+            )
+        # Open but cooled down: fall through, admitting this request
+        # as the half-open probe.
+
+    def record_failure(self, threshold, cooldown, now):
+        """Count one failure; returns True when the breaker (re)trips."""
+        self.failures += 1
+        if self.failures >= threshold:
+            self.open_until = now + cooldown
+            self.trips += 1
+            return True
+        return False
+
+    def record_success(self):
+        self.failures = 0
+        self.open_until = None
 
 
 class RuleService:
@@ -107,6 +210,10 @@ class RuleService:
 
     def __init__(self, config=None):
         self.config = config if config is not None else ServiceConfig()
+        self.chaos = (
+            ChaosInjector(self.config.chaos)
+            if self.config.chaos is not None else None
+        )
         self.rule_bases = RuleBaseCache()
         self.registry = SessionRegistry(
             self.rule_bases,
@@ -119,16 +226,23 @@ class RuleService:
             default_backend=self.config.backend,
             default_strategy=self.config.strategy,
             default_on_error=self.config.on_error,
+            fault_factory=(
+                self.chaos.fault_for_session
+                if self.chaos is not None else None
+            ),
         )
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.engine_workers,
             thread_name_prefix="repro-service",
         )
         self._session_locks = {}
+        self._breakers = {}
         self.global_pending = 0
         self.counters = Counter()
         self._server = None
         self._sweeper = None
+        self._draining = False
+        self._closed = False
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -151,29 +265,82 @@ class RuleService:
             raise ServiceError("service is not started")
         return self._server.sockets[0].getsockname()[:2]
 
+    @property
+    def draining(self):
+        return self._draining
+
     async def serve_forever(self):
         if self._server is None:
             await self.start()
         async with self._server:
             await self._server.serve_forever()
 
-    async def stop(self):
-        """Stop accepting, close every session cleanly, release pools."""
-        if self._sweeper is not None:
-            self._sweeper.cancel()
-            try:
-                await self._sweeper
-            except asyncio.CancelledError:
-                pass
-            self._sweeper = None
+    async def begin_drain(self):
+        """Enter drain mode: stop accepting connections and new work.
+
+        Idempotent.  Control ops (``ping``/``health``/``stats``/
+        ``close``) keep working on existing connections; everything
+        else is rejected with ``busy`` so clients fail over.  In-flight
+        requests are unaffected.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        self.counters["drains"] += 1
+        await self._stop_sweeper()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        await asyncio.get_running_loop().run_in_executor(
-            self._executor, self.registry.close_all
-        )
-        self._executor.shutdown(wait=True)
+
+    async def drain(self, grace=None):
+        """Graceful shutdown: drain, finish in-flight, checkpoint all.
+
+        Waits up to *grace* seconds (default ``config.drain_grace``)
+        for in-flight requests to complete, then checkpoints and
+        closes every session — so the next server generation resumes
+        each durable tenant from a short WAL tail.
+        """
+        await self.begin_drain()
+        grace = self.config.drain_grace if grace is None else grace
+        deadline = monotonic() + grace
+        while self.global_pending > 0 and monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        if not self._closed:
+            self._closed = True
+            await asyncio.get_running_loop().run_in_executor(
+                self._executor,
+                lambda: self.registry.close_all(checkpoint=True),
+            )
+            self._executor.shutdown(wait=True)
+
+    async def stop(self, drain=False):
+        """Stop accepting, close every session cleanly, release pools.
+
+        With *drain* the shutdown is graceful (see :meth:`drain`);
+        without, sessions close immediately and un-checkpointed state
+        survives only in their WALs.
+        """
+        if drain:
+            await self.drain()
+        await self._stop_sweeper()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if not self._closed:
+            self._closed = True
+            await asyncio.get_running_loop().run_in_executor(
+                self._executor, self.registry.close_all
+            )
+            self._executor.shutdown(wait=True)
+
+    async def _stop_sweeper(self):
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._sweeper
+            self._sweeper = None
 
     async def _sweep_loop(self):
         while True:
@@ -196,25 +363,63 @@ class RuleService:
             lock = self._session_locks[session_id] = asyncio.Lock()
         return lock
 
-    def _admit_global(self):
-        if self.global_pending >= self.config.global_queue:
-            self.counters["busy_rejections"] += 1
+    def _admit_global(self, tier="work"):
+        """Tiered overload shedding: ``create`` sheds at 80% of the
+        global queue so established sessions keep service while new
+        tenants back off; ``retry_after`` grows with the overload."""
+        cap = self.config.global_queue
+        if tier == "create" and cap >= 5:
+            cap = (cap * 4) // 5
+        if self.global_pending >= cap:
+            load = self.global_pending / max(1, self.config.global_queue)
             raise AdmissionError(
-                f"server at capacity ({self.config.global_queue} "
-                f"requests in flight)",
-                retry_after=0.05,
+                f"server at capacity ({self.global_pending} requests "
+                f"in flight, {tier} tier admits {cap})",
+                retry_after=round(0.05 * (1.0 + load), 3),
             )
 
-    def _admit(self, session):
-        """Admission check for one session-scoped request."""
-        self._admit_global()
-        if session.pending >= self.config.session_queue:
-            self.counters["busy_rejections"] += 1
-            raise AdmissionError(
-                f"session {session.id!r} queue full "
-                f"({self.config.session_queue} pending)",
-                retry_after=0.05,
+    # -- resilience plumbing -----------------------------------------------
+
+    def _breaker_check(self, session_id):
+        breaker = self._breakers.get(session_id)
+        if breaker is not None:
+            breaker.check(session_id, monotonic())
+
+    def _breaker_failure(self, session_id):
+        if not isinstance(session_id, str):
+            return
+        breaker = self._breakers.setdefault(session_id, _CircuitBreaker())
+        if breaker.record_failure(self.config.breaker_threshold,
+                                  self.config.breaker_cooldown,
+                                  monotonic()):
+            self.counters["breaker_trips"] += 1
+
+    def _breaker_success(self, session_id):
+        breaker = self._breakers.get(session_id)
+        if breaker is not None:
+            breaker.record_success()
+
+    @staticmethod
+    def _request_key(request):
+        key = request.get("key")
+        if key is None:
+            return None
+        if not isinstance(key, str) or not key or len(key) > 128:
+            raise ServiceError(
+                "'key' must be a non-empty string of at most 128 "
+                "characters"
             )
+        return key
+
+    async def _chaos_kill(self, session_id):
+        """Lifecycle fault: tear the session down mid-request."""
+        def kill():
+            with contextlib.suppress(ServiceError):
+                self.registry.close_session(session_id)
+
+        await self._in_executor(kill)
+        self._session_locks.pop(session_id, None)
+        self.counters["chaos_kills"] += 1
 
     # -- connection handling ----------------------------------------------
 
@@ -269,9 +474,42 @@ class RuleService:
                 request_id, "bad_request", f"unknown op {op!r}",
             ))
             return
+        deadline_ms = request.get("deadline_ms")
+        if deadline_ms is not None:
+            try:
+                # Anchor the relative deadline at receipt; queue waits
+                # and the run watchdog all measure against this instant.
+                request["_deadline"] = (
+                    monotonic() + float(deadline_ms) / 1000.0
+                )
+            except (TypeError, ValueError):
+                await self._send(writer, error_response(
+                    request_id, "bad_request",
+                    f"'deadline_ms' must be a number, "
+                    f"got {deadline_ms!r}",
+                ))
+                return
+        if self._draining and op not in _CONTROL_OPS:
+            self.counters["drain_rejections"] += 1
+            await self._send(writer, error_response(
+                request_id, "busy", "server is draining",
+                retry_after=1.0, draining=True,
+            ))
+            return
+        session_id = (
+            request.get("session") if op in _SESSION_OPS else None
+        )
         try:
             await handler(request, request_id, writer)
+            if session_id is not None:
+                self._breaker_success(session_id)
+        except DeadlineError as error:
+            self.counters["deadline_rejections"] += 1
+            await self._send(writer, error_response(
+                request_id, "deadline", str(error), retry_after=0.0,
+            ))
         except AdmissionError as error:
+            self.counters["busy_rejections"] += 1
             await self._send(writer, error_response(
                 request_id, "busy", str(error),
                 retry_after=error.retry_after,
@@ -284,56 +522,115 @@ class RuleService:
             await self._send(writer, error_response(
                 request_id, code, str(error),
             ))
+        except (ConnectionResetError, BrokenPipeError):
+            raise
+        except (WalError, OSError) as error:
+            # Transient I/O (ENOSPC on a WAL append, a torn segment):
+            # the mutation was rolled back, so the request is safe to
+            # retry once the condition clears.
+            self.counters["unavailable_errors"] += 1
+            self._breaker_failure(session_id)
+            await self._send(writer, error_response(
+                request_id, "unavailable",
+                f"{type(error).__name__}: {error}", retry_after=0.1,
+            ))
         except ReproError as error:
             self.counters["engine_errors"] += 1
+            self._breaker_failure(session_id)
             await self._send(writer, error_response(
                 request_id, "engine",
                 f"{type(error).__name__}: {error}",
             ))
-        except (ConnectionResetError, BrokenPipeError):
-            raise
         except Exception as error:  # keep the server alive per request
             self.counters["internal_errors"] += 1
+            self._breaker_failure(session_id)
             await self._send(writer, error_response(
                 request_id, "internal",
                 f"{type(error).__name__}: {error}",
             ))
 
     async def _send(self, writer, obj):
-        writer.write(encode_line(obj))
+        data = encode_line(obj)
+        if self.chaos is not None:
+            fault = self.chaos.wire_fault()
+            if fault == "delay":
+                await asyncio.sleep(self.chaos.delay_seconds())
+            elif fault is not None:
+                if fault == "partial":
+                    writer.write(
+                        data[:self.chaos.partial_prefix(len(data))]
+                    )
+                    with contextlib.suppress(Exception):
+                        await writer.drain()
+                writer.close()
+                raise ConnectionResetError(f"chaos wire fault: {fault}")
+        writer.write(data)
         await writer.drain()
 
-    def _checked_out(self, session_id):
-        """The session, re-validated under its lock (eviction race)."""
-        session = self.registry.get(session_id)
-        if session.closed:
-            raise ServiceError(f"no session named {session_id!r}")
-        return session
-
     async def _with_session(self, request, fn):
-        """Admit, lock, and run ``fn(session)`` on the executor."""
+        """Admit, check out, lock, and run ``fn(session)`` on the
+        executor.
+
+        Checkout (lookup + per-session admission + the ``pending``
+        claim) is atomic under the registry lock, so the sweeper and
+        LRU evictor can never checkpoint this session out from under
+        an admitted request; a request that loses the race gets a
+        clean ``no_session`` before any work happens.
+        """
         session_id = request.get("session")
         if not isinstance(session_id, str):
             raise ServiceError("request needs a 'session' field")
-        session = self.registry.get(session_id)
-        self._admit(session)
-        session.pending += 1
+        self._breaker_check(session_id)
+        self._admit_global()
+        if self.chaos is not None and self.chaos.should_kill_session():
+            await self._chaos_kill(session_id)
+            raise ServiceError(
+                f"no session named {session_id!r} (killed by chaos)"
+            )
+        session = self.registry.checkout(
+            session_id, self.config.session_queue
+        )
         self.global_pending += 1
         try:
             async with self._session_lock(session_id):
-                session = self._checked_out(session_id)
+                deadline = request.get("_deadline")
+                if deadline is not None and monotonic() >= deadline:
+                    raise DeadlineError(
+                        f"deadline expired while the request for "
+                        f"session {session_id!r} was queued"
+                    )
+                if session.closed:
+                    # A close op slipped in while we waited on the lock.
+                    raise ServiceError(
+                        f"no session named {session_id!r}"
+                    )
                 session.requests += 1
                 return await self._in_executor(fn, session)
         finally:
-            session.pending -= 1
             self.global_pending -= 1
-            session.touch()
+            self.registry.checkin(session)
 
     # -- ops ---------------------------------------------------------------
 
     async def _op_ping(self, request, request_id, writer):
         await self._send(writer, ok_response(
             request_id, pong=True, protocol=PROTOCOL_VERSION,
+        ))
+
+    async def _op_health(self, request, request_id, writer):
+        """Readiness/liveness for load balancers and drain orchestration
+        — never shed, served even while draining."""
+        await self._send(writer, ok_response(
+            request_id,
+            healthy=True,
+            ready=self._server is not None and not self._draining,
+            draining=self._draining,
+            sessions=len(self.registry),
+            pending=self.global_pending,
+            open_breakers=sum(
+                1 for b in self._breakers.values() if b.is_open
+            ),
+            protocol=PROTOCOL_VERSION,
         ))
 
     async def _op_create(self, request, request_id, writer):
@@ -344,7 +641,9 @@ class RuleService:
         session_id = request.get("session")
         if not isinstance(session_id, str):
             raise ServiceError("create needs a 'session' field")
-        self._admit_global()
+        key = self._request_key(request)
+        self._breaker_check(session_id)
+        self._admit_global(tier="create")
         self.global_pending += 1
         try:
             session, hit = await self._in_executor(
@@ -358,21 +657,27 @@ class RuleService:
                     durable=bool(request.get("durable", True)),
                     resume=resume,
                     workers=request.get("workers"),
+                    key=key,
                 )
             )
         finally:
             self.global_pending -= 1
-        self.counters["sessions_created"] += 1
-        if hit:
-            self.counters["rulebase_hits"] += 1
+        deduped = hit == "deduped"
+        if deduped:
+            self.counters["deduped_requests"] += 1
+        else:
+            self.counters["sessions_created"] += 1
+            if hit:
+                self.counters["rulebase_hits"] += 1
         await self._send(writer, ok_response(
             request_id,
             session=session.id,
-            rulebase_hit=hit,
+            rulebase_hit=bool(hit) and not deduped,
             resumed=session.resumed,
             rules=len(session.engine.rules),
             wm_size=len(session.engine.wm),
             durable=session.wal_dir is not None,
+            **({"deduped": True} if deduped else {}),
         ))
 
     @staticmethod
@@ -394,22 +699,29 @@ class RuleService:
 
     async def _op_assert(self, request, request_id, writer):
         pairs = self._validate_facts(request.get("facts"))
+        key = self._request_key(request)
+        journal_limit = self.config.journal_limit
 
         def ingest(session):
-            made = session.engine.load_facts(pairs)
-            session.facts_ingested += len(made)
-            return len(made), len(session.engine.wm)
+            return session.ingest_facts(
+                pairs, key=key, journal_limit=journal_limit
+            )
 
-        ingested, wm_size = await self._with_session(request, ingest)
-        self.counters["facts_ingested"] += ingested
-        await self._send(writer, ok_response(
-            request_id, ingested=ingested, wm_size=wm_size,
-        ))
+        response, deduped = await self._with_session(request, ingest)
+        if deduped:
+            self.counters["deduped_requests"] += 1
+            response = dict(response, deduped=True)
+        else:
+            self.counters["facts_ingested"] += response.get("ingested", 0)
+        await self._send(writer, ok_response(request_id, **response))
 
     async def _op_run(self, request, request_id, writer):
         limit = request.get("limit")
         wall_clock = request.get("wall_clock")
         parallel = bool(request.get("parallel", False))
+        key = self._request_key(request)
+        journal_limit = self.config.journal_limit
+        deadline = request.get("_deadline")
         cap_limit = self.config.run_limit
         cap_clock = self.config.run_wall_clock
         limit = cap_limit if limit is None else min(int(limit), cap_limit)
@@ -420,16 +732,24 @@ class RuleService:
 
         def execute(session):
             engine = session.engine
+            if key is not None:
+                cached = engine.request_journal.get(key)
+                if cached is not None:
+                    session.deduped += 1
+                    return None, dict(cached)
             derived = []
             engine.wm.attach(derived.append)
             try:
                 if parallel:
                     result = engine.run_parallel(
                         firing_budget=limit, wall_clock=wall_clock,
+                        deadline=deadline,
                     )
                     fired = result.fired
                 else:
-                    fired = engine.run(limit, wall_clock=wall_clock)
+                    fired = engine.run(
+                        limit, wall_clock=wall_clock, deadline=deadline,
+                    )
             finally:
                 engine.wm.detach(derived.append)
             # The trace's new home is the response stream: drain it so
@@ -440,12 +760,33 @@ class RuleService:
             engine.tracer.output.clear()
             session.firings += fired
             report = engine.last_run_report
-            return fired, records, outputs, derived, report, engine
+            summary = {
+                "fired": fired,
+                "halted": engine.halted,
+                "stopped": getattr(report, "reason", None),
+                "wm_size": len(engine.wm),
+                "conflict_set": len(engine.conflict_set),
+            }
+            if key is not None:
+                journal_put(engine, key, summary, journal_limit)
+                if engine.durability is not None:
+                    # Best-effort durable journal entry: if this append
+                    # fails, the in-memory entry still dedups retries
+                    # on the live session, and after a crash the WAL's
+                    # refraction replay makes a re-run fire nothing new.
+                    with contextlib.suppress(WalError, OSError):
+                        engine.durability.log_request(key, summary)
+            return (records, outputs, derived), summary
 
-        fired, records, outputs, derived, report, engine = (
-            await self._with_session(request, execute)
-        )
-        self.counters["firings"] += fired
+        events, summary = await self._with_session(request, execute)
+        if events is None:
+            self.counters["deduped_requests"] += 1
+            await self._send(writer, ok_response(
+                request_id, deduped=True, **summary,
+            ))
+            return
+        records, outputs, derived = events
+        self.counters["firings"] += summary["fired"]
         for record in records:
             await self._send(writer, firing_event(request_id, record))
         for text in outputs:
@@ -456,14 +797,7 @@ class RuleService:
             await self._send(writer, fact_event(
                 request_id, event.sign, event.wme,
             ))
-        await self._send(writer, ok_response(
-            request_id,
-            fired=fired,
-            halted=engine.halted,
-            stopped=getattr(report, "reason", None),
-            wm_size=len(engine.wm),
-            conflict_set=len(engine.conflict_set),
-        ))
+        await self._send(writer, ok_response(request_id, **summary))
 
     async def _op_facts(self, request, request_id, writer):
         wme_class = request.get("class")
@@ -508,6 +842,7 @@ class RuleService:
             )
         )
         self._session_locks.pop(session_id, None)
+        self._breakers.pop(session_id, None)
         self.counters["sessions_closed"] += 1
         await self._send(writer, ok_response(
             request_id, closed=session_id,
@@ -518,9 +853,20 @@ class RuleService:
             request_id,
             server=dict(self.counters),
             pending=self.global_pending,
+            draining=self._draining,
             registry=self.registry.stats(),
             rule_bases=self.rule_bases.stats(),
             sessions=[s.info() for s in self.registry.sessions()],
+            breakers={
+                "open": sum(
+                    1 for b in self._breakers.values() if b.is_open
+                ),
+                "tracked": len(self._breakers),
+            },
+            **(
+                {"chaos": self.chaos.stats()}
+                if self.chaos is not None else {}
+            ),
         ))
 
 
@@ -573,6 +919,22 @@ class ServiceThread:
         self._ready.set()
         await self._stop_event.wait()
         await self.service.stop()
+
+    def begin_drain(self, timeout=30):
+        """Enter drain mode from the caller's thread."""
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.begin_drain(), self._loop
+        )
+        return future.result(timeout=timeout)
+
+    def drain(self, grace=None, timeout=60):
+        """Graceful shutdown from the caller's thread (see
+        :meth:`RuleService.drain`); the thread itself keeps running
+        until :meth:`stop`."""
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.drain(grace), self._loop
+        )
+        return future.result(timeout=timeout)
 
     def stop(self):
         if self._loop is not None and self._stop_event is not None:

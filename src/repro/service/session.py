@@ -24,6 +24,15 @@ session is busy ⇒ the create is rejected with
 :class:`~repro.errors.AdmissionError` backpressure instead).
 Eviction and client disconnects race by design; ``RuleEngine.close``
 is idempotent, so both paths simply call it.
+
+Admission and eviction must not race each other, though: the sweeper
+runs on an executor thread while requests are admitted on the event
+loop, so lookup and the ``pending`` increment happen atomically under
+the registry lock (:meth:`SessionRegistry.checkout` /
+:meth:`~SessionRegistry.checkin`).  A request that wins the race
+blocks eviction until it completes; a request that loses gets a clean
+``no_session`` (the session was checkpointed intact) — never a
+half-applied batch.
 """
 
 from __future__ import annotations
@@ -33,7 +42,7 @@ import re
 import threading
 import time
 
-from repro.errors import AdmissionError, ServiceError
+from repro.errors import AdmissionError, ServiceError, WalError
 
 #: Session ids double as WAL directory names, so they are restricted
 #: to filesystem-safe characters (and can never traverse).
@@ -52,15 +61,33 @@ def validate_session_id(session_id):
     return session_id
 
 
+#: Default cap on per-session idempotency-journal entries.  Old
+#: entries evict in insertion order; a client retrying a request more
+#: than this many requests later loses dedup protection (it would
+#: re-apply), so clients should retry promptly — the retry budget in
+#: :class:`~repro.service.client.ServiceClient` is minutes, not hours.
+DEFAULT_JOURNAL_LIMIT = 512
+
+
+def journal_put(engine, key, response, limit=None):
+    """Record a completed request's response under its idempotency key,
+    evicting the oldest entries past *limit* (insertion order)."""
+    journal = engine.request_journal
+    journal[key] = response
+    limit = DEFAULT_JOURNAL_LIMIT if limit is None else limit
+    while len(journal) > limit:
+        journal.pop(next(iter(journal)))
+
+
 class Session:
     """One tenant's engine plus its admission/accounting state."""
 
     __slots__ = ("id", "engine", "rule_base", "wal_dir", "created_at",
                  "last_used", "pending", "requests", "facts_ingested",
-                 "firings", "resumed", "_clock")
+                 "firings", "resumed", "deduped", "create_key", "_clock")
 
     def __init__(self, session_id, engine, rule_base=None, wal_dir=None,
-                 resumed=False, clock=time.monotonic):
+                 resumed=False, create_key=None, clock=time.monotonic):
         self.id = session_id
         self.engine = engine
         self.rule_base = rule_base
@@ -74,6 +101,11 @@ class Session:
         self.facts_ingested = 0
         self.firings = 0
         self.resumed = resumed
+        #: Requests answered from the idempotency journal.
+        self.deduped = 0
+        #: Idempotency key of the ``create`` that made this session,
+        #: so a retried create is recognised instead of rejected.
+        self.create_key = create_key
 
     @property
     def closed(self):
@@ -84,6 +116,60 @@ class Session:
 
     def idle_for(self):
         return self._clock() - self.last_used
+
+    def ingest_facts(self, pairs, key=None, journal_limit=None):
+        """Atomically ingest ``(class, values)`` pairs; exactly once.
+
+        Returns ``(response, deduped)``.  With an idempotency *key*,
+        the engine's request journal is consulted first — a retried
+        batch whose first attempt committed is answered from the
+        journal, never re-applied — and the key rides *inside* the
+        batch's WAL delta record (``pending_request_key``), so the
+        effects and the dedup marker are one atomic frame: either both
+        survive a crash or neither does.
+
+        The batch itself runs under a WM transaction.  If the WAL
+        append fails mid-flush (ENOSPC, torn segment), the working
+        memory may be left in a reopened batch with the failed events
+        still staged; the rollback below rewinds them, so the request
+        fails cleanly (retryable) instead of leaving a half-applied
+        batch behind.
+        """
+        engine = self.engine
+        if key is not None:
+            cached = engine.request_journal.get(key)
+            if cached is not None:
+                self.deduped += 1
+                return dict(cached), True
+        durability = engine.durability
+        if key is not None and durability is not None:
+            durability.pending_request_key = key
+        wm = engine.wm
+        savepoint = wm.begin_transaction()
+        try:
+            try:
+                made = [
+                    wm.make(wme_class, **values)
+                    for wme_class, values in pairs
+                ]
+            except BaseException:
+                wm.rollback_transaction(savepoint, engine.stats)
+                raise
+            try:
+                wm.commit_transaction(savepoint, engine.stats)
+            except (WalError, OSError):
+                if not wm.in_batch:
+                    raise  # an observer already consumed the flush
+                wm.rollback_transaction(savepoint, engine.stats)
+                raise
+        finally:
+            if durability is not None:
+                durability.pending_request_key = None
+        self.facts_ingested += len(made)
+        response = {"ingested": len(made), "wm_size": len(wm)}
+        if key is not None:
+            journal_put(engine, key, response, journal_limit)
+        return response, False
 
     def close(self, checkpoint=False):
         """Close the tenant's engine (idempotent).
@@ -108,6 +194,7 @@ class Session:
             "pending": self.pending,
             "facts_ingested": self.facts_ingested,
             "firings": self.firings,
+            "deduped": self.deduped,
             "wm_size": len(self.engine.wm),
             "conflict_set": len(self.engine.conflict_set),
             "idle_s": round(self.idle_for(), 3),
@@ -127,10 +214,14 @@ class SessionRegistry:
                  max_sessions=256, idle_ttl=300.0,
                  default_matcher="rete", default_kernels=None,
                  default_backend=None, default_strategy="lex",
-                 default_on_error="halt", clock=time.monotonic):
+                 default_on_error="halt", fault_factory=None,
+                 clock=time.monotonic):
         self.rule_bases = rule_bases
         self.wal_root = str(wal_root) if wal_root is not None else None
         self.fsync = fsync
+        #: Optional ``session_id -> FaultInjector|None`` hook the chaos
+        #: layer uses to arm durable sessions with lifecycle faults.
+        self.fault_factory = fault_factory
         self.max_sessions = max_sessions
         self.idle_ttl = idle_ttl
         self.default_matcher = default_matcher
@@ -159,6 +250,35 @@ class SessionRegistry:
                 session.touch()
             return session
 
+    def checkout(self, session_id, max_pending=None):
+        """Atomically look up *session_id* and claim one pending slot.
+
+        Lookup, the per-session admission check, and the ``pending``
+        increment happen under the registry lock — the same lock the
+        idle sweeper and LRU evictor take — so a checked-out session
+        can never be evicted mid-request (eviction only considers
+        ``pending == 0`` sessions).  Pair with :meth:`checkin` in a
+        ``finally``.
+        """
+        with self._lock:
+            session = self._sessions.get(session_id)
+            if session is None or session.closed:
+                raise ServiceError(f"no session named {session_id!r}")
+            if max_pending is not None and session.pending >= max_pending:
+                raise AdmissionError(
+                    f"session {session_id!r} queue is full "
+                    f"({session.pending} pending); retry shortly",
+                )
+            session.pending += 1
+            session.touch()
+            return session
+
+    def checkin(self, session):
+        """Release a :meth:`checkout` claim."""
+        with self._lock:
+            session.pending -= 1
+            session.touch()
+
     def __contains__(self, session_id):
         with self._lock:
             session = self._sessions.get(session_id)
@@ -185,7 +305,7 @@ class SessionRegistry:
 
     def create(self, session_id, source, *, matcher=None, kernels=None,
                backend=None, strategy=None, on_error=None, durable=True,
-               resume=False, workers=None):
+               resume=False, workers=None, key=None):
         """Admit a new tenant; returns ``(session, rulebase_hit)``.
 
         The engine is stamped out of the shared rule base for
@@ -196,6 +316,12 @@ class SessionRegistry:
         logged one — the log is authoritative).  A fresh create whose
         directory already holds history raises
         :class:`~repro.errors.DurabilityError` naming the session.
+
+        *key* is the request's idempotency key: a retried create that
+        finds its session already live (the first attempt succeeded
+        but the response was lost) returns the existing session with
+        ``rulebase_hit == "deduped"`` instead of raising
+        "already exists".
         """
         validate_session_id(session_id)
         matcher = matcher or self.default_matcher
@@ -205,12 +331,19 @@ class SessionRegistry:
         on_error = on_error or self.default_on_error
         with self._lock:
             if session_id in self:
+                existing = self._sessions[session_id]
+                if key is not None and existing.create_key == key:
+                    existing.deduped += 1
+                    return existing, "deduped"
                 raise ServiceError(
                     f"session {session_id!r} already exists"
                 )
             if len(self._sessions) >= self.max_sessions:
                 self._evict_lru_locked()
             wal_dir = self._session_wal_dir(session_id) if durable else None
+            fault = None
+            if self.fault_factory is not None and wal_dir is not None:
+                fault = self.fault_factory(session_id)
             resumed = False
             if resume:
                 if wal_dir is None:
@@ -218,12 +351,18 @@ class SessionRegistry:
                         "resume requires a wal_root-configured server "
                         "and a durable session"
                     )
-                from repro.durability import recover_engine
+                from repro.durability import (
+                    DurabilityConfig, recover_engine,
+                )
                 from repro.engine.engine import RuleEngine
 
                 engine = recover_engine(
                     RuleEngine, wal_dir, on_error=on_error,
                     kernels=kernels, workers=workers,
+                    durability=DurabilityConfig(
+                        wal_dir, fsync=self.fsync, label=session_id,
+                        fault=fault,
+                    ),
                 )
                 base = None
                 resumed = True
@@ -238,7 +377,8 @@ class SessionRegistry:
                     from repro.durability import DurabilityConfig
 
                     durability = DurabilityConfig(
-                        wal_dir, fsync=self.fsync, label=session_id
+                        wal_dir, fsync=self.fsync, label=session_id,
+                        fault=fault,
                     )
                 engine = base.build_engine(
                     strategy=strategy, durability=durability,
@@ -246,7 +386,7 @@ class SessionRegistry:
                 )
             session = Session(
                 session_id, engine, rule_base=base, wal_dir=wal_dir,
-                resumed=resumed, clock=self.clock,
+                resumed=resumed, create_key=key, clock=self.clock,
             )
             self._sessions[session_id] = session
             self.created += 1
@@ -305,13 +445,18 @@ class SessionRegistry:
             self.evicted_idle += 1
         return [s.id for s in expired]
 
-    def close_all(self):
-        """Close every session (server shutdown)."""
+    def close_all(self, checkpoint=False):
+        """Close every session (server shutdown).
+
+        *checkpoint* is the drain path: every durable session writes a
+        checkpoint first so the next server generation resumes each
+        tenant from a short WAL tail.
+        """
         with self._lock:
             sessions = list(self._sessions.values())
             self._sessions.clear()
         for session in sessions:
-            session.close(checkpoint=False)
+            session.close(checkpoint=checkpoint)
             self.closed += 1
 
     def stats(self):

@@ -1,0 +1,152 @@
+"""The request-dedup journal at the durability layer: survivable I/O
+errors (``error_at``), keys riding inside delta records, ``j`` records,
+and the checkpoint manifest carrying the journal across truncation."""
+
+from __future__ import annotations
+
+import errno
+
+import pytest
+
+from repro import DurabilityConfig, RuleEngine
+from repro.durability import FaultInjector
+from repro.service.session import Session, journal_put
+
+PROGRAM = """
+(literalize order id status)
+"""
+
+
+def wm_state(engine):
+    return sorted(
+        (w.time_tag, w.wme_class, tuple(sorted(w.as_dict().items())))
+        for w in engine.wm
+    )
+
+
+class TestErrorInjection:
+    def test_error_at_raises_survivable_oserror(self):
+        fault = FaultInjector(error_at={"wal.append.before": 2})
+        fault.hit("wal.append.before")  # first hit passes
+        with pytest.raises(OSError) as info:
+            fault.hit("wal.append.before")
+        assert info.value.errno == errno.ENOSPC
+        assert "injected" in str(info.value)
+        assert fault.crashed is False  # survivable, not a crash
+        assert fault.errors_injected == 1
+        fault.hit("wal.append.before")  # one-shot: third hit passes
+
+    def test_error_at_custom_errno(self):
+        fault = FaultInjector(error_at={"wal.fsync": (1, errno.EIO)})
+        with pytest.raises(OSError) as info:
+            fault.hit("wal.fsync")
+        assert info.value.errno == errno.EIO
+
+    def test_enospc_mid_batch_rolls_back_whole(self, tmp_path):
+        fault = FaultInjector()
+        engine = RuleEngine(durability=DurabilityConfig(
+            tmp_path, fsync="off", fault=fault,
+        ))
+        engine.load(PROGRAM)
+        session = Session("tenant", engine)
+        first, deduped = session.ingest_facts(
+            [("order", {"id": 1, "status": "open"})], key="k1",
+        )
+        assert not deduped
+        # Arm a one-shot ENOSPC on the very next WAL append — the
+        # second batch's delta record.
+        fault.error_at["wal.append.before"] = (
+            fault.counts.get("wal.append.before", 0) + 1, errno.ENOSPC,
+        )
+        before = wm_state(engine)
+        with pytest.raises(OSError):
+            session.ingest_facts(
+                [("order", {"id": 2, "status": "open"}),
+                 ("order", {"id": 3, "status": "open"})],
+                key="k2",
+            )
+        # Nothing half-applied: same WMEs, no staged batch, and the
+        # failed request never reached the journal.
+        assert wm_state(engine) == before
+        assert not engine.wm.in_batch
+        assert "k2" not in engine.request_journal
+        # The retry applies exactly once, with dense time tags (the
+        # rolled-back batch burned none).
+        retried, deduped = session.ingest_facts(
+            [("order", {"id": 2, "status": "open"}),
+             ("order", {"id": 3, "status": "open"})],
+            key="k2",
+        )
+        assert not deduped
+        assert retried["ingested"] == 2
+        tags = [tag for tag, _, _ in wm_state(engine)]
+        assert tags == [1, 2, 3]
+        engine.close()
+        # And the survivor state is durable: recovery sees all three.
+        recovered = RuleEngine.recover(tmp_path, durability=False)
+        assert wm_state(recovered) == wm_state(engine)
+
+
+class TestJournalReplay:
+    def test_delta_key_replays_into_the_journal(self, tmp_path):
+        engine = RuleEngine(durability=DurabilityConfig(
+            tmp_path, fsync="off",
+        ))
+        engine.load(PROGRAM)
+        session = Session("tenant", engine)
+        response, _ = session.ingest_facts(
+            [("order", {"id": 1, "status": "open"})], key="k1",
+        )
+        engine.close()
+        recovered = RuleEngine.recover(tmp_path, durability=False)
+        entry = recovered.request_journal["k1"]
+        assert entry["recovered"] is True
+        assert entry["ingested"] == response["ingested"] == 1
+        assert entry["wm_size"] == response["wm_size"] == 1
+
+    def test_j_record_replays_run_summaries(self, tmp_path):
+        engine = RuleEngine(durability=DurabilityConfig(
+            tmp_path, fsync="off",
+        ))
+        engine.load(PROGRAM)
+        summary = {"fired": 3, "halted": False, "stopped": "quiescent"}
+        engine.durability.log_request("r1", summary)
+        engine.close()
+        recovered = RuleEngine.recover(tmp_path, durability=False)
+        assert recovered.request_journal["r1"] == summary
+
+    def test_checkpoint_manifest_carries_the_journal(self, tmp_path):
+        engine = RuleEngine(durability=DurabilityConfig(
+            tmp_path, fsync="off",
+        ))
+        engine.load(PROGRAM)
+        session = Session("tenant", engine)
+        session.ingest_facts(
+            [("order", {"id": 1, "status": "open"})], key="k1",
+        )
+        # The service layer always pairs the in-memory journal entry
+        # with the durable ``j`` record; the manifest snapshots the
+        # former.
+        journal_put(engine, "r1", {"fired": 0})
+        engine.durability.log_request("r1", {"fired": 0})
+        engine.checkpoint()  # truncates the WAL records behind it
+        session.ingest_facts(
+            [("order", {"id": 2, "status": "open"})], key="k2",
+        )
+        engine.close()
+        recovered = RuleEngine.recover(tmp_path, durability=False)
+        # k1/r1 came back through the manifest, k2 through the tail.
+        assert recovered.request_journal["k1"]["ingested"] == 1
+        assert recovered.request_journal["r1"] == {"fired": 0}
+        assert recovered.request_journal["k2"]["recovered"] is True
+
+    def test_keyless_traffic_leaves_no_journal(self, tmp_path):
+        engine = RuleEngine(durability=DurabilityConfig(
+            tmp_path, fsync="off",
+        ))
+        engine.load(PROGRAM)
+        session = Session("tenant", engine)
+        session.ingest_facts([("order", {"id": 1, "status": "open"})])
+        engine.close()
+        recovered = RuleEngine.recover(tmp_path, durability=False)
+        assert recovered.request_journal == {}

@@ -10,6 +10,8 @@ interactions live in ``tests/properties/test_rhs_fault_injection.py``
 and ``tests/durability/test_reliability_recovery.py``.
 """
 
+import time
+
 import pytest
 
 from repro import RuleEngine
@@ -534,6 +536,26 @@ class TestWatchdogs:
         assert cycles < 1000
         assert engine.last_run_report.reason == "livelock"
         assert engine.last_run_report.livelock_rule == "(parallel cycle)"
+
+    def test_expired_deadline_stops_before_firing(self):
+        engine = self._counter_engine()
+        fired = engine.run(deadline=time.monotonic() - 1.0)
+        assert fired == 0
+        assert engine.last_run_report.reason == "deadline"
+
+    def test_future_deadline_lets_the_run_quiesce(self):
+        engine = self._counter_engine()
+        fired = engine.run(deadline=time.monotonic() + 60.0)
+        assert fired == 50
+        assert engine.last_run_report.reason == "quiescent"
+
+    def test_parallel_deadline(self):
+        engine = self._counter_engine()
+        cycles, fired, _, _ = engine.run_parallel(
+            deadline=time.monotonic() - 1.0
+        )
+        assert (cycles, fired) == (0, 0)
+        assert engine.last_run_report.reason == "deadline"
 
 
 class TestContentIdentity:

@@ -1,0 +1,211 @@
+"""The chaos layer: config parsing, deterministic injection, and a
+live server surviving wire/lifecycle faults with exactly-once retries."""
+
+from __future__ import annotations
+
+import errno
+
+import pytest
+
+from repro.durability.faultfs import FaultInjector
+from repro.errors import ServiceError
+from repro.service import (
+    ChaosConfig,
+    ChaosInjector,
+    ServiceClient,
+    ServiceClientError,
+    ServiceConfig,
+    ServiceThread,
+)
+
+PROGRAM = """
+(literalize order id status)
+(literalize shipped id)
+(p ship-open
+  (order ^id <i> ^status open)
+  -(shipped ^id <i>)
+  -->
+  (make shipped ^id <i>))
+"""
+
+
+class TestChaosConfig:
+    def test_parse_round_trip(self):
+        config = ChaosConfig.parse(
+            "disconnect=0.25, delay=0.5, delay_s=0.01, seed=9"
+        )
+        assert config.disconnect == 0.25
+        assert config.delay == 0.5
+        assert config.delay_s == 0.01
+        assert config.seed == 9
+        assert config.partial == config.kill == 0.0
+        assert config.enabled
+
+    def test_parse_passthrough_and_describe(self):
+        config = ChaosConfig(kill=0.1, seed=3)
+        assert ChaosConfig.parse(config) is config
+        described = config.describe()
+        assert described["kill"] == 0.1
+        assert described["seed"] == 3
+        assert "kill=0.1" in repr(config)
+
+    def test_quiet_config_is_disabled(self):
+        assert not ChaosConfig().enabled
+        assert not ChaosConfig(delay_s=5.0).enabled
+
+    @pytest.mark.parametrize("spec", [
+        "frobnicate=1",          # unknown key
+        "disconnect",            # no value
+        "disconnect=lots",       # malformed value
+        "disconnect=1.5",        # out of range
+        "kill=-0.1",             # out of range
+    ])
+    def test_bad_specs_fail_loudly(self, spec):
+        with pytest.raises(ServiceError):
+            ChaosConfig.parse(spec)
+
+
+class TestChaosInjector:
+    def test_same_seed_same_faults(self):
+        make = lambda: ChaosInjector(ChaosConfig(
+            disconnect=0.2, partial=0.2, delay=0.2, seed=42,
+        ))
+        a, b = make(), make()
+        rolls = [(a.wire_fault(), b.wire_fault()) for _ in range(300)]
+        assert all(x == y for x, y in rolls)
+        assert a.counters == b.counters
+        assert sum(a.counters.values()) > 0
+
+    def test_wire_faults_are_counted(self):
+        injector = ChaosInjector(ChaosConfig(disconnect=1.0))
+        assert injector.wire_fault() == "disconnect"
+        assert injector.counters["disconnects"] == 1
+        assert injector.stats()["injected"]["disconnects"] == 1
+
+    def test_delay_and_partial_bounds(self):
+        injector = ChaosInjector(ChaosConfig(delay=1.0, delay_s=0.02))
+        for _ in range(50):
+            assert 0.01 <= injector.delay_seconds() <= 0.02
+            assert 0 <= injector.partial_prefix(100) < 100
+
+    def test_fault_for_session_arms_durability_faults(self):
+        injector = ChaosInjector(ChaosConfig(
+            wal_error=1.0, evict_crash=1.0, seed=1,
+        ))
+        fault = injector.fault_for_session("s1")
+        assert isinstance(fault, FaultInjector)
+        assert fault.crash_at == {"checkpoint.files": 1}
+        nth, code = fault.error_at["wal.append.before"]
+        assert 2 <= nth <= 12
+        assert code == errno.ENOSPC
+        quiet = ChaosInjector(ChaosConfig(seed=1))
+        assert quiet.fault_for_session("s1") is None
+
+
+class TestLiveWireChaos:
+    def test_keyed_workload_survives_wire_faults(self, tmp_path):
+        # Rates are per outbound *line*: multi-line responses (runs,
+        # facts dumps) compound them, so these per-line rates already
+        # tear down roughly every third response.
+        with ServiceThread(ServiceConfig(
+            port=0, wal_root=str(tmp_path / "wal"), engine_workers=2,
+            chaos="disconnect=0.04,partial=0.03,delay=0.1,"
+                  "delay_s=0.002,seed=13",
+        )) as thread:
+            with ServiceClient(
+                *thread.address, seed=5, max_retries=200,
+                retry_budget_s=120.0, backoff_base=0.005,
+            ) as client:
+                client.create(
+                    "wired", PROGRAM, durable=True,
+                    retry=True, idempotent=True,
+                )
+                for i in range(10):
+                    client.assert_facts(
+                        "wired", [("order", {"id": i, "status": "open"})],
+                        retry=True, idempotent=True,
+                    )
+                    response, _ = client.run(
+                        "wired", retry=True, idempotent=True,
+                    )
+                    assert response.get("halted") is False
+                response, _ = client.facts("wired", "order", retry=True)
+                # Exactly once despite torn connections and resends.
+                assert response["count"] == 10
+                response, _ = client.facts("wired", "shipped", retry=True)
+                assert response["count"] == 10
+                stats = client.stats()
+                injected = stats["chaos"]["injected"]
+                assert sum(injected.values()) > 0
+                assert client.reconnects > 0
+                assert client.deduped >= 0
+
+    def test_session_kills_recover_via_resume(self, tmp_path):
+        with ServiceThread(ServiceConfig(
+            port=0, wal_root=str(tmp_path / "wal"), engine_workers=2,
+            chaos="kill=0.25,seed=7",
+        )) as thread:
+            with ServiceClient(*thread.address, seed=11) as client:
+                client.create(
+                    "doomed", PROGRAM, durable=True,
+                    retry=True, idempotent=True,
+                )
+                applied = 0
+                kills_seen = 0
+                for i in range(12):
+                    key = f"doomed-a{i}"
+                    for _attempt in range(8):
+                        try:
+                            client.assert_facts(
+                                "doomed",
+                                [("order", {"id": i, "status": "held"})],
+                                retry=True, key=key,
+                            )
+                            applied += 1
+                            break
+                        except ServiceClientError as error:
+                            if error.code != "no_session":
+                                raise
+                            kills_seen += 1
+                            client.create(
+                                "doomed", "", resume=True,
+                                retry=True, idempotent=True,
+                            )
+                    else:
+                        pytest.fail("session never recovered")
+                assert applied == 12
+                response, _ = client.facts("doomed", "order", retry=True)
+                assert response["count"] == 12
+                stats = client.stats()
+                assert stats["server"]["chaos_kills"] >= 1
+                assert kills_seen >= 1
+                assert stats["registry"]["resumed"] >= 1
+
+    def test_wal_enospc_is_retryable_and_exactly_once(self, tmp_path):
+        # wal_error=1.0 arms a one-shot ENOSPC on the session's 2nd-12th
+        # WAL append; create logs one meta record, so twelve single-fact
+        # keyed asserts are guaranteed to cross the armed append.  The
+        # failed batch rolls back whole, the client retries on
+        # ``unavailable``, and the retry applies it exactly once.
+        with ServiceThread(ServiceConfig(
+            port=0, wal_root=str(tmp_path / "wal"), engine_workers=2,
+            chaos="wal_error=1.0,seed=21",
+        )) as thread:
+            with ServiceClient(*thread.address, seed=2) as client:
+                client.create("squeezed", PROGRAM, durable=True)
+                for i in range(12):
+                    response = client.assert_facts(
+                        "squeezed",
+                        [("order", {"id": i, "status": "held"})],
+                        retry=True, idempotent=True,
+                    )
+                    assert response["ingested"] == 1
+                response, _ = client.facts("squeezed", "order")
+                assert response["count"] == 12
+                # Time tags stayed dense: the rolled-back batch did not
+                # burn tags (12 orders end at tag 12).
+                _, events = client.facts("squeezed", "order")
+                assert max(e["tag"] for e in events) == 12
+                stats = client.stats()
+                assert stats["server"]["unavailable_errors"] >= 1
+                assert client.retries >= 1

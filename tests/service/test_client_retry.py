@@ -1,0 +1,223 @@
+"""Client-side resilience: transparent reconnects, ambiguous-failure
+classification, retry budgets, and socket hygiene."""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.service import (
+    AmbiguousRequestError,
+    ServiceBusyError,
+    ServiceClient,
+    ServiceConfig,
+    ServiceThread,
+)
+
+PROGRAM = """
+(literalize order id status)
+(literalize shipped id)
+(p ship-open
+  (order ^id <i> ^status open)
+  -(shipped ^id <i>)
+  -->
+  (make shipped ^id <i>))
+"""
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    wal_root = tmp_path_factory.mktemp("client-retry-wal")
+    with ServiceThread(ServiceConfig(
+        port=0, wal_root=str(wal_root), engine_workers=2,
+    )) as thread:
+        yield thread
+
+
+@pytest.fixture
+def client(server):
+    with ServiceClient(*server.address) as connection:
+        yield connection
+
+
+def _unique(request):
+    return request.node.name.replace("[", "-").replace("]", "")
+
+
+def _flaky_once(client, *, mark_sent, error=None):
+    """Make the client's next request attempt die with a connection
+    error; *mark_sent* controls whether the request counts as fully
+    sent (the ambiguous window) or torn off mid-send (safe to resend).
+    """
+    original = client._request_once
+    state = {"failed": False}
+
+    def flaky(op, *, sent_flag=None, **kwargs):
+        if not state["failed"]:
+            state["failed"] = True
+            if mark_sent and sent_flag is not None:
+                sent_flag.append(True)
+            raise error or ConnectionError("injected connection loss")
+        return original(op, sent_flag=sent_flag, **kwargs)
+
+    client._request_once = flaky
+    return state
+
+
+class TestServerRestart:
+    def test_reconnects_transparently_and_resumes(self, tmp_path):
+        wal_root = str(tmp_path / "wal")
+        first = ServiceThread(ServiceConfig(
+            port=0, wal_root=wal_root, engine_workers=2,
+        )).start()
+        host, port = first.address
+        client = ServiceClient(host, port, timeout=5)
+        try:
+            client.create("phoenix", PROGRAM, durable=True)
+            client.assert_facts(
+                "phoenix", [("order", {"id": 1, "status": "open"})],
+            )
+            first.stop()
+            # Same port, new server generation (SO_REUSEADDR).
+            second = ServiceThread(ServiceConfig(
+                host=host, port=port, wal_root=wal_root,
+                engine_workers=2,
+            )).start()
+            try:
+                # Non-mutating op rides the dead socket, reconnects,
+                # and resends without caller involvement.
+                assert client.ping()["pong"] is True
+                assert client.reconnects >= 1
+                created = client.create(
+                    "phoenix", "", resume=True, retry=True,
+                    idempotent=True,
+                )
+                assert created["resumed"] is True
+                assert created["wm_size"] == 1
+            finally:
+                second.stop()
+        finally:
+            client.close()
+
+    def test_no_reconnect_when_disabled(self, server):
+        client = ServiceClient(*server.address, auto_reconnect=False)
+        try:
+            _flaky_once(client, mark_sent=False)
+            with pytest.raises((ConnectionError, OSError)):
+                client.ping()
+        finally:
+            client.close()
+
+
+class TestAmbiguity:
+    def test_sent_mutating_request_without_key_is_ambiguous(
+        self, client, request
+    ):
+        sid = _unique(request)
+        client.create(sid, PROGRAM, durable=False)
+        _flaky_once(client, mark_sent=True)
+        with pytest.raises(AmbiguousRequestError) as info:
+            client.assert_facts(
+                sid, [("order", {"id": 1, "status": "open"})],
+            )
+        assert info.value.op == "assert"
+        assert info.value.code == "ambiguous"
+        assert "idempotency key" in str(info.value)
+        client.close_session(sid)
+
+    def test_key_makes_the_ambiguous_case_safe(self, client, request):
+        sid = _unique(request)
+        client.create(sid, PROGRAM, durable=False)
+        _flaky_once(client, mark_sent=True)
+        response = client.assert_facts(
+            sid, [("order", {"id": 1, "status": "open"})],
+            idempotent=True,
+        )
+        assert response["ingested"] == 1
+        assert client.retries >= 1
+        client.close_session(sid)
+
+    def test_unsent_mutating_request_resends_without_key(
+        self, client, request
+    ):
+        sid = _unique(request)
+        client.create(sid, PROGRAM, durable=False)
+        # The send itself failed: the trailing newline never reached
+        # the server, so the server cannot have processed it.
+        _flaky_once(client, mark_sent=False)
+        response = client.assert_facts(
+            sid, [("order", {"id": 1, "status": "open"})],
+        )
+        assert response["ingested"] == 1
+        respond, _ = client.facts(sid, "order")
+        assert respond["count"] == 1
+        client.close_session(sid)
+
+    def test_non_mutating_op_always_resends(self, client):
+        _flaky_once(client, mark_sent=True,
+                    error=socket.timeout("injected timeout"))
+        assert client.ping()["pong"] is True
+
+
+class TestBudgets:
+    def test_busy_retry_budget_exhausts(self, client):
+        calls = {"n": 0}
+
+        def always_busy(op, *, sent_flag=None, **kwargs):
+            calls["n"] += 1
+            raise ServiceBusyError({
+                "ok": False, "error": "busy", "message": "full",
+                "retry_after": 0.001,
+            })
+
+        client._request_once = always_busy
+        with pytest.raises(ServiceBusyError):
+            client.request("ping", retry=True, max_retries=3)
+        assert calls["n"] == 4  # initial attempt + three retries
+        assert client.busy_retries == 3
+
+    def test_time_budget_bounds_retries(self, server):
+        client = ServiceClient(
+            *server.address, retry_budget_s=0.05, backoff_base=0.02,
+        )
+        try:
+            def always_lost(op, *, sent_flag=None, **kwargs):
+                raise ConnectionError("injected")
+
+            client._request_once = always_lost
+            with pytest.raises(ConnectionError):
+                client.request("ping", retry=True)
+            # Far fewer than max_retries: the clock ran out first.
+            assert client.retries < client.max_retries
+        finally:
+            client.close()
+
+
+class TestSocketHygiene:
+    def test_busy_responses_keep_the_connection(self, tmp_path):
+        # A zero-length global queue sheds everything except control
+        # ops; shed responses must not cost the client its socket.
+        with ServiceThread(ServiceConfig(
+            port=0, global_queue=0,
+        )) as thread:
+            with ServiceClient(*thread.address) as client:
+                sock_before = client._sock
+                with pytest.raises(ServiceBusyError) as info:
+                    client.create("nope", PROGRAM, durable=False)
+                assert info.value.retry_after > 0
+                assert client._sock is sock_before
+                assert client.ping()["pong"] is True
+                assert client.reconnects == 0
+
+    def test_close_is_idempotent_and_releases_the_socket(self, server):
+        client = ServiceClient(*server.address)
+        assert client._sock is not None
+        client.close()
+        assert client._sock is None
+        assert client._reader is None
+        client.close()  # second close is a no-op
+
+    def test_failed_connect_leaves_no_socket(self):
+        with pytest.raises(OSError):
+            ServiceClient("127.0.0.1", 1, timeout=0.2)

@@ -1,0 +1,168 @@
+"""The eviction-vs-in-flight-request race: a checked-out session is
+never evicted mid-request, and a request that loses the race gets a
+clean retryable failure — never a half-applied batch."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import AdmissionError, ServiceError
+from repro.service import (
+    ServiceClient,
+    ServiceClientError,
+    ServiceConfig,
+    ServiceThread,
+)
+from repro.service.rulebase import RuleBaseCache
+from repro.service.session import SessionRegistry
+
+PROGRAM = """
+(literalize order id status)
+(literalize shipped id)
+(p ship-open
+  (order ^id <i> ^status open)
+  -(shipped ^id <i>)
+  -->
+  (make shipped ^id <i>))
+"""
+
+
+class TestCheckout:
+    def _registry(self, tmp_path, **kwargs):
+        return SessionRegistry(
+            RuleBaseCache(), wal_root=str(tmp_path / "wal"),
+            fsync="off", **kwargs,
+        )
+
+    def test_checked_out_session_blocks_the_sweeper(self, tmp_path):
+        registry = self._registry(tmp_path, idle_ttl=0.0)
+        registry.create("tenant", PROGRAM)
+        session = registry.checkout("tenant")
+        try:
+            # idle_ttl 0 makes every idle session sweepable — but a
+            # checked-out one is busy, whatever its age.
+            assert registry.sweep_idle() == []
+            assert "tenant" in registry
+        finally:
+            registry.checkin(session)
+        assert registry.sweep_idle() == ["tenant"]
+        assert "tenant" not in registry
+        registry.close_all()
+
+    def test_checkin_then_sweep_then_resume_intact(self, tmp_path):
+        registry = self._registry(tmp_path, idle_ttl=0.0)
+        session, _ = registry.create("tenant", PROGRAM)
+        claim = registry.checkout("tenant")
+        claim.ingest_facts([("order", {"id": 1, "status": "open"})])
+        registry.checkin(claim)
+        assert registry.sweep_idle() == ["tenant"]
+        resumed, _ = registry.create("tenant", "", resume=True)
+        assert resumed.resumed is True
+        assert len(resumed.engine.wm) == 1
+        registry.close_all()
+
+    def test_checkout_missing_session(self, tmp_path):
+        registry = self._registry(tmp_path)
+        with pytest.raises(ServiceError) as info:
+            registry.checkout("ghost")
+        assert "no session named" in str(info.value)
+        registry.close_all()
+
+    def test_checkout_enforces_the_pending_cap(self, tmp_path):
+        registry = self._registry(tmp_path)
+        registry.create("tenant", PROGRAM)
+        first = registry.checkout("tenant", max_pending=1)
+        with pytest.raises(AdmissionError):
+            registry.checkout("tenant", max_pending=1)
+        registry.checkin(first)
+        second = registry.checkout("tenant", max_pending=1)
+        registry.checkin(second)
+        registry.close_all()
+
+    def test_lru_eviction_skips_busy_sessions(self, tmp_path):
+        registry = self._registry(tmp_path, max_sessions=2)
+        registry.create("old", PROGRAM)
+        registry.create("new", PROGRAM)
+        claim = registry.checkout("old")
+        try:
+            # "old" is LRU but busy: the evictor must pick "new".
+            time.sleep(0.01)
+            registry.checkout("new")  # touch, then release
+            registry.checkin(registry.get("new"))
+            registry.create("third", PROGRAM)
+            assert "old" in registry
+            assert "third" in registry
+        finally:
+            registry.checkin(claim)
+        registry.close_all()
+
+
+class TestLiveEvictionRace:
+    def test_aggressive_sweeper_never_half_applies(self, tmp_path):
+        """Hammer keyed asserts against a server whose sweeper evicts
+        after ~50ms idle: every batch lands exactly once (resume +
+        retry after each eviction), or fails retryably — never
+        partially."""
+        with ServiceThread(ServiceConfig(
+            port=0, wal_root=str(tmp_path / "wal"), engine_workers=2,
+            idle_ttl=0.05, sweep_interval=0.01,
+        )) as thread:
+            with ServiceClient(*thread.address, seed=3) as client:
+                client.create(
+                    "raced", PROGRAM, durable=True, retry=True,
+                    idempotent=True,
+                )
+                applied = 0
+                recoveries = 0
+                for i in range(12):
+                    # Each batch is two facts: a torn batch would leave
+                    # an odd count behind.
+                    batch = [
+                        ("order", {"id": 2 * i, "status": "held"}),
+                        ("order", {"id": 2 * i + 1, "status": "held"}),
+                    ]
+                    key = f"raced-a{i}"
+                    for _attempt in range(6):
+                        try:
+                            response = client.assert_facts(
+                                "raced", batch, retry=True, key=key,
+                            )
+                            assert response["ingested"] == 2
+                            applied += 1
+                            break
+                        except ServiceClientError as error:
+                            if error.code != "no_session":
+                                raise
+                            recoveries += 1
+                            client.create(
+                                "raced", "", resume=True, retry=True,
+                                idempotent=True,
+                            )
+                    else:
+                        pytest.fail("session never recovered")
+                    # Let the sweeper win some races.
+                    if i % 3 == 2:
+                        time.sleep(0.08)
+                assert applied == 12
+                try:
+                    response, _ = client.facts(
+                        "raced", "order", retry=True,
+                    )
+                except ServiceClientError as error:
+                    # The sweeper can win one more race before the
+                    # final audit; resume and re-read.
+                    if error.code != "no_session":
+                        raise
+                    client.create(
+                        "raced", "", resume=True, retry=True,
+                        idempotent=True,
+                    )
+                    response, _ = client.facts(
+                        "raced", "order", retry=True,
+                    )
+                assert response["count"] == 24
+                stats = client.stats()
+                assert stats["registry"]["evicted_idle"] >= 1
+                assert recoveries >= 1

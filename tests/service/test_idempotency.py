@@ -1,0 +1,272 @@
+"""Exactly-once request semantics: idempotency keys, the per-session
+request journal, and its WAL/checkpoint-backed survival."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.service import (
+    ServiceClient,
+    ServiceClientError,
+    ServiceConfig,
+    ServiceThread,
+)
+from repro.service.session import DEFAULT_JOURNAL_LIMIT, journal_put
+
+PROGRAM = """
+(literalize order id status)
+(literalize shipped id)
+(p ship-open
+  (order ^id <i> ^status open)
+  -(shipped ^id <i>)
+  -->
+  (make shipped ^id <i>)
+  (write shipping <i>))
+"""
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    wal_root = tmp_path_factory.mktemp("idempotency-wal")
+    with ServiceThread(ServiceConfig(
+        port=0, wal_root=str(wal_root), engine_workers=2,
+    )) as thread:
+        yield thread
+
+
+@pytest.fixture
+def client(server):
+    with ServiceClient(*server.address) as connection:
+        yield connection
+
+
+def _unique(request):
+    return request.node.name.replace("[", "-").replace("]", "")
+
+
+def _tagged_facts(client, sid):
+    _, events = client.facts(sid)
+    return sorted(
+        (e["class"], e["tag"], tuple(sorted(e["values"].items())))
+        for e in events
+    )
+
+
+class TestJournalPut:
+    def test_caps_in_insertion_order(self):
+        engine = SimpleNamespace(request_journal={})
+        for i in range(6):
+            journal_put(engine, f"k{i}", {"n": i}, limit=4)
+        assert list(engine.request_journal) == ["k2", "k3", "k4", "k5"]
+
+    def test_default_limit(self):
+        engine = SimpleNamespace(request_journal={})
+        for i in range(DEFAULT_JOURNAL_LIMIT + 10):
+            journal_put(engine, f"k{i}", {"n": i})
+        assert len(engine.request_journal) == DEFAULT_JOURNAL_LIMIT
+
+
+class TestKeyedOps:
+    def test_retried_assert_applies_exactly_once(self, client, request):
+        sid = _unique(request)
+        client.create(sid, PROGRAM, durable=True)
+        key = f"{sid}-a1"
+        first = client.assert_facts(
+            sid, [("order", {"id": 1, "status": "open"})], key=key,
+        )
+        assert "deduped" not in first
+        again = client.assert_facts(
+            sid, [("order", {"id": 1, "status": "open"})], key=key,
+        )
+        assert again["deduped"] is True
+        assert again["ingested"] == first["ingested"] == 1
+        assert again["wm_size"] == first["wm_size"] == 1
+        response, _ = client.facts(sid, "order")
+        assert response["count"] == 1
+        client.close_session(sid)
+
+    def test_retried_run_replays_summary_without_refiring(
+        self, client, request
+    ):
+        sid = _unique(request)
+        client.create(sid, PROGRAM, durable=True)
+        client.assert_facts(
+            sid, [("order", {"id": 1, "status": "open"})],
+        )
+        key = f"{sid}-r1"
+        first, events = client.run(sid, key=key)
+        assert first["fired"] == 1
+        assert events
+        again, replay_events = client.run(sid, key=key)
+        assert again["deduped"] is True
+        assert again["fired"] == 1
+        assert replay_events == []  # a journal hit streams nothing
+        # And the dedup really prevented a re-run: exactly one shipped.
+        response, _ = client.facts(sid, "shipped")
+        assert response["count"] == 1
+        client.close_session(sid)
+
+    def test_retried_create_returns_the_live_session(
+        self, client, request
+    ):
+        sid = _unique(request)
+        key = f"{sid}-c1"
+        first = client.create(sid, PROGRAM, durable=True, key=key)
+        assert "deduped" not in first
+        again = client.create(sid, PROGRAM, durable=True, key=key)
+        assert again["deduped"] is True
+        assert again["session"] == sid
+        # A different key is a genuine conflict, not a retry.
+        with pytest.raises(ServiceClientError) as info:
+            client.create(sid, PROGRAM, durable=True, key=f"{sid}-c2")
+        assert info.value.code == "bad_request"
+        assert "already exists" in str(info.value)
+        client.close_session(sid)
+
+    def test_keyless_requests_never_dedup(self, client, request):
+        sid = _unique(request)
+        client.create(sid, PROGRAM, durable=False)
+        for _ in range(2):
+            client.assert_facts(
+                sid, [("order", {"id": 1, "status": "open"})],
+            )
+        response, _ = client.facts(sid, "order")
+        assert response["count"] == 2
+        client.close_session(sid)
+
+    def test_bad_keys_are_rejected(self, client, request):
+        sid = _unique(request)
+        client.create(sid, PROGRAM, durable=False)
+        for bad in ("", 123, "x" * 129):
+            with pytest.raises(ServiceClientError) as info:
+                client.request(
+                    "assert", session=sid,
+                    facts=[["order", {"id": 9, "status": "open"}]],
+                    key=bad,
+                )
+            assert info.value.code == "bad_request"
+        response, _ = client.facts(sid, "order")
+        assert response["count"] == 0
+        client.close_session(sid)
+
+    def test_idempotent_flag_generates_a_stable_key(self, client, request):
+        sid = _unique(request)
+        client.create(sid, PROGRAM, durable=False)
+        response = client.assert_facts(
+            sid, [("order", {"id": 1, "status": "open"})],
+            idempotent=True,
+        )
+        assert "deduped" not in response
+        # Each call gets a fresh key, so two calls are two batches.
+        client.assert_facts(
+            sid, [("order", {"id": 1, "status": "open"})],
+            idempotent=True,
+        )
+        response, _ = client.facts(sid, "order")
+        assert response["count"] == 2
+        client.close_session(sid)
+
+
+class TestJournalDurability:
+    def test_assert_dedup_survives_resume(self, client, request):
+        sid = _unique(request)
+        client.create(sid, PROGRAM, durable=True)
+        key = f"{sid}-a1"
+        first = client.assert_facts(
+            sid, [("order", {"id": 1, "status": "open"})], key=key,
+        )
+        before = _tagged_facts(client, sid)
+        client.close_session(sid)  # no checkpoint: resume replays WAL
+        client.create(sid, "", resume=True)
+        again = client.assert_facts(
+            sid, [("order", {"id": 1, "status": "open"})], key=key,
+        )
+        # The key rode inside the delta record: replay rebuilt the
+        # journal entry (marked as recovered) and the retry is a no-op.
+        assert again["deduped"] is True
+        assert again["recovered"] is True
+        assert again["ingested"] == first["ingested"] == 1
+        assert _tagged_facts(client, sid) == before
+        client.close_session(sid)
+
+    def test_run_dedup_survives_resume(self, client, request):
+        sid = _unique(request)
+        client.create(sid, PROGRAM, durable=True)
+        client.assert_facts(
+            sid, [("order", {"id": 1, "status": "open"})],
+        )
+        key = f"{sid}-r1"
+        first, _ = client.run(sid, key=key)
+        assert first["fired"] == 1
+        client.close_session(sid)
+        client.create(sid, "", resume=True)
+        again, events = client.run(sid, key=key)
+        # The run summary was journalled as a ``j`` record.
+        assert again["deduped"] is True
+        assert again["fired"] == 1
+        assert events == []
+        response, _ = client.facts(sid, "shipped")
+        assert response["count"] == 1
+        client.close_session(sid)
+
+    def test_dedup_survives_checkpoint_truncation(self, client, request):
+        sid = _unique(request)
+        client.create(sid, PROGRAM, durable=True)
+        key_a = f"{sid}-a1"
+        key_r = f"{sid}-r1"
+        client.assert_facts(
+            sid, [("order", {"id": 1, "status": "open"})], key=key_a,
+        )
+        client.run(sid, key=key_r)
+        # Checkpointing truncates the WAL; the journal must ride the
+        # checkpoint manifest across the truncation.
+        client.checkpoint(sid)
+        key_b = f"{sid}-a2"
+        client.assert_facts(
+            sid, [("order", {"id": 2, "status": "open"})], key=key_b,
+        )
+        before = _tagged_facts(client, sid)
+        client.close_session(sid)
+        client.create(sid, "", resume=True)
+        for key, expect_ingested in ((key_a, 1), (key_b, 1)):
+            again = client.assert_facts(
+                sid, [("order", {"id": 99, "status": "open"})], key=key,
+            )
+            assert again["deduped"] is True
+            assert again["ingested"] == expect_ingested
+        run_again, _ = client.run(sid, key=key_r)
+        assert run_again["deduped"] is True
+        assert _tagged_facts(client, sid) == before
+        client.close_session(sid)
+
+
+class TestJournalCap:
+    def test_old_keys_lose_dedup_protection(self, tmp_path):
+        with ServiceThread(ServiceConfig(
+            port=0, wal_root=str(tmp_path / "wal"), journal_limit=2,
+        )) as thread:
+            with ServiceClient(*thread.address) as client:
+                client.create("capped", PROGRAM, durable=True)
+                for i in range(4):
+                    client.assert_facts(
+                        "capped",
+                        [("order", {"id": i, "status": "held"})],
+                        key=f"k{i}",
+                    )
+                # k2/k3 are still journalled; k0 was evicted.
+                again = client.assert_facts(
+                    "capped",
+                    [("order", {"id": 3, "status": "held"})],
+                    key="k3",
+                )
+                assert again["deduped"] is True
+                reapplied = client.assert_facts(
+                    "capped",
+                    [("order", {"id": 0, "status": "held"})],
+                    key="k0",
+                )
+                assert "deduped" not in reapplied
+                response, _ = client.facts("capped", "order")
+                assert response["count"] == 5
