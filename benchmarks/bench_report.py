@@ -49,7 +49,7 @@ from repro import MatchStats, RuleEngine
 from repro.rete import ReteNetwork, ShardedReteNetwork
 
 BASELINE_PATH = Path(__file__).parent / "BENCH_baseline.json"
-DEFAULT_OUTPUT = Path("BENCH_9.json")
+DEFAULT_OUTPUT = Path("BENCH_10.json")
 
 
 def latest_reference(exclude=None):
@@ -106,6 +106,13 @@ GATED_COUNTERS = (
     # deterministic even under seeded fault injection.
     "service_chaos_facts_ingested",
     "service_chaos_firings",
+    # Hot-reload scenario: N tenants replacing the same rule fork one
+    # rule base and compile the new kernels once — never N times.
+    "service_reload_rulebase_compiles",
+    "service_reload_forks",
+    "service_reload_sessions_built",
+    "service_reload_kernels_compiled",
+    "service_reload_firings",
 )
 # Deterministic counters that must match the baseline *exactly*:
 # losing native pushdown shows as a decrease, which the one-sided
@@ -122,6 +129,13 @@ EXACT_COUNTERS = (
     # double-applied batch, not noise.
     "service_chaos_facts_ingested",
     "service_chaos_firings",
+    # Copy-on-write reload: one compile, one fork, N sessions — drift
+    # in any direction means the sharing contract broke.
+    "service_reload_rulebase_compiles",
+    "service_reload_forks",
+    "service_reload_sessions_built",
+    "service_reload_kernels_compiled",
+    "service_reload_firings",
 )
 TOLERANCE = 0.10
 
@@ -631,6 +645,73 @@ def scenario_service_chaos_keyed():
     })
 
 
+RELOAD_SESSIONS = 6
+RELOAD_FACTS = 100
+
+#: Same rule name, new body: every tenant's reload is a pure replace.
+RELOAD_RULE = """
+(p dept-size
+  (dept ^name <d>)
+  { [emp ^dept <d>] <staff> }
+  :test ((count <staff>) >= 2)
+  -->
+  (write big <d> (count <staff>)))
+""".strip()
+
+
+def scenario_service_reload():
+    """N tenants share one program; each hot-replaces the same rule
+    with the same new body.  The copy-on-write contract is exact: one
+    rule-base compile, ONE fork (tenants converge on it), one batch of
+    kernel compiles — the N-1 later reloads reuse everything."""
+    from repro.service.client import ServiceClient
+    from repro.service.server import ServiceConfig, ServiceThread
+
+    label = "svc-reload"
+    fired = 0
+    start = time.perf_counter()
+    with ServiceThread(ServiceConfig(port=0, engine_workers=4)) as server:
+        with ServiceClient(*server.address) as client:
+            sessions = [f"{label}-{i}" for i in range(RELOAD_SESSIONS)]
+            for sid in sessions:
+                client.create(sid, PROGRAM, durable=False)
+                client.assert_facts(sid, [
+                    ("dept", {"name": f"d{d}"}) for d in range(N_DEPTS)
+                ])
+                client.assert_facts(sid, _facts(RELOAD_FACTS))
+                response, _ = client.run(sid)
+                fired += response["fired"]
+            reload_latencies = []
+            for sid in sessions:
+                tick = time.perf_counter()
+                client.replace_rule(sid, "dept-size", RELOAD_RULE)
+                reload_latencies.append(time.perf_counter() - tick)
+                response, _ = client.run(sid)
+                fired += response["fired"]
+            stats = client.stats()
+    elapsed = time.perf_counter() - start
+    _SERVICE_RESULTS[label] = {
+        "sessions": RELOAD_SESSIONS,
+        "reloads": RELOAD_SESSIONS,
+        "elapsed_s": round(elapsed, 3),
+        "reload_ms": {
+            "first": round(reload_latencies[0] * 1000, 3),
+            "rest_max": round(max(reload_latencies[1:]) * 1000, 3),
+        },
+        "rulebase_forks": stats["server"]["rulebase_forks"],
+        "rules_replaced": stats["server"]["rules_replaced"],
+    }
+    bases = stats["rule_bases"]
+    return _ServiceCounters({
+        "service_reload_rulebase_compiles": bases["compiles"],
+        "service_reload_forks": bases["forks"],
+        "service_reload_sessions_built": bases["sessions_built"],
+        "service_reload_kernels_compiled": bases["kernels_compiled"],
+        "service_reload_kernel_cache_hits": bases["kernel_cache_hits"],
+        "service_reload_firings": fired,
+    })
+
+
 SCENARIOS = {
     "bulk_load_per_event": scenario_bulk_load_per_event,
     "bulk_load_batched": scenario_bulk_load_batched,
@@ -641,6 +722,7 @@ SCENARIOS = {
     "service_shared_rete": scenario_service_shared_rete,
     "service_mixed_matchers": scenario_service_mixed_matchers,
     "service_chaos_keyed": scenario_service_chaos_keyed,
+    "service_reload": scenario_service_reload,
 }
 SCENARIOS.update(_kernel_scenarios())
 
@@ -762,13 +844,23 @@ def print_report(report):
         for name, ratio in speedups.items():
             print(f"  {name:<32}{ratio:>6.2f}x")
     for label, svc in report.get("service", {}).items():
-        run = svc["latency"]["run"]
-        print(
-            f"service {label}: {svc['sessions']} sessions "
-            f"({','.join(svc['matchers'])}) "
-            f"{svc['events_per_s']:.0f} events/s, run "
-            f"p50={run['p50_ms']:.1f}ms p99={run['p99_ms']:.1f}ms"
-        )
+        if "latency" in svc:
+            run = svc["latency"]["run"]
+            print(
+                f"service {label}: {svc['sessions']} sessions "
+                f"({','.join(svc['matchers'])}) "
+                f"{svc['events_per_s']:.0f} events/s, run "
+                f"p50={run['p50_ms']:.1f}ms p99={run['p99_ms']:.1f}ms"
+            )
+        elif "reload_ms" in svc:
+            reload_ms = svc["reload_ms"]
+            print(
+                f"service {label}: {svc['sessions']} sessions, "
+                f"{svc['reloads']} reloads "
+                f"({svc['rulebase_forks']} fork), first="
+                f"{reload_ms['first']:.1f}ms "
+                f"rest_max={reload_ms['rest_max']:.1f}ms"
+            )
 
 
 def main(argv=None):

@@ -69,6 +69,8 @@ command                   effect
 ``deadletters``           show abandoned (skip/quarantine) firings
 ``quarantined``           show quarantined rules and why
 ``release RULE``          re-admit a quarantined rule
+``excise RULE``           remove a rule at runtime (WAL-logged)
+``replace RULE (p ...)``  atomically swap a rule for one-line source
 ``stats``                 matcher/engine counters
 ``profile``               per-rule/per-node match-work tables (--profile)
 ``checkpoint``            write a durability checkpoint (--wal-dir)
@@ -236,8 +238,9 @@ class ReplSession:
     def _cmd_help(self, arguments):
         return __doc__.split("========", 1)[0] + (
             "commands: make remove modify run step wm cs matches watch "
-            "parallel excise strategy on-error deadletters quarantined "
-            "release stats profile checkpoint network load exit"
+            "parallel excise replace strategy on-error deadletters "
+            "quarantined release stats profile checkpoint network load "
+            "exit"
         )
 
     def _cmd_make(self, arguments):
@@ -427,6 +430,15 @@ class ReplSession:
             return "usage: excise rule-name"
         self.engine.excise(arguments[0])
         return f"excised {arguments[0]}"
+
+    def _cmd_replace(self, arguments):
+        if len(arguments) < 2:
+            return "usage: replace rule-name (p new-rule ...)"
+        rule_name, source = arguments[0], " ".join(arguments[1:])
+        rule = self.engine.replace_rule(rule_name, source)
+        if rule.name == rule_name:
+            return f"replaced {rule_name}"
+        return f"replaced {rule_name} with {rule.name}"
 
     def _cmd_network(self, arguments):
         from repro.rete import ReteNetwork

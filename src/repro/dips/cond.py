@@ -165,6 +165,18 @@ class CondStore:
 
     # -- WME maintenance -------------------------------------------------------
 
+    @staticmethod
+    def _instance_row(rule, cond_ce, wme):
+        row = {
+            "rule_id": rule.name,
+            "cen": cond_ce.level + 1,
+            "rce": cond_ce.rce,
+            "wme_tag": wme.time_tag,
+        }
+        for attribute in cond_ce.attributes:
+            row[attribute] = wme.get(attribute)
+        return row
+
     def wme_added(self, wme):
         """Compare *wme* against its class's templates; insert instances."""
         inserted = 0
@@ -173,17 +185,45 @@ class CondStore:
         ):
             if not cond_ce.matches(wme, analysis):
                 continue
-            table = self.cond_table(wme.wme_class)
-            row = {
-                "rule_id": rule.name,
-                "cen": cond_ce.level + 1,
-                "rce": cond_ce.rce,
-                "wme_tag": wme.time_tag,
-            }
-            for attribute in cond_ce.attributes:
-                row[attribute] = wme.get(attribute)
-            table.insert(row)
+            self.cond_table(wme.wme_class).insert(
+                self._instance_row(rule, cond_ce, wme)
+            )
             inserted += 1
+        return inserted
+
+    def backfill_rule(self, rule_name, wmes):
+        """Insert instance rows for *one* rule's CEs from live WMEs.
+
+        The dynamic-add path: the new rule's templates are in place and
+        every other rule's instance rows already exist, so re-running
+        :meth:`wme_added` (which spans *every* registered rule) would
+        duplicate them — one grouped INSERT per table, restricted to
+        *rule_name*, is the set-oriented backfill.  Returns the number
+        of instance rows inserted.
+        """
+        entry = self._rules.get(rule_name)
+        if entry is None:
+            raise DipsError(f"no rule named {rule_name} in DIPS")
+        by_class = {}
+        for wme in wmes:
+            by_class.setdefault(wme.wme_class, []).append(wme)
+        inserted = 0
+        for wme_class, group in by_class.items():
+            registrations = [
+                registration
+                for registration in self._cond_ces.get(wme_class, ())
+                if registration[0].name == rule_name
+            ]
+            if not registrations:
+                continue
+            rows = []
+            for wme in group:
+                for rule, analysis, cond_ce in registrations:
+                    if cond_ce.matches(wme, analysis):
+                        rows.append(self._instance_row(rule, cond_ce, wme))
+            if rows:
+                self.cond_table(wme_class).insert_many(rows)
+                inserted += len(rows)
         return inserted
 
     def wme_removed(self, wme):
@@ -226,17 +266,8 @@ class CondStore:
             rows = []
             for wme in wmes:
                 for rule, analysis, cond_ce in registrations:
-                    if not cond_ce.matches(wme, analysis):
-                        continue
-                    row = {
-                        "rule_id": rule.name,
-                        "cen": cond_ce.level + 1,
-                        "rce": cond_ce.rce,
-                        "wme_tag": wme.time_tag,
-                    }
-                    for attribute in cond_ce.attributes:
-                        row[attribute] = wme.get(attribute)
-                    rows.append(row)
+                    if cond_ce.matches(wme, analysis):
+                        rows.append(self._instance_row(rule, cond_ce, wme))
             if rows:
                 self.cond_table(wme_class).insert_many(rows)
                 statements += 1

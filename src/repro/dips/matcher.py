@@ -83,8 +83,11 @@ class DipsMatcher(Matcher):
         sql = soi_query_sql(rule, analysis)
         self._rules[rule.name] = _DipsRule(rule, analysis, grouper, sql)
         if self.wm is not None:
-            for wme in self.wm:
-                self.store.wme_added(wme)
+            # Backfill only the NEW rule's instance rows: wme_added
+            # spans every registered rule and would duplicate the
+            # existing rules' rows (corrupting the Figure 6 grouped
+            # aggregates, which COUNT/SUM over instance rows).
+            self.store.backfill_rule(rule.name, list(self.wm))
             self._refresh(self._rules[rule.name])
 
     def remove_rule(self, rule_name):

@@ -29,6 +29,7 @@ are truncated and checkpoints beyond the retention count pruned.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import shutil
@@ -125,6 +126,11 @@ def write_checkpoint(directory, *, wm_snapshot, wal_position,
         "matcher": matcher_name,
         "strategy": strategy_name,
         "program": program,
+        # The rule-base version: runtime surgery (add/remove/replace)
+        # changes the program text the manifest carries, and the hash
+        # lets operators (and the service stats op) tell two tenants'
+        # rule bases apart without diffing sources.
+        "rule_base_version": rule_base_version(program),
         "fired": fired,
         "files": files,
     }
@@ -269,6 +275,19 @@ def load_checkpoint(directory):
     return LoadedCheckpoint(
         path, manifest, members[WM_SNAPSHOT_NAME], binary
     )
+
+
+def rule_base_version(program):
+    """Content hash of a program's source text (the rule-base version).
+
+    Checkpoint manifests carry it so a recovered session can be
+    audited against the rule base it is expected to run; the service
+    layer uses the same function for per-tenant rule-base keys after a
+    reload diverges a tenant from the shared cache entry.
+    """
+    return hashlib.sha256(
+        (program or "").encode("utf-8")
+    ).hexdigest()[:16]
 
 
 def program_source(engine):

@@ -254,6 +254,22 @@ class DurabilityManager:
         """Record a runtime rule removal."""
         self.wal.append({"k": "x", "r": rule_name}, batch=False)
 
+    def log_replace(self, rule_name, rule):
+        """Record an atomic rule replacement as ONE record.
+
+        A composed excise+add pair would not be atomic in the log — a
+        crash between the two records recovers with neither rule.  The
+        single ``P`` record replays as excise-then-add, so recovery
+        always sees either the old rule (record not yet durable) or
+        the new one, never the gap.
+        """
+        from repro.lang.printer import format_rule
+
+        self.wal.append(
+            {"k": "P", "r": rule_name, "src": format_rule(rule)},
+            batch=False,
+        )
+
     def log_fire(self, instantiation):
         """Open a firing transaction: the refraction stamp.
 

@@ -321,6 +321,8 @@ def _replay(engine, payloads):
         elif kind == "x":
             if payload["r"] in engine.rules:
                 engine.excise(payload["r"])
+        elif kind == "P":
+            _replay_replace(engine, payload["r"], payload["src"])
         elif kind == "e":
             if open_firings:
                 open_firings.pop()
@@ -418,6 +420,22 @@ def _replay_rule(engine, source):
     from repro.lang.parser import parse_rule
 
     rule = parse_rule(source)
+    if rule.name not in engine.rules:
+        engine.add_rule(rule)
+
+
+def _replay_replace(engine, old_name, source):
+    """Replay an atomic rule replacement (one ``P`` record).
+
+    In-memory the swap decomposes safely — atomicity only matters on
+    disk.  Presence checks keep the replay idempotent against a
+    program override that already reflects the surgery.
+    """
+    from repro.lang.parser import parse_rule
+
+    rule = parse_rule(source)
+    if old_name in engine.rules:
+        engine.excise(old_name)
     if rule.name not in engine.rules:
         engine.add_rule(rule)
 

@@ -154,6 +154,17 @@ class ConflictSet(ConflictListener):
         self._instantiations.update(pool)
         return len(pool)
 
+    def drop_rule(self, rule_name):
+        """Discard a rule's parked pool without re-admitting it.
+
+        Excising a quarantined rule must not leave orphaned parked
+        stamps behind (they would silently swallow the instantiations
+        of any later rule reusing the name — ``insert`` routes by rule
+        name).  Returns the number of parked instantiations dropped.
+        """
+        pool = self._parked.pop(rule_name, None)
+        return len(pool) if pool else 0
+
     def parked_rules(self):
         """Names of currently quarantined rules."""
         return sorted(self._parked)

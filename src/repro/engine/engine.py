@@ -184,6 +184,7 @@ class RuleEngine:
             raise RuleError(f"expected a Rule or source text, got {rule!r}")
         if rule.name in self.rules:
             raise RuleError(f"rule {rule.name} already defined")
+        self._check_no_open_batch("add_rule")
         self.rules[rule.name] = rule
         self.analyses[rule.name] = RuleAnalysis(rule)
         self.matcher.add_rule(rule)
@@ -195,15 +196,62 @@ class RuleEngine:
         """Remove a rule at runtime (OPS5 excise).
 
         Its conflict-set instantiations are retracted; working memory
-        is untouched.
+        is untouched.  Fault-containment state is reconciled: a
+        quarantined rule's parked pool is dropped (never resurrected)
+        and its quarantine/failure bookkeeping cleared.
         """
         if rule_name not in self.rules:
             raise RuleError(f"no rule named {rule_name}")
+        self._check_no_open_batch("excise")
+        self._forget_rule(rule_name)
+        if self.durability is not None:
+            self.durability.log_excise(rule_name)
+
+    def replace_rule(self, rule_name, rule):
+        """Atomically excise *rule_name* and add *rule* in its place.
+
+        *rule* is an AST :class:`Rule` or ``(p ...)`` source text; its
+        name may differ from *rule_name*.  The swap is logged as one
+        WAL record, so a crash between the excise and the add cannot
+        leave recovery with neither (or both) rule.  The new rule
+        backfills from live working memory exactly as :meth:`add_rule`
+        does.  Returns the new rule.
+        """
+        if isinstance(rule, str):
+            rule = parse_rule(rule)
+        if not isinstance(rule, Rule):
+            raise RuleError(f"expected a Rule or source text, got {rule!r}")
+        if rule_name not in self.rules:
+            raise RuleError(f"no rule named {rule_name}")
+        if rule.name != rule_name and rule.name in self.rules:
+            raise RuleError(f"rule {rule.name} already defined")
+        self._check_no_open_batch("replace_rule")
+        self._forget_rule(rule_name)
+        self.rules[rule.name] = rule
+        self.analyses[rule.name] = RuleAnalysis(rule)
+        self.matcher.add_rule(rule)
+        if self.durability is not None:
+            self.durability.log_replace(rule_name, rule)
+        return rule
+
+    def _forget_rule(self, rule_name):
+        """Drop every trace of *rule_name* from engine-side state."""
         self.matcher.remove_rule(rule_name)
         del self.rules[rule_name]
         del self.analyses[rule_name]
-        if self.durability is not None:
-            self.durability.log_excise(rule_name)
+        # Parked instantiations and quarantine/failure bookkeeping must
+        # not outlive the rule: an orphaned parked pool would silently
+        # swallow the instantiations of any later rule reusing the name
+        # (ConflictSet.insert routes by rule name).
+        self.conflict_set.drop_rule(rule_name)
+        self.reliability.quarantined.pop(rule_name, None)
+        self.reliability.failure_counts.pop(rule_name, None)
+
+    def _check_no_open_batch(self, op):
+        """Rule surgery inside an open batch() would double-propagate:
+        the backfill sees staged WMEs that the flush then re-delivers."""
+        if self.wm.in_batch:
+            raise EngineError(f"cannot {op}() inside an open batch()")
 
     def load(self, source):
         """Load a whole program: literalize declarations plus rules."""
@@ -346,7 +394,11 @@ class RuleEngine:
         Its parked instantiations (kept current by the matcher all
         along) return to the conflict set; the rule's failure count
         resets.  Returns the number of instantiations restored.
+        Releasing a rule that no longer exists (excised while
+        quarantined) is an error — its stamps are gone for good.
         """
+        if rule_name not in self.rules:
+            raise RuleError(f"no rule named {rule_name}")
         restored = self.reliability.release(self, rule_name)
         if self.durability is not None:
             self.durability.log_release(rule_name)

@@ -166,8 +166,22 @@ class ReteNetwork(Matcher):
         terminal = self._build_terminal(rule, analysis)
         current.observers.append(terminal)
         self._terminals[rule.name] = (current, terminal)
-        for token in current.active_tokens():
-            terminal.token_added(token)
+        # Backfill from the live beta memory through the staged S-node
+        # path: a set-oriented rule added over a populated WM must see
+        # exactly one test/decide per touched SOI — the same counters
+        # and firings a fresh build over the same WM produces — not one
+        # decide per token.
+        snode = self.snodes.get(rule.name)
+        if snode is not None and self.batched and not self.strict_paper_decide:
+            snode.begin_batch()
+            try:
+                for token in current.active_tokens():
+                    terminal.token_added(token)
+            finally:
+                snode.flush_batch()
+        else:
+            for token in current.active_tokens():
+                terminal.token_added(token)
         return analysis
 
     def _alpha_memory(self, ce_analysis):

@@ -175,7 +175,16 @@ class ShardedReteNetwork(Matcher):
         index = shard_of(
             {ce.wme_class for ce in rule.ces}, len(self.shards)
         )
-        analysis = self.shards[index].add_rule(rule)
+        shard = self.shards[index]
+        # Back-fill invariant: the shard reads live WM directly when a
+        # rule's alpha memories are created, so a shard gaining interest
+        # in a WME class it previously filtered out via interested_in
+        # still starts fully populated.  attach() propagates wm to every
+        # shard; re-assert it here so a facade attached after
+        # construction (or re-attached) can never leave a shard blind.
+        if shard.wm is not self.wm:
+            shard.wm = self.wm
+        analysis = shard.add_rule(rule)
         self._rule_shard[rule.name] = index
         self._merge()
         return analysis

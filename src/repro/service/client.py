@@ -54,7 +54,8 @@ from repro.service.protocol import (
 
 #: Ops that mutate session state; everything else can always be
 #: resent after an ambiguous connection failure.
-MUTATING_OPS = frozenset({"create", "assert", "run", "close"})
+MUTATING_OPS = frozenset({"create", "assert", "run", "close",
+                          "add_rule", "remove_rule", "replace_rule"})
 
 
 class ServiceClientError(RuntimeError):
@@ -343,6 +344,31 @@ class ServiceClient:
             **({"class": wme_class} if wme_class else {}),
         )
         return response, events
+
+    def add_rule(self, session, source, *, retry=False, key=None,
+                 idempotent=False, deadline_ms=None):
+        """Hot-add one ``(p ...)`` rule to a live session."""
+        return self.request(
+            "add_rule", session=session, source=source, retry=retry,
+            key=key, idempotent=idempotent, deadline_ms=deadline_ms,
+        )
+
+    def remove_rule(self, session, rule, *, retry=False, key=None,
+                    idempotent=False, deadline_ms=None):
+        """Excise one rule (by name) from a live session."""
+        return self.request(
+            "remove_rule", session=session, rule=rule, retry=retry,
+            key=key, idempotent=idempotent, deadline_ms=deadline_ms,
+        )
+
+    def replace_rule(self, session, rule, source, *, retry=False,
+                     key=None, idempotent=False, deadline_ms=None):
+        """Atomically swap the rule named *rule* for *source*."""
+        return self.request(
+            "replace_rule", session=session, rule=rule, source=source,
+            retry=retry, key=key, idempotent=idempotent,
+            deadline_ms=deadline_ms,
+        )
 
     def checkpoint(self, session, *, retry=False):
         return self.request("checkpoint", session=session, retry=retry)

@@ -68,6 +68,24 @@ DEFAULT_PROGRAM = """
 
 N_DEPTS = 8
 
+#: Replacement variants the ``--reload-every`` mode rotates the
+#: ``note-emp`` rule through — each reload swaps the salary threshold,
+#: exercising WAL-logged runtime surgery plus copy-on-write rule-base
+#: divergence on a live tenant.  Each variant keeps the same rule name
+#: so every reload is a pure ``replace_rule``.
+RELOAD_VARIANTS = (
+    """(p note-emp
+  (emp ^name <n> ^salary {<s> > 1400})
+  -(seen ^name <n>)
+  -->
+  (make seen ^name <n>))""",
+    """(p note-emp
+  (emp ^name <n> ^salary {<s> > 1500})
+  -(seen ^name <n>)
+  -->
+  (make seen ^name <n>))""",
+)
+
 
 def percentile(sorted_values, fraction):
     """The *fraction* percentile of an ascending list (nearest-rank)."""
@@ -94,7 +112,8 @@ class _Worker:
 
     def __init__(self, index, host, port, *, program, matcher, ticks,
                  facts_per_tick, rate, durable, parallel,
-                 session_prefix, idempotent=False, deadline_ms=None):
+                 session_prefix, idempotent=False, deadline_ms=None,
+                 reload_every=None):
         self.index = index
         self.host = host
         self.port = port
@@ -107,8 +126,10 @@ class _Worker:
         self.parallel = parallel
         self.idempotent = idempotent
         self.deadline_ms = deadline_ms
+        self.reload_every = reload_every
         self.session_id = f"{session_prefix}-{index}"
-        self.latencies = {"assert": [], "run": []}
+        self.latencies = {"assert": [], "run": [], "reload": []}
+        self.reloads = 0
         self.firings = 0
         self.events_sent = 0
         self.rulebase_hit = False
@@ -261,6 +282,24 @@ class _Worker:
             if ran:
                 self.latencies["run"].append((t2 - t1) * 1000.0)
                 self.firings += int(run_response[0].get("fired", 0))
+            if self.reload_every and (tick + 1) % self.reload_every == 0:
+                variant = RELOAD_VARIANTS[
+                    (tick // self.reload_every) % len(RELOAD_VARIANTS)
+                ]
+                t3 = time.perf_counter()
+                _response, reloaded = self._call(
+                    client,
+                    lambda variant=variant: client.replace_rule(
+                        self.session_id, "note-emp", variant,
+                        retry=True, key=self._key(f"x{tick}"),
+                        deadline_ms=self.deadline_ms,
+                    ),
+                )
+                if reloaded:
+                    self.latencies["reload"].append(
+                        (time.perf_counter() - t3) * 1000.0
+                    )
+                    self.reloads += 1
             if tick_interval:
                 deadline = start + (tick + 1) * tick_interval
                 sleep_for = deadline - time.perf_counter()
@@ -282,7 +321,7 @@ class _Worker:
 def run_load(host, port, *, sessions=4, ticks=10, facts_per_tick=50,
              matchers=("rete",), program=DEFAULT_PROGRAM, rate=None,
              durable=False, parallel=False, session_prefix="load",
-             idempotent=False, deadline_ms=None,
+             idempotent=False, deadline_ms=None, reload_every=None,
              collect_server_stats=True):
     """Drive the server at ``host:port``; returns the report dict.
 
@@ -291,7 +330,10 @@ def run_load(host, port, *, sessions=4, ticks=10, facts_per_tick=50,
     shared rule bases).  *rate* paces each session to that many
     events/sec (None = as fast as the server admits).  *idempotent*
     attaches idempotency keys to every mutating request — the chaos
-    soak's exactly-once mode.  Real worker errors land in
+    soak's exactly-once mode.  *reload_every* makes each session issue
+    a ``replace_rule`` of the default program's ``note-emp`` rule every
+    that many ticks (the hot-reload soak: WAL-logged runtime surgery
+    interleaved with live traffic).  Real worker errors land in
     ``report["errors"]`` (the soak job's fail condition); shed load
     lands in ``report["busy_shed"]`` and does not fail the soak.
     """
@@ -302,7 +344,7 @@ def run_load(host, port, *, sessions=4, ticks=10, facts_per_tick=50,
             ticks=ticks, facts_per_tick=facts_per_tick, rate=rate,
             durable=durable, parallel=parallel,
             session_prefix=session_prefix, idempotent=idempotent,
-            deadline_ms=deadline_ms,
+            deadline_ms=deadline_ms, reload_every=reload_every,
         )
         for i in range(sessions)
     ]
@@ -327,6 +369,7 @@ def run_load(host, port, *, sessions=4, ticks=10, facts_per_tick=50,
         "durable": durable,
         "parallel": parallel,
         "idempotent": idempotent,
+        "reload_every": reload_every,
         "duration_s": round(elapsed, 3),
         "events_total": events_total,
         "events_per_s": round(events_total / elapsed, 1) if elapsed else 0.0,
@@ -339,11 +382,15 @@ def run_load(host, port, *, sessions=4, ticks=10, facts_per_tick=50,
         "retries": sum(w.client_retries for w in workers),
         "deduped": sum(w.deduped for w in workers),
         "session_restarts": sum(w.session_restarts for w in workers),
+        "reloads": sum(w.reloads for w in workers),
         "latency": {
             op: _latency_summary(
                 [ms for w in workers for ms in w.latencies[op]]
             )
-            for op in ("assert", "run")
+            for op in (
+                ("assert", "run", "reload") if reload_every
+                else ("assert", "run")
+            )
         },
         "errors": [e for w in workers for e in w.errors],
     }
@@ -395,6 +442,12 @@ def main(argv=None):
     parser.add_argument(
         "--deadline-ms", type=float, default=None,
         help="per-request deadline forwarded to the server",
+    )
+    parser.add_argument(
+        "--reload-every", type=int, default=None,
+        help="replace_rule the default program's note-emp rule every N "
+             "ticks per session (hot-reload soak; needs the default "
+             "program)",
     )
     parser.add_argument(
         "--session-prefix", default="load",
@@ -457,6 +510,7 @@ def main(argv=None):
             parallel=options.parallel,
             idempotent=options.idempotent,
             deadline_ms=options.deadline_ms,
+            reload_every=options.reload_every,
             session_prefix=options.session_prefix,
         )
     finally:

@@ -38,8 +38,11 @@ Ops: ``ping``, ``health`` (readiness/drain state, never shed),
 ``create`` (program + per-session configuration), ``assert`` (a fact
 batch, ingested atomically), ``run`` (recognize-act cycles, streaming
 firings/writes/derived facts), ``facts`` (dump working memory),
-``checkpoint``, ``close``, ``stats``.  See ``docs/SERVICE.md`` for
-the full field tables.
+``add_rule`` / ``remove_rule`` / ``replace_rule`` (hot rule reload:
+WAL-logged runtime surgery on a live session, copy-on-write rule-base
+divergence — see ``docs/DYNAMIC_RULES.md``), ``checkpoint``,
+``close``, ``stats``.  See ``docs/SERVICE.md`` for the full field
+tables.
 """
 
 from __future__ import annotations

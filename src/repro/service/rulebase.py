@@ -78,6 +78,40 @@ class RuleBase:
         self.sessions_built = 0
         self._lock = threading.Lock()
 
+    @classmethod
+    def forked(cls, parent, source):
+        """Copy-on-write divergence: a rule base for *source* sharing
+        *parent*'s kernel pack.
+
+        A tenant that reloads rules at runtime gets a forked rule base
+        under its own content key while untouched tenants keep sharing
+        the parent entry.  The kernel pack is the *same object*: the
+        structural-key cache spans the fork, so only genuinely new
+        alpha/join/scan chains compile — replacing one rule shared by
+        N tenants costs exactly one new compile, not N rebuilds.
+        """
+        base = cls.__new__(cls)
+        base.key = rule_base_key(
+            source, parent.matcher_name, parent.kernel_mode,
+            parent.backend,
+        )
+        base.source = source
+        base.matcher_name = parent.matcher_name
+        base.kernel_mode = parent.kernel_mode
+        base.backend = parent.backend
+        base.literalizations, base.rules = parse_program(source)
+        base.kernel_pack = parent.kernel_pack
+        base.sessions_built = 0
+        base._lock = threading.Lock()
+        return base
+
+    @property
+    def version(self):
+        """The rule-base version hash (matches checkpoint manifests)."""
+        from repro.durability.checkpoint import rule_base_version
+
+        return rule_base_version(self.source)
+
     def build_matcher(self):
         """A fresh matcher wired to the shared kernel pack (if any)."""
         kernels = (
@@ -137,6 +171,7 @@ class RuleBaseCache:
         self._lock = threading.Lock()
         self.compiles = 0
         self.hits = 0
+        self.forks = 0
 
     def get(self, source, matcher="rete", kernels=None, backend=None):
         """``(rule_base, hit)`` for the given program/configuration."""
@@ -159,20 +194,56 @@ class RuleBaseCache:
             self.compiles += 1
             return base, False
 
+    def fork(self, parent, source):
+        """``(rule_base, hit)`` for a tenant diverging to *source*.
+
+        Like :meth:`get`, but a miss builds the entry by forking
+        *parent* (sharing its kernel pack) instead of compiling from
+        scratch.  Two tenants reloading to byte-identical programs
+        converge on one forked entry — the second is a hit.
+        """
+        key = rule_base_key(
+            source, parent.matcher_name, parent.kernel_mode,
+            parent.backend,
+        )
+        with self._lock:
+            base = self._bases.get(key)
+            if base is not None:
+                self.hits += 1
+                return base, True
+        base = RuleBase.forked(parent, source)
+        with self._lock:
+            existing = self._bases.get(key)
+            if existing is not None:
+                self.hits += 1
+                return existing, True
+            self._bases[key] = base
+            self.forks += 1
+            return base, False
+
     def stats(self):
         """Cache-level and per-base counters, JSON-safe."""
         with self._lock:
             bases = list(self._bases.values())
             compiles, hits = self.compiles, self.hits
+            forks = self.forks
+        # Forked bases share their parent's kernel pack, so sum packs,
+        # not bases — otherwise every fork would re-count the shared
+        # pack's compilations.
+        packs = {
+            id(b.kernel_pack): b.kernel_pack
+            for b in bases if b.kernel_pack is not None
+        }
         return {
             "rule_bases": len(bases),
             "compiles": compiles,
             "hits": hits,
+            "forks": forks,
             "kernels_compiled": sum(
-                b.kernel_stats()["compiled"] for b in bases
+                p.compiled for p in packs.values()
             ),
             "kernel_cache_hits": sum(
-                b.kernel_stats()["cache_hits"] for b in bases
+                p.cache_hits for p in packs.values()
             ),
             "sessions_built": sum(b.sessions_built for b in bases),
         }

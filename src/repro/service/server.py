@@ -89,7 +89,8 @@ from repro.service.protocol import (
 _CONTROL_OPS = frozenset({"ping", "health", "stats", "close"})
 
 #: Session-scoped work ops whose failures feed the circuit breaker.
-_SESSION_OPS = frozenset({"assert", "run", "facts", "checkpoint"})
+_SESSION_OPS = frozenset({"assert", "run", "facts", "checkpoint",
+                          "add_rule", "remove_rule", "replace_rule"})
 
 
 class ServiceConfig:
@@ -816,6 +817,69 @@ class RuleService:
                 **{"class": wme_class_}, tag=tag, values=values,
             ))
         await self._send(writer, ok_response(request_id, count=len(rows)))
+
+    # -- runtime rule surgery ----------------------------------------------
+    #
+    # Hot reload without restarting the tenant: the engine performs the
+    # surgery (WAL-logging it so recovery replays the reload in order),
+    # and the session re-keys onto a copy-on-write fork of its shared
+    # rule base — untouched tenants keep sharing the parent entry and
+    # its kernel pack, so a reload shared by N tenants compiles each
+    # genuinely new alpha/join/scan chain exactly once.
+
+    async def _surgery(self, request, request_id, writer, action,
+                       counter, *, source=None, rule_name=None):
+        key = self._request_key(request)
+        journal_limit = self.config.journal_limit
+
+        def operate(session):
+            return session.rule_surgery(
+                action, source=source, rule_name=rule_name, key=key,
+                journal_limit=journal_limit, rule_bases=self.rule_bases,
+            )
+
+        response, deduped = await self._with_session(request, operate)
+        if deduped:
+            self.counters["deduped_requests"] += 1
+            response = dict(response, deduped=True)
+        else:
+            self.counters[counter] += 1
+            if response.get("forked"):
+                self.counters["rulebase_forks"] += 1
+        await self._send(writer, ok_response(request_id, **response))
+
+    @staticmethod
+    def _rule_source(request, op):
+        source = request.get("source")
+        if not isinstance(source, str) or not source.strip():
+            raise ServiceError(f"{op} needs a 'source' rule string")
+        return source
+
+    @staticmethod
+    def _rule_name(request, op):
+        rule_name = request.get("rule")
+        if not isinstance(rule_name, str) or not rule_name:
+            raise ServiceError(f"{op} needs a 'rule' name")
+        return rule_name
+
+    async def _op_add_rule(self, request, request_id, writer):
+        await self._surgery(
+            request, request_id, writer, "add", "rules_added",
+            source=self._rule_source(request, "add_rule"),
+        )
+
+    async def _op_remove_rule(self, request, request_id, writer):
+        await self._surgery(
+            request, request_id, writer, "remove", "rules_removed",
+            rule_name=self._rule_name(request, "remove_rule"),
+        )
+
+    async def _op_replace_rule(self, request, request_id, writer):
+        await self._surgery(
+            request, request_id, writer, "replace", "rules_replaced",
+            source=self._rule_source(request, "replace_rule"),
+            rule_name=self._rule_name(request, "replace_rule"),
+        )
 
     async def _op_checkpoint(self, request, request_id, writer):
         def checkpoint(session):

@@ -37,6 +37,7 @@ half-applied batch.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import re
 import threading
@@ -84,7 +85,8 @@ class Session:
 
     __slots__ = ("id", "engine", "rule_base", "wal_dir", "created_at",
                  "last_used", "pending", "requests", "facts_ingested",
-                 "firings", "resumed", "deduped", "create_key", "_clock")
+                 "firings", "resumed", "deduped", "create_key",
+                 "reloads", "_clock")
 
     def __init__(self, session_id, engine, rule_base=None, wal_dir=None,
                  resumed=False, create_key=None, clock=time.monotonic):
@@ -103,6 +105,8 @@ class Session:
         self.resumed = resumed
         #: Requests answered from the idempotency journal.
         self.deduped = 0
+        #: Runtime rule-surgery requests applied (add/remove/replace).
+        self.reloads = 0
         #: Idempotency key of the ``create`` that made this session,
         #: so a retried create is recognised instead of rejected.
         self.create_key = create_key
@@ -171,6 +175,74 @@ class Session:
             journal_put(engine, key, response, journal_limit)
         return response, False
 
+    def rule_surgery(self, action, *, source=None, rule_name=None,
+                     key=None, journal_limit=None, rule_bases=None):
+        """Runtime rule surgery — ``add`` / ``remove`` / ``replace``.
+
+        Returns ``(response, deduped)`` like :meth:`ingest_facts`.  The
+        engine call WAL-logs the change (``p`` / ``x`` / one atomic
+        ``P`` record), so recovery replays the reload in order; with an
+        idempotency *key* a retried reload is answered from the journal
+        instead of re-applied (an un-keyed retry of ``add`` would raise
+        "already defined" — the engine itself stays exactly-once).
+
+        Copy-on-write divergence: after the surgery the session's
+        program source no longer matches its shared rule base, so the
+        session re-keys onto a fork (sharing the parent's kernel pack)
+        via ``rule_bases.fork``.  Untouched tenants keep sharing the
+        parent entry; a second tenant reloading to a byte-identical
+        program converges on the same fork, and replacing a rule shared
+        by N tenants costs exactly one new kernel compile (the
+        structural-key cache spans the fork).
+        """
+        engine = self.engine
+        if key is not None:
+            cached = engine.request_journal.get(key)
+            if cached is not None:
+                self.deduped += 1
+                return dict(cached), True
+        if action == "add":
+            added = engine.add_rule(source)
+            response = {"rule": added.name}
+        elif action == "remove":
+            engine.excise(rule_name)
+            response = {"rule": rule_name}
+        elif action == "replace":
+            new_rule = engine.replace_rule(rule_name, source)
+            response = {"rule": new_rule.name, "replaced": rule_name}
+        else:  # pragma: no cover - guarded by the op dispatch
+            raise ServiceError(f"unknown rule surgery {action!r}")
+        self.reloads += 1
+        from repro.durability.checkpoint import (
+            program_source, rule_base_version,
+        )
+
+        program = program_source(engine)
+        forked = False
+        if rule_bases is not None and self.rule_base is not None:
+            if program != self.rule_base.source:
+                base, hit = rule_bases.fork(self.rule_base, program)
+                self.rule_base = base
+                forked = not hit
+        response.update(
+            rules=len(engine.rules),
+            version=rule_base_version(program),
+            forked=forked,
+        )
+        if key is not None:
+            journal_put(engine, key, response, journal_limit)
+            if engine.durability is not None:
+                # Best-effort durable journal entry (see _op_run): the
+                # surgery record itself is already on the WAL, so a
+                # crash-then-retry without this entry replays the
+                # journal miss against an engine that already has the
+                # change — the engine-level "already defined"/"no rule"
+                # errors surface that explicitly rather than silently
+                # double-applying.
+                with contextlib.suppress(WalError, OSError):
+                    engine.durability.log_request(key, response)
+        return response, False
+
     def close(self, checkpoint=False):
         """Close the tenant's engine (idempotent).
 
@@ -195,6 +267,8 @@ class Session:
             "facts_ingested": self.facts_ingested,
             "firings": self.firings,
             "deduped": self.deduped,
+            "reloads": self.reloads,
+            "rules": len(self.engine.rules),
             "wm_size": len(self.engine.wm),
             "conflict_set": len(self.engine.conflict_set),
             "idle_s": round(self.idle_for(), 3),

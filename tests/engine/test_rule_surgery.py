@@ -1,0 +1,156 @@
+"""Runtime rule surgery semantics: replace_rule, excising quarantined
+rules, and the open-batch guard.
+
+``replace_rule`` is excise + add as one engine operation (and one WAL
+record — recovery is covered in tests/durability); excising a
+quarantined rule must drop its parked conflict-set pool for good, so a
+later rule reusing the name never inherits stamps it did not earn.
+"""
+
+import pytest
+
+from repro import RuleEngine
+from repro.errors import EngineError, RuleError
+
+PROGRAM = """
+(literalize item owner v)
+(literalize owner name)
+(p pair (item ^owner <o>) (owner ^name <o>) --> (write pair <o>))
+"""
+
+
+def _engine():
+    engine = RuleEngine()
+    engine.load(PROGRAM)
+    return engine
+
+
+class TestReplaceRule:
+    def test_swaps_in_place_and_rematches(self):
+        engine = _engine()
+        engine.make("item", owner="a", v=1)
+        engine.make("owner", name="a")
+        assert len(engine.conflict_set) == 1
+        engine.replace_rule(
+            "pair", "(p pair (item ^v {<v> > 10}) --> (write big <v>))"
+        )
+        # Old instantiations gone, new rule backfilled from live WM.
+        assert list(engine.rules) == ["pair"]
+        assert len(engine.conflict_set) == 0
+        engine.make("item", owner="b", v=99)
+        assert [i.rule.name for i in engine.conflict_set] == ["pair"]
+
+    def test_new_name_replaces_old(self):
+        engine = _engine()
+        engine.make("item", owner="a", v=1)
+        new = engine.replace_rule(
+            "pair", "(p solo (item ^owner <o>) --> (write solo <o>))"
+        )
+        assert new.name == "solo"
+        assert sorted(engine.rules) == ["solo"]
+        assert [i.rule.name for i in engine.conflict_set] == ["solo"]
+
+    def test_unknown_old_rule_raises(self):
+        engine = _engine()
+        with pytest.raises(RuleError, match="no rule named ghost"):
+            engine.replace_rule(
+                "ghost", "(p x (item ^v <v>) --> (write <v>))"
+            )
+
+    def test_colliding_new_name_raises_without_damage(self):
+        engine = _engine()
+        engine.add_rule("(p other (owner ^name <o>) --> (write <o>))")
+        with pytest.raises(RuleError, match="already defined"):
+            engine.replace_rule(
+                "pair", "(p other (item ^v <v>) --> (write <v>))"
+            )
+        # The failed replace touched nothing.
+        assert sorted(engine.rules) == ["other", "pair"]
+
+    def test_refraction_not_carried_to_replacement(self):
+        engine = _engine()
+        engine.make("item", owner="a", v=1)
+        engine.make("owner", name="a")
+        assert engine.run() == 1
+        engine.replace_rule(
+            "pair",
+            "(p pair (item ^owner <o>) (owner ^name <o>) "
+            "--> (write again <o>))",
+        )
+        # A fresh rule earns fresh eligibility over the same WMEs.
+        assert engine.run() == 1
+
+
+class TestQuarantinedExcise:
+    def _quarantined_engine(self):
+        engine = RuleEngine(on_error="quarantine:1")
+        engine.load(PROGRAM)
+
+        def boom(*args):
+            raise RuntimeError("boom")
+
+        engine.register_function("boom", boom)
+        engine.add_rule("(p poison (item ^v <v>) --> (call boom <v>))")
+        engine.make("item", owner="a", v=1)
+        engine.run()
+        assert "poison" in engine.quarantined_rules()
+        assert engine.conflict_set.parked_rules() == ["poison"]
+        return engine
+
+    def test_excise_drops_parked_pool_and_bookkeeping(self):
+        engine = self._quarantined_engine()
+        engine.excise("poison")
+        assert engine.conflict_set.parked_rules() == []
+        assert engine.quarantined_rules() == {}
+        assert engine.reliability.failure_counts.get("poison") is None
+
+    def test_release_after_excise_raises(self):
+        engine = self._quarantined_engine()
+        engine.excise("poison")
+        with pytest.raises(RuleError, match="no rule named poison"):
+            engine.release_rule("poison")
+
+    def test_reused_name_does_not_inherit_parked_stamps(self):
+        engine = self._quarantined_engine()
+        engine.excise("poison")
+        # A later rule reusing the name matches and fires normally: its
+        # instantiations reach the live conflict set, not an orphaned
+        # parked pool.
+        engine.add_rule("(p poison (item ^v <v>) --> (write ok <v>))")
+        assert [i.rule.name for i in engine.conflict_set] == ["poison"]
+        assert engine.run() == 1
+        assert engine.output == ["ok 1"]
+
+    def test_replace_clears_quarantine(self):
+        engine = self._quarantined_engine()
+        engine.replace_rule(
+            "poison", "(p poison (item ^v <v>) --> (write fixed <v>))"
+        )
+        assert engine.quarantined_rules() == {}
+        assert engine.conflict_set.parked_rules() == []
+        assert engine.run() == 1
+        assert engine.output == ["fixed 1"]
+
+    def test_release_unknown_rule_raises(self):
+        engine = _engine()
+        with pytest.raises(RuleError, match="no rule named ghost"):
+            engine.release_rule("ghost")
+
+
+class TestOpenBatchGuard:
+    @pytest.mark.parametrize("surgery", [
+        lambda e: e.add_rule("(p x (item ^v <v>) --> (write <v>))"),
+        lambda e: e.excise("pair"),
+        lambda e: e.replace_rule(
+            "pair", "(p pair (item ^v <v>) --> (write <v>))"
+        ),
+    ])
+    def test_surgery_inside_open_batch_raises(self, surgery):
+        engine = _engine()
+        with pytest.raises(EngineError, match="open batch"):
+            with engine.batch():
+                engine.make("item", owner="a", v=1)
+                surgery(engine)
+        # The batch unwound cleanly; the WME landed, the rules did not
+        # double-propagate.
+        assert sorted(engine.rules) == ["pair"]

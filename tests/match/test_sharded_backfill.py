@@ -1,0 +1,100 @@
+"""Sharded add_rule WM-backfill, differential against plain Rete.
+
+The regression this pins: a shard only receives deltas for WME classes
+it is ``interested_in``, so a shard gaining its *first* rule over a
+class it previously filtered out must back-fill that rule from live
+working memory — exactly what an unsharded :class:`ReteNetwork` does.
+Before the fix a shard could be left blind when the facade was
+attached after construction, leaving the new rule permanently empty.
+"""
+
+import pytest
+
+from repro import RuleEngine, ShardedReteNetwork
+from repro.rete import ReteNetwork
+from repro.rete.sharded import shard_of
+
+LITERALIZE = """
+(literalize item kind v)
+(literalize tag name)
+(literalize audit kind)
+"""
+
+RULES = (
+    "(p watch-item (item ^kind <k> ^v <v>) --> (write item <k> <v>))",
+    "(p watch-tag (tag ^name <n>) --> (write tag <n>))",
+    "(p audit-item (audit ^kind <k>) (item ^kind <k> ^v <v>) "
+    "--> (write audit <k> <v>))",
+)
+
+
+def _seed_facts(engine):
+    engine.make("item", kind="a", v=1)
+    engine.make("item", kind="b", v=2)
+    engine.make("tag", name="a")
+    engine.make("audit", kind="a")
+
+
+def _conflict_signature(engine):
+    return sorted(
+        (i.rule.name, tuple(i.recency_key()))
+        for i in engine.conflict_set
+    )
+
+
+def _drive(matcher):
+    engine = RuleEngine(matcher=matcher)
+    engine.load(LITERALIZE)
+    _seed_facts(engine)
+    for rule in RULES:
+        engine.add_rule(rule)
+    engine.make("item", kind="a", v=3)
+    return engine
+
+
+class TestShardedBackfill:
+    @pytest.mark.parametrize("shards", [1, 2, 3, 5])
+    def test_facts_first_rules_later_matches_plain_rete(self, shards):
+        sharded = _drive(ShardedReteNetwork(shards=shards))
+        plain = _drive(ReteNetwork())
+        assert _conflict_signature(sharded) == _conflict_signature(plain)
+        sharded.run()
+        plain.run()
+        assert sorted(sharded.output) == sorted(plain.output)
+
+    def test_cold_shard_backfills_filtered_class(self):
+        """The rules land on distinct shards, so at least one shard had
+        zero interest in ``item`` while the facts arrived."""
+        shards = 5
+        indexes = {
+            shard_of({"item"}, shards),
+            shard_of({"tag"}, shards),
+            shard_of({"audit", "item"}, shards),
+        }
+        assert len(indexes) > 1, "pick shard counts that split the rules"
+        engine = RuleEngine(matcher=ShardedReteNetwork(shards=shards))
+        engine.load(LITERALIZE)
+        _seed_facts(engine)
+        # No rules yet: every shard filtered every class out.
+        engine.add_rule(RULES[2])
+        assert [i.rule.name for i in engine.conflict_set] == ["audit-item"]
+        assert engine.run() == 1
+        assert engine.output == ["audit a 1"]
+
+    def test_backfill_after_excise_and_readd(self):
+        engine = RuleEngine(matcher=ShardedReteNetwork(shards=3))
+        engine.load(LITERALIZE)
+        _seed_facts(engine)
+        engine.add_rule(RULES[0])
+        assert len(engine.conflict_set) == 2
+        engine.excise("watch-item")
+        assert len(engine.conflict_set) == 0
+        # The shard lost its last rule over `item`; facts asserted in
+        # the gap must still reach a rule added afterwards.
+        engine.make("item", kind="c", v=9)
+        engine.add_rule(RULES[0])
+        assert len(engine.conflict_set) == 3
+        assert engine.run() == 3
+        assert sorted(engine.output) == [
+            "item a 1", "item b 2", "item c 9",
+        ]

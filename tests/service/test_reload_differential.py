@@ -1,0 +1,202 @@
+"""Reload-mid-stream differential: a served session whose rules are
+hot-swapped between fact batches is *the same computation* — identical
+firing sequence, derived facts, and byte-identical WAL — as the same
+interleaving run in process.  And recovering the service-written WAL
+reproduces that session exactly: same WM time tags, same rules, no
+re-firings."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import RuleEngine
+from repro.durability import DurabilityConfig
+from repro.durability.wal import list_segments
+from repro.service import ServiceClient, ServiceConfig, ServiceThread
+from repro.service.protocol import fact_event, firing_event
+
+PROGRAM = """
+(literalize dept name)
+(literalize emp name dept salary)
+(literalize payroll dept total)
+(p dept-payroll
+  (dept ^name <d>)
+  { [emp ^dept <d>] <staff> }
+  :test ((count <staff>) >= 1)
+  -(payroll ^dept <d>)
+  -->
+  (make payroll ^dept <d> ^total (sum <staff> ^salary))
+  (write payroll <d> (sum <staff> ^salary)))
+"""
+
+HIGH_RULE = (
+    "(p high-earner (emp ^name <n> ^salary {<s> > 250}) "
+    "--> (write high <n> <s>))"
+)
+
+HIGH_V2 = (
+    "(p high-earner (emp ^name <n> ^salary {<s> > 150}) "
+    "--> (write high2 <n> <s>))"
+)
+
+#: One session script: fact batches, runs, and rule surgery interleaved.
+STEPS = [
+    ("facts", [("dept", {"name": "d0"}), ("dept", {"name": "d1"})]),
+    ("run",),
+    ("facts", [
+        ("emp", {"name": "e0", "dept": "d0", "salary": 100}),
+        ("emp", {"name": "e1", "dept": "d1", "salary": 200}),
+        ("emp", {"name": "e2", "dept": "d0", "salary": 300}),
+    ]),
+    ("run",),
+    ("add", HIGH_RULE),       # back-fills live WM: e2 qualifies
+    ("run",),
+    ("replace", "high-earner", HIGH_V2),
+    ("run",),
+    ("facts", [("emp", {"name": "e3", "dept": "d1", "salary": 400})]),
+    ("run",),
+    ("remove", "dept-payroll"),
+    ("run",),
+]
+
+
+def _wal_bytes(wal_dir):
+    return {
+        os.path.basename(path): open(path, "rb").read()
+        for _, path in list_segments(str(wal_dir))
+    }
+
+
+def _strip_ids(events):
+    return [
+        {k: v for k, v in event.items() if k != "id"} for event in events
+    ]
+
+
+@pytest.fixture
+def embedded(tmp_path):
+    """The reference: the same step script run in process."""
+    wal_dir = tmp_path / "embedded"
+    engine = RuleEngine(
+        durability=DurabilityConfig(wal_dir, fsync="batch")
+    )
+    engine.load(PROGRAM)
+    events = []
+    fired_total = 0
+    for step in STEPS:
+        kind = step[0]
+        if kind == "facts":
+            engine.load_facts(step[1])
+        elif kind == "add":
+            engine.add_rule(step[1])
+        elif kind == "replace":
+            engine.replace_rule(step[1], step[2])
+        elif kind == "remove":
+            engine.excise(step[1])
+        else:  # run
+            derived = []
+            engine.wm.attach(derived.append)
+            fired_total += engine.run()
+            engine.wm.detach(derived.append)
+            for record in engine.tracer.firings:
+                events.append(firing_event(None, record))
+            for text in engine.tracer.output:
+                events.append(
+                    {"event": "write", "id": None, "text": text}
+                )
+            engine.tracer.firings.clear()
+            engine.tracer.output.clear()
+            for event in derived:
+                events.append(fact_event(None, event.sign, event.wme))
+    wm_state = sorted(
+        (w.wme_class, w.time_tag, tuple(sorted(w.as_dict().items())))
+        for w in engine.wm
+    )
+    rules = sorted(engine.rules)
+    engine.close()
+    return {
+        "wal_dir": wal_dir,
+        "events": _strip_ids(events),
+        "fired": fired_total,
+        "wm": wm_state,
+        "rules": rules,
+    }
+
+
+def _drive_wire(client, session):
+    events = []
+    fired = 0
+    for step in STEPS:
+        kind = step[0]
+        if kind == "facts":
+            client.assert_facts(session, step[1])
+        elif kind == "add":
+            client.add_rule(session, step[1])
+        elif kind == "replace":
+            client.replace_rule(session, step[1], step[2])
+        elif kind == "remove":
+            client.remove_rule(session, step[1])
+        else:
+            response, lines = client.run(session)
+            fired += response["fired"]
+            events.extend(lines)
+    return events, fired
+
+
+def test_reload_mid_stream_is_byte_identical_to_embedded(
+    tmp_path, embedded
+):
+    wal_root = tmp_path / "service"
+    with ServiceThread(
+        ServiceConfig(port=0, wal_root=str(wal_root))
+    ) as server:
+        with ServiceClient(*server.address) as client:
+            client.create("diff", PROGRAM)
+            wire_events, wire_fired = _drive_wire(client, "diff")
+            _, fact_lines = client.facts("diff")
+            client.close_session("diff")
+
+    assert _strip_ids(wire_events) == embedded["events"]
+    assert wire_fired == embedded["fired"]
+
+    wire_wm = sorted(
+        (e["class"], e["tag"], tuple(sorted(e["values"].items())))
+        for e in fact_lines
+    )
+    assert wire_wm == embedded["wm"]
+
+    # Byte-identical WALs: the wire surgery logged the same p/x/P
+    # records at the same positions as the in-process run.
+    wire_wal = _wal_bytes(wal_root / "diff")
+    embedded_wal = _wal_bytes(embedded["wal_dir"])
+    assert sorted(wire_wal) == sorted(embedded_wal)
+    for name in embedded_wal:
+        assert wire_wal[name] == embedded_wal[name], (
+            f"segment {name} diverged between wire and embedded runs"
+        )
+
+
+def test_recovered_reloaded_session_matches_embedded(tmp_path, embedded):
+    wal_root = tmp_path / "service"
+    with ServiceThread(
+        ServiceConfig(port=0, wal_root=str(wal_root))
+    ) as server:
+        with ServiceClient(*server.address) as client:
+            client.create("diff", PROGRAM)
+            _drive_wire(client, "diff")
+            client.close_session("diff")
+
+    engine = RuleEngine.recover(
+        str(wal_root / "diff"), durability=False
+    )
+    assert sorted(
+        (w.wme_class, w.time_tag, tuple(sorted(w.as_dict().items())))
+        for w in engine.wm
+    ) == embedded["wm"]
+    # The surgery replayed: post-surgery rule set, and refraction
+    # carried over — nothing re-fires.
+    assert sorted(engine.rules) == embedded["rules"]
+    assert engine.run() == 0
+    engine.close()
